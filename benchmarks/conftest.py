@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every benchmark here regenerates (a cell of) one of the paper's tables or
+figures.  Wall-clock time of a cell tracks the simulated work, so
+pytest-benchmark gives a stable relative ranking; the *scientific* output
+(normalized overheads, validation verdicts) is asserted inside the bench
+and written to ``benchmarks/artifacts/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).resolve().parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> pathlib.Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def save_artifact(name: str, text: str) -> None:
+    ARTIFACTS.mkdir(exist_ok=True)
+    (ARTIFACTS / name).write_text(text + "\n")

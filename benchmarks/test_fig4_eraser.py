@@ -1,0 +1,66 @@
+"""Figure 4: hand-tuned Eraser vs ALDAcc-full vs ALDAcc-ds-only on Splash2."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.analyses import eraser
+from repro.baselines import HandTunedEraser
+from repro.compiler import compile_analysis
+from repro.harness.figures import figure4
+from repro.harness.runner import measure_overhead, run_plain
+from repro.workloads import SPLASH2
+
+REPRESENTATIVE = ("fft", "radix", "water_ns")
+
+
+@pytest.fixture(scope="module")
+def full():
+    return eraser.compile_()
+
+
+@pytest.fixture(scope="module")
+def ds_only():
+    return compile_analysis(eraser.SOURCE, eraser.OPTIONS.ds_only())
+
+
+@pytest.mark.parametrize("workload_name", REPRESENTATIVE)
+def test_fig4_cell_hand_tuned(benchmark, workload_name):
+    workload = SPLASH2[workload_name]
+    baseline = run_plain(workload)
+    result = benchmark(
+        lambda: measure_overhead(workload, HandTunedEraser, baseline=baseline)
+    )
+    assert result.overhead > 2.0
+
+
+@pytest.mark.parametrize("workload_name", REPRESENTATIVE)
+def test_fig4_cell_aldacc_full(benchmark, workload_name, full):
+    workload = SPLASH2[workload_name]
+    baseline = run_plain(workload)
+    result = benchmark(
+        lambda: measure_overhead(workload, full, baseline=baseline)
+    )
+    assert result.overhead > 2.0
+
+
+@pytest.mark.parametrize("workload_name", REPRESENTATIVE)
+def test_fig4_cell_ds_only(benchmark, workload_name, full, ds_only):
+    workload = SPLASH2[workload_name]
+    baseline = run_plain(workload)
+    optimized = measure_overhead(workload, full, baseline=baseline)
+    result = benchmark(
+        lambda: measure_overhead(workload, ds_only, baseline=baseline)
+    )
+    # The Figure 4 ablation claim: layout optimizations matter.
+    assert result.overhead > optimized.overhead
+
+
+def test_fig4_full_figure(benchmark):
+    data = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    save_artifact("fig4.txt", data.render())
+    from repro.harness.svg import figure_to_svg
+    save_artifact("fig4.svg", figure_to_svg(data))
+    # Paper: hand-tuned 25.12x vs ALDAcc 24.79x (parity), ds-only +26.9%.
+    ratio = data.summary["avg_aldacc_full"] / data.summary["avg_hand_tuned"]
+    assert 0.8 < ratio < 1.2
+    assert 0.15 < data.summary["layout_opt_speedup"] < 0.6

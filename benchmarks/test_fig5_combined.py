@@ -1,0 +1,61 @@
+"""Figure 5: four analyses individually vs combined into one run."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.analyses import eraser, fasttrack, taint, uaf
+from repro.compiler import CompileOptions, combine_sources, compile_analysis
+from repro.harness.figures import figure5
+from repro.harness.runner import measure_overhead, run_plain
+from repro.workloads import SPLASH2
+
+MODULES = {"eraser": eraser, "fasttrack": fasttrack, "uaf": uaf, "taint": taint}
+REPRESENTATIVE = ("radix", "water_ns")
+
+
+@pytest.fixture(scope="module")
+def combined():
+    program = combine_sources([m.SOURCE for m in MODULES.values()])
+    return compile_analysis(program, CompileOptions(granularity=8, analysis_name="combined"))
+
+
+@pytest.fixture(scope="module")
+def individuals():
+    return {name: module.compile_() for name, module in MODULES.items()}
+
+
+@pytest.mark.parametrize("analysis_name", sorted(MODULES))
+def test_fig5_cell_individual(benchmark, analysis_name, individuals):
+    workload = SPLASH2["radix"]
+    baseline = run_plain(workload)
+    result = benchmark(
+        lambda: measure_overhead(
+            workload, individuals[analysis_name], baseline=baseline
+        )
+    )
+    assert result.overhead > 1.0
+
+
+@pytest.mark.parametrize("workload_name", REPRESENTATIVE)
+def test_fig5_cell_combined(benchmark, workload_name, combined, individuals):
+    workload = SPLASH2[workload_name]
+    baseline = run_plain(workload)
+    total = sum(
+        measure_overhead(workload, analysis, baseline=baseline).overhead
+        for analysis in individuals.values()
+    )
+    result = benchmark(
+        lambda: measure_overhead(workload, combined, baseline=baseline)
+    )
+    # The section 6.4.2 claim: one combined run beats four separate runs.
+    assert result.overhead < total
+
+
+def test_fig5_full_figure(benchmark):
+    data = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    save_artifact("fig5.txt", data.render())
+    from repro.harness.svg import figure_to_svg
+    save_artifact("fig5.svg", figure_to_svg(data))
+    assert data.summary["avg_combined_speedup"] > 0.10
+    for workload, row in data.rows.items():
+        assert row["combined"] < row["sum_individual"], workload

@@ -1,0 +1,31 @@
+"""Section 6.4.1: SSLSan / ZlibSan find the paper's real-world bugs."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.analyses import sslsan
+from repro.harness.runner import run_instrumented
+from repro.harness.tables import render_sanitizers, sanitizer_validation
+from repro.workloads.bugs import WORKLOADS as BUGS
+
+
+def test_sanitizer_validation(benchmark):
+    rows = benchmark.pedantic(sanitizer_validation, rounds=1, iterations=1)
+    save_artifact("sec64_sanitizers.txt", render_sanitizers(rows))
+    assert all(row.passed for row in rows)
+
+
+@pytest.mark.parametrize("workload_name", [
+    "memcached_tls_leak", "memcached_tls_shutdown", "nginx_tls_shutdown",
+])
+def test_sslsan_detection_cost(benchmark, workload_name):
+    """Per-bug detection cell: the instrumented run itself."""
+    analysis = sslsan.compile_()
+    workload = BUGS[workload_name]
+
+    def cell():
+        _, reporter = run_instrumented(workload, [analysis])
+        return reporter
+
+    reporter = benchmark(cell)
+    assert reporter.by_analysis("sslsan")

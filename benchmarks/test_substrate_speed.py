@@ -1,0 +1,60 @@
+"""Substrate throughput benches: interpreter and compiler hot paths.
+
+Not a paper experiment — these keep the reproduction's own performance
+honest (a slow substrate would make the figure benches unusable).
+"""
+
+import pytest
+
+from repro.ir import IRBuilder, parse_module, print_module
+from repro.vm import Interpreter
+from repro.workloads import ALL
+
+
+def test_interpreter_throughput(benchmark):
+    """Plain interpretation speed on the heaviest single-threaded kernel."""
+    workload = ALL["sjeng"]
+    module = workload.make_module(1)
+
+    def run():
+        return Interpreter(module).run()
+
+    profile = benchmark(run)
+    assert profile.instructions > 10_000
+
+
+def test_interpreter_with_hooks_throughput(benchmark):
+    from repro.analyses import uaf
+    analysis = uaf.compile_()
+    workload = ALL["bzip2"]
+    module = workload.make_module(1)
+
+    def run():
+        vm = Interpreter(module)
+        analysis.attach(vm)
+        return vm.run()
+
+    profile = benchmark(run)
+    assert profile.handler_calls > 0
+
+
+def test_ir_assembler_throughput(benchmark):
+    module = ALL["mcf"].make_module(1)
+    text = print_module(module)
+
+    def roundtrip():
+        return parse_module(text)
+
+    parsed = benchmark(roundtrip)
+    assert parsed.static_instruction_count() == module.static_instruction_count()
+
+
+def test_multithreaded_scheduling_overhead(benchmark):
+    workload = ALL["water_ns"]
+    module = workload.make_module(1)
+
+    def run():
+        return Interpreter(module).run()
+
+    profile = benchmark(run)
+    assert profile.instructions > 5_000

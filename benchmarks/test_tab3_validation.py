@@ -1,0 +1,12 @@
+"""Table 3: MSan error-report validation (gets gap + true uninit bugs)."""
+
+from benchmarks.conftest import save_artifact
+from repro.harness.tables import render_table3, table3
+
+
+def test_tab3_validation(benchmark):
+    rows = benchmark.pedantic(table3, rounds=1, iterations=1)
+    save_artifact("tab3.txt", render_table3(rows))
+    assert len(rows) == 5
+    for row in rows:
+        assert row.matches_paper, row

@@ -1,0 +1,25 @@
+"""Table 4: analysis lines of code, plus ALDAcc compile throughput."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.analyses import REGISTRY
+from repro.harness.tables import render_table4, table4
+
+
+def test_tab4_loc(benchmark):
+    rows, handtuned = benchmark.pedantic(table4, rounds=1, iterations=1)
+    save_artifact("tab4.txt", render_table4(rows, handtuned))
+    by_name = {r.analysis: r.our_loc for r in rows}
+    # Succinctness claim: every ALDA analysis is far smaller than the
+    # hand-tuned implementations it replaces.
+    assert by_name["msan"] < handtuned["msan"]
+    assert by_name["eraser"] < handtuned["eraser"]
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_compile_throughput(benchmark, name):
+    """ALDAcc end-to-end compilation speed per analysis."""
+    module = REGISTRY[name]
+    analysis = benchmark(module.compile_)
+    assert analysis.source

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: write a dynamic analysis in ALDA, compile it with ALDAcc,
+and run it on a program.
+
+The analysis is a minimal heap checker: it tracks live heap blocks and
+reports frees of pointers that were never allocated (or freed twice).
+The subject program is built with the mini-IR builder and contains one
+double free.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompileOptions, IRBuilder, Interpreter, compile_analysis
+
+# 1. The analysis, in ALDA ------------------------------------------------
+# Three parts: metadata (one map from addresses to a liveness byte),
+# propagation (malloc marks live, free checks-and-clears), and insertion
+# declarations binding handlers to the malloc/free call boundaries.
+HEAP_CHECKER = """
+address := pointer
+flag := int8
+
+addr2Live = map(address, flag)
+
+onMalloc(address ptr) {
+  addr2Live[ptr] = 1;
+}
+
+onFree(address ptr) {
+  alda_assert(addr2Live[ptr], 1);   // report when freeing a dead pointer
+  addr2Live[ptr] = 0;
+}
+
+insert after func malloc call onMalloc($r)
+insert before func free call onFree($1)
+"""
+
+# 2. A subject program with a double free --------------------------------
+def build_program():
+    b = IRBuilder()
+    b.function("main")
+    block_a = b.call("malloc", [64])
+    block_b = b.call("malloc", [32])
+    b.store(7, block_a)
+    b.call("free", [block_a], void=True)
+    b.call("free", [block_b], void=True)
+    b.call("free", [block_b], void=True)  # BUG: double free
+    b.ret(0)
+    return b.module
+
+
+def main() -> None:
+    analysis = compile_analysis(
+        HEAP_CHECKER, CompileOptions(analysis_name="heap-checker")
+    )
+
+    print("=== metadata layout chosen by ALDAcc ===")
+    print(analysis.layout.describe())
+    print()
+    print("=== generated handler code (the compiled artifact) ===")
+    print(analysis.source)
+
+    # Clean-run baseline for the overhead number.
+    baseline = Interpreter(build_program()).run()
+
+    # 3. Attach and run ---------------------------------------------------
+    # (The simulated allocator tolerates the double free, like a real
+    # allocator would — detecting it is the analysis's job.)
+    vm = Interpreter(build_program())
+    analysis.attach(vm)
+    profile = vm.run()
+
+    print("=== analysis reports ===")
+    for report in vm.reporter:
+        print(" ", report)
+    print()
+    print(f"normalized overhead: {profile.overhead_vs(baseline):.2f}x "
+          f"({profile.cycles} vs {baseline.cycles} simulated cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Race detection: run Eraser and FastTrack on a racy vs a locked program.
+
+Builds two versions of a two-thread counter-increment program — one where
+the shared counter is protected by a mutex and one where it is not — and
+runs both the lockset-based Eraser and the happens-before FastTrack
+detectors from :mod:`repro.analyses` over each.
+
+Expected outcome (printed): both detectors report on the racy version and
+stay quiet on the counter in the locked version.  (Eraser may flag
+init-then-share patterns that FastTrack's happens-before reasoning
+correctly exonerates — the classic precision difference between the
+two algorithms.)
+
+Run:  python examples/race_detection.py
+"""
+
+from repro import IRBuilder, Interpreter
+from repro.analyses import eraser, fasttrack
+
+
+def build_counter_program(locked: bool):
+    """Two threads increment a shared counter 40 times each."""
+    b = IRBuilder()
+    b.module.add_global("counter", 8)
+    b.module.add_global("lock", 64)
+
+    b.function("worker", ["rounds"])
+    counter = b.global_addr("counter")
+    lock = b.global_addr("lock")
+    with b.loop("rounds"):
+        if locked:
+            b.call("mutex_lock", [lock], void=True)
+        value = b.load(counter)
+        b.store(b.add(value, 1), counter)
+        if locked:
+            b.call("mutex_unlock", [lock], void=True)
+    b.ret(0)
+
+    b.function("main")
+    counter = b.global_addr("counter")
+    b.store(0, counter)
+    child = b.call("spawn$worker", [40])
+    b.call("worker", [40], void=True)
+    b.call("join", [child], void=True)
+    result = b.load(counter)
+    b.ret(result)
+    return b.module
+
+
+def run_detector(module_factory, analysis, label: str) -> None:
+    vm = Interpreter(module_factory())
+    analysis.attach(vm)
+    vm.run()
+    print(f"  {label}: {len(vm.reporter)} report(s)")
+    for report in list(vm.reporter)[:4]:
+        print(f"    {report}")
+
+
+def main() -> None:
+    detectors = {
+        "Eraser   ": eraser.compile_(),
+        "FastTrack": fasttrack.compile_(),
+    }
+    for locked in (False, True):
+        kind = "LOCKED" if locked else "RACY"
+        print(f"=== {kind} counter program ===")
+        for name, analysis in detectors.items():
+            run_detector(lambda: build_counter_program(locked), analysis, name)
+        print()
+
+
+if __name__ == "__main__":
+    main()

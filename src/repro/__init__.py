@@ -1,0 +1,72 @@
+"""Reproduction of "Creating Concise and Efficient Dynamic Analyses with
+ALDA" (Cheng & Devecsery, ASPLOS 2022).
+
+This package contains the complete system described in the paper plus the
+substrate it needs (see DESIGN.md):
+
+* :mod:`repro.alda` — the ALDA language front end (lexer, parser, types,
+  semantic checker);
+* :mod:`repro.compiler` — ALDAcc, the optimizing compiler: static access
+  analysis, map coalescing, data-structure selection by shadow factor,
+  metadata-lookup reduction (CSE), handler generation and insertion;
+* :mod:`repro.runtime` — the metadata structures ALDAcc selects among
+  (bit-vector sets with universe algebra, tree sets, array maps, offset
+  shadow memory, page-table maps, ...), all cost- and cache-accounted;
+* :mod:`repro.ir` / :mod:`repro.vm` — the mini-IR and deterministic VM
+  standing in for LLVM and native execution;
+* :mod:`repro.analyses` — the paper's eight analyses written in ALDA
+  (Eraser, MSan, UAF, StrictAliasCheck, FastTrack, IndexTT, SSLSan,
+  ZlibSan);
+* :mod:`repro.baselines` — the hand-tuned MSan/Eraser comparators;
+* :mod:`repro.workloads` / :mod:`repro.harness` — benchmark programs and
+  the regeneration harness for every table and figure in the evaluation.
+
+Quickstart::
+
+    from repro import CompileOptions, compile_analysis, Interpreter, IRBuilder
+
+    analysis = compile_analysis(alda_source, CompileOptions(granularity=1))
+    vm = Interpreter(program_module, track_shadow=analysis.needs_shadow)
+    analysis.attach(vm)
+    profile = vm.run()
+    print(vm.reporter.reports, profile.cycles)
+"""
+
+from repro.compiler import (
+    CompileOptions,
+    CompiledAnalysis,
+    combine_programs,
+    combine_sources,
+    compile_analysis,
+)
+from repro.ir import IRBuilder, Module
+from repro.vm import Interpreter, Profile
+from repro.errors import (
+    AldaError,
+    AldaSyntaxError,
+    AldaTypeError,
+    CompileError,
+    ReproError,
+    VMError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AldaError",
+    "AldaSyntaxError",
+    "AldaTypeError",
+    "CompileError",
+    "CompileOptions",
+    "CompiledAnalysis",
+    "IRBuilder",
+    "Interpreter",
+    "Module",
+    "Profile",
+    "ReproError",
+    "VMError",
+    "combine_programs",
+    "combine_sources",
+    "compile_analysis",
+    "__version__",
+]

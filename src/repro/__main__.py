@@ -1,0 +1,128 @@
+"""Top-level CLI: run workloads under analyses, list what's available.
+
+Usage::
+
+    python -m repro list                          # workloads + analyses
+    python -m repro run fft                       # uninstrumented profile
+    python -m repro run fft --analysis eraser     # one analysis
+    python -m repro run radix --analysis eraser --analysis uaf --combine
+    python -m repro run memcached --scale 2 --reports
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analyses import REGISTRY, loc_of
+from repro.analyses.extras import EXTRAS
+from repro.compiler import CompileOptions, combine_sources, compile_analysis
+from repro.harness.runner import run_instrumented, run_plain
+from repro.workloads import ALL
+from repro.workloads.bugs import WORKLOADS as BUG_WORKLOADS
+
+_EVERY_WORKLOAD = {**ALL, **BUG_WORKLOADS}
+_EVERY_ANALYSIS = {**REGISTRY, **EXTRAS}
+
+
+def _alda_loc(module) -> int:
+    source = module.SOURCE
+    return sum(
+        1 for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+    )
+
+
+def cmd_list() -> int:
+    print("analyses (paper evaluation):")
+    for name in sorted(REGISTRY):
+        print(f"  {name:<16} ({loc_of(name)} LoC ALDA)")
+    print("\nanalyses (extras):")
+    for name, module in sorted(EXTRAS.items()):
+        print(f"  {name:<16} ({_alda_loc(module)} LoC ALDA)")
+    print("\nworkloads:")
+    for name, workload in sorted(_EVERY_WORKLOAD.items()):
+        note = f" — {workload.notes}" if workload.notes else ""
+        print(f"  {name:<24} [{workload.suite}, {workload.threads} thread(s)]{note}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = _EVERY_WORKLOAD.get(args.workload)
+    if workload is None:
+        print(f"unknown workload {args.workload!r} (see `python -m repro list`)",
+              file=sys.stderr)
+        return 1
+    for name in args.analysis:
+        if name not in _EVERY_ANALYSIS:
+            print(f"unknown analysis {name!r} (see `python -m repro list`)",
+                  file=sys.stderr)
+            return 1
+
+    baseline = run_plain(workload, args.scale)
+    print(f"{workload.name}: baseline {baseline.cycles} simulated cycles "
+          f"({baseline.instructions} instructions)")
+    if not args.analysis:
+        return 0
+
+    if args.combine and len(args.analysis) > 1:
+        program = combine_sources(
+            [_EVERY_ANALYSIS[n].SOURCE for n in args.analysis]
+        )
+        granularity = min(
+            _EVERY_ANALYSIS[n].OPTIONS.granularity for n in args.analysis
+        )
+        combined = compile_analysis(
+            program,
+            CompileOptions(
+                granularity=granularity,
+                analysis_name="+".join(args.analysis),
+            ),
+        )
+        attachables = [combined]
+        label = combined.name
+    else:
+        attachables = [_EVERY_ANALYSIS[n].compile_() for n in args.analysis]
+        label = ", ".join(args.analysis)
+
+    profile, reporter = run_instrumented(workload, attachables, args.scale)
+    print(f"with {label}: {profile.cycles} cycles "
+          f"-> overhead {profile.cycles / baseline.cycles:.2f}x")
+    print(f"  handler calls: {profile.handler_calls}, "
+          f"metadata ops: {profile.metadata_ops}, "
+          f"metadata committed: {profile.metadata_bytes} B")
+    print(f"  reports: {len(reporter)}")
+    if args.reports:
+        for report in reporter:
+            print(f"    {report}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ALDA reproduction: run workloads under dynamic analyses.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available analyses and workloads")
+    run_parser = sub.add_parser("run", help="run a workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--analysis", action="append", default=[],
+                            help="attach an analysis (repeatable)")
+    run_parser.add_argument("--combine", action="store_true",
+                            help="compile the analyses together (§6.4.2)")
+    run_parser.add_argument("--scale", type=int, default=1)
+    run_parser.add_argument("--reports", action="store_true",
+                            help="print every analysis report")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,26 @@
+"""ALDA front end: lexer, parser, type system, and semantic checker.
+
+The language implemented here follows Figure 2 of the paper plus the
+documented extension of ``const NAME = <int>`` declarations (the paper's
+Eraser listing uses symbolic states without declaring them).
+
+Typical use::
+
+    from repro.alda import parse_program, check_program
+
+    program = parse_program(source_text)   # -> ast_nodes.Program
+    info = check_program(program)          # -> semantics.ProgramInfo
+"""
+
+from repro.alda.lexer import tokenize
+from repro.alda.parser import parse_program
+from repro.alda.printer import print_program
+from repro.alda.semantics import ProgramInfo, check_program
+
+__all__ = [
+    "ProgramInfo",
+    "check_program",
+    "parse_program",
+    "print_program",
+    "tokenize",
+]

@@ -1,0 +1,85 @@
+"""Developer tool for ALDA source files.
+
+Usage::
+
+    python -m repro.alda check analysis.alda          # parse + type check
+    python -m repro.alda layout analysis.alda         # show chosen structures
+    python -m repro.alda codegen analysis.alda        # show generated handlers
+    python -m repro.alda fmt analysis.alda            # canonical formatting
+    python -m repro.alda layout --granularity 1 --no-coalesce analysis.alda
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.alda.parser import parse_program
+from repro.alda.printer import print_program
+from repro.alda.semantics import check_program
+from repro.errors import ReproError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.alda",
+        description="Check, inspect, and format ALDA analyses.",
+    )
+    parser.add_argument("command", choices=("check", "layout", "codegen", "fmt"))
+    parser.add_argument("file", help="ALDA source file")
+    parser.add_argument("--granularity", type=int, default=8)
+    parser.add_argument("--no-coalesce", action="store_true")
+    parser.add_argument("--no-cse", action="store_true")
+    parser.add_argument("--shadow-factor-threshold", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    with open(args.file) as handle:
+        source = handle.read()
+
+    try:
+        program = parse_program(source)
+        info = check_program(program)
+    except ReproError as error:
+        print(f"{args.file}: {error}", file=sys.stderr)
+        return 1
+
+    if args.command == "check":
+        print(
+            f"{args.file}: OK — {len(info.maps)} map(s), "
+            f"{len(info.funcs)} handler(s), {len(info.inserts)} insertion(s)"
+        )
+        if info.externals:
+            print(f"  external functions: {sorted(info.externals)}")
+        return 0
+
+    if args.command == "fmt":
+        print(print_program(program), end="")
+        return 0
+
+    from repro.compiler import CompileOptions, compile_analysis
+
+    options = CompileOptions(
+        granularity=args.granularity,
+        coalesce=not args.no_coalesce,
+        cse=not args.no_cse,
+        shadow_factor_threshold=args.shadow_factor_threshold,
+        analysis_name=args.file,
+    )
+    try:
+        analysis = compile_analysis(info, options)
+    except ReproError as error:
+        print(f"{args.file}: {error}", file=sys.stderr)
+        return 1
+
+    if args.command == "layout":
+        print(analysis.layout.describe())
+        return 0
+    print(analysis.source)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,209 @@
+"""Abstract syntax tree for ALDA programs.
+
+Node classes follow Figure 2 of the paper: four top-level declaration
+kinds (types, consts [extension], metadata, event handlers, insertion
+points) and a restricted statement/expression language for handler
+bodies — if/return/expression statements only, no loops, no local
+variables, no pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Num(Node):
+    value: int = 0
+
+
+@dataclass
+class Name(Node):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Node):
+    op: str = "!"
+    operand: "Expr" = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = "+"
+    lhs: "Expr" = None
+    rhs: "Expr" = None
+
+
+@dataclass
+class Index(Node):
+    """``mapname[key]`` — read or (as an Assign target) write."""
+
+    base: str = ""
+    key: "Expr" = None
+
+
+@dataclass
+class MethodCall(Node):
+    """``base.method(args)`` where base is a map name or a map index.
+
+    Map methods: ``set``, ``get`` (incl. range forms).  Set methods:
+    ``add``, ``remove``, ``find``, ``empty``.
+    """
+
+    base: Union[Name, Index] = None
+    method: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class CallExpr(Node):
+    """Call to another handler, a builtin, or an external C function."""
+
+    func: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+Expr = Union[Num, Name, Unary, Binary, Index, MethodCall, CallExpr]
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class ExprStmt(Node):
+    expr: Expr = None
+
+
+@dataclass
+class Assign(Node):
+    """``mapname[key] = value`` — the only assignment form in ALDA."""
+
+    target: Index = None
+    value: Expr = None
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Expr] = None
+
+
+Stmt = Union[ExprStmt, Assign, If, Return]
+
+
+# ----------------------------------------------------------------------
+# declarations
+# ----------------------------------------------------------------------
+@dataclass
+class TypeDecl(Node):
+    """``name := base (: sync)? (: N)?``"""
+
+    name: str = ""
+    base: str = "int64"
+    sync: bool = False
+    bound: Optional[int] = None
+
+
+@dataclass
+class ConstDecl(Node):
+    """``const NAME = <int>`` (documented extension)."""
+
+    name: str = ""
+    value: int = 0
+
+
+@dataclass
+class SetType(Node):
+    elem: str = ""
+
+
+@dataclass
+class MapType(Node):
+    key: str = ""
+    value: "MetaType" = None
+
+
+@dataclass
+class MetaType(Node):
+    """``(universe::|bottom::)? (map(...) | set(...) | typename)``"""
+
+    specifier: Optional[str] = None  # "universe" | "bottom" | None
+    shape: Union[SetType, MapType, str] = ""
+
+
+@dataclass
+class MetaDecl(Node):
+    name: str = ""
+    mtype: MetaType = None
+
+
+@dataclass
+class Param(Node):
+    type_name: str = ""
+    name: str = ""
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    ret_type: Optional[str] = None
+    params: List[Param] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CallArg(Node):
+    """A ``call-arg`` from Table 2: ``$i``/``$r``/``$p``/``$t`` with
+    optional ``.m`` (local metadata) or ``sizeof(...)`` wrapping."""
+
+    base: str = ""  # digit string, "r", "p" or "t"
+    metadata: bool = False
+    sizeof: bool = False
+
+
+@dataclass
+class InsertDecl(Node):
+    position: str = "after"  # "before" | "after"
+    point_kind: str = "inst"  # "inst" | "func"
+    point_name: str = ""  # instruction kind or function name
+    handler: str = ""
+    args: List[CallArg] = field(default_factory=list)
+
+
+Decl = Union[TypeDecl, ConstDecl, MetaDecl, FuncDecl, InsertDecl]
+
+
+@dataclass
+class Program(Node):
+    decls: List[Decl] = field(default_factory=list)
+
+    def type_decls(self) -> List[TypeDecl]:
+        return [d for d in self.decls if isinstance(d, TypeDecl)]
+
+    def const_decls(self) -> List[ConstDecl]:
+        return [d for d in self.decls if isinstance(d, ConstDecl)]
+
+    def meta_decls(self) -> List[MetaDecl]:
+        return [d for d in self.decls if isinstance(d, MetaDecl)]
+
+    def func_decls(self) -> List[FuncDecl]:
+        return [d for d in self.decls if isinstance(d, FuncDecl)]
+
+    def insert_decls(self) -> List[InsertDecl]:
+        return [d for d in self.decls if isinstance(d, InsertDecl)]

@@ -1,0 +1,107 @@
+"""Hand-written lexer for ALDA.
+
+Supports ``//`` line comments, ``/* */`` block comments, decimal and
+hexadecimal integer literals, the ``$``-prefixed call-arg bases of
+insertion declarations, and maximal-munch operator scanning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.alda.tokens import KEYWORDS, OPERATORS, Token
+from repro.errors import AldaSyntaxError
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            position += 1
+            line += 1
+            line_start = position
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+
+        if source.startswith("//", position):
+            newline = source.find("\n", position)
+            position = length if newline == -1 else newline
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise AldaSyntaxError("unterminated block comment", line, column())
+            skipped = source[position : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + skipped.rfind("\n") + 1
+            position = end + 2
+            continue
+
+        if char == "$":
+            start_col = column()
+            position += 1
+            if position < length and source[position].isdigit():
+                start = position
+                while position < length and source[position].isdigit():
+                    position += 1
+                tokens.append(Token("DOLLAR", source[start:position], line, start_col))
+                continue
+            if position < length and source[position] in "rpt":
+                # $r / $p / $t — a single letter, not the prefix of an ident
+                letter = source[position]
+                after = source[position + 1] if position + 1 < length else ""
+                if not (after.isalnum() or after == "_"):
+                    position += 1
+                    tokens.append(Token("DOLLAR", letter, line, start_col))
+                    continue
+            raise AldaSyntaxError("bad $-argument (expected $<n>, $r, $p or $t)", line, start_col)
+
+        if char.isdigit():
+            start = position
+            start_col = column()
+            if source.startswith("0x", position) or source.startswith("0X", position):
+                position += 2
+                while position < length and (
+                    source[position].isdigit() or source[position] in "abcdefABCDEF"
+                ):
+                    position += 1
+            else:
+                while position < length and source[position].isdigit():
+                    position += 1
+            tokens.append(Token("NUMBER", source[start:position], line, start_col))
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            start_col = column()
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            word = source[start:position]
+            kind = word if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, line, start_col))
+            continue
+
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token(operator, operator, line, column()))
+                position += len(operator)
+                break
+        else:
+            raise AldaSyntaxError(f"unexpected character {char!r}", line, column())
+
+    tokens.append(Token("EOF", "", line, column()))
+    return tokens

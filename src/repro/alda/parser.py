@@ -1,0 +1,374 @@
+"""Recursive-descent parser for ALDA (grammar of Figure 2).
+
+Entry point: :func:`parse_program`.  The grammar is newline-insensitive;
+declarations are distinguished by two-token lookahead (``name :=`` type
+declaration, ``name =`` metadata declaration, ``[type] name (`` event
+handler, ``insert``/``const`` keywords).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.alda import ast_nodes as ast
+from repro.alda.lexer import tokenize
+from repro.alda.tokens import PRIMITIVE_TYPES, Token
+from repro.errors import AldaSyntaxError
+
+_TYPE_STARTERS = PRIMITIVE_TYPES | {"IDENT"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing --------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise AldaSyntaxError(
+                f"expected {kind!r}, found {token.kind!r} ({token.value!r})",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def _error(self, message: str) -> AldaSyntaxError:
+        token = self.peek()
+        return AldaSyntaxError(message + f" (found {token.value!r})", token.line, token.column)
+
+    def _ident_like(self) -> Token:
+        """An identifier, also accepting keyword spellings (``set``...)."""
+        token = self.peek()
+        if token.kind == "IDENT" or token.value.isidentifier():
+            return self.advance()
+        raise self._error("expected an identifier")
+
+    # -- program ----------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        decls: List[ast.Decl] = []
+        while self.peek().kind != "EOF":
+            decls.append(self.parse_decl())
+        return ast.Program(decls=decls)
+
+    def parse_decl(self) -> ast.Decl:
+        token = self.peek()
+        if token.kind == "insert":
+            return self.parse_insert_decl()
+        if token.kind == "const":
+            return self.parse_const_decl()
+        one, two = self.peek(1), self.peek(2)
+        if token.kind in _TYPE_STARTERS:
+            if one.kind == ":=":
+                return self.parse_type_decl()
+            if one.kind == "=":
+                return self.parse_meta_decl()
+            if one.kind == "(":
+                return self.parse_func_decl(ret_type=None)
+            if one.kind == "IDENT" and two.kind == "(":
+                return self.parse_func_decl(ret_type=self.advance().value)
+        raise self._error("expected a declaration")
+
+    # -- type / const / metadata declarations ------------------------------
+    def parse_type_decl(self) -> ast.TypeDecl:
+        name = self.expect("IDENT")
+        self.expect(":=")
+        base = self.peek()
+        if base.kind not in PRIMITIVE_TYPES and base.kind != "IDENT":
+            raise self._error("expected a type name")
+        self.advance()
+        sync = False
+        bound: Optional[int] = None
+        while self.accept(":"):
+            if self.accept("sync"):
+                sync = True
+            else:
+                bound = self._parse_int_literal()
+        return ast.TypeDecl(
+            name=name.value, base=base.value, sync=sync, bound=bound, line=name.line
+        )
+
+    def parse_const_decl(self) -> ast.ConstDecl:
+        keyword = self.expect("const")
+        name = self.expect("IDENT")
+        self.expect("=")
+        value = self._parse_int_literal()
+        self.accept(";")
+        return ast.ConstDecl(name=name.value, value=value, line=keyword.line)
+
+    def _parse_int_literal(self) -> int:
+        negative = bool(self.accept("-"))
+        token = self.expect("NUMBER")
+        value = int(token.value, 0)
+        return -value if negative else value
+
+    def parse_meta_decl(self) -> ast.MetaDecl:
+        name = self.expect("IDENT")
+        self.expect("=")
+        mtype = self.parse_meta_type()
+        return ast.MetaDecl(name=name.value, mtype=mtype, line=name.line)
+
+    def parse_meta_type(self) -> ast.MetaType:
+        token = self.peek()
+        specifier = None
+        if token.kind in ("universe", "bottom"):
+            specifier = token.value
+            self.advance()
+            self.expect("::")
+            token = self.peek()
+        if token.kind == "map":
+            self.advance()
+            self.expect("(")
+            key = self._type_name()
+            self.expect(",")
+            value = self.parse_meta_type()
+            self.expect(")")
+            shape: Union[ast.SetType, ast.MapType, str] = ast.MapType(
+                key=key, value=value, line=token.line
+            )
+        elif token.kind == "set":
+            self.advance()
+            self.expect("(")
+            elem = self._type_name()
+            self.expect(")")
+            shape = ast.SetType(elem=elem, line=token.line)
+        else:
+            shape = self._type_name()
+        return ast.MetaType(specifier=specifier, shape=shape, line=token.line)
+
+    def _type_name(self) -> str:
+        token = self.peek()
+        if token.kind in PRIMITIVE_TYPES or token.kind == "IDENT":
+            return self.advance().value
+        raise self._error("expected a type name")
+
+    # -- event handler declarations ----------------------------------------
+    def parse_func_decl(self, ret_type: Optional[str]) -> ast.FuncDecl:
+        name = self.expect("IDENT")
+        self.expect("(")
+        params: List[ast.Param] = []
+        if self.peek().kind != ")":
+            while True:
+                type_name = self._type_name()
+                param_name = self.expect("IDENT")
+                params.append(
+                    ast.Param(type_name=type_name, name=param_name.value, line=param_name.line)
+                )
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FuncDecl(
+            name=name.value, ret_type=ret_type, params=params, body=body, line=name.line
+        )
+
+    def parse_block(self) -> List[ast.Stmt]:
+        self.expect("{")
+        statements: List[ast.Stmt] = []
+        while self.peek().kind != "}":
+            statements.append(self.parse_stmt())
+        self.expect("}")
+        return statements
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "if":
+            return self.parse_if()
+        if token.kind == "return":
+            self.advance()
+            value = None
+            if self.peek().kind != ";":
+                value = self.parse_expr()
+            self.expect(";")
+            return ast.Return(value=value, line=token.line)
+        expr = self.parse_expr()
+        if self.peek().kind == "=":
+            if not isinstance(expr, ast.Index):
+                raise self._error("only map entries (m[k]) may be assigned")
+            self.advance()
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Assign(target=expr, value=value, line=token.line)
+        self.expect(";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def parse_if(self) -> ast.If:
+        token = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body: List[ast.Stmt] = []
+        if self.accept("else"):
+            if self.peek().kind == "if":
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=token.line)
+
+    # -- expressions ---------------------------------------------------------
+    _BINARY_LEVELS = (
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        expr = self.parse_expr(level + 1)
+        while self.peek().kind in self._BINARY_LEVELS[level]:
+            op = self.advance()
+            rhs = self.parse_expr(level + 1)
+            expr = ast.Binary(op=op.value, lhs=expr, rhs=rhs, line=op.line)
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "!":
+            self.advance()
+            return ast.Unary(op="!", operand=self.parse_unary(), line=token.line)
+        if token.kind == "-":
+            self.advance()
+            operand = self.parse_unary()
+            if isinstance(operand, ast.Num):
+                return ast.Num(value=-operand.value, line=token.line)
+            return ast.Unary(op="-", operand=operand, line=token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "[":
+                if not isinstance(expr, ast.Name):
+                    raise self._error("only metadata maps may be indexed")
+                self.advance()
+                key = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(base=expr.ident, key=key, line=token.line)
+            elif token.kind == ".":
+                if not isinstance(expr, (ast.Name, ast.Index)):
+                    raise self._error("method calls require a map or map entry")
+                self.advance()
+                method = self._ident_like()
+                self.expect("(")
+                args = self._parse_call_args()
+                self.expect(")")
+                expr = ast.MethodCall(
+                    base=expr, method=method.value, args=args, line=token.line
+                )
+            elif token.kind == "(" and isinstance(expr, ast.Name):
+                self.advance()
+                args = self._parse_call_args()
+                self.expect(")")
+                expr = ast.CallExpr(func=expr.ident, args=args, line=token.line)
+            else:
+                return expr
+
+    def _parse_call_args(self) -> List[ast.Expr]:
+        args: List[ast.Expr] = []
+        if self.peek().kind != ")":
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        return args
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return ast.Num(value=int(token.value, 0), line=token.line)
+        if token.kind == "IDENT":
+            self.advance()
+            return ast.Name(ident=token.value, line=token.line)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise self._error("expected an expression")
+
+    # -- insertion declarations ------------------------------------------------
+    def parse_insert_decl(self) -> ast.InsertDecl:
+        keyword = self.expect("insert")
+        position_token = self.peek()
+        if position_token.kind not in ("before", "after"):
+            raise self._error("expected 'before' or 'after'")
+        self.advance()
+
+        if self.accept("func"):
+            point_kind = "func"
+            point_name = self._ident_like().value
+        else:
+            point_kind = "inst"
+            point_name = self.expect("IDENT").value
+
+        self.expect("call")
+        handler = self.expect("IDENT").value
+        self.expect("(")
+        args: List[ast.CallArg] = []
+        if self.peek().kind != ")":
+            while True:
+                args.append(self.parse_call_arg())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return ast.InsertDecl(
+            position=position_token.value,
+            point_kind=point_kind,
+            point_name=point_name,
+            handler=handler,
+            args=args,
+            line=keyword.line,
+        )
+
+    def parse_call_arg(self) -> ast.CallArg:
+        token = self.peek()
+        if token.kind == "sizeof":
+            self.advance()
+            self.expect("(")
+            base = self.expect("DOLLAR")
+            self.expect(")")
+            return ast.CallArg(base=base.value, sizeof=True, line=token.line)
+        base = self.expect("DOLLAR")
+        metadata = False
+        if self.peek().kind == ".":
+            self.advance()
+            member = self._ident_like()
+            if member.value != "m":
+                raise AldaSyntaxError(
+                    f"unknown call-arg member {member.value!r} (only '.m')",
+                    member.line,
+                    member.column,
+                )
+            metadata = True
+        return ast.CallArg(base=base.value, metadata=metadata, line=token.line)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse ALDA source text into a :class:`repro.alda.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()

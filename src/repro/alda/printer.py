@@ -1,0 +1,146 @@
+"""Unparser: ALDA AST back to canonical source text.
+
+Enables printable combined analyses (``combine_sources`` works on ASTs),
+debugging of compiler phases, and the parse/print round-trip property
+tests.  The output re-parses to a structurally identical AST.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.alda import ast_nodes as ast
+from repro.errors import ReproError
+
+_INDENT = "  "
+
+# precedence table mirroring the parser's levels (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "+": 8,
+    "-": 8,
+    "*": 9,
+    "/": 9,
+    "%": 9,
+}
+_UNARY_PRECEDENCE = 10
+
+
+def print_expr(expr: ast.Expr, parent_precedence: int = 0) -> str:
+    if isinstance(expr, ast.Num):
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        text = f"{expr.op}{print_expr(expr.operand, _UNARY_PRECEDENCE)}"
+        return f"({text})" if parent_precedence > _UNARY_PRECEDENCE else text
+    if isinstance(expr, ast.Binary):
+        precedence = _PRECEDENCE[expr.op]
+        lhs = print_expr(expr.lhs, precedence)
+        rhs = print_expr(expr.rhs, precedence + 1)  # left-associative
+        text = f"{lhs} {expr.op} {rhs}"
+        return f"({text})" if parent_precedence > precedence else text
+    if isinstance(expr, ast.Index):
+        return f"{expr.base}[{print_expr(expr.key)}]"
+    if isinstance(expr, ast.MethodCall):
+        base = print_expr(expr.base)
+        args = ", ".join(print_expr(arg) for arg in expr.args)
+        return f"{base}.{expr.method}({args})"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(print_expr(arg) for arg in expr.args)
+        return f"{expr.func}({args})"
+    raise ReproError(f"cannot print expression {expr!r}")
+
+
+def _print_stmt(stmt: ast.Stmt, depth: int, out: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.If):
+        out.append(f"{pad}if ({print_expr(stmt.cond)}) {{")
+        for child in stmt.then_body:
+            _print_stmt(child, depth + 1, out)
+        if stmt.else_body:
+            out.append(f"{pad}}} else {{")
+            for child in stmt.else_body:
+                _print_stmt(child, depth + 1, out)
+        out.append(f"{pad}}}")
+        return
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        else:
+            out.append(f"{pad}return {print_expr(stmt.value)};")
+        return
+    if isinstance(stmt, ast.Assign):
+        out.append(
+            f"{pad}{print_expr(stmt.target)} = {print_expr(stmt.value)};"
+        )
+        return
+    if isinstance(stmt, ast.ExprStmt):
+        out.append(f"{pad}{print_expr(stmt.expr)};")
+        return
+    raise ReproError(f"cannot print statement {stmt!r}")
+
+
+def _print_meta_type(mtype: ast.MetaType) -> str:
+    prefix = f"{mtype.specifier}::" if mtype.specifier else ""
+    shape = mtype.shape
+    if isinstance(shape, ast.MapType):
+        return f"{prefix}map({shape.key}, {_print_meta_type(shape.value)})"
+    if isinstance(shape, ast.SetType):
+        return f"{prefix}set({shape.elem})"
+    return f"{prefix}{shape}"
+
+
+def _print_call_arg(arg: ast.CallArg) -> str:
+    base = f"${arg.base}"
+    if arg.sizeof:
+        return f"sizeof({base})"
+    if arg.metadata:
+        return f"{base}.m"
+    return base
+
+
+def print_decl(decl: ast.Decl) -> str:
+    if isinstance(decl, ast.TypeDecl):
+        text = f"{decl.name} := {decl.base}"
+        if decl.sync:
+            text += " : sync"
+        if decl.bound is not None:
+            text += f" : {decl.bound}"
+        return text
+    if isinstance(decl, ast.ConstDecl):
+        return f"const {decl.name} = {decl.value}"
+    if isinstance(decl, ast.MetaDecl):
+        return f"{decl.name} = {_print_meta_type(decl.mtype)}"
+    if isinstance(decl, ast.FuncDecl):
+        ret = f"{decl.ret_type} " if decl.ret_type else ""
+        params = ", ".join(f"{p.type_name} {p.name}" for p in decl.params)
+        lines = [f"{ret}{decl.name}({params}) {{"]
+        for stmt in decl.body:
+            _print_stmt(stmt, 1, lines)
+        lines.append("}")
+        return "\n".join(lines)
+    if isinstance(decl, ast.InsertDecl):
+        point = (
+            f"func {decl.point_name}"
+            if decl.point_kind == "func"
+            else decl.point_name
+        )
+        args = ", ".join(_print_call_arg(arg) for arg in decl.args)
+        return f"insert {decl.position} {point} call {decl.handler}({args})"
+    raise ReproError(f"cannot print declaration {decl!r}")
+
+
+def print_program(program: ast.Program) -> str:
+    """Canonical source text of a whole ALDA program."""
+    return "\n".join(print_decl(decl) for decl in program.decls) + "\n"

@@ -1,0 +1,90 @@
+"""Token definitions for the ALDA lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Keyword spellings.  ``set``/``map`` double as method names after ``.``;
+# the parser accepts keyword tokens in member position.
+KEYWORDS = frozenset(
+    {
+        "insert",
+        "before",
+        "after",
+        "call",
+        "func",
+        "sizeof",
+        "set",
+        "map",
+        "universe",
+        "bottom",
+        "sync",
+        "const",
+        "if",
+        "else",
+        "return",
+        "int8",
+        "int16",
+        "int32",
+        "int64",
+        "pointer",
+        "lockid",
+        "threadid",
+    }
+)
+
+PRIMITIVE_TYPES = frozenset(
+    {"int8", "int16", "int32", "int64", "pointer", "lockid", "threadid"}
+)
+
+# Multi-character operators first (maximal munch).
+OPERATORS = (
+    ":=",
+    "::",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ".",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``IDENT``, ``NUMBER``, ``DOLLAR`` (call-arg base:
+    value is the digit string, ``"r"``, ``"p"`` or ``"t"``), a keyword
+    spelling, an operator spelling, or ``EOF``.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,45 @@
+"""The dynamic analyses of the paper's evaluation, written in ALDA.
+
+Eight analyses (Table 4 and section 6.4): Eraser, MemorySanitizer,
+UseAfterFree, StrictAliasCheck, FastTrack, TaintTracking (IndexTT),
+SSLSan and ZlibSan.  Each module exposes ``SOURCE`` (the ALDA program
+text), ``OPTIONS`` (its recommended :class:`CompileOptions`) and a
+``compile_()`` convenience returning the compiled analysis.
+
+``REGISTRY`` maps analysis name -> module for harness/table generation.
+"""
+
+from repro.analyses import (
+    eraser,
+    fasttrack,
+    msan,
+    sslsan,
+    strict_alias,
+    taint,
+    uaf,
+    zlibsan,
+)
+
+REGISTRY = {
+    "eraser": eraser,
+    "msan": msan,
+    "uaf": uaf,
+    "strict_alias": strict_alias,
+    "fasttrack": fasttrack,
+    "taint": taint,
+    "sslsan": sslsan,
+    "zlibsan": zlibsan,
+}
+
+__all__ = ["REGISTRY"] + sorted(REGISTRY)
+
+
+def loc_of(name: str) -> int:
+    """Non-blank, non-comment-only lines of an analysis's ALDA source."""
+    source = REGISTRY[name].SOURCE
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("//"):
+            count += 1
+    return count

@@ -1,0 +1,91 @@
+"""Eraser lockset data-race detection in ALDA (paper Listing 1).
+
+State machine per memory word: Virgin -> Exclusive -> Shared ->
+Shared-Modified, with candidate locksets refined by intersection on each
+access.  A race is reported when a Shared-Modified location's candidate
+lockset becomes empty (Savage et al., 1997).
+
+The paper's listing shows only the load/store handlers; the lock/unlock
+and fork handlers below complete the algorithm.  Word granularity
+(the ALDAcc default) matches Eraser's per-word shadow.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// Eraser: lockset-based data-race detection.
+// States of the per-address state machine:
+const VIRGIN = 0
+const EXCLUSIVE = 1
+const SHARED = 2
+const SHARED_MODIFIED = 3
+
+address := pointer : sync
+tid := threadid : 8
+lid := lockid : 256
+status := int8
+
+// Per-thread lock sets: all locks held / locks held in write mode.
+thread2WLock = universe::map(tid, set(lid))
+thread2Lock = universe::map(tid, set(lid))
+// Per-address candidate lockset (starts as the universe of locks),
+// accessing-thread set, and state-machine status.
+addr2Lock = universe::map(address, universe::set(lid))
+addr2Thread = universe::map(address, set(tid))
+addr2Status = universe::map(address, status)
+
+erOnLoad(address addr, tid t) {
+  if(!addr2Thread[addr].find(t) && addr2Status[addr] != VIRGIN) {
+    if(addr2Status[addr] == EXCLUSIVE) { addr2Status[addr] = SHARED; }
+    addr2Thread[addr].add(t);
+  }
+  if(addr2Status[addr] > EXCLUSIVE) {
+    addr2Lock[addr] = addr2Lock[addr] & thread2Lock[t];
+    if(addr2Status[addr] == SHARED_MODIFIED) {
+      alda_assert(addr2Lock[addr].empty(), 0);
+    }
+  }
+}
+
+erOnStore(address addr, tid t) {
+  if(!addr2Thread[addr].find(t)) {
+    addr2Thread[addr].add(t);
+    if(addr2Status[addr] == SHARED)
+      { addr2Status[addr] = SHARED_MODIFIED; }
+    if(addr2Status[addr] == EXCLUSIVE)
+      { addr2Status[addr] = SHARED_MODIFIED; }
+    if(addr2Status[addr] == VIRGIN)
+      { addr2Status[addr] = EXCLUSIVE; }
+  } else {
+    if(addr2Status[addr] == SHARED)
+      { addr2Status[addr] = SHARED_MODIFIED; }
+  }
+  if(addr2Status[addr] > EXCLUSIVE) {
+    addr2Lock[addr] = addr2Lock[addr] & thread2WLock[t];
+    if(addr2Status[addr] == SHARED_MODIFIED) {
+      alda_assert(addr2Lock[addr].empty(), 0);
+    }
+  }
+}
+
+erOnLock(lid m, tid t) {
+  thread2Lock[t].add(m);
+  thread2WLock[t].add(m);
+}
+
+erOnUnlock(lid m, tid t) {
+  thread2Lock[t].remove(m);
+  thread2WLock[t].remove(m);
+}
+
+insert after LoadInst call erOnLoad($1, $t)
+insert after StoreInst call erOnStore($2, $t)
+insert after func mutex_lock call erOnLock($1, $t)
+insert before func mutex_unlock call erOnUnlock($1, $t)
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="eraser")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

@@ -1,0 +1,28 @@
+"""Extra analyses beyond the paper's eight.
+
+The paper argues ALDA's conciseness "enables new targeted analyses which
+were previously impractical" (§6.4); these are four more data points —
+none appears in the paper's evaluation, so they live outside the main
+``REGISTRY`` (and outside Table 4):
+
+* ``asan_redzone``   — ASan-style heap-overflow redzones;
+* ``branch_coverage`` — per-site branch-outcome tracking;
+* ``memprofile``     — allocation accounting (live bytes high-water check);
+* ``null_deref``     — null/guard-page dereference checking.
+"""
+
+from repro.analyses.extras import (
+    asan_redzone,
+    branch_coverage,
+    memprofile,
+    null_deref,
+)
+
+EXTRAS = {
+    "asan_redzone": asan_redzone,
+    "branch_coverage": branch_coverage,
+    "memprofile": memprofile,
+    "null_deref": null_deref,
+}
+
+__all__ = ["EXTRAS", "asan_redzone", "branch_coverage", "memprofile", "null_deref"]

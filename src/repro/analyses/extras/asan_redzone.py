@@ -1,0 +1,67 @@
+"""AddressSanitizer-style redzone checking in ALDA.
+
+Heap buffer overflows: every allocation gets a 16-byte *redzone* after
+it (the simulated allocator already leaves a 16-byte guard gap between
+blocks, so the zone is real unmapped-by-the-program space); touching a
+redzone byte is the report.  Frees re-arm the whole block as a zone,
+which also catches use-after-free, like real ASan.
+
+The paper singles this family out in §6.4.2: "in clang, it is
+impossible to combine any two of the TSan, ASan, or MSan at the same
+time" — here, ``combine_sources`` composes this with Eraser and MSan
+(see the extras tests).
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+REDZONE_BYTES = 16
+
+SOURCE = f"""\
+// ASan-style redzone checker.
+const ZONE = 1
+const REDZONE_BYTES = {REDZONE_BYTES}
+
+address := pointer
+size := int64
+zone := int8
+
+addr2Zone = map(address, zone)
+addr2BlockSize = map(address, size)
+
+azOnMalloc(address ptr, size n) {{
+  addr2Zone.set(ptr, 0, n);                          // body: accessible
+  addr2Zone.set(ptr_offset(ptr, n), ZONE, REDZONE_BYTES);  // tail redzone
+  addr2BlockSize[ptr] = n;
+}}
+
+azOnCalloc(address ptr, size count, size each) {{
+  addr2Zone.set(ptr, 0, count * each);
+  addr2Zone.set(ptr_offset(ptr, count * each), ZONE, REDZONE_BYTES);
+  addr2BlockSize[ptr] = count * each;
+}}
+
+azOnFree(address ptr) {{
+  // the freed body becomes a zone: catches use-after-free too
+  addr2Zone.set(ptr, ZONE, addr2BlockSize[ptr]);
+}}
+
+azOnLoad(address ptr, size n) {{
+  alda_assert(addr2Zone.get(ptr, n), 0);
+}}
+
+azOnStore(address ptr, size n) {{
+  alda_assert(addr2Zone.get(ptr, n), 0);
+}}
+
+insert after func malloc call azOnMalloc($r, $1)
+insert after func calloc call azOnCalloc($r, $1, $2)
+insert before func free call azOnFree($1)
+insert before LoadInst call azOnLoad($1, sizeof($r))
+insert before StoreInst call azOnStore($2, sizeof($1))
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="asan_redzone")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

@@ -1,0 +1,71 @@
+"""Heap accounting in ALDA: live-byte tracking with a budget check.
+
+Tracks per-block sizes and the global live-byte count; reports when the
+program's live heap exceeds a configured budget (a watchdog the paper's
+intro motivates: "aid in debugging").
+
+Demonstrates: malloc/calloc/free interceptors, counter metadata,
+per-block side tables, leak reporting at exit.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+#: live-heap budget in bytes; tests override by editing the const line
+BUDGET = 1 << 20
+
+SOURCE = f"""\
+// Heap profiler: live-byte budget watchdog + leak check.
+const BUDGET = {BUDGET}
+const LIVE = 0
+const PEAK_EXCEEDED = 1
+
+address := pointer
+size := int64
+slot := int8 : 4
+
+block2Size = map(address, size)
+heap_stats = universe::map(slot, size)
+
+mpTrack(address ptr, size n) {{
+  block2Size[ptr] = n;
+  heap_stats[LIVE] = heap_stats[LIVE] + n;
+  if (heap_stats[LIVE] > BUDGET) {{
+    heap_stats[PEAK_EXCEEDED] = 1;
+    alda_assert(heap_stats[LIVE] > BUDGET, 0);   // budget blown
+  }}
+}}
+
+mpOnMalloc(address ptr, size n) {{
+  mpTrack(ptr, n);
+}}
+
+mpOnCalloc(address ptr, size count, size each) {{
+  mpTrack(ptr, count * each);
+}}
+
+mpOnFree(address ptr) {{
+  heap_stats[LIVE] = heap_stats[LIVE] - block2Size[ptr];
+  block2Size[ptr] = 0;
+}}
+
+mpOnExit() {{
+  alda_assert(heap_stats[LIVE], 0);              // leaked bytes
+}}
+
+insert after func malloc call mpOnMalloc($r, $1)
+insert after func calloc call mpOnCalloc($r, $1, $2)
+insert before func free call mpOnFree($1)
+insert before func program_exit call mpOnExit()
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="memprofile")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)
+
+
+def compile_with_budget(budget: int, options: CompileOptions = OPTIONS):
+    """Compile with a different live-byte budget."""
+    source = SOURCE.replace(f"const BUDGET = {BUDGET}", f"const BUDGET = {budget}")
+    return compile_analysis(source, options)

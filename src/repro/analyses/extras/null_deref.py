@@ -1,0 +1,39 @@
+"""Null-page dereference checking in ALDA.
+
+Reports loads/stores whose address falls inside the guard page —
+*before* the access traps, so the report carries the analysis's own
+location and backtrace rather than a raw fault.
+
+Demonstrates: pure-compute handlers (no metadata at all — the cheapest
+possible ALDA analysis, a useful lower bound on instrumentation cost).
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+#: matches repro.vm.memory.AddressSpace.NULL_GUARD
+GUARD_LIMIT = 0x1000
+
+SOURCE = f"""\
+// Null-dereference checker: flag accesses inside the guard page.
+const GUARD_LIMIT = {GUARD_LIMIT}
+
+address := pointer
+size := int64
+
+ndOnLoad(address ptr) {{
+  alda_assert(ptr < GUARD_LIMIT, 0);
+}}
+
+ndOnStore(address ptr) {{
+  alda_assert(ptr < GUARD_LIMIT, 0);
+}}
+
+insert before LoadInst call ndOnLoad($1)
+insert before StoreInst call ndOnStore($2)
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="null_deref")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

@@ -1,0 +1,105 @@
+"""FastTrack happens-before data-race detection in ALDA (Table 4: 69 LoC).
+
+FastTrack (Flanagan & Freund, 2009) keeps lightweight *epochs*
+(tid@clock, packed into one word) per address in the common case and
+inflates to full vector clocks only for concurrent-reader patterns.
+The summary-based fast path is the access-pattern optimization the
+paper's section 2.2 motivates: the common case touches one word of
+metadata; the rare case touches a whole vector clock.
+
+Vector-clock storage/joins use ALDA's external-function escape hatch
+(paper sections 3.3 and 4.3) — vector clocks are exactly the looping
+behaviour the core language excludes — through the ``vc_*``/``epoch_*``
+kit of :mod:`repro.runtime.external`.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// FastTrack: epoch-based happens-before race detection.
+address := pointer : sync
+tid := threadid : 8
+lid := lockid : 256
+epoch := int64
+vch := int64  // opaque vector-clock handle (external escape hatch)
+
+thread2VC = universe::map(tid, vch)
+lock2VC = universe::map(lid, vch)
+addr2W = universe::map(address, epoch)   // last-write epoch
+addr2R = universe::map(address, epoch)   // last-read epoch (unshared)
+addr2RVC = universe::map(address, vch)   // read vector clock (shared)
+
+vch ftVC(tid t) {
+  if(!thread2VC[t]) {
+    thread2VC[t] = vc_new();
+    vc_tick(thread2VC[t], t);
+  }
+  return thread2VC[t];
+}
+
+ftOnRead(address x, tid t) {
+  // Fast path: read-same-epoch (one compare, one metadata word).
+  if(addr2R[x] == epoch_make(t, vc_get(ftVC(t), t))) { return; }
+  // Write-read race check.
+  alda_assert(epoch_leq_vc(addr2W[x], ftVC(t)), 1);
+  if(addr2RVC[x]) {
+    vc_set(addr2RVC[x], t, vc_get(ftVC(t), t));
+  } else {
+    if(addr2R[x] && !epoch_leq_vc(addr2R[x], ftVC(t))) {
+      // Two concurrent readers: inflate epoch to a read vector clock.
+      addr2RVC[x] = vc_new();
+      vc_set(addr2RVC[x], epoch_tid(addr2R[x]), epoch_clock(addr2R[x]));
+      vc_set(addr2RVC[x], t, vc_get(ftVC(t), t));
+    } else {
+      addr2R[x] = epoch_make(t, vc_get(ftVC(t), t));
+    }
+  }
+}
+
+ftOnWrite(address x, tid t) {
+  // Fast path: write-same-epoch.
+  if(addr2W[x] == epoch_make(t, vc_get(ftVC(t), t))) { return; }
+  // Write-write race check.
+  alda_assert(epoch_leq_vc(addr2W[x], ftVC(t)), 1);
+  // Read-write race checks (shared and unshared read states).
+  if(addr2RVC[x]) {
+    alda_assert(vc_leq(addr2RVC[x], ftVC(t)), 1);
+    addr2RVC[x] = 0;
+  } else {
+    if(addr2R[x]) { alda_assert(epoch_leq_vc(addr2R[x], ftVC(t)), 1); }
+  }
+  addr2W[x] = epoch_make(t, vc_get(ftVC(t), t));
+}
+
+ftOnAcquire(lid m, tid t) {
+  if(lock2VC[m]) { vc_join(ftVC(t), lock2VC[m]); }
+}
+
+ftOnRelease(lid m, tid t) {
+  if(!lock2VC[m]) { lock2VC[m] = vc_new(); }
+  vc_copy(lock2VC[m], ftVC(t));
+  vc_tick(ftVC(t), t);
+}
+
+ftOnFork(tid t, tid c) {
+  vc_join(ftVC(c), ftVC(t));
+  vc_tick(ftVC(t), t);
+}
+
+ftOnJoin(tid t, tid c) {
+  vc_join(ftVC(t), ftVC(c));
+}
+
+insert after LoadInst call ftOnRead($1, $t)
+insert after StoreInst call ftOnWrite($2, $t)
+insert after func mutex_lock call ftOnAcquire($1, $t)
+insert before func mutex_unlock call ftOnRelease($1, $t)
+insert after func spawn call ftOnFork($t, $r)
+insert after func join call ftOnJoin($t, $1)
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="fasttrack")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

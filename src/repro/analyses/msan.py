@@ -1,0 +1,146 @@
+"""MemorySanitizer in ALDA (paper Listing 2, extended to the full set of
+intercepted libc calls).
+
+Tracks a poison label per byte of memory (granularity 1, like LLVM MSan's
+byte shadow) plus per-register labels through the VM's local-metadata
+plane: ``onLoad`` returns the loaded bytes' label (folded with OR), which
+becomes the destination register's metadata; arithmetic ORs labels; a
+branch on a poisoned value is the reported error.
+
+Operand-order note (DESIGN.md): the paper's Listing 2 line 34 is
+inconsistent with its own ``onStore`` signature; we follow LLVM operand
+order (store: ``$1`` value, ``$2`` address) and pass
+``onStore($2, $1.m, sizeof($1))``.
+
+Interception-gap reproduction (Table 3): this ALDA MSan intercepts
+``gets``; the hand-tuned baseline (mirroring LLVM MSan) does not, which
+produces LLVM MSan's false positives on workloads that read input via
+``gets``.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// MemorySanitizer: detection of uninitialized-memory use.
+//
+// Labels: 0 = initialized, -1 = poison (uninitialized).
+// addr2label is the byte shadow; addr2size remembers heap block sizes
+// so free() can re-poison the block.
+
+// ---- Type Declaration ----
+address := pointer
+size := int64
+label := int64
+value := int8
+
+// ---- Metadata Declaration ----
+addr2label = universe::map(address, value)
+addr2size = map(address, size)
+
+// ---- Event Handler Declaration ----
+
+// Heap allocation: fresh memory is uninitialized (poison).
+onMalloc(address ptr, size s) {
+  addr2label.set(ptr, -1, s);
+  addr2size[ptr] = s;
+}
+
+// calloc zero-fills: memory starts initialized.
+onCalloc(address ptr, size n, size sz) {
+  addr2label.set(ptr, 0, n * sz);
+  addr2size[ptr] = n * sz;
+}
+
+// Freed memory becomes poison again (a later read is a bug MSan
+// reports as an uninitialized use).
+onFree(address ptr) {
+  if(addr2size[ptr]) {
+    addr2label.set(ptr, -1, addr2size[ptr]);
+    addr2size[ptr] = 0;
+  }
+}
+
+// Stack allocation: poison the new frame slice.
+onAlloca(address ptr, size s) {
+  addr2label.set(ptr, -1, s);
+}
+
+// Stores copy the stored register's label onto the target bytes.
+onStore(address ptr, label l, size s) {
+  addr2label.set(ptr, l, s);
+}
+
+// Loads fold the loaded bytes' labels into the result register's label.
+label onLoad(address ptr, size s) {
+  return addr2label.get(ptr, s);
+}
+
+// Branching on a poisoned value is the observable uninitialized use.
+onBranch(label l) {
+  alda_assert(l, 0);
+}
+
+// libc interceptors ----------------------------------------------------
+
+// memset initializes the range.
+onMemset(address ptr, size b, size n) {
+  addr2label.set(ptr, 0, n);
+}
+
+// memcpy copies labels (conservatively: poison anywhere in the source
+// range poisons the whole destination range).
+onMemcpy(address dst, address src, size n) {
+  addr2label.set(dst, addr2label.get(src, n), n);
+}
+
+// gets writes program input: the written bytes are initialized.
+// (LLVM MSan lacks this interceptor; see Table 3's false positives.)
+onGets(address buf) {
+  addr2label.set(buf, 0, 16);
+}
+
+// strlen scans the string plus its terminator: reading poison there is
+// itself an uninitialized use.
+onStrlen(address s, size n) {
+  alda_assert(addr2label.get(s, n + 1), 0);
+}
+
+// strcpy copies labels with the bytes (the VM interceptor returns the
+// copied length, NUL included).
+onStrcpy(address dst, address src, size n) {
+  addr2label.set(dst, addr2label.get(src, n), n);
+}
+
+// strcmp reads both strings: check both are initialized.
+onStrcmp(address a, address b) {
+  alda_assert(addr2label.get(a, 1), 0);
+  alda_assert(addr2label.get(b, 1), 0);
+}
+
+// atoi parses the string: branching on poison digits.
+onAtoi(address s) {
+  alda_assert(addr2label.get(s, 1), 0);
+}
+
+// ---- Insertion Point Declaration ----
+insert after AllocaInst call onAlloca($r, sizeof($r))
+insert before func free call onFree($1)
+insert after func malloc call onMalloc($r, $1)
+insert after func calloc call onCalloc($r, $1, $2)
+insert after func memset call onMemset($1, $2, $3)
+insert after func memcpy call onMemcpy($1, $2, $3)
+insert after func gets call onGets($r)
+insert after func strlen call onStrlen($1, $r)
+insert after func strcpy call onStrcpy($1, $2, $r)
+insert before func strcmp call onStrcmp($1, $2)
+insert before func atoi call onAtoi($1)
+insert after LoadInst call onLoad($1, sizeof($r))
+insert after StoreInst call onStore($2, $1.m, sizeof($1))
+insert before BranchInst call onBranch($1.m)
+"""
+
+OPTIONS = CompileOptions(granularity=1, analysis_name="msan")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

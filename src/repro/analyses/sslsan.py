@@ -1,0 +1,124 @@
+"""SSLSan: a library-specific sanitizer for the OpenSSL API (section 6.4.1).
+
+Validates the three classes of real-world bugs the paper reproduces:
+
+* **memory leak** — SSL objects (and contexts) created but never freed
+  (memcached issue #538, TLS termination leak), reported at program exit
+  via a live-object counter;
+* **improper shutdown** — ``SSL_free`` without a completed bidirectional
+  ``SSL_shutdown`` handshake (the memcached thread.c misuse and the nginx
+  shutdown-handling fix);
+* **use-after-free / use-before-init** — I/O on freed or never-created
+  SSL objects.
+
+Each SSL object walks a state machine: NEW -> ACCEPTED -> SHUT_SENT ->
+SHUT_DONE -> FREED, driven entirely by call-boundary insertions on the
+simulated OpenSSL surface (:mod:`repro.workloads.libssl`).
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// SSLSan: OpenSSL usage sanitizer.
+//
+// SSL object states:
+const S_NONE = 0
+const S_NEW = 1
+const S_ACCEPTED = 2
+const S_SHUT_SENT = 3
+const S_SHUT_DONE = 4
+const S_FREED = 5
+
+// Counter slots (counters is a tiny array-mapped table):
+const LIVE_SSL = 0
+const LIVE_CTX = 1
+
+address := pointer
+size := int64
+state := int8
+slot := int8 : 8
+
+ssl2State = map(address, state)
+ctx2Live = map(address, state)
+counters = universe::map(slot, size)
+
+// ---- lifecycle ----
+sslOnCtxNew(address ctx) {
+  ctx2Live[ctx] = 1;
+  counters[LIVE_CTX] = counters[LIVE_CTX] + 1;
+}
+
+sslOnCtxFree(address ctx) {
+  alda_assert(ctx2Live[ctx], 1);          // double/invalid CTX free
+  ctx2Live[ctx] = 0;
+  counters[LIVE_CTX] = counters[LIVE_CTX] - 1;
+}
+
+sslOnNew(address ssl, address ctx) {
+  alda_assert(ctx2Live[ctx], 1);          // SSL_new on a dead context
+  ssl2State[ssl] = S_NEW;
+  counters[LIVE_SSL] = counters[LIVE_SSL] + 1;
+}
+
+sslOnAccept(address ssl) {
+  alda_assert(ssl2State[ssl] == S_NEW, 1);   // accept out of order
+  ssl2State[ssl] = S_ACCEPTED;
+}
+
+// ---- I/O ----
+sslOnRead(address ssl, address buf, size n) {
+  // Reading a freed or never-created SSL object.
+  alda_assert(ssl2State[ssl] == S_FREED, 0);
+  alda_assert(ssl2State[ssl] == S_NONE, 0);
+}
+
+sslOnWrite(address ssl, address buf, size n) {
+  alda_assert(ssl2State[ssl] == S_FREED, 0);
+  alda_assert(ssl2State[ssl] == S_NONE, 0);
+}
+
+// ---- shutdown handshake ----
+// SSL_shutdown returns 0 after sending our close_notify and 1 once the
+// peer's close_notify has also been seen.
+sslOnShutdown(address ssl, size ret) {
+  alda_assert(ssl2State[ssl] == S_FREED, 0);
+  if(ret == 1) {
+    ssl2State[ssl] = S_SHUT_DONE;
+  } else {
+    if(ssl2State[ssl] != S_SHUT_DONE) {
+      ssl2State[ssl] = S_SHUT_SENT;
+    }
+  }
+}
+
+sslOnFree(address ssl) {
+  alda_assert(ssl2State[ssl] == S_FREED, 0);   // double free
+  // The memcached/nginx misuse: freeing a connection whose shutdown
+  // handshake never completed.
+  alda_assert(ssl2State[ssl] == S_SHUT_DONE, 1);
+  ssl2State[ssl] = S_FREED;
+  counters[LIVE_SSL] = counters[LIVE_SSL] - 1;
+}
+
+// ---- leak check at program exit ----
+sslOnExit() {
+  alda_assert(counters[LIVE_SSL], 0);      // leaked SSL objects
+  alda_assert(counters[LIVE_CTX], 0);      // leaked SSL contexts
+}
+
+insert after func SSL_CTX_new call sslOnCtxNew($r)
+insert before func SSL_CTX_free call sslOnCtxFree($1)
+insert after func SSL_new call sslOnNew($r, $1)
+insert after func SSL_accept call sslOnAccept($1)
+insert before func SSL_read call sslOnRead($1, $2, $3)
+insert before func SSL_write call sslOnWrite($1, $2, $3)
+insert after func SSL_shutdown call sslOnShutdown($1, $r)
+insert before func SSL_free call sslOnFree($1)
+insert before func program_exit call sslOnExit()
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="sslsan")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

@@ -1,0 +1,31 @@
+"""Strict-alias checking in ALDA (Table 4's 12-line analysis).
+
+Flags memory read at a different width than it was last written — the
+dynamic symptom of type-punning through incompatible pointers.  The
+12-line budget of the paper fits exactly: one map, two handlers, two
+insertions.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+address := pointer
+width := int8
+addr2Width = map(address, width)
+saOnStore(address ptr, width w) {
+  addr2Width[ptr] = w;
+}
+saOnLoad(address ptr, width w) {
+  if(addr2Width[ptr]) {
+    alda_assert(addr2Width[ptr] != w, 0);
+  }
+}
+insert after StoreInst call saOnStore($2, sizeof($1))
+insert after LoadInst call saOnLoad($1, sizeof($r))
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="strict_alias")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

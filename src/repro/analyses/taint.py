@@ -1,0 +1,61 @@
+"""Index taint tracking (IndexTT) in ALDA (Table 4: 33 LoC).
+
+Tracks taint labels from input sources (``gets``, ``rand``) through
+memory and registers; reports when a *tainted value is used as a memory
+address* — the index/pointer sink that catches attacker-controlled
+indexing (the classic libdft-style policy the paper cites).
+
+Register-level propagation rides the VM's local-metadata plane: loads
+return the loaded taint (becoming the destination register's metadata)
+and arithmetic ORs operand taints, so computed indices inherit taint.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// IndexTT: taint tracking with tainted-index sink.
+address := pointer
+taint := int64
+size := int64
+
+addr2Taint = map(address, taint)
+
+ttOnGets(address buf) {
+  addr2Taint.set(buf, 1, 16);   // input bytes are taint source
+}
+
+taint ttOnRand() {
+  return 1;                      // rand() output is attacker-influenced
+}
+
+taint ttOnAtoi(address s) {
+  return addr2Taint.get(s, 8);   // parsing tainted text taints the number
+}
+
+ttOnStrcpy(address dst, address src, size n) {
+  addr2Taint.set(dst, addr2Taint.get(src, n), n);
+}
+
+taint ttOnLoad(address ptr, taint idx, size s) {
+  alda_assert(idx, 0);           // tainted address used in a load
+  return addr2Taint.get(ptr, s);
+}
+
+ttOnStore(address ptr, taint v, taint idx, size s) {
+  alda_assert(idx, 0);           // tainted address used in a store
+  addr2Taint.set(ptr, v, s);
+}
+
+insert after func gets call ttOnGets($r)
+insert after func rand call ttOnRand()
+insert after func atoi call ttOnAtoi($1)
+insert after func strcpy call ttOnStrcpy($1, $2, $r)
+insert after LoadInst call ttOnLoad($1, $1.m, sizeof($r))
+insert after StoreInst call ttOnStore($2, $1.m, $2.m, sizeof($1))
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="taint")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

@@ -1,0 +1,53 @@
+"""Use-after-free detection in ALDA (Table 4's 35-line analysis).
+
+Free marks the block's bytes poisoned; malloc unmarks them; any load or
+store touching a poisoned byte is a use after free.  The range forms of
+``map.set``/``map.get`` replace the loop the paper's section 3.1.1 uses
+as its motivating example for range-based map functions.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// Use-after-free checker.
+address := pointer
+size := int64
+poison := int8
+
+addr2Poison = map(address, poison)
+addr2Size = map(address, size)
+
+uafOnMalloc(address ptr, size s) {
+  addr2Poison.set(ptr, 0, s);
+  addr2Size[ptr] = s;
+}
+
+uafOnCalloc(address ptr, size n, size sz) {
+  addr2Poison.set(ptr, 0, n * sz);
+  addr2Size[ptr] = n * sz;
+}
+
+uafOnFree(address ptr) {
+  addr2Poison.set(ptr, 1, addr2Size[ptr]);
+}
+
+uafOnLoad(address ptr, size s) {
+  alda_assert(addr2Poison.get(ptr, s), 0);
+}
+
+uafOnStore(address ptr, size s) {
+  alda_assert(addr2Poison.get(ptr, s), 0);
+}
+
+insert after func malloc call uafOnMalloc($r, $1)
+insert after func calloc call uafOnCalloc($r, $1, $2)
+insert before func free call uafOnFree($1)
+insert before LoadInst call uafOnLoad($1, sizeof($r))
+insert before StoreInst call uafOnStore($2, sizeof($1))
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="uaf")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

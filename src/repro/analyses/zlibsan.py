@@ -1,0 +1,65 @@
+"""ZlibSan: a library-specific sanitizer for the ZLib API (section 6.4.1).
+
+Validates the ffmpeg bug the paper reproduces (an uninitialized/unused
+``z_stream`` — FFmpeg commit d1487659): using a ``z_stream`` that was
+never run through ``inflateInit``/``deflateInit``, double-init,
+end-without-init, and streams initialized but never ended (leaked zlib
+state) at program exit.
+"""
+
+from repro.compiler import CompileOptions, compile_analysis
+
+SOURCE = """\
+// ZlibSan: z_stream lifecycle sanitizer.
+const Z_NONE = 0
+const Z_INIT = 1
+const Z_ENDED = 2
+
+const LIVE_STREAMS = 0
+
+address := pointer
+size := int64
+zstate := int8
+slot := int8 : 8
+
+stream2State = map(address, zstate)
+zcounters = universe::map(slot, size)
+
+zOnInflateInit(address strm) {
+  // Double init without an intervening end leaks the old state.
+  alda_assert(stream2State[strm] == Z_INIT, 0);
+  stream2State[strm] = Z_INIT;
+  zcounters[LIVE_STREAMS] = zcounters[LIVE_STREAMS] + 1;
+}
+
+zOnInflate(address strm, size flush) {
+  // The ffmpeg bug: inflate on a z_stream never initialized.
+  alda_assert(stream2State[strm] == Z_INIT, 1);
+}
+
+zOnInflateEnd(address strm) {
+  alda_assert(stream2State[strm] == Z_INIT, 1);  // end without init
+  if(stream2State[strm] == Z_INIT) {
+    zcounters[LIVE_STREAMS] = zcounters[LIVE_STREAMS] - 1;
+  }
+  stream2State[strm] = Z_ENDED;
+}
+
+zOnExit() {
+  alda_assert(zcounters[LIVE_STREAMS], 0);       // leaked z_streams
+}
+
+insert after func inflateInit call zOnInflateInit($1)
+insert after func deflateInit call zOnInflateInit($1)
+insert before func inflate call zOnInflate($1, $2)
+insert before func deflate call zOnInflate($1, $2)
+insert before func inflateEnd call zOnInflateEnd($1)
+insert before func deflateEnd call zOnInflateEnd($1)
+insert before func program_exit call zOnExit()
+"""
+
+OPTIONS = CompileOptions(granularity=8, analysis_name="zlibsan")
+
+
+def compile_(options: CompileOptions = OPTIONS):
+    return compile_analysis(SOURCE, options)

@@ -1,0 +1,18 @@
+"""Hand-tuned baseline analyses (the paper's comparison points).
+
+``msan_handtuned`` mirrors LLVM MemorySanitizer (including its missing
+``gets`` interceptor, which is what produces Table 3's false positives);
+``eraser_handtuned`` mirrors the paper's hand-optimized Eraser
+(hash-based locking, static state-transition table, hand-chosen
+coalesced metadata record).
+
+Both register hooks directly against the VM — no ALDA, no ALDAcc — and
+bill costs through the same meter/cache machinery, so the comparison
+measures exactly what the paper's Figures 3 and 4 measure: generated
+versus hand-written analysis implementations over one substrate.
+"""
+
+from repro.baselines.msan_handtuned import HandTunedMSan
+from repro.baselines.eraser_handtuned import HandTunedEraser
+
+__all__ = ["HandTunedEraser", "HandTunedMSan"]

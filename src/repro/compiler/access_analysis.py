@@ -1,0 +1,163 @@
+"""Phase 1: static analysis of metadata access behaviour.
+
+Because ALDA forbids pointers, loops, and local variables, *every* global
+metadata access in a handler is syntactically a map index or a map method
+call (paper section 3.2.1: "Our analysis can trivially identify these
+sites by iterating the statements of the analysis body").  This phase
+collects them, records which maps are accessed together under equivalent
+keys, and classifies keys as *hoistable* (built only from parameters,
+constants and arithmetic — safe to look up once per event) or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.alda import ast_nodes as ast
+from repro.alda.semantics import FuncInfo, ProgramInfo
+
+
+@dataclass(frozen=True)
+class MapAccess:
+    """One static metadata access site."""
+
+    handler: str
+    map_name: str
+    key_repr: str  # canonical key spelling; "<range>" suffix for range ops
+    kind: str  # "read" | "write" | "range_read" | "range_write"
+    hoistable: bool
+
+
+@dataclass
+class AccessSummary:
+    """All access sites, plus derived co-access facts."""
+
+    accesses: List[MapAccess] = field(default_factory=list)
+    #: (handler, key_repr) -> set of map names accessed under that key
+    co_access: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+
+    def maps_accessed_together(self) -> List[Set[str]]:
+        """Map groups observed sharing a key at some site (co-location hints)."""
+        groups = [names for names in self.co_access.values() if len(names) > 1]
+        merged: List[Set[str]] = []
+        for names in groups:
+            for existing in merged:
+                if existing & names:
+                    existing |= names
+                    break
+            else:
+                merged.append(set(names))
+        return merged
+
+    def per_handler_lookups(self, handler: str) -> int:
+        return sum(1 for access in self.accesses if access.handler == handler)
+
+
+def key_repr(expr: ast.Expr) -> str:
+    """Canonical spelling of a key expression for equivalence tests."""
+    if isinstance(expr, ast.Num):
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{key_repr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({key_repr(expr.lhs)}{expr.op}{key_repr(expr.rhs)})"
+    if isinstance(expr, ast.Index):
+        return f"{expr.base}[{key_repr(expr.key)}]"
+    if isinstance(expr, ast.MethodCall):
+        base = key_repr(expr.base)
+        args = ",".join(key_repr(arg) for arg in expr.args)
+        return f"{base}.{expr.method}({args})"
+    if isinstance(expr, ast.CallExpr):
+        args = ",".join(key_repr(arg) for arg in expr.args)
+        return f"{expr.func}({args})"
+    return repr(expr)
+
+
+def is_hoistable_key(expr: ast.Expr) -> bool:
+    """True when the key depends only on params/consts/arithmetic.
+
+    Keys containing map reads or calls are looked up inline at each use:
+    an earlier statement could have changed the value feeding the key.
+    """
+    if isinstance(expr, (ast.Num, ast.Name)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return is_hoistable_key(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return is_hoistable_key(expr.lhs) and is_hoistable_key(expr.rhs)
+    return False
+
+
+class _Collector:
+    def __init__(self, info: ProgramInfo) -> None:
+        self.info = info
+        self.summary = AccessSummary()
+
+    def run(self) -> AccessSummary:
+        for func in self.info.funcs.values():
+            self._walk_stmts(func.decl.body, func)
+        return self.summary
+
+    def _record(self, func: FuncInfo, map_name: str, key: ast.Expr, kind: str) -> None:
+        repr_ = key_repr(key)
+        access = MapAccess(
+            handler=func.name,
+            map_name=map_name,
+            key_repr=repr_,
+            kind=kind,
+            hoistable=is_hoistable_key(key),
+        )
+        self.summary.accesses.append(access)
+        self.summary.co_access.setdefault((func.name, repr_), set()).add(map_name)
+
+    # -- traversal -------------------------------------------------------
+    def _walk_stmts(self, statements: List[ast.Stmt], func: FuncInfo) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.If):
+                self._walk_expr(statement.cond, func)
+                self._walk_stmts(statement.then_body, func)
+                self._walk_stmts(statement.else_body, func)
+            elif isinstance(statement, ast.Return):
+                if statement.value is not None:
+                    self._walk_expr(statement.value, func)
+            elif isinstance(statement, ast.Assign):
+                self._walk_expr(statement.target.key, func)
+                self._record(func, statement.target.base, statement.target.key, "write")
+                self._walk_expr(statement.value, func)
+            elif isinstance(statement, ast.ExprStmt):
+                self._walk_expr(statement.expr, func)
+
+    def _walk_expr(self, expr: ast.Expr, func: FuncInfo) -> None:
+        if isinstance(expr, ast.Index):
+            self._walk_expr(expr.key, func)
+            self._record(func, expr.base, expr.key, "read")
+        elif isinstance(expr, ast.Binary):
+            self._walk_expr(expr.lhs, func)
+            self._walk_expr(expr.rhs, func)
+        elif isinstance(expr, ast.Unary):
+            self._walk_expr(expr.operand, func)
+        elif isinstance(expr, ast.MethodCall):
+            for arg in expr.args:
+                self._walk_expr(arg, func)
+            if isinstance(expr.base, ast.Index):
+                self._walk_expr(expr.base.key, func)
+                kind = "read" if expr.method in ("find", "empty") else "write"
+                self._record(func, expr.base.base, expr.base.key, kind)
+            else:
+                map_name = expr.base.ident
+                if expr.method == "get":
+                    kind = "range_read" if len(expr.args) == 2 else "read"
+                else:
+                    kind = "range_write" if len(expr.args) == 3 else "write"
+                self._record(func, map_name, expr.args[0], kind)
+        elif isinstance(expr, ast.CallExpr):
+            for arg in expr.args:
+                self._walk_expr(arg, func)
+
+
+def analyze_accesses(info: ProgramInfo) -> AccessSummary:
+    """Collect every metadata access site of every handler."""
+    return _Collector(info).run()

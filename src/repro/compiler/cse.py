@@ -1,0 +1,116 @@
+"""Phase 3a: metadata lookup reduction (paper section 5.4).
+
+ALDAcc applies common-subexpression elimination to map lookups: within a
+handler, all accesses to one coalesced map under one canonical key share
+a single hoisted slot lookup.  Hoisting is conservative in the same way
+the paper's compiler is ("conservatively assumes all branches will
+occur"): hoisted lookups run once at handler entry even if the uses sit
+inside branches.
+
+Only *hoistable* keys participate (parameters/constants/arithmetic —
+see :func:`repro.compiler.access_analysis.is_hoistable_key`); keys that
+read metadata are re-evaluated and looked up inline at each use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.alda import ast_nodes as ast
+from repro.alda.semantics import FuncInfo
+from repro.compiler.access_analysis import is_hoistable_key, key_repr
+
+
+@dataclass(frozen=True)
+class HoistedSlot:
+    """One slot lookup hoisted to handler entry."""
+
+    var: str
+    group_index: int
+    key_expr: ast.Expr
+    key_repr: str
+
+
+def plan_hoists(
+    func: FuncInfo,
+    group_of_map: Dict[str, int],
+    enabled: bool,
+) -> Tuple[List[HoistedSlot], Dict[Tuple[int, str], str]]:
+    """Compute the hoisted lookups for one handler.
+
+    Returns the ordered hoist list plus an index mapping
+    ``(group_index, key_repr) -> slot variable`` consulted by codegen.
+    With CSE disabled both are empty and every access looks up inline.
+    """
+    if not enabled:
+        return [], {}
+
+    hoists: List[HoistedSlot] = []
+    index: Dict[Tuple[int, str], str] = {}
+    counts: Dict[Tuple[int, str], int] = {}
+    first_key_expr: Dict[Tuple[int, str], ast.Expr] = {}
+
+    def visit_access(map_name: str, key: ast.Expr) -> None:
+        if not is_hoistable_key(key):
+            return
+        group_index = group_of_map[map_name]
+        slot_key = (group_index, key_repr(key))
+        counts[slot_key] = counts.get(slot_key, 0) + 1
+        first_key_expr.setdefault(slot_key, key)
+
+    def walk_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Index):
+            walk_expr(expr.key)
+            visit_access(expr.base, expr.key)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.MethodCall):
+            for arg in expr.args:
+                walk_expr(arg)
+            if isinstance(expr.base, ast.Index):
+                walk_expr(expr.base.key)
+                visit_access(expr.base.base, expr.base.key)
+            # Point map methods (get(k)/set(k, v)) go through a slot too;
+            # range forms iterate slots and cannot share one lookup.
+            elif expr.method == "get" and len(expr.args) == 1:
+                visit_access(expr.base.ident, expr.args[0])
+            elif expr.method == "set" and len(expr.args) == 2:
+                visit_access(expr.base.ident, expr.args[0])
+        elif isinstance(expr, ast.CallExpr):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    def walk_stmts(statements: List[ast.Stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, ast.If):
+                walk_expr(statement.cond)
+                walk_stmts(statement.then_body)
+                walk_stmts(statement.else_body)
+            elif isinstance(statement, ast.Return):
+                if statement.value is not None:
+                    walk_expr(statement.value)
+            elif isinstance(statement, ast.Assign):
+                walk_expr(statement.target.key)
+                visit_access(statement.target.base, statement.target.key)
+                walk_expr(statement.value)
+            elif isinstance(statement, ast.ExprStmt):
+                walk_expr(statement.expr)
+
+    walk_stmts(func.decl.body)
+
+    for position, (slot_key, count) in enumerate(counts.items()):
+        var = f"_s{position}"
+        hoists.append(
+            HoistedSlot(
+                var=var,
+                group_index=slot_key[0],
+                key_expr=first_key_expr[slot_key],
+                key_repr=slot_key[1],
+            )
+        )
+        index[slot_key] = var
+    return hoists, index

@@ -1,0 +1,199 @@
+"""Phase 2b: metadata layout and data-structure selection (section 5.3).
+
+For every coalesced map group this phase decides:
+
+* the byte layout of the value record — each member map becomes a field
+  at a natural-aligned offset, so co-accessed metadata shares cache lines;
+* each field's representation — fixed bit-vector for small fixed-domain
+  sets (<= 512 bytes), tree-set handle otherwise, narrowed integers for
+  bounded scalars;
+* the backing structure — array map for bounded key domains (with key
+  interning for sparse id spaces), and for address-sized domains either
+  offset shadow memory or a page-table map, chosen by the *shadow
+  factor*: value bytes per program byte after granularity, against the
+  threshold (default 3).
+
+When structure selection is disabled (ablation), every group falls back
+to a generic hash map and every set to a dynamic tree set — the paper's
+"non-trivial benchmarks ran out-of-memory" configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.alda.types import INTERNABLE, MapInfo, ScalarValue, SetValue
+from repro.compiler.coalesce import MapGroup
+from repro.errors import CompileError
+
+_BITVEC_LIMIT_BYTES = 512  # paper: "prefers a bit-vector if ... less than 512 bytes"
+_ARRAY_DOMAIN_LIMIT = 1 << 16
+
+
+@dataclass(frozen=True)
+class FieldPlan:
+    """Layout of one member map inside its group's value record."""
+
+    map_name: str
+    offset: int
+    size: int
+    repr: str  # "int" | "bitvec" | "treeset"
+    set_domain: Optional[int] = None
+    set_universe: bool = False
+    default_int: int = 0
+
+
+@dataclass
+class GroupPlan:
+    """Complete plan for one coalesced map group."""
+
+    group: MapGroup
+    structure: str  # "array" | "shadow" | "pagetable" | "hash"
+    value_bytes: int = 0
+    fields: List[FieldPlan] = field(default_factory=list)
+    granularity: int = 8
+    key_domain: Optional[int] = None
+    interned: bool = False
+    shadow_factor: float = 0.0
+
+    def field_index(self, map_name: str) -> int:
+        for index, plan in enumerate(self.fields):
+            if plan.map_name == map_name:
+                return index
+        raise CompileError(f"map {map_name!r} not in group {self.group.name!r}")
+
+
+@dataclass
+class LayoutPlan:
+    groups: List[GroupPlan] = field(default_factory=list)
+
+    def group_for(self, map_name: str) -> int:
+        for index, plan in enumerate(self.groups):
+            for field_plan in plan.fields:
+                if field_plan.map_name == map_name:
+                    return index
+        raise CompileError(f"map {map_name!r} not laid out")
+
+    def describe(self) -> str:
+        lines = []
+        for plan in self.groups:
+            fields = ", ".join(
+                f"{f.map_name}@{f.offset}:{f.size}B/{f.repr}" for f in plan.fields
+            )
+            lines.append(
+                f"{plan.group.name}: {plan.structure} "
+                f"(value {plan.value_bytes}B, shadow factor {plan.shadow_factor:.2f}) "
+                f"[{fields}]"
+            )
+        return "\n".join(lines)
+
+
+def _plan_field(map_info: MapInfo, offset: int, structure_selection: bool) -> FieldPlan:
+    value = map_info.value
+    if isinstance(value, SetValue):
+        domain = value.fixed_domain
+        fixed_bytes = value.storage_bytes
+        if structure_selection and domain is not None and fixed_bytes <= _BITVEC_LIMIT_BYTES:
+            return FieldPlan(
+                map_name=map_info.name,
+                offset=offset,
+                size=fixed_bytes,
+                repr="bitvec",
+                set_domain=domain,
+                set_universe=value.universe,
+            )
+        return FieldPlan(
+            map_name=map_info.name,
+            offset=offset,
+            size=8,  # a pointer to the tree
+            repr="treeset",
+            set_domain=domain,
+            set_universe=value.universe,
+        )
+    if isinstance(value, ScalarValue):
+        return FieldPlan(
+            map_name=map_info.name,
+            offset=offset,
+            size=value.storage_bytes,
+            repr="int",
+        )
+    raise CompileError(f"unsupported value shape for {map_info.name!r}")
+
+
+def _align(offset: int, size: int) -> int:
+    alignment = min(8, size) if size else 1
+    # round alignment down to a power of two
+    while alignment & (alignment - 1):
+        alignment -= 1
+    mask = alignment - 1
+    return (offset + mask) & ~mask
+
+
+def plan_group(
+    group: MapGroup,
+    granularity: int,
+    shadow_factor_threshold: float,
+    structure_selection: bool,
+) -> GroupPlan:
+    fields: List[FieldPlan] = []
+    offset = 0
+    for member in group.members:
+        plan = _plan_field(member, 0, structure_selection)
+        offset = _align(offset, plan.size)
+        fields.append(
+            FieldPlan(
+                map_name=plan.map_name,
+                offset=offset,
+                size=plan.size,
+                repr=plan.repr,
+                set_domain=plan.set_domain,
+                set_universe=plan.set_universe,
+            )
+        )
+        offset += plan.size
+    value_bytes = max(1, _align(offset, 8)) if offset > 8 else max(1, offset)
+
+    key = group.key
+    key_domain = key.domain
+    is_bounded = key_domain is not None and key_domain <= _ARRAY_DOMAIN_LIMIT
+    shadow_factor = value_bytes / granularity
+
+    if not structure_selection:
+        structure = "hash"
+        interned = False
+        group_granularity = granularity if key.base == "pointer" else 1
+    elif is_bounded:
+        structure = "array"
+        interned = key.base in INTERNABLE
+        group_granularity = 1
+    else:
+        # Address-space-sized key domain: shadow factor decides.
+        structure = "shadow" if shadow_factor <= shadow_factor_threshold else "pagetable"
+        interned = False
+        group_granularity = granularity
+
+    return GroupPlan(
+        group=group,
+        structure=structure,
+        value_bytes=value_bytes,
+        fields=fields,
+        granularity=group_granularity,
+        key_domain=key_domain if is_bounded else None,
+        interned=interned,
+        shadow_factor=shadow_factor,
+    )
+
+
+def plan_layout(
+    groups: List[MapGroup],
+    granularity: int = 8,
+    shadow_factor_threshold: float = 3.0,
+    structure_selection: bool = True,
+) -> LayoutPlan:
+    return LayoutPlan(
+        groups=[
+            plan_group(group, granularity, shadow_factor_threshold, structure_selection)
+            for group in groups
+        ]
+    )

@@ -1,0 +1,28 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+CLI::
+
+    python -m repro.harness fig3   # LLVM MSan vs ALDA MSan (Figure 3)
+    python -m repro.harness fig4   # hand-tuned vs ALDAcc vs ds-only Eraser
+    python -m repro.harness fig5   # combined analysis (Figure 5)
+    python -m repro.harness tab3   # MSan error-report validation (Table 3)
+    python -m repro.harness tab4   # analysis LoC (Table 4)
+    python -m repro.harness sanitizers  # SSLSan / ZlibSan (section 6.4.1)
+    python -m repro.harness all [--scale N]
+"""
+
+from repro.harness.runner import OverheadResult, measure_overhead, run_plain
+from repro.harness.figures import figure3, figure4, figure5
+from repro.harness.tables import table3, table4, sanitizer_validation
+
+__all__ = [
+    "OverheadResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "measure_overhead",
+    "run_plain",
+    "sanitizer_validation",
+    "table3",
+    "table4",
+]

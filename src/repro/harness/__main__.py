@@ -1,0 +1,78 @@
+"""Command-line entry point for regenerating the paper's experiments."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figures import figure3, figure4, figure5
+from repro.harness.tables import (
+    render_sanitizers,
+    render_table3,
+    render_table4,
+    sanitizer_validation,
+    table3,
+    table4,
+)
+
+EXPERIMENTS = ("fig3", "fig4", "fig5", "tab3", "tab4", "sanitizers")
+
+
+def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text") -> str:
+    from repro.harness import export
+
+    if name in ("fig3", "fig4", "fig5"):
+        figure = {"fig3": figure3, "fig4": figure4, "fig5": figure5}[name]
+        data = figure(scale, verbose)
+        if fmt == "json":
+            return export.figure_to_json(data)
+        if fmt == "csv":
+            return export.figure_to_csv(data)
+        if fmt == "svg":
+            from repro.harness.svg import figure_to_svg
+            return figure_to_svg(data)
+        return data.render()
+    if name == "tab3":
+        rows = table3(scale)
+        return export.table3_to_json(rows) if fmt == "json" else render_table3(rows)
+    if name == "tab4":
+        rows, handtuned = table4()
+        if fmt == "json":
+            return export.table4_to_json(rows, handtuned)
+        return render_table4(rows, handtuned)
+    if name == "sanitizers":
+        rows = sanitizer_validation(scale)
+        if fmt == "json":
+            return export.sanitizers_to_json(rows)
+        return render_sanitizers(rows)
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the ALDA paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload size multiplier (default 1)")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--format", choices=("text", "json", "csv", "svg"),
+                        default="text", help="output format (csv/svg: figures only)")
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        started = time.time()
+        print(run_experiment(name, args.scale, args.verbose, args.format))
+        if args.format == "text":
+            print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,77 @@
+"""Machine-readable export of regenerated figures and tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+
+def figure_to_csv(data) -> str:
+    """A FigureData as CSV: one row per workload, one column per series."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload"] + list(data.series))
+    for workload, row in data.rows.items():
+        writer.writerow(
+            [workload] + [f"{row.get(series, float('nan')):.4f}" for series in data.series]
+        )
+    return buffer.getvalue()
+
+
+def figure_to_json(data) -> str:
+    payload: Dict[str, Any] = {
+        "name": data.name,
+        "series": list(data.series),
+        "rows": data.rows,
+        "summary": data.summary,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def table3_to_json(rows) -> str:
+    return json.dumps(
+        [
+            {
+                "program": row.program,
+                "location": row.location,
+                "kind": row.kind,
+                "alda_reported": row.alda_reported,
+                "llvm_reported": row.llvm_reported,
+                "matches_paper": row.matches_paper,
+            }
+            for row in rows
+        ],
+        indent=2,
+    )
+
+
+def table4_to_json(rows, handtuned: Dict[str, int]) -> str:
+    return json.dumps(
+        {
+            "analyses": [
+                {"analysis": r.analysis, "our_loc": r.our_loc, "paper_loc": r.paper_loc}
+                for r in rows
+            ],
+            "handtuned_loc": handtuned,
+        },
+        indent=2,
+    )
+
+
+def sanitizers_to_json(rows) -> str:
+    return json.dumps(
+        [
+            {
+                "workload": row.workload,
+                "sanitizer": row.sanitizer,
+                "expected_bug": row.expected_bug,
+                "reported": row.reported,
+                "passed": row.passed,
+                "locations": row.locations,
+            }
+            for row in rows
+        ],
+        indent=2,
+    )

@@ -1,0 +1,109 @@
+"""Run workloads plain and instrumented; compute normalized overhead.
+
+The protocol for an *attachable* analysis is what both
+:class:`repro.compiler.CompiledAnalysis` and the hand-tuned baselines
+provide: a ``needs_shadow`` attribute and an ``attach(vm)`` method.
+Hand-tuned baselines are stateful, so pass a factory (each measurement
+builds a fresh instance); compiled analyses are immutable and may be
+passed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.vm.interpreter import Interpreter
+from repro.vm.profile import Profile
+from repro.vm.reporting import Report
+from repro.workloads.base import Workload
+
+Attachable = object  # needs_shadow + attach(vm)
+AttachableSource = Union[Attachable, Callable[[], Attachable]]
+
+
+@dataclass
+class OverheadResult:
+    workload: str
+    label: str
+    baseline_cycles: int
+    instrumented_cycles: int
+    profile: Profile
+    reports: List[Report] = field(default_factory=list)
+
+    @property
+    def overhead(self) -> float:
+        return self.instrumented_cycles / self.baseline_cycles
+
+
+def _materialize(source: AttachableSource) -> Attachable:
+    if isinstance(source, type):
+        return source()  # a class: instantiate fresh per run
+    if hasattr(source, "attach"):
+        return source
+    return source()  # a factory callable
+
+
+def run_plain(workload: Workload, scale: int = 1) -> Profile:
+    """Uninstrumented run — the denominator of every overhead figure."""
+    module = workload.make_module(scale)
+    vm = Interpreter(
+        module,
+        extern=workload.make_extern(),
+        input_lines=list(workload.input_lines),
+    )
+    return vm.run()
+
+
+def run_instrumented(
+    workload: Workload,
+    analyses: Sequence[AttachableSource],
+    scale: int = 1,
+):
+    """Run with one or more analyses attached; returns (profile, reporter)."""
+    attachables = [_materialize(source) for source in analyses]
+    module = workload.make_module(scale)
+    vm = Interpreter(
+        module,
+        extern=workload.make_extern(),
+        input_lines=list(workload.input_lines),
+        track_shadow=any(a.needs_shadow for a in attachables),
+    )
+    for attachable in attachables:
+        attachable.attach(vm)
+    profile = vm.run()
+    return profile, vm.reporter
+
+
+def measure_overhead(
+    workload: Workload,
+    analysis: AttachableSource,
+    scale: int = 1,
+    label: str = "",
+    baseline: Optional[Profile] = None,
+) -> OverheadResult:
+    """Normalized overhead of one analysis on one workload.
+
+    Pass a precomputed ``baseline`` profile to amortize the plain run
+    across several configurations of the same workload/scale.
+    """
+    if baseline is None:
+        baseline = run_plain(workload, scale)
+    profile, reporter = run_instrumented(workload, [analysis], scale)
+    return OverheadResult(
+        workload=workload.name,
+        label=label or getattr(analysis, "name", "analysis"),
+        baseline_cycles=baseline.cycles,
+        instrumented_cycles=profile.cycles,
+        profile=profile,
+        reports=list(reporter),
+    )
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,135 @@
+"""Dependency-free SVG rendering of figure data (grouped bar charts).
+
+Produces the paper-style grouped-bar figures (normalized overhead per
+workload, one bar per series) as standalone SVG files — no plotting
+library required.  ``python -m repro.harness fig4 --format svg > fig4.svg``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_SERIES_COLORS = ("#4878a8", "#e49444", "#6a9f58", "#d1605e", "#85b6b2")
+
+_MARGIN_LEFT = 56
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 48
+_MARGIN_BOTTOM = 88
+_PLOT_HEIGHT = 260
+_GROUP_GAP = 14
+_BAR_WIDTH = 13
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _nice_ticks(maximum: float, count: int = 5) -> List[float]:
+    if maximum <= 0:
+        return [0.0, 1.0]
+    raw_step = maximum / count
+    magnitude = 10 ** len(str(int(raw_step)))
+    for candidate in (0.1, 0.2, 0.25, 0.5, 1, 2, 2.5, 5, 10, 20, 25, 50, 100):
+        if candidate * (magnitude / 10) >= raw_step:
+            step = candidate * (magnitude / 10)
+            break
+    else:
+        step = raw_step
+    ticks = [0.0]
+    while ticks[-1] < maximum:
+        ticks.append(round(ticks[-1] + step, 6))
+    return ticks
+
+
+def figure_to_svg(data) -> str:
+    """Render a FigureData as a grouped bar chart SVG."""
+    workloads = list(data.rows)
+    series = list(data.series)
+    if not workloads or not series:
+        return '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+
+    group_width = len(series) * _BAR_WIDTH + _GROUP_GAP
+    plot_width = len(workloads) * group_width
+    width = _MARGIN_LEFT + plot_width + _MARGIN_RIGHT
+    height = _MARGIN_TOP + _PLOT_HEIGHT + _MARGIN_BOTTOM
+
+    maximum = max(
+        value for row in data.rows.values() for value in row.values()
+    )
+    ticks = _nice_ticks(maximum)
+    top_value = ticks[-1]
+
+    def y_of(value: float) -> float:
+        return _MARGIN_TOP + _PLOT_HEIGHT * (1 - value / top_value)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="Helvetica, Arial, sans-serif" '
+        f'font-size="11">',
+        f'<text x="{_MARGIN_LEFT}" y="18" font-size="14" font-weight="bold">'
+        f"{_esc(data.name)}</text>",
+    ]
+
+    # axis + gridlines
+    for tick in ticks:
+        y = y_of(tick)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_width}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end" fill="#444444">{tick:g}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{_MARGIN_TOP + _PLOT_HEIGHT}" '
+        f'stroke="#333333"/>'
+    )
+
+    # bars
+    for group_index, workload in enumerate(workloads):
+        group_x = _MARGIN_LEFT + group_index * group_width + _GROUP_GAP / 2
+        for series_index, series_name in enumerate(series):
+            value = data.rows[workload].get(series_name)
+            if value is None:
+                continue
+            x = group_x + series_index * _BAR_WIDTH
+            y = y_of(value)
+            bar_height = _MARGIN_TOP + _PLOT_HEIGHT - y
+            color = _SERIES_COLORS[series_index % len(_SERIES_COLORS)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{_BAR_WIDTH - 2}" '
+                f'height="{bar_height:.1f}" fill="{color}">'
+                f"<title>{_esc(workload)} / {_esc(series_name)}: {value:.2f}x</title>"
+                f"</rect>"
+            )
+        # x labels, rotated
+        label_x = group_x + (len(series) * _BAR_WIDTH) / 2
+        label_y = _MARGIN_TOP + _PLOT_HEIGHT + 10
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{label_y:.1f}" text-anchor="end" '
+            f'transform="rotate(-45 {label_x:.1f} {label_y:.1f})" '
+            f'fill="#333333">{_esc(workload)}</text>'
+        )
+
+    # legend
+    legend_y = height - 16
+    legend_x = _MARGIN_LEFT
+    for series_index, series_name in enumerate(series):
+        color = _SERIES_COLORS[series_index % len(_SERIES_COLORS)]
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" fill="#333333">'
+            f"{_esc(series_name)}</text>"
+        )
+        legend_x += 14 + 8 * len(series_name) + 24
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,50 @@
+"""A small register-based intermediate representation.
+
+This package is the reproduction's substitute for LLVM IR (see DESIGN.md,
+section 2).  It provides exactly the surface an instrumentation framework
+needs: typed instructions with inspectable operands, functions made of basic
+blocks, a builder for constructing programs, and a structural validator.
+
+Public API::
+
+    from repro.ir import Module, Function, Block, IRBuilder, validate_module
+"""
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Const,
+    Instruction,
+    Jmp,
+    Load,
+    Ret,
+    Store,
+)
+from repro.ir.module import Block, Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.text import parse_module, print_module
+from repro.ir.validate import validate_module
+
+__all__ = [
+    "Alloca",
+    "BinOp",
+    "Block",
+    "Br",
+    "Call",
+    "Cmp",
+    "Const",
+    "Function",
+    "IRBuilder",
+    "Instruction",
+    "Jmp",
+    "Load",
+    "Module",
+    "Ret",
+    "parse_module",
+    "print_module",
+    "Store",
+    "validate_module",
+]

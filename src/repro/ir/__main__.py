@@ -1,0 +1,83 @@
+"""Standalone runner/formatter for textual mini-IR programs.
+
+Usage::
+
+    python -m repro.ir run prog.ir [arg ...]      # execute main(args)
+    python -m repro.ir run prog.ir --analysis eraser
+    python -m repro.ir fmt prog.ir                # canonical formatting
+    python -m repro.ir check prog.ir              # validate only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.ir.text import parse_module, print_module
+from repro.ir.validate import validate_module
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.ir")
+    parser.add_argument("command", choices=("run", "fmt", "check"))
+    parser.add_argument("file")
+    parser.add_argument("args", nargs="*", type=int, help="main() arguments")
+    parser.add_argument("--analysis", action="append", default=[],
+                        help="attach a shipped analysis (repeatable)")
+    parser.add_argument("--reports", action="store_true")
+    options = parser.parse_args(argv)
+
+    with open(options.file) as handle:
+        source = handle.read()
+    try:
+        module = parse_module(source, options.file)
+        validate_module(module)
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 1
+
+    if options.command == "check":
+        print(f"{options.file}: OK — {len(module.functions)} function(s), "
+              f"{module.static_instruction_count()} instruction(s)")
+        return 0
+    if options.command == "fmt":
+        print(print_module(module), end="")
+        return 0
+
+    from repro.analyses import REGISTRY
+    from repro.vm import Interpreter
+
+    analyses = []
+    for name in options.analysis:
+        if name not in REGISTRY:
+            print(f"unknown analysis {name!r}", file=sys.stderr)
+            return 1
+        analyses.append(REGISTRY[name].compile_())
+
+    try:
+        vm = Interpreter(
+            module, track_shadow=any(a.needs_shadow for a in analyses)
+        )
+        for analysis in analyses:
+            analysis.attach(vm)
+        profile = vm.run(args=options.args)
+    except ReproError as error:
+        print(error, file=sys.stderr)
+        return 1
+
+    print(f"result: {vm.threads[0].result}")
+    print(f"cycles: {profile.cycles} ({profile.instructions} instructions)")
+    if analyses:
+        print(f"reports: {len(vm.reporter)}")
+        if options.reports:
+            for report in vm.reporter:
+                print(f"  {report}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

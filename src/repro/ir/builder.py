@@ -1,0 +1,219 @@
+"""Convenience builder for constructing IR programs.
+
+Workloads in :mod:`repro.workloads` are written against this builder.  It
+keeps a current insertion block, allocates fresh virtual registers, and has
+small structured-control helpers (``loop``) so kernels read naturally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Const,
+    Jmp,
+    Load,
+    Operand,
+    Ret,
+    Store,
+)
+from repro.ir.module import Block, Function, Module
+
+
+class IRBuilder:
+    """Builds one function at a time into a :class:`Module`."""
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self.module = module if module is not None else Module()
+        self._function: Optional[Function] = None
+        self._block: Optional[Block] = None
+        self._temp = 0
+        self._label = 0
+
+    # ------------------------------------------------------------------
+    # function / block management
+    # ------------------------------------------------------------------
+    def function(self, name: str, params: Optional[List[str]] = None) -> Function:
+        """Start a new function and position at its entry block."""
+        function = Function(name, params=list(params or []))
+        self.module.add_function(function)
+        self._function = function
+        self._block = function.block("entry")
+        return function
+
+    @property
+    def current_function(self) -> Function:
+        if self._function is None:
+            raise IRError("no current function; call builder.function() first")
+        return self._function
+
+    @property
+    def current_block(self) -> Block:
+        if self._block is None:
+            raise IRError("no current block")
+        return self._block
+
+    def block(self, label: Optional[str] = None) -> Block:
+        """Create a new block in the current function (does not move there)."""
+        if label is None:
+            label = self.fresh_label()
+        return self.current_function.block(label)
+
+    def position_at(self, block: Block) -> None:
+        self._block = block
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        self._label += 1
+        return f"{hint}{self._label}"
+
+    def fresh_reg(self) -> str:
+        self._temp += 1
+        return f"%t{self._temp}"
+
+    def _emit(self, instruction):
+        self.current_block.append(instruction)
+        return instruction
+
+    # ------------------------------------------------------------------
+    # instructions
+    # ------------------------------------------------------------------
+    def const(self, value: int, name: Optional[str] = None) -> str:
+        dst = name or self.fresh_reg()
+        self._emit(Const(result=dst, value=value))
+        return dst
+
+    def binop(self, op: str, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        dst = name or self.fresh_reg()
+        self._emit(BinOp(result=dst, op=op, lhs=lhs, rhs=rhs))
+        return dst
+
+    def add(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("mul", lhs, rhs, name)
+
+    def div(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("div", lhs, rhs, name)
+
+    def rem(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("rem", lhs, rhs, name)
+
+    def and_(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("shl", lhs, rhs, name)
+
+    def shr(self, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        return self.binop("shr", lhs, rhs, name)
+
+    def cmp(self, op: str, lhs: Operand, rhs: Operand, name: Optional[str] = None) -> str:
+        dst = name or self.fresh_reg()
+        self._emit(Cmp(result=dst, op=op, lhs=lhs, rhs=rhs))
+        return dst
+
+    def alloca(self, size: Operand, name: Optional[str] = None) -> str:
+        dst = name or self.fresh_reg()
+        self._emit(Alloca(result=dst, size=size))
+        return dst
+
+    def load(self, address: Operand, size: int = 8, name: Optional[str] = None) -> str:
+        dst = name or self.fresh_reg()
+        self._emit(Load(result=dst, address=address, size=size))
+        return dst
+
+    def store(self, value: Operand, address: Operand, size: int = 8) -> None:
+        self._emit(Store(value=value, address=address, size=size))
+
+    def call(
+        self,
+        callee: str,
+        args: Optional[List[Operand]] = None,
+        name: Optional[str] = None,
+        void: bool = False,
+    ) -> Optional[str]:
+        dst = None if void else (name or self.fresh_reg())
+        self._emit(Call(result=dst, callee=callee, args=list(args or [])))
+        return dst
+
+    def br(self, cond: Operand, then_block: Block, else_block: Block) -> None:
+        self._emit(Br(cond=cond, then_label=then_block.label, else_label=else_block.label))
+
+    def jmp(self, block: Block) -> None:
+        self._emit(Jmp(label=block.label))
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        self._emit(Ret(value=value))
+
+    def global_addr(self, name: str, name_out: Optional[str] = None) -> str:
+        """Load the address of a module global into a register."""
+        return self.call("global_addr$" + name, [], name=name_out)
+
+    # ------------------------------------------------------------------
+    # structured control flow
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(self, count: Operand, index_name: Optional[str] = None) -> Iterator[str]:
+        """Counted loop: yields the induction register, runs body ``count`` times.
+
+        Usage::
+
+            with builder.loop(n) as i:
+                ...body emitted here, may use register i...
+        """
+        index = index_name or self.fresh_reg()
+        header = self.block(self.fresh_label("loop_head"))
+        body = self.block(self.fresh_label("loop_body"))
+        done = self.block(self.fresh_label("loop_done"))
+
+        zero = self.const(0)
+        slot = self.alloca(8)
+        self.store(zero, slot)
+        self.jmp(header)
+
+        self.position_at(header)
+        current = self.load(slot, name=index)
+        cond = self.cmp("lt", current, count)
+        self.br(cond, body, done)
+
+        self.position_at(body)
+        yield index
+        bumped = self.add(index, 1)
+        self.store(bumped, slot)
+        self.jmp(header)
+
+        self.position_at(done)
+
+    @contextlib.contextmanager
+    def if_then(self, cond: Operand, loc: str = "") -> Iterator[None]:
+        """Emit an if-without-else; body runs when ``cond`` is non-zero.
+
+        ``loc`` tags the branch instruction with a source location —
+        analyses that report on branches (MSan) attribute findings to it.
+        """
+        then_block = self.block(self.fresh_label("then"))
+        join_block = self.block(self.fresh_label("join"))
+        self.br(cond, then_block, join_block)
+        if loc:
+            self.current_block.instructions[-1].loc = loc
+        self.position_at(then_block)
+        yield
+        self.jmp(join_block)
+        self.position_at(join_block)

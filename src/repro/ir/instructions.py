@@ -1,0 +1,193 @@
+"""Instruction set of the mini-IR.
+
+Operands are either register names (strings, conventionally ``%t3`` or a
+human-readable name) or Python ints, which are immediates.  Every
+value-producing instruction names its destination register in ``dst``.
+
+The instruction kinds deliberately mirror the LLVM instructions that ALDA's
+insertion declarations may name (``LoadInst``, ``StoreInst``, ``AllocaInst``,
+``BranchInst``, ``BinaryOperator``, ``CallInst``, ``ReturnInst``) so that the
+instrumentation layer can bind handlers to them one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+Operand = Union[str, int]
+
+#: Binary arithmetic operators understood by :class:`BinOp`.
+BINARY_OPS = ("add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr")
+
+#: Comparison operators understood by :class:`Cmp`.
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+@dataclass
+class Instruction:
+    """Base class; concrete instructions are the dataclasses below."""
+
+    #: Symbolic source location used in error reports and backtraces.
+    loc: str = field(default="", kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        """Insertion-point name of this instruction (e.g. ``LoadInst``)."""
+        return type(self).__name__ + "Inst"
+
+    def operands(self) -> Tuple[Operand, ...]:
+        """Operands in ALDA ``$1..$n`` order."""
+        return ()
+
+    @property
+    def dst(self) -> Optional[str]:
+        return getattr(self, "result", None)
+
+
+@dataclass
+class Const(Instruction):
+    """``result = value`` — materialize an immediate."""
+
+    result: str = ""
+    value: int = 0
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.value,)
+
+
+@dataclass
+class BinOp(Instruction):
+    """``result = op lhs, rhs``; insertion-point name ``BinaryOperator``."""
+
+    result: str = ""
+    op: str = "add"
+    lhs: Operand = 0
+    rhs: Operand = 0
+
+    @property
+    def kind(self) -> str:
+        return "BinaryOperator"
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass
+class Cmp(Instruction):
+    """``result = cmp op lhs, rhs`` producing 0/1."""
+
+    result: str = ""
+    op: str = "eq"
+    lhs: Operand = 0
+    rhs: Operand = 0
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass
+class Alloca(Instruction):
+    """``result = alloca size`` — reserve stack memory, yield its address."""
+
+    result: str = ""
+    size: Operand = 8
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.size,)
+
+
+@dataclass
+class Load(Instruction):
+    """``result = load address, size`` — ``$1`` is the address."""
+
+    result: str = ""
+    address: Operand = 0
+    size: int = 8
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.address,)
+
+
+@dataclass
+class Store(Instruction):
+    """``store value -> address`` — LLVM operand order: ``$1`` value, ``$2`` address."""
+
+    value: Operand = 0
+    address: Operand = 0
+    size: int = 8
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.value, self.address)
+
+
+@dataclass
+class Br(Instruction):
+    """Conditional branch; insertion-point name ``BranchInst``; ``$1`` condition."""
+
+    cond: Operand = 0
+    then_label: str = ""
+    else_label: str = ""
+
+    @property
+    def kind(self) -> str:
+        return "BranchInst"
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.cond,)
+
+
+@dataclass
+class Jmp(Instruction):
+    """Unconditional jump (not an instrumentable event)."""
+
+    label: str = ""
+
+
+@dataclass
+class Call(Instruction):
+    """``result = call callee(args...)``.
+
+    The callee may be a function in the same module, a libc builtin, or a
+    simulated library function (see :mod:`repro.vm.libc`).
+    """
+
+    result: Optional[str] = None
+    callee: str = ""
+    args: List[Operand] = field(default_factory=list)
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return tuple(self.args)
+
+
+@dataclass
+class Ret(Instruction):
+    """Return from the current function; insertion-point name ``ReturnInst``."""
+
+    value: Optional[Operand] = None
+
+    @property
+    def kind(self) -> str:
+        return "ReturnInst"
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return () if self.value is None else (self.value,)
+
+
+TERMINATORS = (Br, Jmp, Ret)
+
+#: All instrumentable instruction-kind names, for semantic checks of
+#: insertion declarations.
+INSTRUMENTABLE_KINDS = frozenset(
+    {
+        "LoadInst",
+        "StoreInst",
+        "AllocaInst",
+        "BranchInst",
+        "BinaryOperator",
+        "CmpInst",
+        "CallInst",
+        "ReturnInst",
+        "ConstInst",
+    }
+)

@@ -1,0 +1,99 @@
+"""Containers for IR programs: modules, functions, and basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction, TERMINATORS
+
+
+@dataclass
+class Block:
+    """A basic block: a label and a straight-line instruction list.
+
+    The final instruction must be a terminator (``Br``, ``Jmp`` or ``Ret``);
+    :func:`repro.ir.validate.validate_module` enforces this.
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and isinstance(self.instructions[-1], TERMINATORS):
+            return self.instructions[-1]
+        return None
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+
+@dataclass
+class Function:
+    """A function: named parameters (registers) and an ordered block map."""
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    entry: str = "entry"
+
+    def block(self, label: str) -> Block:
+        """Create (or fetch) the block with ``label``."""
+        if label not in self.blocks:
+            self.blocks[label] = Block(label)
+        return self.blocks[label]
+
+    def get_block(self, label: str) -> Block:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise IRError(f"function {self.name!r} has no block {label!r}") from None
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks.values():
+            yield from block
+
+
+@dataclass
+class Module:
+    """A linkable unit: a set of functions plus named global byte buffers."""
+
+    name: str = "module"
+    functions: Dict[str, Function] = field(default_factory=dict)
+    #: Global buffers: name -> size in bytes.  The VM assigns addresses at
+    #: load time; programs refer to them through ``Call("global_addr", ...)``
+    #: or via :class:`repro.ir.builder.IRBuilder.global_addr`.
+    globals: Dict[str, int] = field(default_factory=dict)
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise IRError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"module has no function {name!r}") from None
+
+    def add_global(self, name: str, size: int) -> None:
+        if name in self.globals:
+            raise IRError(f"duplicate global {name!r}")
+        if size <= 0:
+            raise IRError(f"global {name!r} must have positive size")
+        self.globals[name] = size
+
+    def static_instruction_count(self) -> int:
+        """Number of static instructions across all functions."""
+        return sum(
+            len(block.instructions)
+            for function in self.functions.values()
+            for block in function.blocks.values()
+        )

@@ -1,0 +1,295 @@
+"""Textual format for the mini-IR: assembler and disassembler.
+
+The format mirrors LLVM's ``.ll`` spirit at this IR's scale::
+
+    module demo
+    global counter 8
+
+    func main() {
+    entry:
+      %p = call malloc(64)
+      store 42 -> [%p], 8
+      %v = load [%p], 8
+      %c = cmp lt %v, 100
+      br %c, then, done
+    then:
+      %t = add %v, 1
+      jmp done
+    done:
+      ret %v
+    }
+
+Grammar notes:
+
+* operands are ``%name`` registers, parameters (bare names), or integer
+  literals (decimal or ``0x...``);
+* ``load``/``store`` take an optional trailing ``, <size>`` (default 8);
+* ``call`` destinations are optional (``call free(%p)`` is void);
+* ``@loc "file.c:12"`` after an instruction tags its source location;
+* ``;`` starts a comment.
+
+``parse_module``/``print_module`` round-trip: the printer's output
+re-parses to a structurally identical module.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca,
+    BINARY_OPS,
+    BinOp,
+    Br,
+    CMP_OPS,
+    Call,
+    Cmp,
+    Const,
+    Instruction,
+    Jmp,
+    Load,
+    Operand,
+    Ret,
+    Store,
+)
+from repro.ir.module import Block, Function, Module
+
+_IDENT = r"[A-Za-z_$][A-Za-z0-9_$.]*"
+_LOC_RE = re.compile(r'@loc\s+"([^"]*)"\s*$')
+
+
+class _LineParser:
+    """Parses one prepared (comment-stripped) line at a time."""
+
+    def __init__(self, path: str = "<ir>") -> None:
+        self.path = path
+        self.line_no = 0
+
+    def error(self, message: str) -> IRError:
+        return IRError(f"{self.path}:{self.line_no}: {message}")
+
+    # -- operand scanning --------------------------------------------------
+    def operand(self, text: str) -> Operand:
+        text = text.strip()
+        if text.startswith("%"):
+            return text
+        if re.fullmatch(r"-?\d+|0[xX][0-9a-fA-F]+|-0[xX][0-9a-fA-F]+", text):
+            return int(text, 0)
+        if re.fullmatch(_IDENT, text):
+            return text  # a parameter name
+        raise self.error(f"bad operand {text!r}")
+
+    def operands(self, text: str) -> List[Operand]:
+        text = text.strip()
+        if not text:
+            return []
+        return [self.operand(part) for part in text.split(",")]
+
+    # -- instruction forms ---------------------------------------------------
+    def instruction(self, line: str) -> Instruction:
+        loc = ""
+        loc_match = _LOC_RE.search(line)
+        if loc_match:
+            loc = loc_match.group(1)
+            line = line[: loc_match.start()].rstrip()
+
+        if line.startswith("%") and "=" in line:
+            dst, rest = line.split("=", 1)
+            instr = self._value_instruction(dst.strip(), rest.strip())
+        else:
+            instr = self._void_instruction(line.strip())
+        instr.loc = loc
+        return instr
+
+    def _value_instruction(self, dst: str, rest: str) -> Instruction:
+        head, _, tail = rest.partition(" ")
+        tail = tail.strip()
+        if head == "const":
+            value = self.operand(tail)
+            if not isinstance(value, int):
+                raise self.error("const takes an integer literal")
+            return Const(result=dst, value=value)
+        if head in BINARY_OPS:
+            parts = self.operands(tail)
+            if len(parts) != 2:
+                raise self.error(f"{head} takes two operands")
+            return BinOp(result=dst, op=head, lhs=parts[0], rhs=parts[1])
+        if head == "cmp":
+            op, _, operand_text = tail.partition(" ")
+            if op not in CMP_OPS:
+                raise self.error(f"unknown comparison {op!r}")
+            parts = self.operands(operand_text)
+            if len(parts) != 2:
+                raise self.error("cmp takes two operands")
+            return Cmp(result=dst, op=op, lhs=parts[0], rhs=parts[1])
+        if head == "alloca":
+            return Alloca(result=dst, size=self.operand(tail))
+        if head == "load":
+            address, size = self._memory_form(tail)
+            return Load(result=dst, address=address, size=size)
+        if head == "call":
+            callee, args = self._call_form(tail if tail else "")
+            return Call(result=dst, callee=callee, args=args)
+        raise self.error(f"unknown value instruction {head!r}")
+
+    def _void_instruction(self, line: str) -> Instruction:
+        head, _, tail = line.partition(" ")
+        tail = tail.strip()
+        if head == "store":
+            match = re.match(r"(.+?)\s*->\s*\[(.+?)\](?:\s*,\s*(\d+))?$", tail)
+            if not match:
+                raise self.error("store syntax: store <value> -> [<addr>][, size]")
+            return Store(
+                value=self.operand(match.group(1)),
+                address=self.operand(match.group(2)),
+                size=int(match.group(3) or 8),
+            )
+        if head == "br":
+            parts = [part.strip() for part in tail.split(",")]
+            if len(parts) != 3:
+                raise self.error("br syntax: br <cond>, <then>, <else>")
+            return Br(
+                cond=self.operand(parts[0]),
+                then_label=parts[1],
+                else_label=parts[2],
+            )
+        if head == "jmp":
+            if not re.fullmatch(_IDENT, tail):
+                raise self.error("jmp takes a label")
+            return Jmp(label=tail)
+        if head == "ret":
+            if not tail:
+                return Ret()
+            return Ret(value=self.operand(tail))
+        if head == "call":
+            callee, args = self._call_form(tail)
+            return Call(result=None, callee=callee, args=args)
+        raise self.error(f"unknown instruction {head!r}")
+
+    def _memory_form(self, text: str) -> Tuple[Operand, int]:
+        match = re.match(r"\[(.+?)\](?:\s*,\s*(\d+))?$", text)
+        if not match:
+            raise self.error("memory syntax: [<addr>][, size]")
+        return self.operand(match.group(1)), int(match.group(2) or 8)
+
+    def _call_form(self, text: str) -> Tuple[str, List[Operand]]:
+        match = re.match(rf"({_IDENT})\s*\((.*)\)$", text)
+        if not match:
+            raise self.error("call syntax: call <name>(<args>)")
+        return match.group(1), self.operands(match.group(2))
+
+
+def parse_module(source: str, path: str = "<ir>") -> Module:
+    """Assemble IR text into a :class:`Module` (validated by the VM later)."""
+    parser = _LineParser(path)
+    module = Module()
+    function: Optional[Function] = None
+    block: Optional[Block] = None
+
+    for raw in source.splitlines():
+        parser.line_no += 1
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("module "):
+            module.name = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith("global "):
+            parts = line.split()
+            if len(parts) != 3 or not parts[2].isdigit():
+                raise parser.error("global syntax: global <name> <size>")
+            module.add_global(parts[1], int(parts[2]))
+            continue
+        if line.startswith("func "):
+            match = re.match(rf"func\s+({_IDENT})\s*\(([^)]*)\)\s*{{$", line)
+            if not match:
+                raise parser.error("func syntax: func <name>(<params>) {")
+            params = [p.strip() for p in match.group(2).split(",") if p.strip()]
+            function = Function(match.group(1), params=params)
+            module.add_function(function)
+            block = None
+            continue
+        if line == "}":
+            if function is None:
+                raise parser.error("stray '}'")
+            function = None
+            block = None
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if function is None:
+                raise parser.error("label outside a function")
+            if not re.fullmatch(_IDENT, label):
+                raise parser.error(f"bad label {label!r}")
+            block = function.block(label)
+            continue
+
+        if function is None:
+            raise parser.error("instruction outside a function")
+        if block is None:
+            block = function.block(function.entry)
+        block.append(parser.instruction(line))
+
+    if function is not None:
+        raise IRError(f"{path}: unterminated function {function.name!r}")
+    return module
+
+
+# ---------------------------------------------------------------------------
+# disassembler
+# ---------------------------------------------------------------------------
+def _fmt_operand(op: Operand) -> str:
+    return str(op)
+
+
+def _fmt_instruction(instr: Instruction) -> str:
+    if isinstance(instr, Const):
+        text = f"{instr.result} = const {instr.value}"
+    elif isinstance(instr, BinOp):
+        text = f"{instr.result} = {instr.op} {_fmt_operand(instr.lhs)}, {_fmt_operand(instr.rhs)}"
+    elif isinstance(instr, Cmp):
+        text = f"{instr.result} = cmp {instr.op} {_fmt_operand(instr.lhs)}, {_fmt_operand(instr.rhs)}"
+    elif isinstance(instr, Alloca):
+        text = f"{instr.result} = alloca {_fmt_operand(instr.size)}"
+    elif isinstance(instr, Load):
+        text = f"{instr.result} = load [{_fmt_operand(instr.address)}], {instr.size}"
+    elif isinstance(instr, Store):
+        text = (
+            f"store {_fmt_operand(instr.value)} -> "
+            f"[{_fmt_operand(instr.address)}], {instr.size}"
+        )
+    elif isinstance(instr, Br):
+        text = f"br {_fmt_operand(instr.cond)}, {instr.then_label}, {instr.else_label}"
+    elif isinstance(instr, Jmp):
+        text = f"jmp {instr.label}"
+    elif isinstance(instr, Call):
+        args = ", ".join(_fmt_operand(arg) for arg in instr.args)
+        prefix = f"{instr.result} = " if instr.result is not None else ""
+        text = f"{prefix}call {instr.callee}({args})"
+    elif isinstance(instr, Ret):
+        text = "ret" if instr.value is None else f"ret {_fmt_operand(instr.value)}"
+    else:
+        raise IRError(f"cannot print {instr!r}")
+    if instr.loc:
+        text += f' @loc "{instr.loc}"'
+    return text
+
+
+def print_module(module: Module) -> str:
+    """Disassemble a module to its textual form."""
+    lines = [f"module {module.name}"]
+    for name, size in module.globals.items():
+        lines.append(f"global {name} {size}")
+    for function in module.functions.values():
+        lines.append("")
+        params = ", ".join(function.params)
+        lines.append(f"func {function.name}({params}) {{")
+        for block in function.blocks.values():
+            lines.append(f"{block.label}:")
+            for instruction in block:
+                lines.append(f"  {_fmt_instruction(instruction)}")
+        lines.append("}")
+    return "\n".join(lines) + "\n"

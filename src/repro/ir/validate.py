@@ -1,0 +1,105 @@
+"""Structural validation of IR modules.
+
+Checks performed per function:
+
+* every block ends in exactly one terminator, and only at the end;
+* every branch target names an existing block;
+* every register read is written somewhere in the function (params count
+  as written) — a flow-insensitive definite-assignment check;
+* the entry block exists.
+
+Module-level checks: call targets are either module functions or left for
+the VM to resolve against its builtin/library registry at load time (the
+validator accepts them but records them, so the VM can reject unknowns).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Br,
+    Call,
+    Instruction,
+    Jmp,
+    Ret,
+    TERMINATORS,
+)
+from repro.ir.module import Function, Module
+
+
+def _written_registers(function: Function) -> Set[str]:
+    written = set(function.params)
+    for instruction in function.instructions():
+        dst = instruction.dst
+        if dst is not None:
+            written.add(dst)
+    return written
+
+
+def _read_operands(instruction: Instruction) -> List[str]:
+    reads = [op for op in instruction.operands() if isinstance(op, str)]
+    if isinstance(instruction, Br) and isinstance(instruction.cond, str):
+        # cond already included via operands()
+        pass
+    return reads
+
+
+def validate_function(function: Function) -> None:
+    if function.entry not in function.blocks:
+        raise IRError(f"function {function.name!r}: missing entry block {function.entry!r}")
+
+    written = _written_registers(function)
+    labels = set(function.blocks)
+
+    for block in function.blocks.values():
+        if not block.instructions:
+            raise IRError(f"{function.name}/{block.label}: empty block")
+        if not isinstance(block.instructions[-1], TERMINATORS):
+            raise IRError(f"{function.name}/{block.label}: does not end in a terminator")
+        for position, instruction in enumerate(block.instructions):
+            is_last = position == len(block.instructions) - 1
+            if isinstance(instruction, TERMINATORS) and not is_last:
+                raise IRError(
+                    f"{function.name}/{block.label}: terminator before end of block"
+                )
+            if isinstance(instruction, Br):
+                for label in (instruction.then_label, instruction.else_label):
+                    if label not in labels:
+                        raise IRError(
+                            f"{function.name}/{block.label}: branch to unknown block {label!r}"
+                        )
+            if isinstance(instruction, Jmp) and instruction.label not in labels:
+                raise IRError(
+                    f"{function.name}/{block.label}: jump to unknown block {instruction.label!r}"
+                )
+            for register in _read_operands(instruction):
+                if register not in written:
+                    raise IRError(
+                        f"{function.name}/{block.label}: read of unwritten register "
+                        f"{register!r}"
+                    )
+            if isinstance(instruction, Ret) and isinstance(instruction.value, str):
+                if instruction.value not in written:
+                    raise IRError(
+                        f"{function.name}/{block.label}: return of unwritten register "
+                        f"{instruction.value!r}"
+                    )
+
+
+def validate_module(module: Module) -> List[str]:
+    """Validate every function; return the list of unresolved call targets.
+
+    Unresolved targets are calls to names not defined in the module — these
+    must be satisfied by the VM's libc/library registry at load time.
+    """
+    unresolved = []
+    for function in module.functions.values():
+        validate_function(function)
+        for instruction in function.instructions():
+            if isinstance(instruction, Call):
+                callee = instruction.callee
+                if callee not in module.functions and callee not in unresolved:
+                    unresolved.append(callee)
+    return unresolved

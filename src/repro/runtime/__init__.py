@@ -1,0 +1,44 @@
+"""Analysis runtime: the metadata data structures ALDAcc selects among.
+
+Contains the containers discussed in sections 3.2.2 and 5.3 of the paper —
+fixed bit-vector sets (with universe/complement algebra), sparse bit
+vectors, tree sets, array maps, offset-based shadow memory, page-table
+maps, and a generic hash map — plus key interning, sync (locked) access
+wrappers, the metadata address-space allocator, and the external-function
+escape hatch.
+
+Every structure bills cycles and *simulated memory traffic* to a
+:class:`repro.vm.profile.CostMeter`, so structure choice and co-location
+have real, cache-mediated performance consequences in benchmarks.
+"""
+
+from repro.runtime.bitvector import BitVecSet
+from repro.runtime.sparse_bitvector import SparseBitVector
+from repro.runtime.tree_set import TreeSet
+from repro.runtime.metadata import CoalescedMap, FieldSpec, MetadataSpace
+from repro.runtime.array_map import ArrayMap, KeyInterner
+from repro.runtime.shadow_memory import ShadowMemory
+from repro.runtime.page_table import PageTableMap
+from repro.runtime.hash_map import HashMap
+from repro.runtime.sync import SyncPolicy
+from repro.runtime.external import ExternalRegistry, default_externals
+from repro.vm.reporting import Report, Reporter
+
+__all__ = [
+    "ArrayMap",
+    "BitVecSet",
+    "CoalescedMap",
+    "ExternalRegistry",
+    "FieldSpec",
+    "HashMap",
+    "KeyInterner",
+    "MetadataSpace",
+    "PageTableMap",
+    "Report",
+    "Reporter",
+    "ShadowMemory",
+    "SparseBitVector",
+    "SyncPolicy",
+    "TreeSet",
+    "default_externals",
+]

@@ -1,0 +1,186 @@
+"""Fixed-domain bit-vector sets with universe (complement) algebra.
+
+ALDAcc selects this representation when a set's domain is statically
+bounded and small (paper section 5.3: "prefers a bit-vector if the set is
+small (less than 512 bytes) and fixed").  The ``universe::`` initial state
+(Eraser's "every address initially holds all locks") is represented
+lazily as a *complemented* empty vector, so a universe set costs the same
+as an empty one until it is refined.
+
+Cycle costs are billed per 64-bit word actually processed, through the
+optional meter, mirroring the word-wise loops a compiled implementation
+would execute.  Memory traffic for the set's *storage* is billed by the
+owning map when it reads/writes the value slot, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+def _words(domain: int) -> int:
+    return max(1, (domain + 63) // 64)
+
+
+class BitVecSet:
+    """A subset of ``{0, .., domain-1}``, possibly stored as a complement.
+
+    Invariant: when ``inverted`` is False, ``bits`` holds the members; when
+    True, ``bits`` holds the *non-members* (exceptions from the universe).
+    ``bits`` never has bits set at positions >= domain.
+    """
+
+    __slots__ = ("domain", "bits", "inverted", "meter")
+
+    def __init__(
+        self,
+        domain: int,
+        bits: int = 0,
+        inverted: bool = False,
+        meter=None,
+    ) -> None:
+        if domain <= 0:
+            raise ValueError("BitVecSet domain must be positive")
+        self.domain = domain
+        self.bits = bits & self._full_mask(domain)
+        self.inverted = inverted
+        self.meter = meter
+
+    @staticmethod
+    def _full_mask(domain: int) -> int:
+        return (1 << domain) - 1
+
+    @classmethod
+    def empty(cls, domain: int, meter=None) -> "BitVecSet":
+        return cls(domain, 0, False, meter)
+
+    @classmethod
+    def universe(cls, domain: int, meter=None) -> "BitVecSet":
+        return cls(domain, 0, True, meter)
+
+    @property
+    def value_bytes(self) -> int:
+        """Storage size in bytes (one spare word is used for the flag)."""
+        return _words(self.domain) * 8
+
+    def _bill(self, words: Optional[int] = None) -> None:
+        if self.meter is not None:
+            self.meter.cycles(words if words is not None else _words(self.domain))
+
+    def _check(self, element: int) -> None:
+        if element < 0 or element >= self.domain:
+            raise ValueError(
+                f"element {element} outside set domain [0, {self.domain})"
+            )
+
+    # -- queries --------------------------------------------------------
+    def contains(self, element: int) -> bool:
+        self._check(element)
+        self._bill(1)
+        present = bool(self.bits & (1 << element))
+        return present != self.inverted
+
+    def is_empty(self) -> bool:
+        self._bill()
+        if not self.inverted:
+            return self.bits == 0
+        return self.bits == self._full_mask(self.domain)
+
+    def is_universe(self) -> bool:
+        self._bill()
+        if self.inverted:
+            return self.bits == 0
+        return self.bits == self._full_mask(self.domain)
+
+    def count(self) -> int:
+        self._bill()
+        popcount = bin(self.bits).count("1")
+        return self.domain - popcount if self.inverted else popcount
+
+    def __contains__(self, element: int) -> bool:
+        return self.contains(element)
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __iter__(self) -> Iterator[int]:
+        for element in range(self.domain):
+            present = bool(self.bits & (1 << element))
+            if present != self.inverted:
+                yield element
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, element: int) -> None:
+        self._check(element)
+        self._bill(1)
+        if self.inverted:
+            self.bits &= ~(1 << element)
+        else:
+            self.bits |= 1 << element
+
+    def remove(self, element: int) -> None:
+        self._check(element)
+        self._bill(1)
+        if self.inverted:
+            self.bits |= 1 << element
+        else:
+            self.bits &= ~(1 << element)
+
+    # -- algebra (non-mutating; results inherit self's meter) -------------
+    def _compatible(self, other: "BitVecSet") -> None:
+        if self.domain != other.domain:
+            raise ValueError(
+                f"set domain mismatch: {self.domain} vs {other.domain}"
+            )
+
+    def intersect(self, other: "BitVecSet") -> "BitVecSet":
+        self._compatible(other)
+        self._bill()
+        mask = self._full_mask(self.domain)
+        if not self.inverted and not other.inverted:
+            return BitVecSet(self.domain, self.bits & other.bits, False, self.meter)
+        if self.inverted and other.inverted:
+            return BitVecSet(self.domain, self.bits | other.bits, True, self.meter)
+        if self.inverted:
+            return BitVecSet(self.domain, other.bits & ~self.bits & mask, False, self.meter)
+        return BitVecSet(self.domain, self.bits & ~other.bits & mask, False, self.meter)
+
+    def union(self, other: "BitVecSet") -> "BitVecSet":
+        self._compatible(other)
+        self._bill()
+        mask = self._full_mask(self.domain)
+        if not self.inverted and not other.inverted:
+            return BitVecSet(self.domain, self.bits | other.bits, False, self.meter)
+        if self.inverted and other.inverted:
+            return BitVecSet(self.domain, self.bits & other.bits, True, self.meter)
+        if self.inverted:
+            return BitVecSet(self.domain, self.bits & ~other.bits & mask, True, self.meter)
+        return BitVecSet(self.domain, other.bits & ~self.bits & mask, True, self.meter)
+
+    def __and__(self, other: "BitVecSet") -> "BitVecSet":
+        return self.intersect(other)
+
+    def __or__(self, other: "BitVecSet") -> "BitVecSet":
+        return self.union(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVecSet):
+            return NotImplemented
+        if self.domain != other.domain:
+            return False
+        mask = self._full_mask(self.domain)
+        mine = (~self.bits & mask) if self.inverted else self.bits
+        theirs = (~other.bits & mask) if other.inverted else other.bits
+        return mine == theirs
+
+    def __hash__(self):  # pragma: no cover - sets are not hashable values
+        raise TypeError("BitVecSet is mutable and unhashable")
+
+    def copy(self) -> "BitVecSet":
+        return BitVecSet(self.domain, self.bits, self.inverted, self.meter)
+
+    def __repr__(self) -> str:
+        members = list(self)
+        if self.inverted and len(members) > 12:
+            return f"BitVecSet(universe({self.domain}) minus {bin(self.bits)})"
+        return f"BitVecSet({members}, domain={self.domain})"

@@ -1,0 +1,73 @@
+"""Offset-based shadow memory (paper sections 3.2.2 and 5.3).
+
+The fastest address-keyed mapping: ``slot = base + (addr >> g) * value_bytes``
+— one shift, one multiply, one memory access.  The price is address-space
+reservation proportional to the whole program address space; ALDAcc only
+selects it when the *shadow factor* (metadata bytes per program byte after
+granularity) is at most the threshold (default 3).
+
+Committed footprint is billed per touched 4 KiB shadow page, mirroring
+demand paging of a large virtual reservation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Tuple
+
+from repro.vm.memory import AddressSpace
+
+_PAGE = 4096
+
+#: End of program-visible address space that shadow mappings must cover.
+PROGRAM_SPACE_END = AddressSpace.STACK_BASE + 64 * AddressSpace.STACK_STRIDE
+
+
+class ShadowMemory:
+    """Directly indexed shadow of the program address space."""
+
+    def __init__(
+        self,
+        meter,
+        space,
+        value_bytes: int,
+        granularity: int,
+        make_values: Callable[[], list],
+        name: str = "shadow",
+    ) -> None:
+        if granularity not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported granularity {granularity}")
+        self.meter = meter
+        self.value_bytes = value_bytes
+        self.granularity = granularity
+        self._shift = granularity.bit_length() - 1
+        self._make_values = make_values
+        span = (PROGRAM_SPACE_END >> self._shift) * value_bytes
+        self.base = space.reserve(span, align=_PAGE, label=f"{name}-span")
+        self._data: Dict[int, list] = {}
+        self._touched_pages = set()
+
+    def _slot(self, index: int) -> Tuple[int, list]:
+        address = self.base + index * self.value_bytes
+        page = address >> 12
+        if page not in self._touched_pages:
+            self._touched_pages.add(page)
+            self.meter.footprint(_PAGE)
+        storage = self._data.get(index)
+        if storage is None:
+            storage = self._make_values()
+            self._data[index] = storage
+        return address, storage
+
+    def lookup(self, key: int) -> Tuple[int, list]:
+        self.meter.cycles(1)  # shift+add address arithmetic
+        return self._slot(key >> self._shift)
+
+    def slots_in_range(self, key: int, n_bytes: int) -> Iterator[Tuple[int, list]]:
+        self.meter.cycles(1)
+        first = key >> self._shift
+        last = (key + n_bytes - 1) >> self._shift
+        for index in range(first, last + 1):
+            yield self._slot(index)
+
+    def __len__(self) -> int:
+        return len(self._data)

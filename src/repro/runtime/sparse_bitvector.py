@@ -1,0 +1,109 @@
+"""Sparse bit vector: linked 64-bit chunks keyed by chunk index.
+
+This is the structure section 2.2 of the paper discusses as the flexible
+but indirection-heavy alternative to an ``int`` bit vector: it handles
+unbounded domains at the asymptotic cost of a bit vector, but every chunk
+is a separate simulated allocation, so its operations touch scattered
+cache lines.  ALDAcc never selects it by default (tree sets win for
+non-fixed domains, section 5.3); it exists for the data-structure ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+_CHUNK_BITS = 64
+_NODE_BYTES = 24  # chunk word + next pointer + base index
+
+
+class SparseBitVector:
+    """Unbounded set of non-negative ints as a chain of 64-bit chunks."""
+
+    __slots__ = ("chunks", "meter", "_space", "_node_addrs")
+
+    def __init__(self, meter=None, space=None) -> None:
+        self.chunks: Dict[int, int] = {}
+        self.meter = meter
+        self._space = space
+        self._node_addrs: Dict[int, int] = {}
+
+    def _touch_chunk(self, index: int, create: bool) -> None:
+        if self.meter is None:
+            return
+        self.meter.cycles(1)
+        address = self._node_addrs.get(index)
+        if address is None:
+            if not create:
+                return
+            if self._space is not None:
+                address = self._space.reserve(_NODE_BYTES, label="sbv-node")
+            else:
+                address = 0
+            self._node_addrs[index] = address
+            self.meter.footprint(_NODE_BYTES)
+        if address:
+            self.meter.touch(address, _NODE_BYTES)
+
+    def _walk_cost(self, index: int) -> None:
+        """Bill the pointer chase to reach chunk ``index`` (sorted chain)."""
+        if self.meter is None:
+            return
+        for existing in sorted(self.chunks):
+            self._touch_chunk(existing, create=False)
+            if existing >= index:
+                break
+
+    def add(self, element: int) -> None:
+        if element < 0:
+            raise ValueError("SparseBitVector elements must be non-negative")
+        index, bit = divmod(element, _CHUNK_BITS)
+        self._walk_cost(index)
+        self._touch_chunk(index, create=True)
+        self.chunks[index] = self.chunks.get(index, 0) | (1 << bit)
+
+    def remove(self, element: int) -> None:
+        index, bit = divmod(element, _CHUNK_BITS)
+        self._walk_cost(index)
+        if index in self.chunks:
+            self.chunks[index] &= ~(1 << bit)
+            if self.chunks[index] == 0:
+                del self.chunks[index]
+
+    def contains(self, element: int) -> bool:
+        index, bit = divmod(element, _CHUNK_BITS)
+        self._walk_cost(index)
+        return bool(self.chunks.get(index, 0) & (1 << bit))
+
+    def union_inplace(self, other: "SparseBitVector") -> None:
+        for index, word in other.chunks.items():
+            self._touch_chunk(index, create=True)
+            self.chunks[index] = self.chunks.get(index, 0) | word
+
+    def intersect_inplace(self, other: "SparseBitVector") -> None:
+        for index in list(self.chunks):
+            self._touch_chunk(index, create=False)
+            word = self.chunks[index] & other.chunks.get(index, 0)
+            if word:
+                self.chunks[index] = word
+            else:
+                del self.chunks[index]
+
+    def is_empty(self) -> bool:
+        if self.meter is not None and self.chunks:
+            self._touch_chunk(next(iter(sorted(self.chunks))), create=False)
+        return not self.chunks
+
+    def __contains__(self, element: int) -> bool:
+        return self.contains(element)
+
+    def __iter__(self) -> Iterator[int]:
+        for index in sorted(self.chunks):
+            word = self.chunks[index]
+            base = index * _CHUNK_BITS
+            for bit in range(_CHUNK_BITS):
+                if word & (1 << bit):
+                    yield base + bit
+
+    def __len__(self) -> int:
+        return sum(bin(word).count("1") for word in self.chunks.values())

@@ -1,0 +1,25 @@
+"""Execution substrate: deterministic interpreter plus memory-hierarchy model.
+
+This package stands in for "run the instrumented binary on hardware" in the
+original paper.  It executes :mod:`repro.ir` programs under a simple cycle
+cost model with a set-associative cache simulator, fires instrumentation
+hooks at the same join points LLVM instrumentation passes would use, and
+reports a :class:`repro.vm.profile.Profile` per run.
+"""
+
+from repro.vm.cache import CacheConfig, CacheSim
+from repro.vm.memory import AddressSpace, Memory
+from repro.vm.profile import Profile
+from repro.vm.events import EventContext, Hooks
+from repro.vm.interpreter import Interpreter
+
+__all__ = [
+    "AddressSpace",
+    "CacheConfig",
+    "CacheSim",
+    "EventContext",
+    "Hooks",
+    "Interpreter",
+    "Memory",
+    "Profile",
+]

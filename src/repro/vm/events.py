@@ -1,0 +1,144 @@
+"""Instrumentation join points.
+
+The VM fires an event at every instrumentable instruction and at every
+call boundary, before and/or after, exactly mirroring ALDA's
+``insert (before|after) <insert-point>`` declarations.  Hook keys are:
+
+* an instruction-kind name: ``"LoadInst"``, ``"StoreInst"``, ``"AllocaInst"``,
+  ``"BranchInst"``, ``"BinaryOperator"``, ``"CmpInst"``, ``"CallInst"``,
+  ``"ReturnInst"``;
+* a function boundary: ``"func:<name>"`` (e.g. ``"func:malloc"``), which
+  fires for calls to module functions, libc builtins, and simulated library
+  functions alike.
+
+An :class:`EventContext` carries everything ALDA's call-arg syntax can ask
+for: operand values (``$1..$n``), the result (``$r``), the thread id
+(``$t``), operand sizes (``sizeof($X)``), and local (register) metadata
+(``$X.m``), with the ability for a handler's return value to become the
+result register's metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+Callback = Callable[["EventContext"], None]
+
+
+class Hooks:
+    """Registry of instrumentation callbacks."""
+
+    def __init__(self) -> None:
+        self.before: Dict[str, List[Callback]] = {}
+        self.after: Dict[str, List[Callback]] = {}
+
+    def add(self, position: str, key: str, callback: Callback) -> None:
+        if position not in ("before", "after"):
+            raise ValueError(f"position must be 'before' or 'after', not {position!r}")
+        table = self.before if position == "before" else self.after
+        table.setdefault(key, []).append(callback)
+
+    def add_instruction(self, position: str, kind: str, callback: Callback) -> None:
+        self.add(position, kind, callback)
+
+    def add_function(self, position: str, name: str, callback: Callback) -> None:
+        self.add(position, "func:" + name, callback)
+
+    @property
+    def empty(self) -> bool:
+        return not self.before and not self.after
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(set(self.before) | set(self.after))
+
+
+class EventContext:
+    """A single fired event, as seen by a handler.
+
+    Operand numbering follows LLVM conventions (see
+    :mod:`repro.ir.instructions`): for ``StoreInst`` ``$1`` is the stored
+    value and ``$2`` the address; for ``LoadInst`` ``$1`` is the address and
+    ``$r`` the loaded value; for ``func:<name>`` events ``$1..$n`` are call
+    arguments and ``$r`` the return value.
+    """
+
+    __slots__ = (
+        "vm",
+        "kind",
+        "tid",
+        "ops",
+        "result",
+        "_shadow_regs",
+        "_operand_regs",
+        "_result_reg",
+        "_sizes",
+        "_result_size",
+        "loc",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        vm,
+        kind: str,
+        tid: int,
+        ops: Tuple[int, ...],
+        result: Optional[int],
+        shadow_regs: Dict[str, int],
+        operand_regs: Tuple[Optional[str], ...],
+        result_reg: Optional[str],
+        sizes: Tuple[int, ...],
+        result_size: int,
+        loc: str,
+        seq: int = 0,
+    ) -> None:
+        self.vm = vm
+        self.kind = kind
+        self.tid = tid
+        self.ops = ops
+        self.result = result
+        self._shadow_regs = shadow_regs
+        self._operand_regs = operand_regs
+        self._result_reg = result_reg
+        self._sizes = sizes
+        self._result_size = result_size
+        self.loc = loc
+        #: monotonically increasing event id — all handlers fired at one
+        #: instrumentation event observe the same value
+        self.seq = seq
+
+    # -- ALDA call-arg accessors ---------------------------------------
+    def operand(self, index: int) -> int:
+        """``$index`` (1-based)."""
+        return self.ops[index - 1]
+
+    def all_operands(self) -> Tuple[int, ...]:
+        """``$p``."""
+        return self.ops
+
+    def sizeof(self, index_or_r) -> int:
+        """``sizeof($X)`` — byte size of operand ``$X`` or of ``$r``."""
+        if index_or_r == "r":
+            return self._result_size
+        return self._sizes[index_or_r - 1]
+
+    def operand_shadow(self, index: int) -> int:
+        """``$X.m`` — local metadata of the register behind operand ``$X``."""
+        if index > len(self._operand_regs):
+            return 0  # synthesized operand (e.g. a void return's 0)
+        register = self._operand_regs[index - 1]
+        if register is None:
+            return 0
+        return self._shadow_regs.get(register, 0)
+
+    @property
+    def result_shadow(self) -> int:
+        """``$r.m`` — local metadata of the result register."""
+        if self._result_reg is None:
+            return 0
+        return self._shadow_regs.get(self._result_reg, 0)
+
+    def set_result_shadow(self, value: int) -> None:
+        """Attach a handler's return value as ``$r``'s local metadata."""
+        if self._result_reg is not None:
+            self._shadow_regs[self._result_reg] = value

@@ -1,0 +1,206 @@
+"""Builtin library functions available to IR programs.
+
+Each builtin has the signature ``fn(vm, thread, args) -> int | None`` and
+bills realistic cycle costs through the VM.  These are the functions ALDA
+analyses commonly instrument (``malloc``, ``free``, ``gets``, ...) plus a
+few conveniences for writing workloads (``rand``, ``print_int``).
+
+Simulated library surfaces (OpenSSL, ZLib) are *not* here — they live in
+:mod:`repro.workloads.libssl` / :mod:`repro.workloads.libzlib` and are
+passed to the interpreter via its ``extern`` parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+REGISTRY: Dict[str, Callable] = {}
+
+
+def builtin(name: str):
+    def register(fn):
+        REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+@builtin("malloc")
+def _malloc(vm, thread, args: Tuple[int, ...]) -> int:
+    vm.profile.base_cycles += 30
+    return vm.heap.malloc(args[0])
+
+
+@builtin("calloc")
+def _calloc(vm, thread, args: Tuple[int, ...]) -> int:
+    count, size = args
+    total = count * size
+    vm.profile.base_cycles += 30 + total // 8
+    address = vm.heap.malloc(total)
+    vm.memory.fill(address, 0, total)
+    return address
+
+
+@builtin("free")
+def _free(vm, thread, args: Tuple[int, ...]) -> int:
+    vm.profile.base_cycles += 20
+    vm.heap.free(args[0])
+    return 0
+
+
+@builtin("memset")
+def _memset(vm, thread, args: Tuple[int, ...]) -> int:
+    address, byte, size = args
+    vm.profile.base_cycles += max(1, size // 8)
+    vm.profile.mem_cycles += vm.cache.access(address, size)
+    vm.memory.fill(address, byte, size)
+    return address
+
+
+@builtin("memcpy")
+def _memcpy(vm, thread, args: Tuple[int, ...]) -> int:
+    dst, src, size = args
+    vm.profile.base_cycles += max(1, size // 8)
+    vm.profile.mem_cycles += vm.cache.access(src, size)
+    vm.profile.mem_cycles += vm.cache.access(dst, size)
+    vm.memory.copy(dst, src, size)
+    return dst
+
+
+@builtin("gets")
+def _gets(vm, thread, args: Tuple[int, ...]) -> int:
+    """Read a simulated input line into the buffer; returns the buffer.
+
+    Reproduces the interception gap from the paper's Table 3: LLVM MSan
+    does not intercept ``gets``, so the written bytes keep their poison.
+    Our ALDA MSan source ships a ``gets`` handler; the hand-tuned baseline
+    deliberately omits one.
+    """
+    buffer = args[0]
+    line = vm.next_input()
+    vm.profile.base_cycles += 50
+    vm.profile.mem_cycles += vm.cache.access(buffer, len(line))
+    for offset, byte in enumerate(line):
+        vm.memory.write(buffer + offset, byte, 1)
+    return buffer
+
+
+def _read_cstring_length(vm, address: int, limit: int = 4096) -> int:
+    """Length (excluding NUL) of the C string at ``address``."""
+    length = 0
+    while length < limit and vm.memory.read(address + length, 1) != 0:
+        length += 1
+    return length
+
+
+@builtin("strlen")
+def _strlen(vm, thread, args: Tuple[int, ...]) -> int:
+    address = args[0]
+    length = _read_cstring_length(vm, address)
+    vm.profile.base_cycles += max(1, length // 8)
+    vm.profile.mem_cycles += vm.cache.access(address, length + 1)
+    return length
+
+
+@builtin("strcpy")
+def _strcpy(vm, thread, args: Tuple[int, ...]) -> int:
+    """Copy the C string; returns bytes copied *including* the NUL.
+
+    (Deviation from C's return value, documented: interceptor handlers
+    need the length and ALDA cannot loop — the real MSan interceptor
+    knows the length the same way.)
+    """
+    dst, src = args
+    length = _read_cstring_length(vm, src) + 1
+    vm.profile.base_cycles += max(1, length // 8)
+    vm.profile.mem_cycles += vm.cache.access(src, length)
+    vm.profile.mem_cycles += vm.cache.access(dst, length)
+    vm.memory.copy(dst, src, length)
+    return length
+
+
+@builtin("strcmp")
+def _strcmp(vm, thread, args: Tuple[int, ...]) -> int:
+    a, b = args
+    offset = 0
+    while True:
+        byte_a = vm.memory.read(a + offset, 1)
+        byte_b = vm.memory.read(b + offset, 1)
+        if byte_a != byte_b:
+            result = 1 if byte_a > byte_b else -1
+            break
+        if byte_a == 0:
+            result = 0
+            break
+        offset += 1
+    vm.profile.base_cycles += max(1, offset // 4)
+    vm.profile.mem_cycles += vm.cache.access(a, offset + 1)
+    vm.profile.mem_cycles += vm.cache.access(b, offset + 1)
+    return result
+
+
+@builtin("atoi")
+def _atoi(vm, thread, args: Tuple[int, ...]) -> int:
+    address = args[0]
+    length = _read_cstring_length(vm, address, limit=20)
+    vm.profile.base_cycles += 10 + length
+    vm.profile.mem_cycles += vm.cache.access(address, length + 1)
+    text = bytes(
+        vm.memory.read(address + i, 1) for i in range(length)
+    ).decode("ascii", errors="replace")
+    digits = ""
+    for position, char in enumerate(text.lstrip()):
+        if char in "+-" and position == 0:
+            digits += char
+        elif char.isdigit():
+            digits += char
+        else:
+            break
+    try:
+        return int(digits)
+    except ValueError:
+        return 0
+
+
+@builtin("puts")
+def _puts(vm, thread, args: Tuple[int, ...]) -> int:
+    vm.profile.base_cycles += 40
+    return 0
+
+
+@builtin("print_int")
+def _print_int(vm, thread, args: Tuple[int, ...]) -> int:
+    vm.profile.base_cycles += 40
+    return 0
+
+
+@builtin("rand")
+def _rand(vm, thread, args: Tuple[int, ...]) -> int:
+    vm.profile.base_cycles += 5
+    return vm.rand() & 0x7FFF_FFFF
+
+
+@builtin("program_exit")
+def _program_exit(vm, thread, args: Tuple[int, ...]) -> int:
+    """Explicit end-of-program marker workloads call before returning.
+
+    It does nothing itself; sanitizers hook ``func:program_exit`` for
+    end-of-run checks (leak detection).
+    """
+    vm.profile.base_cycles += 10
+    return 0
+
+
+@builtin("abort")
+def _abort(vm, thread, args: Tuple[int, ...]) -> int:
+    from repro.errors import VMError
+
+    raise VMError("program called abort()")
+
+
+@builtin("exit_thread")
+def _exit_thread(vm, thread, args: Tuple[int, ...]) -> int:
+    # Force the current frame stack to unwind at next Ret; workloads use
+    # plain Ret instead, so this is a stub kept for API parity.
+    vm.profile.base_cycles += 10
+    return 0

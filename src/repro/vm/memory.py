@@ -1,0 +1,156 @@
+"""Simulated flat memory, heap allocator, and address-space layout.
+
+Memory is byte-addressed and little-endian, stored sparsely as 8-byte
+words.  Reads of unwritten memory yield zero bytes — *tracking* of
+uninitialized reads is an analysis concern (that is MemorySanitizer's job),
+not the substrate's.
+
+The address-space layout keeps program memory and analysis metadata in
+disjoint regions of the same space, so both kinds of traffic share one
+cache simulator (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import MemoryFault
+
+_MASK64 = (1 << 64) - 1
+
+
+class AddressSpace:
+    """Well-known region bases of the simulated address space."""
+
+    NULL_GUARD = 0x1000
+    GLOBALS_BASE = 0x0001_0000
+    HEAP_BASE = 0x1000_0000
+    STACK_BASE = 0x7000_0000
+    STACK_STRIDE = 0x0010_0000  # 1 MiB per thread
+    METADATA_BASE = 0x1_0000_0000
+
+
+class Memory:
+    """Sparse word-backed byte-addressable memory."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def read(self, address: int, size: int) -> int:
+        if address < AddressSpace.NULL_GUARD:
+            raise MemoryFault(address, "read through null guard page")
+        if size == 8 and address & 7 == 0:
+            return self._words.get(address >> 3, 0)
+        return self._read_slow(address, size)
+
+    def _read_slow(self, address: int, size: int) -> int:
+        value = 0
+        words = self._words
+        for offset in range(size):
+            byte_addr = address + offset
+            word = words.get(byte_addr >> 3, 0)
+            byte = (word >> ((byte_addr & 7) * 8)) & 0xFF
+            value |= byte << (offset * 8)
+        return value
+
+    def write(self, address: int, value: int, size: int) -> None:
+        if address < AddressSpace.NULL_GUARD:
+            raise MemoryFault(address, "write through null guard page")
+        value &= (1 << (size * 8)) - 1
+        if size == 8 and address & 7 == 0:
+            self._words[address >> 3] = value
+            return
+        self._write_slow(address, value, size)
+
+    def _write_slow(self, address: int, value: int, size: int) -> None:
+        words = self._words
+        for offset in range(size):
+            byte_addr = address + offset
+            index = byte_addr >> 3
+            shift = (byte_addr & 7) * 8
+            word = words.get(index, 0)
+            byte = (value >> (offset * 8)) & 0xFF
+            words[index] = (word & ~(0xFF << shift)) | (byte << shift)
+
+    def fill(self, address: int, byte: int, size: int) -> None:
+        """memset: write ``size`` copies of ``byte`` starting at ``address``."""
+        pattern = byte & 0xFF
+        word_pattern = int.from_bytes(bytes([pattern]) * 8, "little")
+        end = address + size
+        cursor = address
+        while cursor < end and cursor & 7:
+            self.write(cursor, pattern, 1)
+            cursor += 1
+        words = self._words
+        while cursor + 8 <= end:
+            words[cursor >> 3] = word_pattern
+            cursor += 8
+        while cursor < end:
+            self.write(cursor, pattern, 1)
+            cursor += 1
+
+    def copy(self, dst: int, src: int, size: int) -> None:
+        """memcpy with correct overlap handling (copies through a snapshot)."""
+        data = [self.read(src + offset, 1) for offset in range(size)]
+        for offset, byte in enumerate(data):
+            self.write(dst + offset, byte, 1)
+
+
+class Heap:
+    """Bump allocator with free bookkeeping.
+
+    Freed blocks are not reused by default: fresh addresses make
+    use-after-free behaviour deterministic and keep the substrate simple.
+    Double frees and frees of non-heap pointers are *tolerated* (counted
+    in ``double_frees``/``bad_frees``) — like a production allocator they
+    are program bugs for an analysis to report, not substrate crashes.
+    """
+
+    def __init__(self, base: int = AddressSpace.HEAP_BASE) -> None:
+        self._cursor = base
+        self.allocations: Dict[int, int] = {}
+        self.freed: Set[int] = set()
+        self.bytes_allocated = 0
+        self.peak_bytes = 0
+        self.double_frees = 0
+        self.bad_frees = 0
+        self._live_bytes = 0
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        address = self._cursor
+        aligned = (size + 15) & ~15
+        self._cursor += aligned + 16  # 16-byte guard gap between blocks
+        self.allocations[address] = size
+        self.bytes_allocated += size
+        self._live_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self._live_bytes)
+        return address
+
+    def free(self, address: int) -> int:
+        """Free a block; returns its size (analyses need it)."""
+        if address == 0:
+            return 0
+        if address in self.freed:
+            self.double_frees += 1
+            return 0
+        size = self.allocations.get(address)
+        if size is None:
+            self.bad_frees += 1
+            return 0
+        self.freed.add(address)
+        self._live_bytes -= size
+        return size
+
+    def size_of(self, address: int) -> int:
+        return self.allocations.get(address, 0)
+
+    def live_blocks(self) -> Dict[int, int]:
+        return {
+            address: size
+            for address, size in self.allocations.items()
+            if address not in self.freed
+        }

@@ -1,0 +1,76 @@
+"""Analysis error reports and backtraces (ALDA's ``alda_assert`` output).
+
+A :class:`Reporter` lives on the VM so that both ALDAcc-compiled handlers
+and hand-tuned baselines report through the same channel; tests and the
+Table 3 harness read reports back from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Report:
+    """One analysis finding, with the program backtrace at report time."""
+
+    analysis: str
+    handler: str
+    message: str
+    location: str
+    actual: Optional[int] = None
+    expected: Optional[int] = None
+    backtrace: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        detail = ""
+        if self.actual is not None:
+            detail = f" (got {self.actual}, expected {self.expected})"
+        text = f"[{self.analysis}] {self.message} at {self.location} in {self.handler}{detail}"
+        if self.backtrace:
+            text += "\n" + "\n".join(f"    #{i} {frame}" for i, frame in enumerate(self.backtrace))
+        return text
+
+
+class Reporter:
+    """Collects reports; deduplicates by (analysis, message, location)."""
+
+    def __init__(self, profile=None, max_reports: int = 10_000) -> None:
+        self.reports: List[Report] = []
+        self._seen = set()
+        self._profile = profile
+        self._max_reports = max_reports
+
+    def report(
+        self,
+        analysis: str,
+        handler: str,
+        message: str,
+        location: str,
+        actual: Optional[int] = None,
+        expected: Optional[int] = None,
+        backtrace: Tuple[str, ...] = (),
+    ) -> None:
+        key = (analysis, handler, message, location)
+        if key in self._seen or len(self.reports) >= self._max_reports:
+            return
+        self._seen.add(key)
+        self.reports.append(
+            Report(analysis, handler, message, location, actual, expected, backtrace)
+        )
+        if self._profile is not None:
+            self._profile.reports += 1
+
+    def by_analysis(self, analysis: str) -> List[Report]:
+        return [report for report in self.reports if report.analysis == analysis]
+
+    def locations(self, analysis: Optional[str] = None) -> List[str]:
+        reports = self.by_analysis(analysis) if analysis else self.reports
+        return [report.location for report in reports]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)

@@ -1,0 +1,65 @@
+"""Benchmark workloads: SPEC-like, Splash2-like, and real-world-like programs.
+
+These stand in for the paper's benchmark suites (DESIGN.md section 2):
+each kernel is written against the mini-IR and mimics the *event mix* of
+its namesake — load/store density, stride patterns, allocation churn,
+locking discipline — at an interpretable scale.
+
+Registries:
+
+* ``SPEC`` — 9 single-threaded kernels (SPECInt 2006 stand-ins,
+  including the buggy ``gcc``);
+* ``SPLASH2`` — 12 two-thread kernels (including the Table 3 bug
+  carriers barnes/fmm/ocean/volrend);
+* ``REALWORLD`` — memcached, nginx, sort, ffmpeg stand-ins;
+* helpers ``fig3_workloads`` / ``fig4_workloads`` / ``fig5_workloads``
+  return exactly the benchmark sets of the paper's figures.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads import spec, splash2, realworld
+
+SPEC = spec.WORKLOADS
+SPLASH2 = splash2.WORKLOADS
+REALWORLD = realworld.WORKLOADS
+
+ALL = {**SPEC, **SPLASH2, **REALWORLD}
+
+#: Programs excluded from Figure 3 because MSan (correctly or not)
+#: reports on them — the paper's Table 3 set.
+MSAN_EXCLUDED = ("gcc", "barnes", "fmm", "ocean", "volrend")
+
+
+def fig3_workloads():
+    """20 workloads of Figure 3: SPEC + Splash2 + real-world, bug-free."""
+    return {
+        name: workload
+        for name, workload in ALL.items()
+        if name not in MSAN_EXCLUDED
+    }
+
+
+def fig4_workloads():
+    """The 12 Splash2 kernels of Figure 4 (Eraser)."""
+    return dict(SPLASH2)
+
+
+def fig5_workloads():
+    """Splash2 + memcached, sort, ffmpeg (Figure 5, combined analysis)."""
+    selected = dict(SPLASH2)
+    for name in ("memcached", "sort", "ffmpeg"):
+        selected[name] = REALWORLD[name]
+    return selected
+
+
+__all__ = [
+    "ALL",
+    "MSAN_EXCLUDED",
+    "REALWORLD",
+    "SPEC",
+    "SPLASH2",
+    "Workload",
+    "fig3_workloads",
+    "fig4_workloads",
+    "fig5_workloads",
+]

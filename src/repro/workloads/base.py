@@ -1,0 +1,63 @@
+"""Workload plumbing: the Workload record and shared builder helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable benchmark program.
+
+    ``build(scale)`` returns a fresh module; ``extern_factory`` (when
+    set) returns a *fresh* extern-function table per run, so simulated
+    library state never leaks between runs.
+    """
+
+    name: str
+    suite: str  # "spec" | "splash2" | "real"
+    build: Callable[[int], Module]
+    threads: int = 1
+    extern_factory: Optional[Callable[[], Dict[str, Callable]]] = None
+    input_lines: Tuple[bytes, ...] = ()
+    notes: str = ""
+
+    def make_module(self, scale: int = 1) -> Module:
+        return self.build(scale)
+
+    def make_extern(self) -> Optional[Dict[str, Callable]]:
+        if self.extern_factory is None:
+            return None
+        return self.extern_factory()
+
+
+def fill_random(b: IRBuilder, base: str, n_words: int) -> None:
+    """Store ``n_words`` pseudo-random 64-bit words at ``base``."""
+    with b.loop(n_words) as i:
+        value = b.call("rand")
+        b.store(value, b.add(base, b.mul(i, 8)))
+
+
+def fill_index(b: IRBuilder, base: str, n_words: int, mul: int = 1, add: int = 0) -> None:
+    """Store ``i*mul + add`` at each word — cheap deterministic init."""
+    with b.loop(n_words) as i:
+        value = b.add(b.mul(i, mul), add)
+        b.store(value, b.add(base, b.mul(i, 8)))
+
+
+def array_at(b: IRBuilder, base: str, index) -> str:
+    """Address of the ``index``-th 64-bit word of an array."""
+    return b.add(base, b.mul(index, 8))
+
+
+def mark_loc(b: IRBuilder, loc: str) -> None:
+    """Tag the most recently emitted instruction with a source location.
+
+    Used to pin seeded bugs to the paper's Table 3 locations
+    (e.g. ``fmm.c:313``) so error reports carry the expected site.
+    """
+    b.current_block.instructions[-1].loc = loc

@@ -1,0 +1,76 @@
+"""Bug-carrying workload variants for section 6.4's sanitizer validation.
+
+Four seeded real-world bugs, one per validated finding in the paper:
+
+* ``memcached_tls_leak`` — memcached issue #538: SSL objects leaked on
+  connection teardown (SSLSan leak report at program exit);
+* ``memcached_tls_shutdown`` — memcached thread.c misuse: SSL_free
+  before the shutdown handshake completes;
+* ``nginx_tls_shutdown`` — the nginx "SSL: fixed shutdown handling" bug;
+* ``ffmpeg_zstream`` — FFmpeg commit d1487659: an uninitialized
+  ``z_stream`` driven through ``inflate``.
+
+Clean TLS/zlib twins (``*_ok``) verify the sanitizers stay silent on
+correct library usage.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.libssl import SSLLibrary
+from repro.workloads.libzlib import ZLibrary
+from repro.workloads.realworld import build_ffmpeg, build_memcached, build_nginx
+
+
+def _ssl_externs():
+    return SSLLibrary().externs()
+
+
+def _zlib_externs():
+    return ZLibrary().externs()
+
+
+WORKLOADS = {
+    "memcached_tls_leak": Workload(
+        "memcached_tls_leak", "bugs",
+        lambda scale=1: build_memcached(scale, tls=True, leak_bug=True),
+        threads=4, extern_factory=_ssl_externs,
+        notes="memcached issue #538: TLS termination leaks SSL objects",
+    ),
+    "memcached_tls_shutdown": Workload(
+        "memcached_tls_shutdown", "bugs",
+        lambda scale=1: build_memcached(scale, tls=True, shutdown_bug=True),
+        threads=4, extern_factory=_ssl_externs,
+        notes="memcached thread.c: SSL_free without completed shutdown",
+    ),
+    "memcached_tls_ok": Workload(
+        "memcached_tls_ok", "bugs",
+        lambda scale=1: build_memcached(scale, tls=True),
+        threads=4, extern_factory=_ssl_externs,
+        notes="correct TLS usage: SSLSan must stay silent",
+    ),
+    "nginx_tls_shutdown": Workload(
+        "nginx_tls_shutdown", "bugs",
+        lambda scale=1: build_nginx(scale, tls=True, shutdown_bug=True),
+        threads=4, extern_factory=_ssl_externs,
+        notes="nginx e01cdfbd: shutdown handling misuse",
+    ),
+    "nginx_tls_ok": Workload(
+        "nginx_tls_ok", "bugs",
+        lambda scale=1: build_nginx(scale, tls=True),
+        threads=4, extern_factory=_ssl_externs,
+        notes="correct TLS usage: SSLSan must stay silent",
+    ),
+    "ffmpeg_zstream": Workload(
+        "ffmpeg_zstream", "bugs",
+        lambda scale=1: build_ffmpeg(scale, zbug=True),
+        threads=4, extern_factory=_zlib_externs,
+        notes="FFmpeg d1487659: uninitialized z_stream inflate",
+    ),
+    "ffmpeg_zlib_ok": Workload(
+        "ffmpeg_zlib_ok", "bugs",
+        lambda scale=1: build_ffmpeg(scale),
+        threads=4, extern_factory=_zlib_externs,
+        notes="correct zlib usage: ZlibSan must stay silent",
+    ),
+}

@@ -1,0 +1,94 @@
+"""Simulated OpenSSL API surface (DESIGN.md substitution for §6.4.1).
+
+SSLSan only observes the library *call boundary*, so this model keeps
+just enough state for faithful call semantics: object allocation from
+the simulated heap (objects get real addresses — the sanitizer keys its
+metadata on them), a two-step ``SSL_shutdown`` handshake (returns 0
+after sending close_notify, 1 once the peer's arrives), and I/O that
+moves real bytes through simulated memory with realistic cycle costs.
+
+The library itself is *tolerant* of misuse (free-without-shutdown just
+works, leaks just leak) — detecting misuse is SSLSan's job, exactly as
+with the real libraries in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+
+class SSLLibrary:
+    """One run's OpenSSL state; create a fresh instance per VM."""
+
+    def __init__(self) -> None:
+        self.contexts: Set[int] = set()
+        self.sessions: Dict[int, dict] = {}
+        self.bytes_moved = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def ctx_new(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 400
+        ctx = vm.heap.malloc(96)
+        self.contexts.add(ctx)
+        return ctx
+
+    def ctx_free(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 100
+        self.contexts.discard(args[0])
+        return 0
+
+    def ssl_new(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 300
+        ssl = vm.heap.malloc(160)
+        self.sessions[ssl] = {"shutdown": 0, "freed": False}
+        return ssl
+
+    def ssl_free(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 120
+        session = self.sessions.get(args[0])
+        if session is not None:
+            session["freed"] = True
+        return 0
+
+    def ssl_accept(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 600  # handshake
+        return 1
+
+    # -- I/O -------------------------------------------------------------
+    def ssl_read(self, vm, thread, args) -> int:
+        ssl, buf, n = args
+        vm.profile.base_cycles += 80 + n // 8
+        for offset in range(0, n, 8):
+            vm.mem_write(buf + offset, vm.rand(), min(8, n - offset))
+        self.bytes_moved += n
+        return n
+
+    def ssl_write(self, vm, thread, args) -> int:
+        ssl, buf, n = args
+        vm.profile.base_cycles += 80 + n // 8
+        for offset in range(0, n, 8):
+            vm.mem_read(buf + offset, min(8, n - offset))
+        self.bytes_moved += n
+        return n
+
+    # -- shutdown handshake -------------------------------------------------
+    def ssl_shutdown(self, vm, thread, args) -> int:
+        """First call: close_notify sent (0).  Second: peer's seen (1)."""
+        vm.profile.base_cycles += 150
+        session = self.sessions.get(args[0])
+        if session is None:
+            return 0
+        session["shutdown"] += 1
+        return 1 if session["shutdown"] >= 2 else 0
+
+    def externs(self) -> Dict[str, Callable]:
+        return {
+            "SSL_CTX_new": self.ctx_new,
+            "SSL_CTX_free": self.ctx_free,
+            "SSL_new": self.ssl_new,
+            "SSL_free": self.ssl_free,
+            "SSL_accept": self.ssl_accept,
+            "SSL_read": self.ssl_read,
+            "SSL_write": self.ssl_write,
+            "SSL_shutdown": self.ssl_shutdown,
+        }

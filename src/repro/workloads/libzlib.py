@@ -1,0 +1,72 @@
+"""Simulated ZLib API surface (DESIGN.md substitution for §6.4.1).
+
+Models the ``z_stream`` lifecycle (``inflateInit`` / ``inflate`` /
+``inflateEnd`` and the deflate mirror) plus ``crc32``.  Streams are
+identified by the address of the program-allocated z_stream struct.
+Like the real library (and :mod:`repro.workloads.libssl`), misuse is
+tolerated here and flagged by ZlibSan.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+Z_OK = 0
+Z_STREAM_END = 1
+
+
+class ZLibrary:
+    """One run's zlib state; create a fresh instance per VM."""
+
+    def __init__(self, chunks_per_stream: int = 3) -> None:
+        self.chunks_per_stream = chunks_per_stream
+        self.streams: Dict[int, dict] = {}
+
+    def _stream(self, address: int) -> dict:
+        state = self.streams.get(address)
+        if state is None:
+            # inflate on an uninitialized stream: tolerated, tracked.
+            state = {"initialized": False, "chunks": 0}
+            self.streams[address] = state
+        return state
+
+    def inflate_init(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 200
+        self.streams[args[0]] = {"initialized": True, "chunks": 0}
+        return Z_OK
+
+    def inflate(self, vm, thread, args) -> int:
+        strm = args[0]
+        vm.profile.base_cycles += 150
+        state = self._stream(strm)
+        state["chunks"] += 1
+        # Produce some output bytes into the stream struct's buffer slot.
+        vm.mem_write(strm + 16, vm.rand(), 8)
+        if state["chunks"] >= self.chunks_per_stream:
+            return Z_STREAM_END
+        return Z_OK
+
+    def inflate_end(self, vm, thread, args) -> int:
+        vm.profile.base_cycles += 100
+        self.streams.pop(args[0], None)
+        return Z_OK
+
+    def crc32(self, vm, thread, args) -> int:
+        buf, n = args
+        vm.profile.base_cycles += max(1, n // 8)
+        crc = 0xFFFFFFFF
+        for offset in range(0, n, 8):
+            crc ^= vm.mem_read(buf + offset, min(8, n - offset))
+            crc = (crc * 0x1EDC6F41) & 0xFFFFFFFF
+        return crc
+
+    def externs(self) -> Dict[str, Callable]:
+        return {
+            "inflateInit": self.inflate_init,
+            "inflate": self.inflate,
+            "inflateEnd": self.inflate_end,
+            "deflateInit": self.inflate_init,
+            "deflate": self.inflate,
+            "deflateEnd": self.inflate_end,
+            "crc32": self.crc32,
+        }

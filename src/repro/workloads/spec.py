@@ -1,0 +1,291 @@
+"""SPECInt-2006-like single-threaded kernels.
+
+Each kernel reproduces the dominant memory-access pattern of its
+namesake: sequential byte transforms (bzip2), board evaluation with
+data-dependent branches (gobmk), blocked 2-D scans (h264ref), dynamic
+programming (hmmer), large-array strides (libquantum), pointer chasing
+(mcf), hash-table churn (perlbench), move-stack search (sjeng), and a
+bitmap pass carrying the paper's gcc uninitialized-read bug
+(``sbitmap.c:349``).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.workloads.base import Workload, array_at, fill_index, fill_random, mark_loc
+
+
+def build_bzip2(scale: int = 1) -> Module:
+    """Run-length-style sequential transform: dense loads/stores, branches."""
+    n = 400 * scale
+    b = IRBuilder(Module("bzip2"))
+    b.function("main")
+    src = b.call("malloc", [n * 8])
+    dst = b.call("malloc", [n * 8])
+    fill_random(b, src, n)
+    run_slot = b.alloca(8)
+    b.store(0, run_slot)
+    with b.loop(n) as i:
+        value = b.load(array_at(b, src, i))
+        low = b.and_(value, 7)
+        run = b.load(run_slot)
+        is_same = b.cmp("eq", low, b.and_(run, 7))
+        with b.if_then(is_same):
+            b.store(b.add(run, 1), run_slot)
+        b.store(b.xor(value, run), array_at(b, dst, i))
+    b.call("free", [src], void=True)
+    b.call("free", [dst], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_gobmk(scale: int = 1) -> Module:
+    """Board evaluation: scattered reads with data-dependent branching."""
+    n = 361  # 19x19 board
+    rounds = 220 * scale
+    b = IRBuilder(Module("gobmk"))
+    b.function("main")
+    board = b.call("malloc", [n * 8])
+    fill_random(b, board, n)
+    score_slot = b.alloca(8)
+    b.store(0, score_slot)
+    with b.loop(rounds) as i:
+        pos = b.rem(b.call("rand"), n - 20)
+        here = b.load(array_at(b, board, pos))
+        east = b.load(array_at(b, board, b.add(pos, 1)))
+        south = b.load(array_at(b, board, b.add(pos, 19)))
+        liberty = b.add(b.and_(east, 3), b.and_(south, 3))
+        captured = b.cmp("eq", liberty, 0)
+        with b.if_then(captured):
+            b.store(0, array_at(b, board, pos))
+        score = b.load(score_slot)
+        b.store(b.add(score, b.and_(here, 1)), score_slot)
+    b.call("free", [board], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_h264ref(scale: int = 1) -> Module:
+    """Motion-search-like blocked 2-D scan: SAD over a search window."""
+    width = 32
+    height = 8 * scale
+    b = IRBuilder(Module("h264ref"))
+    b.function("main")
+    frame = b.call("malloc", [width * height * 8])
+    ref = b.call("malloc", [width * height * 8])
+    fill_random(b, frame, width * height)
+    fill_random(b, ref, width * height)
+    best_slot = b.alloca(8)
+    with b.loop(height - 1) as row:
+        b.store((1 << 30), best_slot)
+        with b.loop(width - 1) as col:
+            index = b.add(b.mul(row, width), col)
+            cur = b.load(array_at(b, frame, index))
+            cand = b.load(array_at(b, ref, b.add(index, 1)))
+            diff = b.sub(b.and_(cur, 255), b.and_(cand, 255))
+            neg = b.cmp("lt", diff, 0)
+            with b.if_then(neg):
+                diff2 = b.sub(0, diff)
+                best = b.load(best_slot)
+                better = b.cmp("lt", diff2, best)
+                with b.if_then(better):
+                    b.store(diff2, best_slot)
+            best = b.load(best_slot)
+            better = b.cmp("lt", diff, best)
+            with b.if_then(better):
+                b.store(diff, best_slot)
+        row_best = b.load(best_slot)
+        b.store(row_best, array_at(b, frame, b.mul(row, width)))
+    b.call("free", [frame], void=True)
+    b.call("free", [ref], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_hmmer(scale: int = 1) -> Module:
+    """Profile-HMM dynamic programming: two-row table with max recurrence."""
+    m = 96
+    rows = 10 * scale
+    b = IRBuilder(Module("hmmer"))
+    b.function("main")
+    prev = b.call("malloc", [m * 8])
+    cur = b.call("malloc", [m * 8])
+    cost = b.call("malloc", [m * 8])
+    fill_index(b, prev, m, mul=3, add=1)
+    fill_index(b, cur, m, mul=0, add=0)
+    fill_random(b, cost, m)
+    with b.loop(rows):
+        with b.loop(m - 1) as j:
+            j1 = b.add(j, 1)
+            up = b.load(array_at(b, prev, j1))
+            left = b.load(array_at(b, cur, j))
+            best_slot = b.alloca(8)
+            b.store(up, best_slot)
+            take_left = b.cmp("gt", left, up)
+            with b.if_then(take_left):
+                b.store(left, best_slot)
+            best = b.load(best_slot)
+            step = b.and_(b.load(array_at(b, cost, j1)), 15)
+            b.store(b.add(best, step), array_at(b, cur, j1))
+        b.call("memcpy", [prev, cur, m * 8], void=True)
+    b.call("free", [prev], void=True)
+    b.call("free", [cur], void=True)
+    b.call("free", [cost], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_libquantum(scale: int = 1) -> Module:
+    """Quantum-gate-like strided sweeps over a large register array."""
+    n = 2048 * scale
+    b = IRBuilder(Module("libquantum"))
+    b.function("main")
+    reg = b.call("malloc", [n * 8])
+    fill_index(b, reg, n, mul=7, add=11)
+    # Apply "gates" at doubling strides: the classic cache-hostile sweep.
+    for stride in (1, 2, 4, 8, 16):
+        with b.loop(n // (stride * 4)) as i:
+            index = b.mul(i, stride * 4)
+            value = b.load(array_at(b, reg, index))
+            b.store(b.xor(value, 0x5A5A), array_at(b, reg, index))
+    b.call("free", [reg], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_mcf(scale: int = 1) -> Module:
+    """Network-simplex-like pointer chasing through a next-index array."""
+    n = 1024
+    steps = 1500 * scale
+    b = IRBuilder(Module("mcf"))
+    b.function("main")
+    nxt = b.call("malloc", [n * 8])
+    costs = b.call("malloc", [n * 8])
+    with b.loop(n) as i:
+        succ = b.rem(b.add(b.mul(i, 7), 3), n)
+        b.store(succ, array_at(b, nxt, i))
+    fill_random(b, costs, n)
+    node_slot = b.alloca(8)
+    total_slot = b.alloca(8)
+    b.store(0, node_slot)
+    b.store(0, total_slot)
+    with b.loop(steps):
+        node = b.load(node_slot)
+        total = b.load(total_slot)
+        cost = b.load(array_at(b, costs, node))
+        b.store(b.add(total, b.and_(cost, 63)), total_slot)
+        b.store(b.load(array_at(b, nxt, node)), node_slot)
+    b.call("free", [nxt], void=True)
+    b.call("free", [costs], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_perlbench(scale: int = 1) -> Module:
+    """Interpreter-like hash-table churn: hashed inserts and probes."""
+    table_size = 512
+    ops = 600 * scale
+    b = IRBuilder(Module("perlbench"))
+    b.function("main")
+    table = b.call("calloc", [table_size, 8])
+    hits_slot = b.alloca(8)
+    b.store(0, hits_slot)
+    with b.loop(ops) as i:
+        key = b.call("rand")
+        hash1 = b.and_(b.mul(key, 0x9E37), table_size - 1)
+        slot_addr = array_at(b, table, hash1)
+        existing = b.load(slot_addr)
+        empty = b.cmp("eq", existing, 0)
+        with b.if_then(empty):
+            b.store(b.or_(key, 1), slot_addr)
+        occupied = b.cmp("ne", existing, 0)
+        with b.if_then(occupied):
+            hits = b.load(hits_slot)
+            b.store(b.add(hits, 1), hits_slot)
+            # linear probe one step
+            hash2 = b.and_(b.add(hash1, 1), table_size - 1)
+            b.store(b.or_(key, 1), array_at(b, table, hash2))
+    b.call("free", [table], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_sjeng(scale: int = 1) -> Module:
+    """Game-tree-search-like: move stack pushes/pops with branchy scoring."""
+    depth = 2600 * scale
+    b = IRBuilder(Module("sjeng"))
+    b.function("main")
+    stack = b.call("malloc", [256 * 8])
+    fill_index(b, stack, 256)
+    top_slot = b.alloca(8)
+    score_slot = b.alloca(8)
+    b.store(0, top_slot)
+    b.store(0, score_slot)
+    with b.loop(depth):
+        move = b.call("rand")
+        top = b.load(top_slot)
+        push = b.cmp("lt", b.and_(move, 3), 2)
+        with b.if_then(push):
+            capped = b.and_(b.add(top, 1), 255)
+            b.store(move, array_at(b, stack, capped))
+            b.store(capped, top_slot)
+        pop = b.cmp("gt", b.and_(move, 7), 5)
+        with b.if_then(pop):
+            top2 = b.load(top_slot)
+            nonzero = b.cmp("gt", top2, 0)
+            with b.if_then(nonzero):
+                undone = b.load(array_at(b, stack, top2))
+                score = b.load(score_slot)
+                b.store(b.add(score, b.and_(undone, 15)), score_slot)
+                b.store(b.sub(top2, 1), top_slot)
+    b.call("free", [stack], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_gcc(scale: int = 1) -> Module:
+    """Bitmap dataflow pass with the paper's uninitialized-read bug.
+
+    Allocates an sbitmap, initializes only the first half, then ORs a
+    word from the *uninitialized* second half into live-range state and
+    branches on it — MSan (both ALDA's and the hand-tuned baseline)
+    reports at ``sbitmap.c:349``.
+    """
+    words = 64 * scale
+    b = IRBuilder(Module("gcc"))
+    b.function("main")
+    bitmap = b.call("malloc", [words * 8])
+    fill_random(b, bitmap, words // 2)  # only the first half is initialized
+    live_slot = b.alloca(8)
+    b.store(0, live_slot)
+    with b.loop(words // 2) as i:
+        word = b.load(array_at(b, bitmap, i))
+        live = b.load(live_slot)
+        b.store(b.or_(live, word), live_slot)
+    # The bug: read one word past the initialized region, then branch on it.
+    stale = b.load(array_at(b, bitmap, words // 2 + 3))
+    mark_loc(b, "sbitmap.c:349")
+    is_live = b.cmp("ne", stale, 0)
+    with b.if_then(is_live, loc="sbitmap.c:349"):
+        live = b.load(live_slot)
+        b.store(b.add(live, 1), live_slot)
+    b.call("free", [bitmap], void=True)
+    b.ret(0)
+    return b.module
+
+
+WORKLOADS = {
+    "bzip2": Workload("bzip2", "spec", build_bzip2),
+    "gobmk": Workload("gobmk", "spec", build_gobmk),
+    "h264ref": Workload("h264ref", "spec", build_h264ref),
+    "hmmer": Workload("hmmer", "spec", build_hmmer),
+    "libquantum": Workload("libquantum", "spec", build_libquantum),
+    "mcf": Workload("mcf", "spec", build_mcf),
+    "perl": Workload("perl", "spec", build_perlbench),
+    "sjeng": Workload("sjeng", "spec", build_sjeng),
+    "gcc": Workload(
+        "gcc", "spec", build_gcc,
+        notes="carries the sbitmap.c:349 uninitialized-read bug (Table 3)",
+    ),
+}

@@ -1,0 +1,441 @@
+"""Splash2-like two-thread kernels.
+
+Each kernel reproduces its namesake's sharing pattern: disjoint-slice
+writes over shared read-only inputs (fft, lu, raytrace), mutex-merged
+private histograms (radix), dynamic work queues under a lock (cholesky,
+radiosity), lock-heavy accumulation (water_ns), and stencil sweeps
+(ocean).  barnes/fmm read startup parameters through ``gets`` (the
+Table 3 MSan false-positive sites); ocean/volrend carry genuine seeded
+uninitialized reads at the paper's reported locations.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Module
+from repro.workloads.base import Workload, array_at, fill_random, mark_loc
+
+
+def _finish_main(b: IRBuilder, tid_reg: str) -> None:
+    b.call("join", [tid_reg], void=True)
+    b.ret(0)
+
+
+def build_fft(scale: int = 1) -> Module:
+    """Butterfly passes: strided reads of a shared source, split output."""
+    n = 256 * scale
+    half = n // 2
+    b = IRBuilder(Module("fft"))
+    b.module.add_global("sum_lock", 64)
+    b.module.add_global("total", 8)
+
+    b.function("fft_worker", ["src", "dst", "start", "count"])
+    with b.loop("count") as i:
+        index = b.add("start", i)
+        partner = b.rem(b.add(index, half), n)
+        even = b.load(array_at(b, "src", index))
+        odd = b.load(array_at(b, "src", partner))
+        b.store(b.add(even, odd), array_at(b, "dst", index))
+    lock = b.global_addr("sum_lock")
+    total = b.global_addr("total")
+    b.call("mutex_lock", [lock], void=True)
+    running = b.load(total)
+    first = b.load(array_at(b, "dst", "start"))
+    b.store(b.add(running, first), total)
+    b.call("mutex_unlock", [lock], void=True)
+    b.ret(0)
+
+    b.function("main")
+    src = b.call("malloc", [n * 8])
+    dst = b.call("malloc", [n * 8])
+    fill_random(b, src, n)
+    total = b.global_addr("total")
+    b.store(0, total)
+    child = b.call("spawn$fft_worker", [src, dst, half, half])
+    b.call("fft_worker", [src, dst, 0, half], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+def _build_lu(name: str, contiguous: bool, scale: int) -> Module:
+    """Blocked LU elimination; the _nc variant walks columns (strided)."""
+    dim = 20 + 4 * scale
+    b = IRBuilder(Module(name))
+
+    b.function("lu_worker", ["matrix", "row_start", "row_count"])
+    with b.loop("row_count") as r:
+        row = b.add("row_start", r)
+        with b.loop(dim - 1) as k:
+            if contiguous:
+                index = b.add(b.mul(row, dim), k)
+            else:
+                index = b.add(b.mul(k, dim), row)  # column-major: strided
+            pivot = b.load(array_at(b, "matrix", k))  # shared pivot row/col
+            cell = b.load(array_at(b, "matrix", index))
+            factor = b.and_(pivot, 15)
+            b.store(b.sub(cell, b.mul(factor, 3)), array_at(b, "matrix", index))
+    b.ret(0)
+
+    b.function("main")
+    matrix = b.call("malloc", [dim * dim * 8])
+    fill_random(b, matrix, dim * dim)
+    half = dim // 2
+    child = b.call("spawn$lu_worker", [matrix, half, dim - half])
+    b.call("lu_worker", [matrix, 1, half - 1], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+def build_lu_c(scale: int = 1) -> Module:
+    return _build_lu("lu_c", True, scale)
+
+
+def build_lu_nc(scale: int = 1) -> Module:
+    return _build_lu("lu_nc", False, scale)
+
+
+def build_radix(scale: int = 1) -> Module:
+    """Radix sort pass: private histograms merged under a mutex."""
+    n = 300 * scale
+    buckets = 16
+    b = IRBuilder(Module("radix"))
+    b.module.add_global("hist_lock", 64)
+
+    b.function("radix_worker", ["keys", "shared_hist", "start", "count"])
+    private = b.call("calloc", [buckets, 8])
+    with b.loop("count") as i:
+        key = b.load(array_at(b, "keys", b.add("start", i)))
+        bucket = b.and_(key, buckets - 1)
+        slot = array_at(b, private, bucket)
+        b.store(b.add(b.load(slot), 1), slot)
+    lock = b.global_addr("hist_lock")
+    b.call("mutex_lock", [lock], void=True)
+    with b.loop(buckets) as j:
+        mine = b.load(array_at(b, private, j))
+        shared = array_at(b, "shared_hist", j)
+        b.store(b.add(b.load(shared), mine), shared)
+    b.call("mutex_unlock", [lock], void=True)
+    b.call("free", [private], void=True)
+    b.ret(0)
+
+    b.function("main")
+    keys = b.call("malloc", [n * 8])
+    hist = b.call("calloc", [buckets, 8])
+    fill_random(b, keys, n)
+    half = n // 2
+    child = b.call("spawn$radix_worker", [keys, hist, half, n - half])
+    b.call("radix_worker", [keys, hist, 0, half], void=True)
+    b.call("join", [child], void=True)
+    # Prefix-sum the merged histogram (single-threaded).
+    with b.loop(buckets - 1) as j:
+        here = array_at(b, hist, b.add(j, 1))
+        prev = b.load(array_at(b, hist, j))
+        b.store(b.add(b.load(here), prev), here)
+    b.ret(0)
+    return b.module
+
+
+def build_cholesky(scale: int = 1) -> Module:
+    """Triangular factorization with a lock-guarded dynamic column queue."""
+    dim = 16 + 2 * scale
+    b = IRBuilder(Module("cholesky"))
+    b.module.add_global("queue_lock", 64)
+    b.module.add_global("next_col", 8)
+
+    b.function("chol_worker", ["matrix"])
+    lock = b.global_addr("queue_lock")
+    counter = b.global_addr("next_col")
+    with b.loop(dim):  # at most dim attempts each
+        b.call("mutex_lock", [lock], void=True)
+        col = b.load(counter)
+        b.store(b.add(col, 1), counter)
+        b.call("mutex_unlock", [lock], void=True)
+        in_range = b.cmp("lt", col, dim)
+        with b.if_then(in_range):
+            with b.loop(dim - 1) as r:
+                index = b.add(b.mul(r, dim), col)
+                diag = b.load(array_at(b, "matrix", b.mul(col, dim + 1)))
+                cell = b.load(array_at(b, "matrix", index))
+                b.store(b.sub(cell, b.and_(diag, 7)), array_at(b, "matrix", index))
+    b.ret(0)
+
+    b.function("main")
+    matrix = b.call("malloc", [dim * dim * 8])
+    fill_random(b, matrix, dim * dim)
+    counter = b.global_addr("next_col")
+    b.store(0, counter)
+    child = b.call("spawn$chol_worker", [matrix])
+    b.call("chol_worker", [matrix], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+def _build_nbody(name: str, gets_loc: str, scale: int) -> Module:
+    """Shared n-body pattern for barnes/fmm: gets-read params, force loop.
+
+    The startup parameter is read with ``gets`` — LLVM MSan (hand-tuned
+    baseline) lacks a gets interceptor, so branching on the parsed
+    parameter is its Table 3 false positive; ALDA MSan intercepts gets
+    and stays quiet.
+    """
+    bodies = 48 * scale
+    b = IRBuilder(Module(name))
+
+    b.function("force_worker", ["pos", "force", "start", "count"])
+    with b.loop("count") as i:
+        me = b.add("start", i)
+        acc_slot = b.alloca(8)
+        b.store(0, acc_slot)
+        with b.loop(bodies) as j:
+            other = b.load(array_at(b, "pos", j))
+            mine = b.load(array_at(b, "pos", me))
+            dist = b.and_(b.sub(other, mine), 1023)
+            nonzero = b.cmp("ne", dist, 0)
+            with b.if_then(nonzero):
+                acc = b.load(acc_slot)
+                b.store(b.add(acc, dist), acc_slot)
+        b.store(b.load(acc_slot), array_at(b, "force", me))
+    b.ret(0)
+
+    b.function("main")
+    # Parameter parsing via gets (the interception-gap site).
+    param_buf = b.call("malloc", [16])
+    b.call("gets", [param_buf], void=True)
+    param = b.load(param_buf)
+    use_quad = b.cmp("ne", b.and_(param, 1), 0)
+    with b.if_then(use_quad, loc=gets_loc):
+        b.call("puts", [param_buf], void=True)
+
+    pos = b.call("malloc", [bodies * 8])
+    force = b.call("malloc", [bodies * 8])
+    fill_random(b, pos, bodies)
+    half = bodies // 2
+    child = b.call("spawn$force_worker", [pos, force, half, bodies - half])
+    b.call("force_worker", [pos, force, 0, half], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+def build_barnes(scale: int = 1) -> Module:
+    return _build_nbody("barnes", "getparam.c:53", scale)
+
+
+def build_fmm(scale: int = 1) -> Module:
+    return _build_nbody("fmm", "fmm.c:313", scale)
+
+
+def build_ocean(scale: int = 1) -> Module:
+    """Grid stencil sweep with a genuinely uninitialized interior cell.
+
+    The red-black init loop skips one cell (the seeded multi.c:261 bug);
+    the residual check reads it and branches — a true MSan positive.
+    """
+    dim = 18 + 2 * scale
+    b = IRBuilder(Module("ocean"))
+
+    b.function("ocean_worker", ["grid", "row_start", "row_count"])
+    with b.loop("row_count") as r:
+        row = b.add("row_start", r)
+        with b.loop(dim - 2) as c:
+            col = b.add(c, 1)
+            index = b.add(b.mul(row, dim), col)
+            north = b.load(array_at(b, "grid", b.sub(index, dim)))
+            west = b.load(array_at(b, "grid", b.sub(index, 1)))
+            b.store(b.add(b.and_(north, 255), b.and_(west, 255)),
+                    array_at(b, "grid", index))
+    b.ret(0)
+
+    b.function("main")
+    grid = b.call("malloc", [dim * dim * 8])
+    # Initialize every cell EXCEPT one boundary cell the sweep never
+    # writes (row 0 is read-only for the stencil): the seeded bug.
+    skip = 5
+    with b.loop(dim * dim) as i:
+        hit = b.cmp("ne", i, skip)
+        with b.if_then(hit):
+            b.store(b.and_(b.call("rand"), 255), array_at(b, grid, i))
+    half = (dim - 2) // 2
+    child = b.call("spawn$ocean_worker", [grid, 1 + half, dim - 2 - half])
+    b.call("ocean_worker", [grid, 1, half], void=True)
+    b.call("join", [child], void=True)
+    # Residual check touches the uninitialized cell and branches on it.
+    residual = b.load(array_at(b, grid, skip))
+    mark_loc(b, "multi.c:261")
+    diverged = b.cmp("gt", residual, 100000)
+    with b.if_then(diverged, loc="multi.c:261"):
+        b.call("puts", [grid], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_raytrace(scale: int = 1) -> Module:
+    """Per-ray independent traversal of a shared read-only scene."""
+    spheres = 24
+    rays = 120 * scale
+    b = IRBuilder(Module("raytrace"))
+
+    b.function("trace_worker", ["scene", "image", "start", "count"])
+    with b.loop("count") as i:
+        ray = b.add("start", i)
+        hit_slot = b.alloca(8)
+        b.store(0, hit_slot)
+        with b.loop(spheres) as s:
+            center = b.load(array_at(b, "scene", s))
+            d = b.and_(b.sub(center, b.mul(ray, 17)), 127)
+            near = b.cmp("lt", d, 9)
+            with b.if_then(near):
+                b.store(b.add(b.load(hit_slot), 1), hit_slot)
+        b.store(b.load(hit_slot), array_at(b, "image", ray))
+    b.ret(0)
+
+    b.function("main")
+    scene = b.call("malloc", [spheres * 8])
+    image = b.call("malloc", [rays * 8])
+    fill_random(b, scene, spheres)
+    half = rays // 2
+    child = b.call("spawn$trace_worker", [scene, image, half, rays - half])
+    b.call("trace_worker", [scene, image, 0, half], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+def build_water_ns(scale: int = 1) -> Module:
+    """Molecular pair forces with lock-guarded shared accumulation."""
+    mols = 20 + 4 * scale
+    b = IRBuilder(Module("water_ns"))
+    b.module.add_global("force_lock", 64)
+
+    b.function("water_worker", ["pos", "forces", "start", "count"])
+    lock = b.global_addr("force_lock")
+    with b.loop("count") as i:
+        me = b.add("start", i)
+        with b.loop(mols) as j:
+            different = b.cmp("ne", me, j)
+            with b.if_then(different):
+                a = b.load(array_at(b, "pos", me))
+                c = b.load(array_at(b, "pos", j))
+                f = b.and_(b.sub(a, c), 63)
+                b.call("mutex_lock", [lock], void=True)
+                mine = array_at(b, "forces", me)
+                b.store(b.add(b.load(mine), f), mine)
+                theirs = array_at(b, "forces", j)
+                b.store(b.sub(b.load(theirs), f), theirs)
+                b.call("mutex_unlock", [lock], void=True)
+    b.ret(0)
+
+    b.function("main")
+    pos = b.call("malloc", [mols * 8])
+    forces = b.call("calloc", [mols, 8])
+    fill_random(b, pos, mols)
+    half = mols // 2
+    child = b.call("spawn$water_worker", [pos, forces, half, mols - half])
+    b.call("water_worker", [pos, forces, 0, half], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+def build_volrend(scale: int = 1) -> Module:
+    """Volume ray casting with one uninitialized boundary voxel."""
+    side = 12 + scale * 2
+    rays = 60 * scale
+    b = IRBuilder(Module("volrend"))
+
+    b.function("vol_worker", ["volume", "out", "start", "count"])
+    with b.loop("count") as i:
+        ray = b.add("start", i)
+        sample_slot = b.alloca(8)
+        b.store(0, sample_slot)
+        with b.loop(side) as step:
+            # Sample everywhere except the last (uninitialized) voxel, so
+            # the only uninitialized read is the seeded one in main.
+            index = b.rem(b.add(b.mul(ray, 31), b.mul(step, 7)), side * side - 1)
+            voxel = b.load(array_at(b, "volume", index))
+            opaque = b.cmp("gt", b.and_(voxel, 255), 200)
+            with b.if_then(opaque):
+                b.store(b.add(b.load(sample_slot), 1), sample_slot)
+        b.store(b.load(sample_slot), array_at(b, "out", ray))
+    b.ret(0)
+
+    b.function("main")
+    volume = b.call("malloc", [side * side * 8])
+    out = b.call("malloc", [rays * 8])
+    # Initialize all but the last voxel (seeded main.c:503 bug).
+    fill_random(b, volume, side * side - 1)
+    half = rays // 2
+    child = b.call("spawn$vol_worker", [volume, out, half, rays - half])
+    b.call("vol_worker", [volume, out, 0, half], void=True)
+    b.call("join", [child], void=True)
+    # The shading pass reads the uninitialized boundary voxel.
+    boundary = b.load(array_at(b, volume, side * side - 1))
+    mark_loc(b, "main.c:503")
+    bright = b.cmp("gt", b.and_(boundary, 255), 128)
+    with b.if_then(bright, loc="main.c:503"):
+        b.call("puts", [out], void=True)
+    b.ret(0)
+    return b.module
+
+
+def build_radiosity(scale: int = 1) -> Module:
+    """Task-queue patch interactions: lock-guarded work index."""
+    patches = 48 * scale
+    b = IRBuilder(Module("radiosity"))
+    b.module.add_global("task_lock", 64)
+    b.module.add_global("next_task", 8)
+
+    b.function("rad_worker", ["energy", "result"])
+    lock = b.global_addr("task_lock")
+    counter = b.global_addr("next_task")
+    with b.loop(patches):
+        b.call("mutex_lock", [lock], void=True)
+        task = b.load(counter)
+        b.store(b.add(task, 1), counter)
+        b.call("mutex_unlock", [lock], void=True)
+        in_range = b.cmp("lt", task, patches)
+        with b.if_then(in_range):
+            gathered_slot = b.alloca(8)
+            b.store(0, gathered_slot)
+            with b.loop(8) as j:
+                other = b.rem(b.add(task, b.mul(j, 5)), patches)
+                e = b.load(array_at(b, "energy", other))
+                b.store(b.add(b.load(gathered_slot), b.and_(e, 31)), gathered_slot)
+            b.store(b.load(gathered_slot), array_at(b, "result", task))
+    b.ret(0)
+
+    b.function("main")
+    energy = b.call("malloc", [patches * 8])
+    result = b.call("calloc", [patches, 8])
+    fill_random(b, energy, patches)
+    counter = b.global_addr("next_task")
+    b.store(0, counter)
+    child = b.call("spawn$rad_worker", [energy, result])
+    b.call("rad_worker", [energy, result], void=True)
+    _finish_main(b, child)
+    return b.module
+
+
+WORKLOADS = {
+    "fft": Workload("fft", "splash2", build_fft, threads=2),
+    "lu_c": Workload("lu_c", "splash2", build_lu_c, threads=2),
+    "lu_nc": Workload("lu_nc", "splash2", build_lu_nc, threads=2),
+    "radix": Workload("radix", "splash2", build_radix, threads=2),
+    "cholesky": Workload("cholesky", "splash2", build_cholesky, threads=2),
+    "barnes": Workload(
+        "barnes", "splash2", build_barnes, threads=2,
+        notes="gets-read param: LLVM MSan false positive at getparam.c:53",
+    ),
+    "fmm": Workload(
+        "fmm", "splash2", build_fmm, threads=2,
+        notes="gets-read param: LLVM MSan false positive at fmm.c:313",
+    ),
+    "ocean": Workload(
+        "ocean", "splash2", build_ocean, threads=2,
+        notes="seeded uninitialized read at multi.c:261 (Table 3)",
+    ),
+    "raytrace": Workload("raytrace", "splash2", build_raytrace, threads=2),
+    "water_ns": Workload("water_ns", "splash2", build_water_ns, threads=2),
+    "volrend": Workload(
+        "volrend", "splash2", build_volrend, threads=2,
+        notes="seeded uninitialized read at main.c:503 (Table 3)",
+    ),
+    "radiosity": Workload("radiosity", "splash2", build_radiosity, threads=2),
+}

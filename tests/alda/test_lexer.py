@@ -1,0 +1,114 @@
+"""Unit tests for the ALDA lexer."""
+
+import pytest
+
+from repro.alda.lexer import tokenize
+from repro.errors import AldaSyntaxError
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)[:-1]]  # drop EOF
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "EOF"
+
+    def test_identifier(self):
+        assert kinds("addr2Lock") == ["IDENT"]
+
+    def test_keywords_recognized(self):
+        assert kinds("insert before after map set sync") == [
+            "insert", "before", "after", "map", "set", "sync",
+        ]
+
+    def test_primitive_types_are_keywords(self):
+        assert kinds("int8 int64 pointer lockid threadid") == [
+            "int8", "int64", "pointer", "lockid", "threadid",
+        ]
+
+    def test_numbers_decimal_and_hex(self):
+        tokens = tokenize("42 0x1F")
+        assert tokens[0].value == "42"
+        assert tokens[1].value == "0x1F"
+        assert int(tokens[1].value, 0) == 31
+
+    def test_operators_maximal_munch(self):
+        assert kinds("a := b :: c == d != e <= f >= g && h || i") == [
+            "IDENT", ":=", "IDENT", "::", "IDENT", "==", "IDENT", "!=",
+            "IDENT", "<=", "IDENT", ">=", "IDENT", "&&", "IDENT", "||", "IDENT",
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("( ) { } [ ] , ; . : < > = ! & | ^ + - * / %") == [
+            "(", ")", "{", "}", "[", "]", ",", ";", ".", ":", "<", ">",
+            "=", "!", "&", "|", "^", "+", "-", "*", "/", "%",
+        ]
+
+
+class TestDollarArgs:
+    def test_numbered(self):
+        tokens = tokenize("$1 $23")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("DOLLAR", "1"), ("DOLLAR", "23"),
+        ]
+
+    def test_special_letters(self):
+        assert values("$r $p $t") == ["r", "p", "t"]
+
+    def test_dollar_m_member(self):
+        assert kinds("$1.m") == ["DOLLAR", ".", "IDENT"]
+
+    def test_bad_dollar(self):
+        with pytest.raises(AldaSyntaxError, match=r"bad \$-argument"):
+            tokenize("$x")
+
+    def test_dollar_letter_followed_by_ident_rejected(self):
+        with pytest.raises(AldaSyntaxError):
+            tokenize("$radius")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment here\nb") == ["IDENT", "IDENT"]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* multi\nline */ b") == ["IDENT", "IDENT"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(AldaSyntaxError, match="unterminated"):
+            tokenize("/* never ends")
+
+    def test_line_comment_at_eof(self):
+        assert kinds("a // trailing") == ["IDENT"]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_lines_after_block_comment(self):
+        tokens = tokenize("/* a\nb */ x")
+        assert tokens[0].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(AldaSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc\n  @")
+        except AldaSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 3

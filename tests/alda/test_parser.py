@@ -1,0 +1,278 @@
+"""Unit tests for the ALDA parser, including the paper's listings."""
+
+import pytest
+
+from repro.alda import ast_nodes as ast
+from repro.alda.parser import parse_program
+from repro.errors import AldaSyntaxError
+
+
+class TestTypeDecls:
+    def test_simple(self):
+        decl = parse_program("address := pointer").decls[0]
+        assert isinstance(decl, ast.TypeDecl)
+        assert decl.name == "address" and decl.base == "pointer"
+        assert not decl.sync and decl.bound is None
+
+    def test_sync(self):
+        decl = parse_program("address := pointer : sync").decls[0]
+        assert decl.sync
+
+    def test_bound(self):
+        decl = parse_program("lid := lockid : 256").decls[0]
+        assert decl.bound == 256
+
+    def test_sync_and_bound(self):
+        decl = parse_program("tid := threadid : sync : 4").decls[0]
+        assert decl.sync and decl.bound == 4
+
+    def test_alias_of_alias(self):
+        program = parse_program("a := int32\nb := a")
+        assert program.decls[1].base == "a"
+
+
+class TestConstDecls:
+    def test_const(self):
+        decl = parse_program("const VIRGIN = 0").decls[0]
+        assert isinstance(decl, ast.ConstDecl)
+        assert decl.name == "VIRGIN" and decl.value == 0
+
+    def test_negative_const(self):
+        assert parse_program("const POISON = -1").decls[0].value == -1
+
+    def test_hex_const(self):
+        assert parse_program("const MASK = 0xFF").decls[0].value == 255
+
+
+class TestMetaDecls:
+    def test_scalar_map(self):
+        decl = parse_program("a := int8\nm = map(a, a)").decls[1]
+        assert isinstance(decl, ast.MetaDecl)
+        shape = decl.mtype.shape
+        assert isinstance(shape, ast.MapType)
+        assert shape.key == "a"
+
+    def test_universe_map(self):
+        decl = parse_program("m = universe::map(int64, int8)").decls[0]
+        assert decl.mtype.specifier == "universe"
+
+    def test_bottom_map(self):
+        decl = parse_program("m = bottom::map(int64, int8)").decls[0]
+        assert decl.mtype.specifier == "bottom"
+
+    def test_map_of_sets(self):
+        decl = parse_program("m = map(threadid, set(lockid))").decls[0]
+        value = decl.mtype.shape.value
+        assert isinstance(value.shape, ast.SetType)
+        assert value.shape.elem == "lockid"
+
+    def test_map_of_universe_sets(self):
+        decl = parse_program("m = map(pointer, universe::set(lockid))").decls[0]
+        assert decl.mtype.shape.value.specifier == "universe"
+
+    def test_nested_map_type_parses(self):
+        # grammar permits it; semantics rejects (see test_semantics)
+        decl = parse_program("m = map(pointer, map(threadid, int64))").decls[0]
+        assert isinstance(decl.mtype.shape.value.shape, ast.MapType)
+
+
+class TestFuncDecls:
+    def test_void_handler(self):
+        source = "m = map(pointer, int8)\nonX(pointer p) { m[p] = 1; }"
+        decl = parse_program(source).decls[1]
+        assert isinstance(decl, ast.FuncDecl)
+        assert decl.ret_type is None
+        assert decl.params[0].type_name == "pointer"
+
+    def test_typed_handler(self):
+        source = "label := int64\nlabel onX(pointer p) { return 0; }"
+        decl = parse_program(source).decls[1]
+        assert decl.ret_type == "label"
+
+    def test_empty_params(self):
+        decl = parse_program("onX() { return; }").decls[0]
+        assert decl.params == []
+
+    def test_if_else(self):
+        source = """
+        m = map(pointer, int8)
+        onX(pointer p) {
+          if (m[p] == 1) { m[p] = 2; } else { m[p] = 3; }
+        }
+        """
+        body = parse_program(source).decls[1].body
+        assert isinstance(body[0], ast.If)
+        assert body[0].else_body
+
+    def test_else_if_chain(self):
+        source = """
+        m = map(pointer, int8)
+        onX(pointer p) {
+          if (m[p] == 1) { m[p] = 2; }
+          else if (m[p] == 2) { m[p] = 3; }
+          else { m[p] = 4; }
+        }
+        """
+        outer = parse_program(source).decls[1].body[0]
+        assert isinstance(outer.else_body[0], ast.If)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        source = f"m = map(pointer, int64)\nonX(pointer p) {{ m[p] = {text}; }}"
+        return parse_program(source).decls[1].body[0].value
+
+    def test_precedence_mul_before_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_precedence_cmp_before_and(self):
+        expr = self._expr("1 < 2 && 3 < 4")
+        assert expr.op == "&&"
+        assert expr.lhs.op == "<"
+
+    def test_bitand_between_eq_and_logand(self):
+        expr = self._expr("1 == 2 & 3")
+        assert expr.op == "&"  # & binds looser than ==
+
+    def test_parenthesized(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_unary_not(self):
+        expr = self._expr("!0")
+        assert isinstance(expr, ast.Unary) and expr.op == "!"
+
+    def test_unary_minus_folds_literal(self):
+        expr = self._expr("-5")
+        assert isinstance(expr, ast.Num) and expr.value == -5
+
+    def test_index(self):
+        expr = self._expr("m[p + 1]")
+        assert isinstance(expr, ast.Index)
+        assert expr.base == "m"
+
+    def test_method_call_on_index(self):
+        source = """
+        s = map(pointer, set(threadid))
+        onX(pointer p, threadid t) { s[p].add(t); }
+        """
+        stmt = parse_program(source).decls[1].body[0]
+        call = stmt.expr
+        assert isinstance(call, ast.MethodCall)
+        assert call.method == "add"
+        assert isinstance(call.base, ast.Index)
+
+    def test_map_method_set_is_keyword_tolerant(self):
+        source = """
+        m = map(pointer, int8)
+        onX(pointer p) { m.set(p, 1, 8); }
+        """
+        call = parse_program(source).decls[1].body[0].expr
+        assert call.method == "set"
+        assert len(call.args) == 3
+
+    def test_function_call(self):
+        source = "onX(int64 v) { alda_assert(v, 0); }"
+        call = parse_program(source).decls[0].body[0].expr
+        assert isinstance(call, ast.CallExpr)
+        assert call.func == "alda_assert"
+
+
+class TestStatements:
+    def test_assignment_only_to_index(self):
+        with pytest.raises(AldaSyntaxError, match="map entries"):
+            parse_program("onX(int64 v) { v = 3; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(AldaSyntaxError):
+            parse_program("onX(int64 v) { alda_assert(v, 0) }")
+
+    def test_return_with_and_without_value(self):
+        source = "int64 f(int64 v) { return v; }\ng(int64 v) { return; }"
+        program = parse_program(source)
+        assert program.decls[0].body[0].value is not None
+        assert program.decls[1].body[0].value is None
+
+
+class TestInsertDecls:
+    def test_instruction_point(self):
+        decl = parse_program(
+            "onX(pointer p) { return; }\n"
+            "insert after LoadInst call onX($1)"
+        ).decls[1]
+        assert isinstance(decl, ast.InsertDecl)
+        assert decl.position == "after"
+        assert decl.point_kind == "inst"
+        assert decl.point_name == "LoadInst"
+        assert decl.args[0].base == "1"
+
+    def test_func_point(self):
+        decl = parse_program(
+            "onX(pointer p, int64 s) { return; }\n"
+            "insert after func malloc call onX($r, $1)"
+        ).decls[1]
+        assert decl.point_kind == "func"
+        assert decl.point_name == "malloc"
+        assert decl.args[0].base == "r"
+
+    def test_before(self):
+        decl = parse_program(
+            "onX(pointer p) { return; }\n"
+            "insert before StoreInst call onX($2)"
+        ).decls[1]
+        assert decl.position == "before"
+
+    def test_sizeof_arg(self):
+        decl = parse_program(
+            "onX(int64 s) { return; }\n"
+            "insert after LoadInst call onX(sizeof($r))"
+        ).decls[1]
+        assert decl.args[0].sizeof and decl.args[0].base == "r"
+
+    def test_metadata_arg(self):
+        decl = parse_program(
+            "onX(int64 l) { return; }\n"
+            "insert before BranchInst call onX($1.m)"
+        ).decls[1]
+        assert decl.args[0].metadata
+
+    def test_thread_arg(self):
+        decl = parse_program(
+            "onX(threadid t) { return; }\n"
+            "insert after LoadInst call onX($t)"
+        ).decls[1]
+        assert decl.args[0].base == "t"
+
+    def test_bad_member(self):
+        with pytest.raises(AldaSyntaxError, match="only '.m'"):
+            parse_program(
+                "onX(int64 l) { return; }\n"
+                "insert before BranchInst call onX($1.q)"
+            )
+
+    def test_missing_position(self):
+        with pytest.raises(AldaSyntaxError, match="before.*after"):
+            parse_program("insert LoadInst call onX()")
+
+
+class TestPaperListings:
+    def test_eraser_listing_parses(self):
+        from repro.analyses.eraser import SOURCE
+        program = parse_program(SOURCE)
+        assert len(program.func_decls()) == 4
+        assert len(program.insert_decls()) == 4
+
+    def test_msan_listing_parses(self):
+        from repro.analyses.msan import SOURCE
+        program = parse_program(SOURCE)
+        names = [f.name for f in program.func_decls()]
+        assert "onMalloc" in names and "onBranch" in names
+
+    def test_all_shipped_analyses_parse(self):
+        from repro.analyses import REGISTRY
+        for module in REGISTRY.values():
+            program = parse_program(module.SOURCE)
+            assert program.insert_decls(), module.__name__

@@ -1,0 +1,165 @@
+"""Fine-grained algorithm semantics, driven through the compiled handlers.
+
+``CompiledAnalysis.attach`` exposes the generated handlers on the
+runtime, so these tests drive Eraser's state machine and FastTrack's
+epoch machinery *directly* — transition by transition — rather than
+through whole programs.
+"""
+
+import pytest
+
+from repro.analyses import eraser, fasttrack
+from repro.ir import IRBuilder
+from repro.vm import Interpreter
+
+VIRGIN, EXCLUSIVE, SHARED, SHARED_MODIFIED = 0, 1, 2, 3
+
+ADDR = 0x1000_0000
+
+
+def _idle_vm():
+    b = IRBuilder()
+    b.function("main")
+    b.ret(0)
+    return Interpreter(b.module)
+
+
+@pytest.fixture
+def eraser_rt():
+    vm = _idle_vm()
+    runtime = eraser.compile_().attach(vm)
+    vm.run()
+    return runtime
+
+
+def _status(runtime, addr=ADDR):
+    group = runtime.maps[1]  # addr2Lock+addr2Thread+addr2Status
+    return group.get(addr, group.field_index("addr2Status"))
+
+
+def _lockset(runtime, addr=ADDR):
+    group = runtime.maps[1]
+    return group.get(addr, group.field_index("addr2Lock"))
+
+
+class TestEraserStateMachine:
+    def test_initial_state_is_virgin_with_universe_lockset(self, eraser_rt):
+        assert _status(eraser_rt) == VIRGIN
+        assert _lockset(eraser_rt).is_universe()
+
+    def test_read_leaves_virgin(self, eraser_rt):
+        eraser_rt.handlers["erOnLoad"]("t", ADDR, 0)
+        assert _status(eraser_rt) == VIRGIN
+
+    def test_first_write_enters_exclusive(self, eraser_rt):
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        assert _status(eraser_rt) == EXCLUSIVE
+
+    def test_second_thread_read_shares(self, eraser_rt):
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        eraser_rt.handlers["erOnLoad"]("t", ADDR, 1)
+        assert _status(eraser_rt) == SHARED
+
+    def test_second_thread_write_shared_modified(self, eraser_rt):
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 1)
+        assert _status(eraser_rt) == SHARED_MODIFIED
+
+    def test_same_thread_rewrite_stays_exclusive(self, eraser_rt):
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        assert _status(eraser_rt) == EXCLUSIVE
+
+    def test_shared_then_write_by_reader_modifies(self, eraser_rt):
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        eraser_rt.handlers["erOnLoad"]("t", ADDR, 1)
+        assert _status(eraser_rt) == SHARED
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 1)
+        assert _status(eraser_rt) == SHARED_MODIFIED
+
+    def test_lockset_refined_only_past_exclusive(self, eraser_rt):
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 0)
+        assert _lockset(eraser_rt).is_universe()  # EXCLUSIVE: untouched
+        eraser_rt.handlers["erOnStore"]("t", ADDR, 1)
+        assert not _lockset(eraser_rt).is_universe()  # refined on sharing
+
+    def test_common_lock_prevents_report(self, eraser_rt):
+        lock_addr = 0x6000
+        for tid in (0, 1):
+            eraser_rt.handlers["erOnLock"]("t", lock_addr, tid)
+            eraser_rt.handlers["erOnStore"]("t", ADDR, tid)
+            eraser_rt.handlers["erOnUnlock"]("t", lock_addr, tid)
+        assert len(eraser_rt.reporter) == 0
+        assert not _lockset(eraser_rt).is_empty()
+
+    def test_no_common_lock_reports(self, eraser_rt):
+        """Disjoint locksets: the first refinement snaps the universe to
+        {B}; the second (under only A) empties it -> report."""
+        for tid, lock_addr in ((0, 0x6000), (1, 0x7000), (0, 0x6000)):
+            eraser_rt.handlers["erOnLock"]("t", lock_addr, tid)
+            eraser_rt.handlers["erOnStore"]("t", ADDR, tid)
+            eraser_rt.handlers["erOnUnlock"]("t", lock_addr, tid)
+        assert _lockset(eraser_rt).is_empty()
+        assert len(eraser_rt.reporter.by_analysis("eraser")) == 1
+
+
+@pytest.fixture
+def fasttrack_rt():
+    vm = _idle_vm()
+    runtime = fasttrack.compile_().attach(vm)
+    vm.run()
+    return runtime
+
+
+class TestFastTrackEpochs:
+    def test_read_same_epoch_fast_path_cheaper(self, fasttrack_rt):
+        """The paper's §2.2 motivating optimization: the second identical
+        read touches only the epoch word, not the vector clocks."""
+        runtime = fasttrack_rt
+        profile = runtime.meter.profile
+        runtime.handlers["ftOnRead"]("t", ADDR, 0)  # slow path: records epoch
+        before_ops = profile.metadata_ops
+        before_cycles = profile.instr_cycles
+        runtime._memo is None or runtime._memo.clear()
+        runtime.handlers["ftOnRead"]("t", ADDR, 0)  # fast path
+        fast_ops = profile.metadata_ops - before_ops
+        fast_cycles = profile.instr_cycles - before_cycles
+        assert fast_ops < before_ops
+        assert fast_cycles < before_cycles
+
+    def test_write_then_unordered_read_reports(self, fasttrack_rt):
+        runtime = fasttrack_rt
+        runtime.handlers["ftOnWrite"]("t", ADDR, 0)
+        runtime.handlers["ftOnRead"]("t", ADDR, 1)  # no HB edge
+        assert len(runtime.reporter.by_analysis("fasttrack")) >= 1
+
+    def test_release_acquire_orders_threads(self, fasttrack_rt):
+        runtime = fasttrack_rt
+        lock = 0x6000
+        runtime.handlers["ftOnAcquire"]("t", lock, 0)
+        runtime.handlers["ftOnWrite"]("t", ADDR, 0)
+        runtime.handlers["ftOnRelease"]("t", lock, 0)
+        runtime.handlers["ftOnAcquire"]("t", lock, 1)  # inherits t0's clock
+        runtime.handlers["ftOnRead"]("t", ADDR, 1)
+        assert len(runtime.reporter) == 0
+
+    def test_write_write_same_thread_clean(self, fasttrack_rt):
+        runtime = fasttrack_rt
+        runtime.handlers["ftOnWrite"]("t", ADDR, 0)
+        runtime.handlers["ftOnWrite"]("t", ADDR, 0)
+        assert len(runtime.reporter) == 0
+
+    def test_concurrent_reads_then_ordered_write_clean(self, fasttrack_rt):
+        runtime = fasttrack_rt
+        lock = 0x6000
+        # two ordered-by-nothing readers (reads never race with reads)
+        runtime.handlers["ftOnRead"]("t", ADDR, 0)
+        runtime.handlers["ftOnRead"]("t", ADDR, 1)
+        assert len(runtime.reporter) == 0
+
+    def test_fork_handler_orders_child(self, fasttrack_rt):
+        runtime = fasttrack_rt
+        runtime.handlers["ftOnWrite"]("t", ADDR, 0)
+        runtime.handlers["ftOnFork"]("t", 0, 1)   # parent 0 forks child 1
+        runtime.handlers["ftOnRead"]("t", ADDR, 1)
+        assert len(runtime.reporter) == 0

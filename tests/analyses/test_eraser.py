@@ -1,0 +1,149 @@
+"""Integration tests for the ALDA Eraser race detector."""
+
+import pytest
+
+from repro.analyses import eraser
+from repro.ir import IRBuilder
+from tests.conftest import run_analysis_on
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return eraser.compile_()
+
+
+def counter_module(locked: bool, rounds: int = 25):
+    b = IRBuilder()
+    b.module.add_global("shared", 8)
+    b.module.add_global("lock", 64)
+    b.function("worker", ["n"])
+    shared = b.global_addr("shared")
+    lock = b.global_addr("lock")
+    with b.loop("n"):
+        if locked:
+            b.call("mutex_lock", [lock], void=True)
+        b.store(b.add(b.load(shared), 1), shared)
+        if locked:
+            b.call("mutex_unlock", [lock], void=True)
+    b.ret(0)
+    b.function("main")
+    t = b.call("spawn$worker", [rounds])
+    b.call("worker", [rounds], void=True)
+    b.call("join", [t], void=True)
+    b.ret(0)
+    return b.module
+
+
+def test_unsynchronized_sharing_reported(analysis):
+    _, reporter, _ = run_analysis_on(analysis, counter_module(locked=False))
+    assert len(reporter.by_analysis("eraser")) > 0
+
+
+def test_locked_sharing_clean(analysis):
+    _, reporter, _ = run_analysis_on(analysis, counter_module(locked=True))
+    assert len(reporter.by_analysis("eraser")) == 0
+
+
+def test_thread_private_data_clean(analysis):
+    b = IRBuilder()
+    b.function("worker", ["n"])
+    private = b.call("malloc", [64])
+    with b.loop("n") as i:
+        b.store(i, b.add(private, b.mul(b.and_(i, 7), 8)))
+    b.ret(0)
+    b.function("main")
+    t = b.call("spawn$worker", [20])
+    b.call("worker", [20], void=True)
+    b.call("join", [t], void=True)
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert len(reporter) == 0
+
+
+def test_read_only_sharing_clean(analysis):
+    """Shared data written once by main before spawning readers stays in
+    SHARED state (never SHARED_MODIFIED): no reports."""
+    b = IRBuilder()
+    b.module.add_global("table", 64)
+    b.function("reader", ["n"])
+    table = b.global_addr("table")
+    acc = b.alloca(8)
+    b.store(0, acc)
+    with b.loop("n"):
+        b.store(b.add(b.load(acc), b.load(table)), acc)
+    b.ret(b.load(acc))
+    b.function("main")
+    table = b.global_addr("table")
+    b.store(7, table)
+    t = b.call("spawn$reader", [10])
+    b.call("reader", [10], void=True)
+    b.call("join", [t], void=True)
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert len(reporter) == 0
+
+
+def test_two_locks_inconsistent_reported(analysis):
+    """Threads protect the same data with different locks: lockset
+    intersection empties -> report."""
+    b = IRBuilder()
+    b.module.add_global("shared", 8)
+    b.module.add_global("lockA", 64)
+    b.module.add_global("lockB", 64)
+
+    for name, lock_name in (("workerA", "lockA"), ("workerB", "lockB")):
+        b.function(name, ["n"])
+        shared = b.global_addr("shared")
+        lock = b.global_addr(lock_name)
+        with b.loop("n"):
+            b.call("mutex_lock", [lock], void=True)
+            b.store(b.add(b.load(shared), 1), shared)
+            b.call("mutex_unlock", [lock], void=True)
+        b.ret(0)
+
+    b.function("main")
+    t1 = b.call("spawn$workerA", [15])
+    t2 = b.call("spawn$workerB", [15])
+    b.call("join", [t1], void=True)
+    b.call("join", [t2], void=True)
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert len(reporter.by_analysis("eraser")) > 0
+
+
+def test_consistent_lock_discipline_clean(analysis):
+    b = IRBuilder()
+    b.module.add_global("shared", 8)
+    b.module.add_global("lock", 64)
+    for name in ("workerA", "workerB"):
+        b.function(name, ["n"])
+        shared = b.global_addr("shared")
+        lock = b.global_addr("lock")
+        with b.loop("n"):
+            b.call("mutex_lock", [lock], void=True)
+            b.store(b.add(b.load(shared), 1), shared)
+            b.call("mutex_unlock", [lock], void=True)
+        b.ret(0)
+    b.function("main")
+    t1 = b.call("spawn$workerA", [15])
+    t2 = b.call("spawn$workerB", [15])
+    b.call("join", [t1], void=True)
+    b.call("join", [t2], void=True)
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert len(reporter) == 0
+
+
+def test_layout_matches_paper_expectations(analysis):
+    """Hot address metadata lands in a page table (fat record, sync);
+    thread locksets are array-mapped bit vectors."""
+    addr_group = analysis.layout.groups[analysis.layout.group_for("addr2Lock")]
+    assert addr_group.structure == "pagetable"
+    assert addr_group.group.sync
+    tid_group = analysis.layout.groups[analysis.layout.group_for("thread2Lock")]
+    assert tid_group.structure == "array"
+    assert tid_group.fields[0].repr == "bitvec"
+
+
+def test_no_register_shadow_needed(analysis):
+    assert not analysis.needs_shadow

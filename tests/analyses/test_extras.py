@@ -1,0 +1,226 @@
+"""Tests for the extra (beyond-the-paper) analyses."""
+
+import pytest
+
+from repro.analyses.extras import EXTRAS, branch_coverage, memprofile, null_deref
+from repro.ir import IRBuilder
+from tests.conftest import run_analysis_on
+
+
+def run_main(analysis, build, **kwargs):
+    b = IRBuilder()
+    b.function("main")
+    build(b)
+    _, reporter, runtime = run_analysis_on(analysis, b.module, **kwargs)
+    return reporter, runtime
+
+
+@pytest.mark.parametrize("name", sorted(EXTRAS))
+def test_extras_compile(name):
+    analysis = EXTRAS[name].compile_()
+    assert analysis.source
+
+
+class TestBranchCoverage:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return branch_coverage.compile_()
+
+    def test_counts_both_outcomes(self, analysis):
+        def build(b):
+            for value in (1, 0, 1):
+                with b.if_then(b.const(value)):
+                    pass
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reporter, runtime = run_main(analysis, build)
+        assert len(reporter) == 0  # both outcomes seen
+        counters = runtime.maps[0]
+        taken = counters.get(0, counters.field_index("branch_counts"))
+        assert taken >= 2
+
+    def test_flags_one_sided_runs(self, analysis):
+        def build(b):
+            for _ in range(3):
+                with b.if_then(b.const(1)):  # always taken
+                    pass
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter.by_analysis("branch_coverage")) == 1
+
+
+class TestMemProfile:
+    def test_balanced_heap_clean(self):
+        analysis = memprofile.compile_()
+        def build(b):
+            block = b.call("malloc", [256])
+            b.call("free", [block], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter) == 0
+
+    def test_leak_reported(self):
+        analysis = memprofile.compile_()
+        def build(b):
+            b.call("malloc", [256])
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert any("mpOnExit" in r.handler for r in reporter)
+
+    def test_budget_watchdog(self):
+        analysis = memprofile.compile_with_budget(100)
+        def build(b):
+            big = b.call("malloc", [150])
+            b.call("free", [big], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert any("mpTrack" in r.handler for r in reporter)
+
+    def test_under_budget_clean(self):
+        analysis = memprofile.compile_with_budget(1000)
+        def build(b):
+            block = b.call("calloc", [10, 8])
+            b.call("free", [block], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter) == 0
+
+
+class TestNullDeref:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return null_deref.compile_()
+
+    def test_normal_accesses_clean(self, analysis):
+        def build(b):
+            block = b.call("malloc", [8])
+            b.store(1, block)
+            b.load(block)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter) == 0
+
+    def test_zero_maps_analysis_has_no_metadata_cost(self, analysis):
+        assert analysis.layout.groups == []
+        def build(b):
+            block = b.call("malloc", [8])
+            b.store(1, block)
+            b.ret(0)
+        b = IRBuilder()
+        b.function("main")
+        build(b)
+        profile, _, _ = run_analysis_on(analysis, b.module)
+        assert profile.metadata_ops == 0
+        assert profile.handler_calls > 0
+
+
+class TestAsanRedzone:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        from repro.analyses.extras import asan_redzone
+        return asan_redzone.compile_()
+
+    def test_in_bounds_clean(self, analysis):
+        def build(b):
+            block = b.call("malloc", [32])
+            b.store(1, block)
+            b.load(b.add(block, 24))
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter) == 0
+
+    def test_overflow_into_redzone_reported(self, analysis):
+        def build(b):
+            block = b.call("malloc", [32])
+            b.store(1, b.add(block, 32))  # first redzone byte
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter.by_analysis("asan_redzone")) == 1
+
+    def test_read_overflow_reported(self, analysis):
+        def build(b):
+            block = b.call("malloc", [32])
+            b.load(b.add(block, 40))
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter.by_analysis("asan_redzone")) == 1
+
+    def test_use_after_free_reported(self, analysis):
+        def build(b):
+            block = b.call("malloc", [32])
+            b.store(1, block)
+            b.call("free", [block], void=True)
+            b.load(block)
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter.by_analysis("asan_redzone")) == 1
+
+    def test_straddling_access_reported(self, analysis):
+        """An 8-byte load whose tail crosses into the redzone."""
+        def build(b):
+            block = b.call("malloc", [32])
+            b.load(b.add(block, 28))  # bytes 28..35, zone starts at 32
+            b.ret(0)
+        reporter, _ = run_main(analysis, build)
+        assert len(reporter.by_analysis("asan_redzone")) == 1
+
+
+class TestSanitizerTrioCombination:
+    """§6.4.2: 'in clang, it is impossible to combine any two of the
+    TSan, ASan, or MSan at the same time.'  Here the trio (Eraser as the
+    race detector, ASan-style redzones, MSan) compiles and runs as one
+    analysis via source concatenation."""
+
+    @pytest.fixture(scope="class")
+    def trio(self):
+        from repro.analyses import eraser, msan
+        from repro.analyses.extras import asan_redzone
+        from repro.compiler import CompileOptions, combine_sources, compile_analysis
+
+        program = combine_sources(
+            [eraser.SOURCE, msan.SOURCE, asan_redzone.SOURCE]
+        )
+        return compile_analysis(
+            program, CompileOptions(granularity=1, analysis_name="trio")
+        )
+
+    def test_trio_compiles(self, trio):
+        assert trio.needs_shadow  # msan contributes register labels
+
+    def test_trio_detects_all_three_bug_classes(self, trio):
+        from repro.ir import IRBuilder
+        from repro.vm import Interpreter
+
+        b = IRBuilder()
+        b.module.add_global("shared", 8)
+        # racy worker (Eraser's department)
+        b.function("worker", ["n"])
+        shared = b.global_addr("shared")
+        with b.loop("n"):
+            b.store(b.add(b.load(shared), 1), shared)
+        b.ret(0)
+        b.function("main")
+        t = b.call("spawn$worker", [12])
+        b.call("worker", [12], void=True)
+        b.call("join", [t], void=True)
+        # heap overflow (ASan's department)
+        block = b.call("malloc", [16])
+        b.store(1, b.add(block, 16))
+        # uninitialized branch (MSan's department)
+        dirty = b.load(b.add(block, 8))
+        with b.if_then(b.cmp("ne", dirty, 0), loc="uninit:1"):
+            pass
+        b.ret(0)
+
+        vm = Interpreter(b.module, track_shadow=True)
+        trio.attach(vm)
+        vm.run()
+        handlers = {r.handler.split("#")[0] for r in vm.reporter}
+        assert any(h.startswith("erOn") for h in handlers)   # race
+        assert any(h.startswith("azOn") for h in handlers)   # overflow
+        assert any(h.startswith("onBranch") for h in handlers)  # uninit

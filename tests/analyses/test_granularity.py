@@ -1,0 +1,107 @@
+"""Precision consequences of metadata granularity (paper section 5.1).
+
+"Any accesses to sub-word granularity data will coalesce their access
+into the word representing their metadata.  Word-based metadata tracking
+is common as it provides a trade-off between accuracy and performance."
+
+These tests pin down that trade-off: byte-granularity MSan is precise
+about sub-word initialization; word-granularity MSan coalesces — faster,
+but it misses the partially-initialized word.
+"""
+
+import pytest
+
+from repro.analyses import msan
+from repro.compiler import CompileOptions, compile_analysis
+from repro.ir import IRBuilder
+from tests.conftest import run_analysis_on
+
+
+def _partial_init_module():
+    """Initialize one byte of a word, then branch on the whole word."""
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.store(1, block, size=1)          # only byte 0 initialized
+    whole = b.load(block, size=8)      # bytes 1..7 still poison
+    with b.if_then(b.cmp("ne", whole, 0), loc="partial:1"):
+        pass
+    b.ret(0)
+    return b.module
+
+
+def _full_init_module():
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.store(1, block, size=8)
+    whole = b.load(block, size=8)
+    with b.if_then(b.cmp("ne", whole, 0)):
+        pass
+    b.ret(0)
+    return b.module
+
+
+@pytest.fixture(scope="module")
+def byte_msan():
+    return compile_analysis(msan.SOURCE, CompileOptions(granularity=1, analysis_name="msan"))
+
+
+@pytest.fixture(scope="module")
+def word_msan():
+    return compile_analysis(msan.SOURCE, CompileOptions(granularity=8, analysis_name="msan"))
+
+
+def test_byte_granularity_catches_partial_init(byte_msan):
+    _, reporter, _ = run_analysis_on(byte_msan, _partial_init_module())
+    assert reporter.locations("msan") == ["partial:1"]
+
+
+def test_word_granularity_coalesces_partial_init(word_msan):
+    """The documented accuracy loss: the 1-byte store unpoisons the
+    whole word's single metadata granule."""
+    _, reporter, _ = run_analysis_on(word_msan, _partial_init_module())
+    assert len(reporter.by_analysis("msan")) == 0
+
+
+@pytest.mark.parametrize("granularity", [1, 2, 4, 8])
+def test_all_granularities_clean_on_full_init(granularity):
+    analysis = compile_analysis(msan.SOURCE, CompileOptions(granularity=granularity, analysis_name="msan"))
+    _, reporter, _ = run_analysis_on(analysis, _full_init_module())
+    assert len(reporter) == 0
+
+
+@pytest.mark.parametrize("granularity", [1, 2, 4, 8])
+def test_all_granularities_catch_whole_word_uninit(granularity):
+    analysis = compile_analysis(msan.SOURCE, CompileOptions(granularity=granularity, analysis_name="msan"))
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    value = b.load(block)
+    with b.if_then(b.cmp("ne", value, 0), loc="uninit:1"):
+        pass
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert reporter.locations("msan") == ["uninit:1"]
+
+
+def test_word_granularity_cheaper(byte_msan, word_msan):
+    from tests.conftest import build_linear_program
+    p_byte, _, _ = run_analysis_on(byte_msan, build_linear_program())
+    p_word, _, _ = run_analysis_on(word_msan, build_linear_program())
+    assert p_word.instr_cycles <= p_byte.instr_cycles
+
+
+def test_half_word_boundary_precision():
+    """Granularity 4: two int32 halves of a word are tracked separately."""
+    analysis = compile_analysis(msan.SOURCE, CompileOptions(granularity=4, analysis_name="msan"))
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.store(1, block, size=4)                 # low half initialized
+    high = b.load(b.add(block, 4), size=4)    # high half still poison
+    with b.if_then(b.cmp("ne", high, 0), loc="half:1"):
+        pass
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert reporter.locations("msan") == ["half:1"]

@@ -1,0 +1,46 @@
+"""Table-4 oriented tests: analysis source sizes stay in the paper's band."""
+
+import pytest
+
+from repro.analyses import REGISTRY, loc_of
+
+# Paper Table 4 LoC, used as upper bounds (our mini-IR surface needs
+# fewer libc interceptors than real LLVM, so ours come in at or under).
+PAPER_LOC = {
+    "eraser": 70,
+    "msan": 192,
+    "uaf": 35,
+    "strict_alias": 12,
+    "fasttrack": 69,
+    "taint": 33,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_LOC))
+def test_analysis_loc_within_paper_budget(name):
+    # allow a small tolerance above the paper's count
+    assert loc_of(name) <= PAPER_LOC[name] * 1.25
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_every_analysis_nonempty(name):
+    assert loc_of(name) >= 10
+
+
+def test_sslsan_within_paper_size():
+    # the paper's SSLSan is 177 lines; ours must stay well under
+    assert loc_of("sslsan") <= 177
+
+
+def test_relative_ordering_matches_paper():
+    """MSan is the largest core analysis, StrictAlias the smallest."""
+    core = {n: loc_of(n) for n in PAPER_LOC}
+    assert core["strict_alias"] == min(core.values())
+    assert core["msan"] >= core["uaf"]
+    assert core["eraser"] > core["strict_alias"]
+
+
+def test_loc_counts_exclude_comments_and_blanks():
+    from repro.analyses import msan
+    raw_lines = len(msan.SOURCE.splitlines())
+    assert loc_of("msan") < raw_lines

@@ -1,0 +1,235 @@
+"""Integration tests for SSLSan and ZlibSan over the simulated libraries."""
+
+import pytest
+
+from repro.analyses import sslsan, zlibsan
+from repro.ir import IRBuilder
+from repro.workloads.libssl import SSLLibrary
+from repro.workloads.libzlib import Z_OK, Z_STREAM_END, ZLibrary
+from tests.conftest import run_analysis_on
+
+
+@pytest.fixture(scope="module")
+def ssl_analysis():
+    return sslsan.compile_()
+
+
+@pytest.fixture(scope="module")
+def zlib_analysis():
+    return zlibsan.compile_()
+
+
+def run_ssl(analysis, build):
+    b = IRBuilder()
+    b.function("main")
+    build(b)
+    _, reporter, _ = run_analysis_on(
+        analysis, b.module, extern=SSLLibrary().externs()
+    )
+    return reporter.by_analysis("sslsan")
+
+
+def _correct_session(b, ctx):
+    ssl = b.call("SSL_new", [ctx])
+    b.call("SSL_accept", [ssl], void=True)
+    buf = b.call("calloc", [8, 8])
+    b.call("SSL_read", [ssl, buf, 64], void=True)
+    b.call("SSL_write", [ssl, buf, 64], void=True)
+    b.call("free", [buf], void=True)
+    b.call("SSL_shutdown", [ssl], void=True)
+    b.call("SSL_shutdown", [ssl], void=True)
+    b.call("SSL_free", [ssl], void=True)
+    return ssl
+
+
+class TestSSLSan:
+    def test_correct_usage_clean(self, ssl_analysis):
+        def build(b):
+            ctx = b.call("SSL_CTX_new", [])
+            _correct_session(b, ctx)
+            b.call("SSL_CTX_free", [ctx], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_ssl(ssl_analysis, build) == []
+
+    def test_free_without_shutdown_reported(self, ssl_analysis):
+        def build(b):
+            ctx = b.call("SSL_CTX_new", [])
+            ssl = b.call("SSL_new", [ctx])
+            b.call("SSL_accept", [ssl], void=True)
+            b.call("SSL_free", [ssl], void=True)  # misuse
+            b.call("SSL_CTX_free", [ctx], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reports = run_ssl(ssl_analysis, build)
+        assert any("sslOnFree" in r.handler for r in reports)
+
+    def test_single_shutdown_then_free_reported(self, ssl_analysis):
+        """The memcached/nginx bug: one close_notify is not a handshake."""
+        def build(b):
+            ctx = b.call("SSL_CTX_new", [])
+            ssl = b.call("SSL_new", [ctx])
+            b.call("SSL_accept", [ssl], void=True)
+            b.call("SSL_shutdown", [ssl], void=True)  # returns 0
+            b.call("SSL_free", [ssl], void=True)
+            b.call("SSL_CTX_free", [ctx], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_ssl(ssl_analysis, build)
+
+    def test_leak_reported_at_exit(self, ssl_analysis):
+        def build(b):
+            ctx = b.call("SSL_CTX_new", [])
+            ssl = b.call("SSL_new", [ctx])
+            b.call("SSL_accept", [ssl], void=True)
+            # never shut down, never freed
+            b.call("SSL_CTX_free", [ctx], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reports = run_ssl(ssl_analysis, build)
+        assert any("sslOnExit" in r.handler for r in reports)
+
+    def test_use_after_free_reported(self, ssl_analysis):
+        def build(b):
+            ctx = b.call("SSL_CTX_new", [])
+            ssl = b.call("SSL_new", [ctx])
+            b.call("SSL_accept", [ssl], void=True)
+            b.call("SSL_shutdown", [ssl], void=True)
+            b.call("SSL_shutdown", [ssl], void=True)
+            b.call("SSL_free", [ssl], void=True)
+            buf = b.call("calloc", [8, 8])
+            b.call("SSL_read", [ssl, buf, 64], void=True)  # UAF
+            b.call("SSL_CTX_free", [ctx], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reports = run_ssl(ssl_analysis, build)
+        assert any("sslOnRead" in r.handler for r in reports)
+
+    def test_double_free_reported(self, ssl_analysis):
+        def build(b):
+            ctx = b.call("SSL_CTX_new", [])
+            ssl = _correct_session(b, ctx)
+            b.call("SSL_free", [ssl], void=True)  # second free
+            b.call("SSL_CTX_free", [ctx], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_ssl(ssl_analysis, build)
+
+    def test_io_on_unknown_object_reported(self, ssl_analysis):
+        def build(b):
+            buf = b.call("calloc", [8, 8])
+            bogus = b.call("malloc", [16])
+            b.call("SSL_read", [bogus, buf, 64], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_ssl(ssl_analysis, build)
+
+    def test_ctx_leak_reported(self, ssl_analysis):
+        def build(b):
+            b.call("SSL_CTX_new", [])
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reports = run_ssl(ssl_analysis, build)
+        assert any("sslOnExit" in r.handler for r in reports)
+
+
+def run_zlib(analysis, build):
+    b = IRBuilder()
+    b.function("main")
+    build(b)
+    _, reporter, _ = run_analysis_on(
+        analysis, b.module, extern=ZLibrary().externs()
+    )
+    return reporter.by_analysis("zlibsan")
+
+
+class TestZlibSan:
+    def test_correct_usage_clean(self, zlib_analysis):
+        def build(b):
+            strm = b.call("calloc", [8, 8])
+            b.call("inflateInit", [strm], void=True)
+            b.call("inflate", [strm, 0], void=True)
+            b.call("inflateEnd", [strm], void=True)
+            b.call("free", [strm], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_zlib(zlib_analysis, build) == []
+
+    def test_inflate_without_init_reported(self, zlib_analysis):
+        """The ffmpeg d1487659 bug shape."""
+        def build(b):
+            strm = b.call("calloc", [8, 8])
+            b.call("inflate", [strm, 0], void=True)
+            b.call("free", [strm], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reports = run_zlib(zlib_analysis, build)
+        assert any("zOnInflate" in r.handler for r in reports)
+
+    def test_double_init_reported(self, zlib_analysis):
+        def build(b):
+            strm = b.call("calloc", [8, 8])
+            b.call("inflateInit", [strm], void=True)
+            b.call("inflateInit", [strm], void=True)
+            b.call("inflateEnd", [strm], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_zlib(zlib_analysis, build)
+
+    def test_end_without_init_reported(self, zlib_analysis):
+        def build(b):
+            strm = b.call("calloc", [8, 8])
+            b.call("inflateEnd", [strm], void=True)
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_zlib(zlib_analysis, build)
+
+    def test_leaked_stream_reported_at_exit(self, zlib_analysis):
+        def build(b):
+            strm = b.call("calloc", [8, 8])
+            b.call("inflateInit", [strm], void=True)
+            b.call("inflate", [strm, 0], void=True)
+            # no inflateEnd
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        reports = run_zlib(zlib_analysis, build)
+        assert any("zOnExit" in r.handler for r in reports)
+
+    def test_deflate_mirror_checked(self, zlib_analysis):
+        def build(b):
+            strm = b.call("calloc", [8, 8])
+            b.call("deflate", [strm, 0], void=True)  # uninit deflate
+            b.call("program_exit", [], void=True)
+            b.ret(0)
+        assert run_zlib(zlib_analysis, build)
+
+
+class TestSimulatedLibraries:
+    def test_ssl_shutdown_two_phase(self):
+        lib = SSLLibrary()
+
+        class FakeVM:
+            class profile:
+                base_cycles = 0
+        vm = FakeVM()
+        ssl = 123
+        lib.sessions[ssl] = {"shutdown": 0, "freed": False}
+        assert lib.ssl_shutdown(vm, None, (ssl,)) == 0
+        assert lib.ssl_shutdown(vm, None, (ssl,)) == 1
+
+    def test_zlib_stream_ends(self):
+        lib = ZLibrary(chunks_per_stream=2)
+
+        class FakeVM:
+            class profile:
+                base_cycles = 0
+            @staticmethod
+            def mem_write(addr, value, size):
+                pass
+            @staticmethod
+            def rand():
+                return 7
+        vm = FakeVM()
+        lib.inflate_init(vm, None, (0x2000,))
+        assert lib.inflate(vm, None, (0x2000, 0)) == Z_OK
+        assert lib.inflate(vm, None, (0x2000, 0)) == Z_STREAM_END

@@ -1,0 +1,125 @@
+"""Unit tests for phase 1: static metadata-access analysis."""
+
+from repro.alda import check_program, parse_program
+from repro.compiler.access_analysis import (
+    analyze_accesses,
+    is_hoistable_key,
+    key_repr,
+)
+from repro.alda import ast_nodes as ast
+
+
+def summary_of(source):
+    return analyze_accesses(check_program(parse_program(source)))
+
+
+SOURCE = """
+m = map(pointer, int8)
+n = map(pointer, int64)
+k = map(threadid, int64)
+onX(pointer p, threadid t) {
+  if (m[p] == 1) {
+    n[p] = k[t];
+  }
+  m[p] = 2;
+}
+"""
+
+
+class TestCollection:
+    def test_all_sites_found(self):
+        summary = summary_of(SOURCE)
+        by_map = {}
+        for access in summary.accesses:
+            by_map.setdefault(access.map_name, []).append(access)
+        assert len(by_map["m"]) == 2  # one read, one write
+        assert len(by_map["n"]) == 1
+        assert len(by_map["k"]) == 1
+
+    def test_kinds(self):
+        summary = summary_of(SOURCE)
+        kinds = {(a.map_name, a.kind) for a in summary.accesses}
+        assert ("m", "read") in kinds
+        assert ("m", "write") in kinds
+        assert ("n", "write") in kinds
+        assert ("k", "read") in kinds
+
+    def test_range_kinds(self):
+        summary = summary_of("""
+        m = map(pointer, int8)
+        onX(pointer p, int64 s) {
+          alda_assert(m.get(p, s), 0);
+          m.set(p, 1, s);
+        }
+        """)
+        kinds = {a.kind for a in summary.accesses}
+        assert kinds == {"range_read", "range_write"}
+
+    def test_co_access_groups(self):
+        summary = summary_of(SOURCE)
+        groups = summary.maps_accessed_together()
+        assert any({"m", "n"} <= group for group in groups)
+
+    def test_per_handler_lookups(self):
+        summary = summary_of(SOURCE)
+        assert summary.per_handler_lookups("onX") == 4
+
+    def test_set_methods_recorded(self):
+        summary = summary_of("""
+        s = map(pointer, set(threadid))
+        onX(pointer p, threadid t) {
+          if (s[p].find(t)) { s[p].add(t); }
+        }
+        """)
+        kinds = sorted((a.kind for a in summary.accesses))
+        assert kinds == ["read", "write"]
+
+
+class TestKeyRepr:
+    def _key(self, text):
+        source = f"m = map(pointer, int8)\nonX(pointer p, threadid t) {{ m[{text}] = 1; }}"
+        info = check_program(parse_program(source))
+        assign = info.funcs["onX"].decl.body[0]
+        return assign.target.key
+
+    def test_equivalent_spellings_equal(self):
+        assert key_repr(self._key("p + 1")) == key_repr(self._key("p + 1"))
+
+    def test_different_keys_differ(self):
+        assert key_repr(self._key("p")) != key_repr(self._key("t"))
+
+    def test_nested_index_repr(self):
+        source = """
+        m = map(pointer, int8)
+        n = map(pointer, int64)
+        onX(pointer p) { m[n[p]] = 1; }
+        """
+        info = check_program(parse_program(source))
+        key = info.funcs["onX"].decl.body[0].target.key
+        assert key_repr(key) == "n[p]"
+
+
+class TestHoistability:
+    def _key(self, text):
+        source = f"m = map(pointer, int8)\nn = map(pointer, int64)\nonX(pointer p) {{ m[{text}] = 1; }}"
+        info = check_program(parse_program(source))
+        return info.funcs["onX"].decl.body[0].target.key
+
+    def test_param_hoistable(self):
+        assert is_hoistable_key(self._key("p"))
+
+    def test_arith_hoistable(self):
+        assert is_hoistable_key(self._key("p + 8"))
+
+    def test_map_read_not_hoistable(self):
+        assert not is_hoistable_key(self._key("n[p]"))
+
+    def test_hoistable_recorded_on_access(self):
+        summary = summary_of("""
+        m = map(pointer, int8)
+        n = map(pointer, int64)
+        onX(pointer p) { m[n[p]] = 1; }
+        """)
+        hoistable = {a.map_name: a.hoistable for a in summary.accesses}
+        assert hoistable["n"] is True   # n[p]: key is just p
+        assert hoistable["m"] is False  # m[n[p]]: key reads metadata

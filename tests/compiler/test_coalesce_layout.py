@@ -1,0 +1,221 @@
+"""Unit tests for phases 2a/2b: coalescing and layout/structure selection."""
+
+import pytest
+
+from repro.alda import check_program, parse_program
+from repro.compiler.access_analysis import analyze_accesses
+from repro.compiler.coalesce import coalesce_maps, hot_maps
+from repro.compiler.layout import plan_layout
+
+
+def prepare(source):
+    info = check_program(parse_program(source))
+    return info, analyze_accesses(info)
+
+
+HOT_COLD = """
+addrA = map(pointer, int8)
+addrB = map(pointer, int64)
+addrCold = map(pointer, int64)
+tidMap = map(threadid, int64)
+
+onLoad(pointer p, threadid t) {
+  addrA[p] = 1;
+  alda_assert(addrB[p], 0);
+  tidMap[t] = 1;
+}
+onMalloc(pointer p, int64 s) {
+  addrCold[p] = s;
+}
+insert after LoadInst call onLoad($1, $t)
+insert after func malloc call onMalloc($r, $1)
+"""
+
+
+class TestHotColdClassification:
+    def test_instruction_handlers_hot(self):
+        info, summary = prepare(HOT_COLD)
+        hot = hot_maps(info, summary)
+        assert {"addrA", "addrB", "tidMap"} <= hot
+        assert "addrCold" not in hot
+
+    def test_transitive_hotness_through_handler_calls(self):
+        info, summary = prepare("""
+        m = map(pointer, int8)
+        helper(pointer p) { m[p] = 1; }
+        onLoad(pointer p) { helper(p); }
+        insert after LoadInst call onLoad($1)
+        """)
+        assert "m" in hot_maps(info, summary)
+
+
+class TestCoalescing:
+    def test_same_key_hot_maps_grouped(self):
+        info, summary = prepare(HOT_COLD)
+        groups = coalesce_maps(info, summary)
+        names = {tuple(m.name for m in g.members) for g in groups}
+        assert ("addrA", "addrB") in names
+
+    def test_cold_maps_not_mixed_with_hot(self):
+        info, summary = prepare(HOT_COLD)
+        groups = coalesce_maps(info, summary)
+        for group in groups:
+            members = {m.name for m in group.members}
+            assert not ({"addrA", "addrCold"} <= members)
+
+    def test_different_key_types_not_grouped(self):
+        info, summary = prepare(HOT_COLD)
+        groups = coalesce_maps(info, summary)
+        for group in groups:
+            members = {m.name for m in group.members}
+            assert not ({"addrA", "tidMap"} <= members)
+
+    def test_disabled_yields_singletons(self):
+        info, summary = prepare(HOT_COLD)
+        groups = coalesce_maps(info, summary, enabled=False)
+        assert all(len(g.members) == 1 for g in groups)
+        assert len(groups) == 4
+
+    def test_sync_difference_separates_key_classes(self):
+        info, summary = prepare("""
+        sp := pointer : sync
+        a = map(sp, int8)
+        b = map(pointer, int8)
+        onLoad(pointer p) { a[p] = 1; b[p] = 1; }
+        insert after LoadInst call onLoad($1)
+        """)
+        groups = coalesce_maps(info, summary)
+        assert all(len(g.members) == 1 for g in groups)
+
+
+def plan_for(source, **kwargs):
+    info, summary = prepare(source)
+    groups = coalesce_maps(info, summary)
+    return plan_layout(groups, **kwargs)
+
+
+class TestStructureSelection:
+    def test_byte_shadow_for_factor_one(self):
+        plan = plan_for("""
+        m = map(pointer, int8)
+        onLoad(pointer p) { m[p] = 1; }
+        insert after LoadInst call onLoad($1)
+        """, granularity=1)
+        assert plan.groups[0].structure == "shadow"
+        assert plan.groups[0].shadow_factor == 1.0
+
+    def test_pagetable_above_threshold(self):
+        plan = plan_for("""
+        lid := lockid : 256
+        m = map(pointer, set(lid))
+        onLoad(pointer p) { alda_assert(m[p].empty(), 0); }
+        insert after LoadInst call onLoad($1)
+        """, granularity=8)
+        # 32B value / 8B granularity = factor 4 > 3
+        assert plan.groups[0].structure == "pagetable"
+
+    def test_threshold_configurable(self):
+        source = """
+        lid := lockid : 256
+        m = map(pointer, set(lid))
+        onLoad(pointer p) { alda_assert(m[p].empty(), 0); }
+        insert after LoadInst call onLoad($1)
+        """
+        plan = plan_for(source, granularity=8, shadow_factor_threshold=5.0)
+        assert plan.groups[0].structure == "shadow"
+
+    def test_array_for_bounded_keys(self):
+        plan = plan_for("""
+        tid := threadid : 8
+        m = map(tid, int64)
+        onLoad(pointer p, tid t) { m[t] = 1; }
+        insert after LoadInst call onLoad($1, $t)
+        """)
+        assert plan.groups[0].structure == "array"
+        assert plan.groups[0].key_domain == 8
+
+    def test_structure_selection_disabled_uses_hash(self):
+        plan = plan_for("""
+        m = map(pointer, int8)
+        onLoad(pointer p) { m[p] = 1; }
+        insert after LoadInst call onLoad($1)
+        """, structure_selection=False)
+        assert plan.groups[0].structure == "hash"
+
+    def test_selection_disabled_sets_become_treesets(self):
+        plan = plan_for("""
+        lid := lockid : 64
+        m = map(pointer, set(lid))
+        onLoad(pointer p) { alda_assert(m[p].empty(), 0); }
+        insert after LoadInst call onLoad($1)
+        """, structure_selection=False)
+        assert plan.groups[0].fields[0].repr == "treeset"
+
+
+class TestFieldLayout:
+    def test_offsets_aligned(self):
+        plan = plan_for("""
+        a = map(pointer, int8)
+        b = map(pointer, int64)
+        onLoad(pointer p) { a[p] = 1; b[p] = 2; }
+        insert after LoadInst call onLoad($1)
+        """)
+        fields = {f.map_name: f for f in plan.groups[0].fields}
+        assert fields["a"].offset == 0 and fields["a"].size == 1
+        assert fields["b"].offset == 8 and fields["b"].size == 8
+
+    def test_bitvec_for_small_fixed_sets(self):
+        plan = plan_for("""
+        lid := lockid : 256
+        m = map(threadid, set(lid))
+        onLoad(pointer p, threadid t) { m[t].add(0); }
+        insert after LoadInst call onLoad($1, $t)
+        """)
+        field = plan.groups[0].fields[0]
+        assert field.repr == "bitvec"
+        assert field.size == 32
+        assert field.set_domain == 256
+
+    def test_large_domain_sets_become_treesets(self):
+        plan = plan_for("""
+        lid := lockid : 100000
+        m = map(threadid, set(lid))
+        onLoad(pointer p, threadid t) { m[t].add(0); }
+        insert after LoadInst call onLoad($1, $t)
+        """)
+        assert plan.groups[0].fields[0].repr == "treeset"
+
+    def test_unbounded_elem_sets_become_treesets(self):
+        plan = plan_for("""
+        m = map(threadid, set(pointer))
+        onLoad(pointer p, threadid t) { m[t].add(p); }
+        insert after LoadInst call onLoad($1, $t)
+        """)
+        assert plan.groups[0].fields[0].repr == "treeset"
+
+    def test_universe_flag_carried(self):
+        plan = plan_for("""
+        lid := lockid : 64
+        m = map(pointer, universe::set(lid))
+        onLoad(pointer p) { alda_assert(m[p].empty(), 0); }
+        insert after LoadInst call onLoad($1)
+        """)
+        assert plan.groups[0].fields[0].set_universe
+
+    def test_group_for_and_field_index(self):
+        plan = plan_for("""
+        a = map(pointer, int8)
+        b = map(pointer, int64)
+        onLoad(pointer p) { a[p] = 1; b[p] = 2; }
+        insert after LoadInst call onLoad($1)
+        """)
+        index = plan.group_for("b")
+        assert plan.groups[index].field_index("b") == 1
+
+    def test_describe_mentions_structure(self):
+        plan = plan_for("""
+        m = map(pointer, int8)
+        onLoad(pointer p) { m[p] = 1; }
+        insert after LoadInst call onLoad($1)
+        """, granularity=1)
+        assert "shadow" in plan.describe()

@@ -1,0 +1,119 @@
+"""Unit tests for analysis combination (section 6.4.2)."""
+
+import pytest
+
+from repro.alda import ast_nodes as ast
+from repro.compiler import CompileOptions, combine_sources, compile_analysis
+from repro.errors import CompileError
+
+A = """
+address := pointer
+const LIMIT = 4
+mA = map(address, int8)
+aOnLoad(address p) { mA[p] = 1; }
+insert after LoadInst call aOnLoad($1)
+"""
+
+B = """
+address := pointer
+const LIMIT = 4
+mB = map(address, int64)
+bOnLoad(address p) { mB[p] = 2; }
+insert after LoadInst call bOnLoad($1)
+"""
+
+
+class TestMerging:
+    def test_shared_types_and_consts_deduplicated(self):
+        program = combine_sources([A, B])
+        assert len(program.type_decls()) == 1
+        assert len(program.const_decls()) == 1
+
+    def test_all_maps_and_handlers_kept(self):
+        program = combine_sources([A, B])
+        assert {d.name for d in program.meta_decls()} == {"mA", "mB"}
+        assert {d.name for d in program.func_decls()} == {"aOnLoad", "bOnLoad"}
+        assert len(program.insert_decls()) == 2
+
+    def test_sync_strengthens(self):
+        synced = A.replace("address := pointer", "address := pointer : sync")
+        program = combine_sources([B, synced])
+        decl = program.type_decls()[0]
+        assert decl.sync
+
+    def test_bound_taken_when_one_side_unbounded(self):
+        bounded = A.replace("address := pointer", "address := pointer : 64")
+        program = combine_sources([B, bounded])
+        assert program.type_decls()[0].bound == 64
+
+    def test_base_conflict_rejected(self):
+        other = A.replace("address := pointer", "address := int64")
+        with pytest.raises(CompileError, match="base"):
+            combine_sources([A, other])
+
+    def test_bound_conflict_rejected(self):
+        b1 = A.replace("address := pointer", "address := pointer : 16")
+        b2 = B.replace("address := pointer", "address := pointer : 32")
+        with pytest.raises(CompileError, match="domain bound"):
+            combine_sources([b1, b2])
+
+    def test_const_conflict_rejected(self):
+        other = B.replace("const LIMIT = 4", "const LIMIT = 5")
+        with pytest.raises(CompileError, match="const"):
+            combine_sources([A, other])
+
+    def test_duplicate_handler_rejected(self):
+        clone = A.replace("mA", "mC")
+        with pytest.raises(CompileError, match="both define"):
+            combine_sources([A, clone])
+
+    def test_duplicate_map_rejected(self):
+        clone = A.replace("aOnLoad", "cOnLoad")
+        with pytest.raises(CompileError, match="both define"):
+            combine_sources([A, clone])
+
+
+class TestCombinedCompilation:
+    def test_cross_analysis_coalescing(self):
+        program = combine_sources([A, B])
+        analysis = compile_analysis(program, CompileOptions(analysis_name="ab"))
+        # mA and mB share the address key class and are both hot
+        group_names = [plan.group.name for plan in analysis.layout.groups]
+        assert any("mA" in name and "mB" in name for name in group_names)
+
+    def test_combined_runs_both_handlers(self):
+        from tests.conftest import build_linear_program, run_analysis_on
+
+        program = combine_sources([A, B])
+        analysis = compile_analysis(program, CompileOptions(analysis_name="ab"))
+        profile, _, runtime = run_analysis_on(analysis, build_linear_program())
+        assert "aOnLoad" in runtime.handlers and "bOnLoad" in runtime.handlers
+        # two handlers per load event
+        loads = profile.events.get("LoadInst", 0)
+        assert loads > 0 and loads % 2 == 0
+
+    def test_combined_cheaper_than_sum(self):
+        """The section 6.4.2 effect at unit-test scale."""
+        from tests.conftest import build_linear_program, run_analysis_on
+        from repro.vm import Interpreter
+
+        baseline = Interpreter(build_linear_program()).run()
+        total = 0
+        for source, name in ((A, "a"), (B, "b")):
+            analysis = compile_analysis(source, CompileOptions(analysis_name=name))
+            profile, _, _ = run_analysis_on(analysis, build_linear_program())
+            total += profile.cycles
+        combined = compile_analysis(
+            combine_sources([A, B]), CompileOptions(analysis_name="ab")
+        )
+        profile, _, _ = run_analysis_on(combined, build_linear_program())
+        assert profile.cycles < total
+
+    def test_paper_four_way_combination_compiles(self):
+        from repro.analyses import eraser, fasttrack, taint, uaf
+
+        program = combine_sources(
+            [eraser.SOURCE, fasttrack.SOURCE, uaf.SOURCE, taint.SOURCE]
+        )
+        analysis = compile_analysis(program, CompileOptions(analysis_name="combined"))
+        assert analysis.needs_shadow  # taint contributes local metadata

@@ -1,0 +1,188 @@
+"""Integration tests for the full ALDAcc pipeline and AnalysisRuntime."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_analysis
+from repro.errors import CompileError
+from repro.ir import IRBuilder
+from repro.runtime.external import ExternalRegistry
+from repro.vm import Interpreter
+from tests.conftest import build_linear_program, run_analysis_on
+
+COUNTING = """
+m = map(pointer, int64)
+onLoad(pointer p) { m[p] = m[p] + 1; }
+insert after LoadInst call onLoad($1)
+"""
+
+
+class TestOptions:
+    def test_bad_granularity(self):
+        with pytest.raises(CompileError, match="granularity"):
+            compile_analysis(COUNTING, CompileOptions(granularity=3))
+
+    def test_ds_only_flips_flags(self):
+        options = CompileOptions().ds_only()
+        assert not options.coalesce and not options.cse
+        assert options.structure_selection
+
+    def test_unknown_external_rejected_at_compile(self):
+        with pytest.raises(CompileError, match="unregistered external"):
+            compile_analysis("""
+            m = map(pointer, int64)
+            onX(pointer p) { m[p] = totally_unknown_fn(p); }
+            insert after LoadInst call onX($1)
+            """)
+
+    def test_custom_external_registry(self):
+        registry = ExternalRegistry()
+        registry.register("my_fn", lambda rt, x: x + 1)
+        analysis = compile_analysis("""
+        m = map(pointer, int64)
+        onX(pointer p) { m[p] = my_fn(p); }
+        insert after LoadInst call onX($1)
+        """, externals=registry)
+        profile, _, runtime = run_analysis_on(analysis, build_linear_program())
+        assert profile.handler_calls > 0
+
+    def test_bad_program_type(self):
+        with pytest.raises(CompileError, match="cannot compile"):
+            compile_analysis(12345)
+
+
+class TestNeedsShadow:
+    def test_plain_analysis_does_not(self):
+        assert not compile_analysis(COUNTING).needs_shadow
+
+    def test_metadata_arg_does(self):
+        analysis = compile_analysis("""
+        onB(int64 l) { alda_assert(l, 0); }
+        insert before BranchInst call onB($1.m)
+        """)
+        assert analysis.needs_shadow
+
+    def test_returning_after_handler_does(self):
+        analysis = compile_analysis("""
+        label := int64
+        m = map(pointer, label)
+        label onL(pointer p) { return m[p]; }
+        insert after LoadInst call onL($1)
+        """)
+        assert analysis.needs_shadow
+
+
+class TestEndToEnd:
+    def test_handlers_fire_and_mutate_metadata(self):
+        analysis = compile_analysis(COUNTING)
+        profile, reporter, runtime = run_analysis_on(analysis, build_linear_program())
+        assert profile.handler_calls > 0
+        assert profile.metadata_ops > 0
+        assert len(reporter) == 0
+
+    def test_overhead_positive(self):
+        analysis = compile_analysis(COUNTING)
+        baseline = Interpreter(build_linear_program()).run()
+        profile, _, _ = run_analysis_on(analysis, build_linear_program())
+        assert profile.cycles > baseline.cycles
+        assert baseline.cycles > 0
+
+    def test_attach_twice_independent_runtimes(self):
+        analysis = compile_analysis(COUNTING)
+        vm1 = Interpreter(build_linear_program())
+        vm2 = Interpreter(build_linear_program())
+        rt1 = analysis.attach(vm1)
+        rt2 = analysis.attach(vm2)
+        vm1.run()
+        vm2.run()
+        assert rt1.maps[0] is not rt2.maps[0]
+
+    def test_handlers_exposed_for_testing(self):
+        analysis = compile_analysis(COUNTING)
+        vm = Interpreter(build_linear_program())
+        runtime = analysis.attach(vm)
+        assert "onLoad" in runtime.handlers
+
+    def test_alda_assert_reports_through_vm_reporter(self):
+        analysis = compile_analysis("""
+        m = map(pointer, int64)
+        onLoad(pointer p) { alda_assert(1, 0); }
+        insert after LoadInst call onLoad($1)
+        """, CompileOptions(analysis_name="always-fires"))
+        _, reporter, _ = run_analysis_on(analysis, build_linear_program())
+        assert len(reporter) >= 1
+        assert reporter.reports[0].analysis == "always-fires"
+
+    def test_cse_and_no_cse_same_semantics(self):
+        detect = """
+        m = map(pointer, int64)
+        onLoad(pointer p) {
+          m[p] = m[p] + 1;
+          if (m[p] > 2) { alda_assert(1, 0); }
+        }
+        insert after LoadInst call onLoad($1)
+        """
+        full = compile_analysis(detect, CompileOptions(analysis_name="a"))
+        naive = compile_analysis(
+            detect, CompileOptions(analysis_name="a", cse=False, coalesce=False)
+        )
+        _, rep_full, _ = run_analysis_on(full, build_linear_program())
+        _, rep_naive, _ = run_analysis_on(naive, build_linear_program())
+        assert len(rep_full) == len(rep_naive)
+
+    def test_optimized_cheaper_than_unoptimized(self):
+        source = """
+        a = map(pointer, int8)
+        b = map(pointer, int64)
+        onLoad(pointer p) {
+          if (a[p] == 0) { a[p] = 1; }
+          b[p] = b[p] + a[p];
+        }
+        insert after LoadInst call onLoad($1)
+        """
+        full = compile_analysis(source)
+        naive = compile_analysis(source, CompileOptions(cse=False, coalesce=False))
+        p_full, _, _ = run_analysis_on(full, build_linear_program())
+        p_naive, _, _ = run_analysis_on(naive, build_linear_program())
+        assert p_full.instr_cycles < p_naive.instr_cycles
+
+    def test_structure_selection_off_worse_and_bigger(self):
+        full = compile_analysis(COUNTING)
+        nostructs = compile_analysis(
+            COUNTING, CompileOptions(structure_selection=False)
+        )
+        p_full, _, _ = run_analysis_on(full, build_linear_program())
+        p_nostructs, _, _ = run_analysis_on(nostructs, build_linear_program())
+        assert p_nostructs.instr_cycles > p_full.instr_cycles
+
+    def test_universe_semantics_reachable_from_alda(self):
+        """A universe map of sets starts full: removing one element leaves
+        the rest present (exercises complement algebra end to end)."""
+        analysis = compile_analysis("""
+        lid := lockid : 16
+        m = map(pointer, universe::set(lid))
+        onLoad(pointer p) {
+          alda_assert(m[p].find(5), 1);
+        }
+        insert after LoadInst call onLoad($1)
+        """)
+        _, reporter, _ = run_analysis_on(analysis, build_linear_program())
+        assert len(reporter) == 0  # universe contains 5 everywhere
+
+    def test_intern_shared_across_handlers(self):
+        analysis = compile_analysis("""
+        lid := lockid : 16
+        m = map(lid, int64)
+        onLock(lid l) { m[l] = m[l] + 1; }
+        onUnlock(lid l) { m[l] = m[l] - 1; }
+        insert after func mutex_lock call onLock($1)
+        insert before func mutex_unlock call onUnlock($1)
+        """)
+        b = IRBuilder()
+        b.module.add_global("lock", 64)
+        b.function("main")
+        lock = b.global_addr("lock")
+        b.call("mutex_lock", [lock], void=True)
+        b.call("mutex_unlock", [lock], void=True)
+        b.ret(0)
+        _, _, runtime = run_analysis_on(analysis, b.module)
+        assert len(runtime._interners["lid"]) == 1  # same lock, one id

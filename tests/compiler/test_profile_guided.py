@@ -1,0 +1,156 @@
+"""Tests for profile-guided metadata grouping (the paper's future work)."""
+
+import pytest
+
+from repro.compiler import (
+    AccessProfile,
+    CompileOptions,
+    compile_analysis,
+    profile_analysis,
+)
+from repro.ir import IRBuilder
+from tests.conftest import build_linear_program, run_analysis_on
+
+# An analysis with a map that is only touched on a (never-taken in
+# training) error path.  The static compiler must group it with the hot
+# map (same key type, both syntactically hot); the profile splits it out.
+COLD_BRANCH = """
+hot = map(pointer, int8)
+errinfo = map(pointer, int64)
+
+onLoad(pointer p, int64 v) {
+  hot[p] = 1;
+  if (v > 1000000) {
+    errinfo[p] = v;          // error path: never taken in training
+    alda_assert(errinfo[p], 0);
+  }
+}
+insert after LoadInst call onLoad($1, $r)
+"""
+
+
+def training_module():
+    return build_linear_program(n_stores=12, n_loads=12)
+
+
+class TestAccessProfile:
+    def test_merge_accumulates(self):
+        profile = AccessProfile()
+        profile.merge({"a": 3})
+        profile.merge({"a": 2, "b": 1})
+        assert profile.count("a") == 5
+        assert profile.count("b") == 1
+        assert profile.training_runs == 2
+
+    def test_untouched_map_counts_zero(self):
+        assert AccessProfile().count("ghost") == 0
+
+    def test_split_keeps_singletons(self):
+        from repro.alda import check_program, parse_program
+        info = check_program(parse_program("m = map(pointer, int8)"))
+        members = list(info.maps.values())
+        assert AccessProfile().split_cold_members(members) == [members]
+
+    def test_split_without_data_keeps_group(self):
+        from repro.alda import check_program, parse_program
+        info = check_program(parse_program(
+            "a = map(pointer, int8)\nb = map(pointer, int8)"
+        ))
+        members = list(info.maps.values())
+        assert AccessProfile().split_cold_members(members) == [members]
+
+
+class TestProfileCollection:
+    def test_counts_reflect_execution(self):
+        profile = profile_analysis(COLD_BRANCH, training_module)
+        assert profile.count("hot") > 0
+        assert profile.count("errinfo") == 0
+
+    def test_accumulation_across_workloads(self):
+        profile = profile_analysis(COLD_BRANCH, training_module)
+        first = profile.count("hot")
+        profile = profile_analysis(COLD_BRANCH, training_module, profile=profile)
+        assert profile.count("hot") == 2 * first
+        assert profile.training_runs == 2
+
+
+class TestProfileGuidedCompilation:
+    def test_static_compile_groups_cold_map(self):
+        static = compile_analysis(COLD_BRANCH)
+        index = static.layout.group_for("hot")
+        assert static.layout.group_for("errinfo") == index  # falsely grouped
+
+    def test_pgo_splits_cold_map_out(self):
+        profile = profile_analysis(COLD_BRANCH, training_module)
+        guided = compile_analysis(COLD_BRANCH, access_profile=profile)
+        assert guided.layout.group_for("errinfo") != guided.layout.group_for("hot")
+
+    def test_pgo_shrinks_hot_record(self):
+        profile = profile_analysis(COLD_BRANCH, training_module)
+        static = compile_analysis(COLD_BRANCH)
+        guided = compile_analysis(COLD_BRANCH, access_profile=profile)
+        hot_static = static.layout.groups[static.layout.group_for("hot")]
+        hot_guided = guided.layout.groups[guided.layout.group_for("hot")]
+        assert hot_guided.value_bytes < hot_static.value_bytes
+
+    def test_pgo_can_improve_structure_choice(self):
+        """Splitting the 8-byte cold field drops the hot record's shadow
+        factor from 2 (ok) ... construct a case crossing the threshold."""
+        source = """
+        hot = map(pointer, int8)
+        cold1 = map(pointer, int64)
+        cold2 = map(pointer, int64)
+        cold3 = map(pointer, int64)
+        onLoad(pointer p, int64 v) {
+          hot[p] = 1;
+          if (v > 1000000) {
+            cold1[p] = v; cold2[p] = v; cold3[p] = v;
+          }
+        }
+        insert after LoadInst call onLoad($1, $r)
+        """
+        static = compile_analysis(source)
+        hot_static = static.layout.groups[static.layout.group_for("hot")]
+        assert hot_static.structure == "pagetable"  # 32B record, factor 4
+
+        profile = profile_analysis(source, training_module)
+        guided = compile_analysis(source, access_profile=profile)
+        hot_guided = guided.layout.groups[guided.layout.group_for("hot")]
+        assert hot_guided.structure == "shadow"  # 1B record, factor 1/8
+
+    def test_pgo_reduces_cost_on_production_run(self):
+        profile = profile_analysis(COLD_BRANCH, training_module)
+        static = compile_analysis(COLD_BRANCH)
+        guided = compile_analysis(COLD_BRANCH, access_profile=profile)
+        p_static, _, _ = run_analysis_on(static, training_module())
+        p_guided, _, _ = run_analysis_on(guided, training_module())
+        assert p_guided.instr_cycles <= p_static.instr_cycles
+
+    def test_pgo_preserves_semantics_when_cold_path_fires(self):
+        """A production run that DOES hit the error path still reports."""
+        profile = profile_analysis(COLD_BRANCH, training_module)
+        guided = compile_analysis(
+            COLD_BRANCH, CompileOptions(analysis_name="guided"),
+            access_profile=profile,
+        )
+
+        b = IRBuilder()
+        b.function("main")
+        block = b.call("malloc", [8])
+        big = b.const(2_000_000)
+        b.store(big, block)
+        b.load(block)  # fires onLoad with v > 1000000
+        b.ret(0)
+        _, reporter, _ = run_analysis_on(guided, b.module)
+        assert len(reporter.by_analysis("guided")) == 1
+
+    def test_hot_hot_groups_stay_merged(self):
+        source = """
+        a = map(pointer, int8)
+        b = map(pointer, int8)
+        onLoad(pointer p) { a[p] = 1; b[p] = 2; }
+        insert after LoadInst call onLoad($1)
+        """
+        profile = profile_analysis(source, training_module)
+        guided = compile_analysis(source, access_profile=profile)
+        assert guided.layout.group_for("a") == guided.layout.group_for("b")

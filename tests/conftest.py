@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_analysis
+from repro.ir import IRBuilder
+from repro.vm import Interpreter
+
+
+def build_linear_program(n_stores: int = 8, n_loads: int = 8):
+    """A tiny single-threaded program: fill an array, then sum it."""
+    b = IRBuilder()
+    b.function("main")
+    buf = b.call("malloc", [max(n_stores, n_loads) * 8])
+    with b.loop(n_stores) as i:
+        b.store(i, b.add(buf, b.mul(i, 8)))
+    acc = b.alloca(8)
+    b.store(0, acc)
+    with b.loop(n_loads) as i:
+        value = b.load(b.add(buf, b.mul(i, 8)))
+        b.store(b.add(b.load(acc), value), acc)
+    result = b.load(acc)
+    b.call("free", [buf], void=True)
+    b.ret(result)
+    return b.module
+
+
+def run_analysis_on(source_or_compiled, module, options=None, extern=None,
+                    input_lines=None):
+    """Compile (if needed), attach, run; returns (profile, reporter, runtime)."""
+    if isinstance(source_or_compiled, str):
+        analysis = compile_analysis(source_or_compiled, options)
+    else:
+        analysis = source_or_compiled
+    vm = Interpreter(
+        module,
+        extern=extern,
+        track_shadow=analysis.needs_shadow,
+        input_lines=input_lines,
+    )
+    runtime = analysis.attach(vm)
+    profile = vm.run()
+    return profile, vm.reporter, runtime
+
+
+@pytest.fixture
+def linear_module():
+    return build_linear_program()
+
+
+@pytest.fixture
+def fresh_interpreter(linear_module):
+    return Interpreter(linear_module)

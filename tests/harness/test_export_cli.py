@@ -1,0 +1,155 @@
+"""Tests for JSON/CSV export and the command-line tools."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness import export
+from repro.harness.figures import FigureData
+from repro.harness.tables import sanitizer_validation, table4
+
+
+def sample_figure():
+    data = FigureData("Test figure", series=["A", "B"])
+    data.add("w1", "A", 1.5)
+    data.add("w1", "B", 2.5)
+    data.add("w2", "A", 3.0)
+    data.add("w2", "B", 4.0)
+    data.summary["avg_a"] = 2.12
+    return data
+
+
+class TestExport:
+    def test_figure_csv(self):
+        text = export.figure_to_csv(sample_figure())
+        lines = text.strip().splitlines()
+        assert lines[0] == "workload,A,B"
+        assert lines[1].startswith("w1,1.5")
+        assert len(lines) == 3
+
+    def test_figure_json_roundtrips(self):
+        payload = json.loads(export.figure_to_json(sample_figure()))
+        assert payload["series"] == ["A", "B"]
+        assert payload["rows"]["w2"]["B"] == 4.0
+        assert payload["summary"]["avg_a"] == 2.12
+
+    def test_table4_json(self):
+        rows, handtuned = table4()
+        payload = json.loads(export.table4_to_json(rows, handtuned))
+        assert any(entry["analysis"] == "msan" for entry in payload["analyses"])
+        assert payload["handtuned_loc"]["eraser"] > 0
+
+    def test_sanitizers_json(self):
+        rows = sanitizer_validation()
+        payload = json.loads(export.sanitizers_to_json(rows))
+        assert all(entry["passed"] for entry in payload)
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestHarnessCLI:
+    def test_tab4_text(self):
+        result = run_cli("repro.harness", "tab4")
+        assert result.returncode == 0
+        assert "Table 4" in result.stdout
+
+    def test_tab3_json(self):
+        result = run_cli("repro.harness", "tab3", "--format", "json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert len(payload) == 5
+        assert all(entry["matches_paper"] for entry in payload)
+
+    def test_unknown_experiment_rejected(self):
+        result = run_cli("repro.harness", "fig9")
+        assert result.returncode != 0
+
+
+class TestAldaCLI:
+    @pytest.fixture
+    def eraser_file(self, tmp_path):
+        from repro.analyses import eraser
+        path = tmp_path / "eraser.alda"
+        path.write_text(eraser.SOURCE)
+        return str(path)
+
+    def test_check_ok(self, eraser_file):
+        result = run_cli("repro.alda", "check", eraser_file)
+        assert result.returncode == 0
+        assert "OK" in result.stdout
+
+    def test_check_reports_errors(self, tmp_path):
+        bad = tmp_path / "bad.alda"
+        bad.write_text("onX(int64 v) { ghost[v] = 1; }")
+        result = run_cli("repro.alda", "check", str(bad))
+        assert result.returncode == 1
+        assert "unknown" in result.stderr
+
+    def test_layout(self, eraser_file):
+        result = run_cli("repro.alda", "layout", eraser_file)
+        assert "pagetable" in result.stdout
+
+    def test_layout_respects_options(self, eraser_file):
+        result = run_cli(
+            "repro.alda", "layout", "--shadow-factor-threshold", "64", eraser_file
+        )
+        assert "pagetable" not in result.stdout
+
+    def test_codegen_shows_handlers(self, eraser_file):
+        result = run_cli("repro.alda", "codegen", eraser_file)
+        assert "def h_erOnLoad" in result.stdout
+
+    def test_fmt_is_reparsable(self, eraser_file):
+        from repro.alda import check_program, parse_program
+        result = run_cli("repro.alda", "fmt", eraser_file)
+        check_program(parse_program(result.stdout))
+
+
+class TestSVG:
+    def _figure(self):
+        from repro.harness.figures import FigureData
+        data = FigureData("Demo figure", ["A", "B"])
+        data.add("w1", "A", 2.0)
+        data.add("w1", "B", 2.5)
+        data.add("w2", "A", 3.1)
+        data.add("w2", "B", 1.2)
+        return data
+
+    def test_svg_well_formed(self):
+        import xml.etree.ElementTree as ET
+        from repro.harness.svg import figure_to_svg
+        root = ET.fromstring(figure_to_svg(self._figure()))
+        assert root.tag.endswith("svg")
+
+    def test_svg_has_bar_per_cell_plus_legend(self):
+        from repro.harness.svg import figure_to_svg
+        svg = figure_to_svg(self._figure())
+        # 4 data bars + 2 legend swatches
+        assert svg.count("<rect") == 6
+
+    def test_svg_labels_and_title(self):
+        from repro.harness.svg import figure_to_svg
+        svg = figure_to_svg(self._figure())
+        assert "Demo figure" in svg
+        assert "w1" in svg and "w2" in svg
+
+    def test_svg_escapes_special_chars(self):
+        from repro.harness.figures import FigureData
+        from repro.harness.svg import figure_to_svg
+        import xml.etree.ElementTree as ET
+        data = FigureData("A <&> title", ["s<1>"])
+        data.add("w&", "s<1>", 1.0)
+        ET.fromstring(figure_to_svg(data))
+
+    def test_empty_figure(self):
+        from repro.harness.figures import FigureData
+        from repro.harness.svg import figure_to_svg
+        import xml.etree.ElementTree as ET
+        ET.fromstring(figure_to_svg(FigureData("empty", [])))

@@ -1,0 +1,69 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.analyses import uaf
+from repro.baselines import HandTunedMSan
+from repro.harness.runner import (
+    geomean,
+    measure_overhead,
+    run_instrumented,
+    run_plain,
+)
+from repro.workloads import SPEC, SPLASH2
+
+
+def test_run_plain_profiles(workload=SPEC["bzip2"]):
+    profile = run_plain(workload)
+    assert profile.cycles > 0
+    assert profile.instr_cycles == 0
+
+
+def test_measure_overhead_above_one():
+    result = measure_overhead(SPEC["bzip2"], uaf.compile_())
+    assert result.overhead > 1.0
+    assert result.workload == "bzip2"
+
+
+def test_measure_overhead_reuses_baseline():
+    baseline = run_plain(SPEC["bzip2"])
+    result = measure_overhead(SPEC["bzip2"], uaf.compile_(), baseline=baseline)
+    assert result.baseline_cycles == baseline.cycles
+
+
+def test_class_attachable_materialized_fresh():
+    first = measure_overhead(SPEC["bzip2"], HandTunedMSan)
+    second = measure_overhead(SPEC["bzip2"], HandTunedMSan)
+    assert first.instrumented_cycles == second.instrumented_cycles
+
+
+def test_run_instrumented_multiple_analyses():
+    from repro.analyses import taint
+    profile, reporter = run_instrumented(
+        SPLASH2["radix"], [uaf.compile_(), taint.compile_()]
+    )
+    assert profile.handler_calls > 0
+
+
+def test_label_defaults_to_analysis_name():
+    result = measure_overhead(SPEC["bzip2"], uaf.compile_())
+    assert result.label == "uaf"
+
+
+def test_reports_carried_in_result():
+    result = measure_overhead(SPEC["gcc"], HandTunedMSan)
+    assert any(r.location == "sbitmap.c:349" for r in result.reports)
+
+
+class TestGeomean:
+    def test_single(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_order_independent(self):
+        assert geomean([2.0, 8.0, 3.0]) == pytest.approx(geomean([8.0, 3.0, 2.0]))

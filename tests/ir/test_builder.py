@@ -1,0 +1,135 @@
+"""Unit tests for IRBuilder: emission helpers and structured control flow."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import IRBuilder, validate_module
+from repro.ir.instructions import Alloca, BinOp, Br, Call, Const, Load, Store
+from repro.vm import Interpreter
+
+
+class TestEmission:
+    def test_fresh_registers_unique(self):
+        b = IRBuilder()
+        b.function("main")
+        regs = {b.const(i) for i in range(10)}
+        assert len(regs) == 10
+
+    def test_const_emits_const(self):
+        b = IRBuilder()
+        b.function("main")
+        b.const(5)
+        assert isinstance(b.current_block.instructions[-1], Const)
+
+    def test_named_destination(self):
+        b = IRBuilder()
+        b.function("main")
+        assert b.const(1, name="x") == "x"
+
+    def test_binop_shortcuts(self):
+        b = IRBuilder()
+        b.function("main")
+        x = b.const(6)
+        for name, op in [("add", "add"), ("sub", "sub"), ("mul", "mul"),
+                         ("div", "div"), ("rem", "rem"), ("and_", "and"),
+                         ("or_", "or"), ("xor", "xor"), ("shl", "shl"),
+                         ("shr", "shr")]:
+            getattr(b, name)(x, 2)
+            emitted = b.current_block.instructions[-1]
+            assert isinstance(emitted, BinOp) and emitted.op == op
+
+    def test_no_current_function_raises(self):
+        with pytest.raises(IRError, match="no current function"):
+            IRBuilder().current_function
+
+    def test_void_call_has_no_result(self):
+        b = IRBuilder()
+        b.function("main")
+        assert b.call("puts", [1], void=True) is None
+        assert b.current_block.instructions[-1].result is None
+
+
+class TestStructuredControlFlow:
+    def test_loop_runs_count_times(self):
+        b = IRBuilder()
+        b.function("main")
+        slot = b.alloca(8)
+        b.store(0, slot)
+        with b.loop(7):
+            b.store(b.add(b.load(slot), 1), slot)
+        b.ret(b.load(slot))
+        vm = Interpreter(b.module)
+        vm.run()
+        assert vm.threads[0].result == 7
+
+    def test_loop_index_values(self):
+        b = IRBuilder()
+        b.function("main")
+        slot = b.alloca(8)
+        b.store(0, slot)
+        with b.loop(5) as i:
+            b.store(b.add(b.load(slot), i), slot)
+        b.ret(b.load(slot))
+        vm = Interpreter(b.module)
+        vm.run()
+        assert vm.threads[0].result == 0 + 1 + 2 + 3 + 4
+
+    def test_nested_loops(self):
+        b = IRBuilder()
+        b.function("main")
+        slot = b.alloca(8)
+        b.store(0, slot)
+        with b.loop(3):
+            with b.loop(4):
+                b.store(b.add(b.load(slot), 1), slot)
+        b.ret(b.load(slot))
+        vm = Interpreter(b.module)
+        vm.run()
+        assert vm.threads[0].result == 12
+
+    def test_if_then_taken_and_not_taken(self):
+        for cond_value, expected in [(1, 10), (0, 0)]:
+            b = IRBuilder()
+            b.function("main")
+            slot = b.alloca(8)
+            b.store(0, slot)
+            cond = b.const(cond_value)
+            with b.if_then(cond):
+                b.store(10, slot)
+            b.ret(b.load(slot))
+            vm = Interpreter(b.module)
+            vm.run()
+            assert vm.threads[0].result == expected
+
+    def test_if_then_loc_tags_branch(self):
+        b = IRBuilder()
+        b.function("main")
+        cond = b.const(1)
+        with b.if_then(cond, loc="bug.c:1"):
+            pass
+        b.ret(0)
+        branches = [
+            i for i in b.module.get_function("main").instructions()
+            if isinstance(i, Br)
+        ]
+        assert branches[0].loc == "bug.c:1"
+
+    def test_builder_output_validates(self):
+        b = IRBuilder()
+        b.function("main")
+        with b.loop(3) as i:
+            with b.if_then(b.cmp("gt", i, 1)):
+                b.call("puts", [i], void=True)
+        b.ret(0)
+        validate_module(b.module)  # must not raise
+
+    def test_global_addr_roundtrip(self):
+        b = IRBuilder()
+        b.module.add_global("g", 8)
+        b.function("main")
+        addr = b.global_addr("g")
+        b.store(99, addr)
+        b.ret(b.load(addr))
+        vm = Interpreter(b.module)
+        vm.run()
+        assert vm.threads[0].result == 99

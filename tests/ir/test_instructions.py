@@ -1,0 +1,113 @@
+"""Unit tests for the mini-IR instruction set."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Const,
+    INSTRUMENTABLE_KINDS,
+    Jmp,
+    Load,
+    Ret,
+    Store,
+    TERMINATORS,
+)
+
+
+class TestKinds:
+    def test_load_kind(self):
+        assert Load(result="%r", address="%a").kind == "LoadInst"
+
+    def test_store_kind(self):
+        assert Store(value=1, address="%a").kind == "StoreInst"
+
+    def test_alloca_kind(self):
+        assert Alloca(result="%r", size=8).kind == "AllocaInst"
+
+    def test_binop_kind_is_binary_operator(self):
+        assert BinOp(result="%r", op="add").kind == "BinaryOperator"
+
+    def test_br_kind_is_branch(self):
+        assert Br(cond="%c").kind == "BranchInst"
+
+    def test_cmp_kind(self):
+        assert Cmp(result="%r", op="eq").kind == "CmpInst"
+
+    def test_call_kind(self):
+        assert Call(result="%r", callee="f").kind == "CallInst"
+
+    def test_ret_kind(self):
+        assert Ret(value=0).kind == "ReturnInst"
+
+    def test_all_kinds_instrumentable(self):
+        for instr in (
+            Load(result="%r", address=0),
+            Store(value=0, address=0),
+            Alloca(result="%r"),
+            BinOp(result="%r"),
+            Br(cond=0),
+            Cmp(result="%r"),
+            Call(callee="f"),
+            Ret(),
+        ):
+            assert instr.kind in INSTRUMENTABLE_KINDS
+
+
+class TestOperands:
+    def test_load_operand_is_address(self):
+        assert Load(result="%r", address="%a").operands() == ("%a",)
+
+    def test_store_operand_order_is_value_then_address(self):
+        # LLVM convention: store value, ptr -> $1 is value, $2 is address
+        assert Store(value="%v", address="%a").operands() == ("%v", "%a")
+
+    def test_binop_operands(self):
+        assert BinOp(result="%r", op="add", lhs="%x", rhs=3).operands() == ("%x", 3)
+
+    def test_call_operands_are_args(self):
+        assert Call(callee="f", args=["%a", 1]).operands() == ("%a", 1)
+
+    def test_br_operand_is_condition(self):
+        assert Br(cond="%c", then_label="a", else_label="b").operands() == ("%c",)
+
+    def test_ret_void_has_no_operands(self):
+        assert Ret().operands() == ()
+
+    def test_ret_value_operand(self):
+        assert Ret(value="%v").operands() == ("%v",)
+
+    def test_const_operand_is_value(self):
+        assert Const(result="%r", value=42).operands() == (42,)
+
+
+class TestDestinations:
+    def test_value_producers_have_dst(self):
+        assert Load(result="%r", address=0).dst == "%r"
+        assert BinOp(result="%r").dst == "%r"
+        assert Alloca(result="%r").dst == "%r"
+        assert Const(result="%r").dst == "%r"
+
+    def test_store_has_no_dst(self):
+        assert Store(value=0, address=0).dst is None
+
+    def test_void_call_has_no_dst(self):
+        assert Call(callee="f").dst is None
+
+    def test_terminators(self):
+        assert Br in TERMINATORS
+        assert Jmp in TERMINATORS
+        assert Ret in TERMINATORS
+        assert Load not in TERMINATORS
+
+
+class TestLoc:
+    def test_loc_defaults_empty(self):
+        assert Load(result="%r", address=0).loc == ""
+
+    def test_loc_settable(self):
+        instr = Load(result="%r", address=0, loc="file.c:12")
+        assert instr.loc == "file.c:12"

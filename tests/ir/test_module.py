@@ -1,0 +1,74 @@
+"""Unit tests for Module/Function/Block containers."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Block, Function, Module
+from repro.ir.instructions import Const, Jmp, Ret
+
+
+class TestBlock:
+    def test_append_returns_instruction(self):
+        block = Block("entry")
+        instr = Const(result="%r", value=1)
+        assert block.append(instr) is instr
+        assert list(block) == [instr]
+
+    def test_terminator_detection(self):
+        block = Block("entry")
+        block.append(Const(result="%r", value=1))
+        assert block.terminator is None
+        block.append(Ret(value="%r"))
+        assert isinstance(block.terminator, Ret)
+
+    def test_jmp_is_terminator(self):
+        block = Block("b")
+        block.append(Jmp(label="entry"))
+        assert isinstance(block.terminator, Jmp)
+
+
+class TestFunction:
+    def test_block_creates_and_caches(self):
+        fn = Function("f")
+        first = fn.block("entry")
+        assert fn.block("entry") is first
+
+    def test_get_block_missing_raises(self):
+        fn = Function("f")
+        with pytest.raises(IRError, match="no block"):
+            fn.get_block("nope")
+
+    def test_instructions_iterates_all_blocks(self):
+        fn = Function("f")
+        fn.block("entry").append(Const(result="%a", value=1))
+        fn.block("next").append(Ret())
+        assert len(list(fn.instructions())) == 2
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        module.add_function(Function("f"))
+        with pytest.raises(IRError, match="duplicate function"):
+            module.add_function(Function("f"))
+
+    def test_get_function_missing_raises(self):
+        with pytest.raises(IRError, match="no function"):
+            Module().get_function("main")
+
+    def test_globals_rejected_twice(self):
+        module = Module()
+        module.add_global("g", 8)
+        with pytest.raises(IRError, match="duplicate global"):
+            module.add_global("g", 16)
+
+    def test_global_size_must_be_positive(self):
+        with pytest.raises(IRError, match="positive"):
+            Module().add_global("g", 0)
+
+    def test_static_instruction_count(self):
+        module = Module()
+        fn = module.add_function(Function("f"))
+        fn.block("entry").append(Const(result="%a", value=1))
+        fn.block("entry").append(Ret(value="%a"))
+        assert module.static_instruction_count() == 2

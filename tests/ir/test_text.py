@@ -1,0 +1,233 @@
+"""Tests for the textual IR assembler/disassembler and its CLI."""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IRError
+from repro.ir import IRBuilder, validate_module
+from repro.ir.text import parse_module, print_module
+from repro.vm import Interpreter
+
+SAMPLE = """
+module demo
+global counter 8
+
+func main() {
+entry:
+  %p = call malloc(64)           ; heap block
+  store 42 -> [%p], 8
+  %v = load [%p], 8
+  %c = cmp lt %v, 100
+  br %c, then, done
+then:
+  %t = add %v, 1
+  store %t -> [%p]
+  jmp done
+done:
+  %r = load [%p]
+  call free(%p)
+  ret %r
+}
+"""
+
+
+class TestParsing:
+    def test_sample_parses_and_runs(self):
+        module = parse_module(SAMPLE)
+        validate_module(module)
+        vm = Interpreter(module)
+        vm.run()
+        assert vm.threads[0].result == 43
+
+    def test_module_name_and_globals(self):
+        module = parse_module(SAMPLE)
+        assert module.name == "demo"
+        assert module.globals == {"counter": 8}
+
+    def test_params(self):
+        module = parse_module("""
+        func main(x, y) {
+          %s = add x, y
+          ret %s
+        }
+        """)
+        vm = Interpreter(module)
+        vm.run(args=[3, 4])
+        assert vm.threads[0].result == 7
+
+    def test_default_entry_block(self):
+        module = parse_module("func main() {\n  ret 5\n}")
+        vm = Interpreter(module)
+        vm.run()
+        assert vm.threads[0].result == 5
+
+    def test_loc_annotation(self):
+        module = parse_module(
+            'func main() {\n  %v = load [4096], 8 @loc "bug.c:3"\n  ret %v\n}'
+        )
+        instr = next(module.get_function("main").instructions())
+        assert instr.loc == "bug.c:3"
+
+    def test_hex_and_negative_literals(self):
+        module = parse_module("func main() {\n  %a = add 0x10, -6\n  ret %a\n}")
+        vm = Interpreter(module)
+        vm.run()
+        assert vm.threads[0].result == 10
+
+    def test_void_call(self):
+        module = parse_module("""
+        func main() {
+          %p = call malloc(8)
+          call free(%p)
+          ret 0
+        }
+        """)
+        Interpreter(module).run()
+
+    def test_spawn_and_threads_via_text(self):
+        module = parse_module("""
+        func child(x) {
+          %d = mul x, 2
+          ret %d
+        }
+        func main() {
+          %t = call spawn$child(21)
+          %r = call join(%t)
+          ret %r
+        }
+        """)
+        vm = Interpreter(module)
+        vm.run()
+        assert vm.threads[0].result == 42
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("source,message", [
+        ("func main() {\n  %a = frobnicate 1, 2\n  ret 0\n}", "unknown value instruction"),
+        ("func main() {\n  launch 1\n  ret 0\n}", "unknown instruction"),
+        ("func main() {\n  %a = cmp zz 1, 2\n  ret 0\n}", "unknown comparison"),
+        ("func main() {\n  store 1, 2\n  ret 0\n}", "store syntax"),
+        ("func main() {\n  br %c\n  ret 0\n}", "br syntax"),
+        ("global g\nfunc main() {\n  ret 0\n}", "global syntax"),
+        ("func main() {\n  ret 0\n", "unterminated function"),
+        ("ret 0", "outside a function"),
+        ("func main() {\n  %a = add @@, 1\n  ret 0\n}", "bad operand"),
+    ])
+    def test_error_messages(self, source, message):
+        with pytest.raises(IRError, match=message):
+            parse_module(source)
+
+    def test_errors_carry_line_numbers(self):
+        try:
+            parse_module("func main() {\n  ret 0\n}\nfunc f() {\n  bogus\n}")
+        except IRError as error:
+            assert ":5:" in str(error)
+
+
+class TestRoundTrip:
+    def test_sample_roundtrips(self):
+        module = parse_module(SAMPLE)
+        text = print_module(module)
+        again = parse_module(text)
+        assert print_module(again) == text
+
+    def test_builder_output_printable(self):
+        b = IRBuilder()
+        b.module.add_global("g", 16)
+        b.function("main")
+        with b.loop(3) as i:
+            with b.if_then(b.cmp("gt", i, 1)):
+                b.store(i, b.global_addr("g"))
+        b.ret(0)
+        text = print_module(b.module)
+        reparsed = parse_module(text)
+        vm1 = Interpreter(b.module)
+        vm2 = Interpreter(reparsed)
+        p1, p2 = vm1.run(), vm2.run()
+        assert p1.instructions == p2.instructions
+        assert p1.cycles == p2.cycles
+
+    @pytest.mark.parametrize("workload_name", ["bzip2", "fft", "memcached"])
+    def test_workloads_roundtrip_and_behave_identically(self, workload_name):
+        from repro.workloads import ALL
+        workload = ALL[workload_name]
+        original = workload.make_module(1)
+        reparsed = parse_module(print_module(original))
+        vm1 = Interpreter(original, extern=workload.make_extern())
+        vm2 = Interpreter(reparsed, extern=workload.make_extern())
+        assert vm1.run().cycles == vm2.run().cycles
+
+
+@given(values=st.lists(st.integers(0, 2**20), min_size=1, max_size=8))
+@settings(max_examples=40)
+def test_roundtrip_property_on_generated_programs(values):
+    b = IRBuilder()
+    b.function("main")
+    acc = b.const(0)
+    for value in values:
+        acc = b.xor(acc, b.const(value))
+    b.ret(acc)
+    reparsed = parse_module(print_module(b.module))
+    vm = Interpreter(reparsed)
+    vm.run()
+    expected = 0
+    for value in values:
+        expected ^= value
+    assert vm.threads[0].result == expected
+
+
+class TestCLI:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.ir", *args],
+            capture_output=True, text=True, timeout=120,
+        )
+
+    @pytest.fixture
+    def sample_file(self, tmp_path):
+        path = tmp_path / "demo.ir"
+        path.write_text(SAMPLE)
+        return str(path)
+
+    def test_check(self, sample_file):
+        result = self.run_cli("check", sample_file)
+        assert result.returncode == 0
+        assert "OK" in result.stdout
+
+    def test_run(self, sample_file):
+        result = self.run_cli("run", sample_file)
+        assert result.returncode == 0
+        assert "result: 43" in result.stdout
+
+    def test_run_with_analysis(self, tmp_path):
+        path = tmp_path / "uaf.ir"
+        path.write_text("""
+        func main() {
+          %p = call malloc(16)
+          store 1 -> [%p]
+          call free(%p)
+          %v = load [%p]
+          ret %v
+        }
+        """)
+        result = self.run_cli("run", str(path), "--analysis", "uaf", "--reports")
+        assert result.returncode == 0
+        assert "reports: 1" in result.stdout
+
+    def test_fmt_idempotent(self, sample_file, tmp_path):
+        first = self.run_cli("fmt", sample_file).stdout
+        path = tmp_path / "fmt.ir"
+        path.write_text(first)
+        second = self.run_cli("fmt", str(path)).stdout
+        assert first == second
+
+    def test_bad_file_reports_error(self, tmp_path):
+        path = tmp_path / "bad.ir"
+        path.write_text("func main() {\n  bogus\n}")
+        result = self.run_cli("check", str(path))
+        assert result.returncode == 1
+        assert "unknown instruction" in result.stderr

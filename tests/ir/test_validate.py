@@ -1,0 +1,99 @@
+"""Unit tests for the IR validator."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Function, Module, validate_module
+from repro.ir.instructions import Br, Call, Const, Jmp, Ret
+from repro.ir.validate import validate_function
+
+
+def _module_with(fn: Function) -> Module:
+    module = Module()
+    module.add_function(fn)
+    return module
+
+
+class TestStructure:
+    def test_missing_entry_block(self):
+        fn = Function("f")
+        fn.block("other").append(Ret())
+        with pytest.raises(IRError, match="missing entry block"):
+            validate_function(fn)
+
+    def test_empty_block_rejected(self):
+        fn = Function("f")
+        fn.block("entry")
+        with pytest.raises(IRError, match="empty block"):
+            validate_function(fn)
+
+    def test_block_must_end_in_terminator(self):
+        fn = Function("f")
+        fn.block("entry").append(Const(result="%a", value=1))
+        with pytest.raises(IRError, match="terminator"):
+            validate_function(fn)
+
+    def test_terminator_mid_block_rejected(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Ret())
+        entry.append(Const(result="%a", value=1))
+        entry.append(Ret())
+        with pytest.raises(IRError, match="terminator before end"):
+            validate_function(fn)
+
+    def test_branch_to_unknown_block(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Const(result="%c", value=1))
+        entry.append(Br(cond="%c", then_label="entry", else_label="ghost"))
+        with pytest.raises(IRError, match="unknown block 'ghost'"):
+            validate_function(fn)
+
+    def test_jump_to_unknown_block(self):
+        fn = Function("f")
+        fn.block("entry").append(Jmp(label="ghost"))
+        with pytest.raises(IRError, match="unknown block 'ghost'"):
+            validate_function(fn)
+
+
+class TestRegisters:
+    def test_read_of_unwritten_register(self):
+        fn = Function("f")
+        fn.block("entry").append(Ret(value="%never"))
+        with pytest.raises(IRError, match="unwritten register"):
+            validate_function(fn)
+
+    def test_params_count_as_written(self):
+        fn = Function("f", params=["x"])
+        fn.block("entry").append(Ret(value="x"))
+        validate_function(fn)  # no raise
+
+    def test_operand_read_of_unwritten(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Call(result="%r", callee="g", args=["%ghost"]))
+        entry.append(Ret())
+        with pytest.raises(IRError, match="unwritten register"):
+            validate_function(fn)
+
+
+class TestModuleValidation:
+    def test_unresolved_calls_returned(self):
+        fn = Function("main")
+        entry = fn.block("entry")
+        entry.append(Call(result="%r", callee="malloc", args=[8]))
+        entry.append(Ret())
+        unresolved = validate_module(_module_with(fn))
+        assert unresolved == ["malloc"]
+
+    def test_internal_calls_resolved(self):
+        module = Module()
+        main = Function("main")
+        main.block("entry").append(Call(result="%r", callee="helper", args=[]))
+        main.block("entry").append(Ret())
+        helper = Function("helper")
+        helper.block("entry").append(Ret(value=0))
+        module.add_function(main)
+        module.add_function(helper)
+        assert validate_module(module) == []

@@ -1,0 +1,204 @@
+"""Unit + property tests for BitVecSet, including universe algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.bitvector import BitVecSet
+
+DOMAIN = 64
+
+
+class TestBasics:
+    def test_empty(self):
+        s = BitVecSet.empty(DOMAIN)
+        assert s.is_empty()
+        assert not s.contains(3)
+        assert len(s) == 0
+
+    def test_universe(self):
+        s = BitVecSet.universe(DOMAIN)
+        assert s.is_universe()
+        assert not s.is_empty()
+        assert s.contains(0) and s.contains(DOMAIN - 1)
+        assert len(s) == DOMAIN
+
+    def test_add_remove(self):
+        s = BitVecSet.empty(DOMAIN)
+        s.add(5)
+        assert s.contains(5)
+        s.remove(5)
+        assert not s.contains(5)
+
+    def test_remove_from_universe(self):
+        s = BitVecSet.universe(DOMAIN)
+        s.remove(7)
+        assert not s.contains(7)
+        assert s.contains(8)
+        assert len(s) == DOMAIN - 1
+
+    def test_add_back_to_refined_universe(self):
+        s = BitVecSet.universe(DOMAIN)
+        s.remove(7)
+        s.add(7)
+        assert s.is_universe()
+
+    def test_domain_bounds_enforced(self):
+        s = BitVecSet.empty(DOMAIN)
+        with pytest.raises(ValueError, match="outside set domain"):
+            s.add(DOMAIN)
+        with pytest.raises(ValueError):
+            s.contains(-1)
+
+    def test_bad_domain(self):
+        with pytest.raises(ValueError, match="positive"):
+            BitVecSet(0)
+
+    def test_value_bytes(self):
+        assert BitVecSet.empty(64).value_bytes == 8
+        assert BitVecSet.empty(256).value_bytes == 32
+        assert BitVecSet.empty(1).value_bytes == 8
+
+    def test_iteration_sorted(self):
+        s = BitVecSet.empty(DOMAIN)
+        for element in (9, 2, 33):
+            s.add(element)
+        assert list(s) == [2, 9, 33]
+
+    def test_copy_independent(self):
+        s = BitVecSet.empty(DOMAIN)
+        s.add(1)
+        clone = s.copy()
+        clone.add(2)
+        assert not s.contains(2)
+
+    def test_equality_ignores_representation(self):
+        # universe minus everything-except-{3} equals explicit {3}
+        a = BitVecSet.universe(4)
+        for element in (0, 1, 2):
+            a.remove(element)
+        b = BitVecSet.empty(4)
+        b.add(3)
+        assert a == b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitVecSet.empty(4))
+
+
+class TestAlgebra:
+    def test_universe_intersect_is_identity(self):
+        s = BitVecSet.empty(DOMAIN)
+        s.add(3)
+        s.add(40)
+        assert list(BitVecSet.universe(DOMAIN).intersect(s)) == [3, 40]
+        assert list(s.intersect(BitVecSet.universe(DOMAIN))) == [3, 40]
+
+    def test_empty_intersect_annihilates(self):
+        s = BitVecSet.universe(DOMAIN)
+        assert s.intersect(BitVecSet.empty(DOMAIN)).is_empty()
+
+    def test_union_with_universe(self):
+        s = BitVecSet.empty(DOMAIN)
+        s.add(1)
+        assert s.union(BitVecSet.universe(DOMAIN)).is_universe()
+
+    def test_operators(self):
+        a = BitVecSet.empty(DOMAIN)
+        a.add(1)
+        b = BitVecSet.empty(DOMAIN)
+        b.add(2)
+        assert list(a | b) == [1, 2]
+        assert (a & b).is_empty()
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            BitVecSet.empty(8).intersect(BitVecSet.empty(16))
+
+    def test_eraser_refinement_pattern(self):
+        """The canonical use: candidate lockset starts at universe and is
+        intersected with held-lock sets until (possibly) empty."""
+        candidate = BitVecSet.universe(256)
+        held1 = BitVecSet.empty(256)
+        held1.add(3)
+        held1.add(7)
+        candidate = candidate.intersect(held1)
+        assert list(candidate) == [3, 7]
+        held2 = BitVecSet.empty(256)
+        held2.add(7)
+        candidate = candidate.intersect(held2)
+        assert list(candidate) == [7]
+        candidate = candidate.intersect(BitVecSet.empty(256))
+        assert candidate.is_empty()
+
+
+# ---------------------------------------------------------------------------
+# model-based property tests: BitVecSet vs Python set semantics
+# ---------------------------------------------------------------------------
+elements = st.integers(min_value=0, max_value=DOMAIN - 1)
+operations = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), elements), max_size=40
+)
+
+
+def _apply(initial_universe, ops):
+    s = (
+        BitVecSet.universe(DOMAIN)
+        if initial_universe
+        else BitVecSet.empty(DOMAIN)
+    )
+    model = set(range(DOMAIN)) if initial_universe else set()
+    for op, element in ops:
+        getattr(s, op)(element)
+        (model.add if op == "add" else model.discard)(element)
+    return s, model
+
+
+@given(initial=st.booleans(), ops=operations)
+@settings(max_examples=120)
+def test_mutation_matches_set_model(initial, ops):
+    s, model = _apply(initial, ops)
+    assert set(s) == model
+    assert len(s) == len(model)
+    assert s.is_empty() == (not model)
+
+
+@given(a_init=st.booleans(), a_ops=operations, b_init=st.booleans(), b_ops=operations)
+@settings(max_examples=80)
+def test_algebra_matches_set_model(a_init, a_ops, b_init, b_ops):
+    a, model_a = _apply(a_init, a_ops)
+    b, model_b = _apply(b_init, b_ops)
+    assert set(a.intersect(b)) == (model_a & model_b)
+    assert set(a.union(b)) == (model_a | model_b)
+
+
+@given(init=st.booleans(), ops=operations, probe=elements)
+@settings(max_examples=80)
+def test_contains_matches_model(init, ops, probe):
+    s, model = _apply(init, ops)
+    assert s.contains(probe) == (probe in model)
+
+
+class TestCostBilling:
+    def test_ops_bill_cycles_via_meter(self):
+        class Meter:
+            def __init__(self):
+                self.total = 0
+            def cycles(self, n):
+                self.total += n
+
+        meter = Meter()
+        s = BitVecSet.empty(256, meter)
+        s.add(1)           # 1 cycle (single word)
+        s.contains(1)      # 1 cycle
+        s.is_empty()       # 4 cycles (256/64 words)
+        assert meter.total == 6
+
+    def test_algebra_results_inherit_meter(self):
+        class Meter:
+            def cycles(self, n):
+                pass
+
+        meter = Meter()
+        a = BitVecSet.empty(64, meter)
+        assert a.union(BitVecSet.empty(64)).meter is meter

@@ -1,0 +1,147 @@
+"""Unit + property tests for TreeSet and SparseBitVector."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.sparse_bitvector import SparseBitVector
+from repro.runtime.tree_set import TreeSet
+
+
+class TestTreeSet:
+    def test_add_contains_remove(self):
+        s = TreeSet()
+        s.add(100)
+        assert s.contains(100)
+        assert 100 in s
+        s.remove(100)
+        assert not s.contains(100)
+
+    def test_remove_missing_is_noop(self):
+        s = TreeSet()
+        s.remove(5)
+        assert s.is_empty()
+
+    def test_len_and_iter_sorted(self):
+        s = TreeSet()
+        for element in (30, 10, 20):
+            s.add(element)
+        assert len(s) == 3
+        assert list(s) == [10, 20, 30]
+
+    def test_intersect_inplace(self):
+        a, b = TreeSet(), TreeSet()
+        for element in (1, 2, 3):
+            a.add(element)
+        for element in (2, 3, 4):
+            b.add(element)
+        a.intersect_inplace(b)
+        assert list(a) == [2, 3]
+
+    def test_union_inplace(self):
+        a, b = TreeSet(), TreeSet()
+        a.add(1)
+        b.add(2)
+        a.union_inplace(b)
+        assert list(a) == [1, 2]
+
+    def test_copy_independent(self):
+        a = TreeSet()
+        a.add(1)
+        c = a.copy()
+        c.add(2)
+        assert list(a) == [1]
+
+    def test_large_sparse_elements(self):
+        s = TreeSet()
+        s.add(10**15)
+        assert s.contains(10**15)
+
+
+class TestSparseBitVector:
+    def test_add_contains(self):
+        s = SparseBitVector()
+        s.add(5)
+        s.add(100_000)
+        assert s.contains(5)
+        assert s.contains(100_000)
+        assert not s.contains(6)
+
+    def test_remove_cleans_chunks(self):
+        s = SparseBitVector()
+        s.add(128)
+        s.remove(128)
+        assert s.is_empty()
+        assert not s.chunks
+
+    def test_negative_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            SparseBitVector().add(-1)
+
+    def test_union_inplace(self):
+        a, b = SparseBitVector(), SparseBitVector()
+        a.add(1)
+        b.add(1000)
+        a.union_inplace(b)
+        assert list(a) == [1, 1000]
+
+    def test_intersect_inplace(self):
+        a, b = SparseBitVector(), SparseBitVector()
+        for element in (1, 64, 1000):
+            a.add(element)
+        for element in (64, 1000, 2000):
+            b.add(element)
+        a.intersect_inplace(b)
+        assert list(a) == [64, 1000]
+
+    def test_len(self):
+        s = SparseBitVector()
+        for element in range(0, 300, 7):
+            s.add(element)
+        assert len(s) == len(range(0, 300, 7))
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 500)),
+    max_size=40,
+)
+
+
+@given(ops=ops)
+@settings(max_examples=80)
+def test_tree_set_matches_model(ops):
+    s = TreeSet()
+    model = set()
+    for op, element in ops:
+        getattr(s, op)(element)
+        (model.add if op == "add" else model.discard)(element)
+    assert set(s) == model
+    assert s.is_empty() == (not model)
+
+
+@given(ops=ops)
+@settings(max_examples=80)
+def test_sparse_bitvector_matches_model(ops):
+    s = SparseBitVector()
+    model = set()
+    for op, element in ops:
+        getattr(s, op)(element)
+        (model.add if op == "add" else model.discard)(element)
+    assert set(s) == model
+
+
+@given(a=st.sets(st.integers(0, 300), max_size=20),
+       b=st.sets(st.integers(0, 300), max_size=20))
+@settings(max_examples=60)
+def test_sparse_algebra_matches_model(a, b):
+    sa, sb = SparseBitVector(), SparseBitVector()
+    for element in a:
+        sa.add(element)
+    for element in b:
+        sb.add(element)
+    union = SparseBitVector()
+    union.union_inplace(sa)
+    union.union_inplace(sb)
+    assert set(union) == a | b
+    sa.intersect_inplace(sb)
+    assert set(sa) == a & b

@@ -1,0 +1,205 @@
+"""Unit + property tests for SyncPolicy and the external-function kit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExternalFunctionError
+from repro.runtime.external import (
+    ExternalRegistry,
+    VectorClockArena,
+    default_externals,
+    epoch_clock,
+    epoch_make,
+    epoch_tid,
+)
+from repro.runtime.metadata import MetadataSpace
+from repro.runtime.sync import SyncPolicy
+from repro.vm.cache import CacheSim
+from repro.vm.profile import CostMeter, Profile
+
+
+def make_meter():
+    profile = Profile()
+    return CostMeter(profile, CacheSim()), profile
+
+
+class TestSyncPolicy:
+    def test_enter_bills(self):
+        meter, profile = make_meter()
+        policy = SyncPolicy(meter, MetadataSpace.fresh())
+        base = profile.instr_cycles
+        policy.enter(0x1000)
+        assert profile.instr_cycles > base
+        assert policy.acquisitions == 1
+
+    def test_warm_stripe_cheaper(self):
+        meter, profile = make_meter()
+        policy = SyncPolicy(meter, MetadataSpace.fresh())
+        policy.enter(0x1000)
+        cold = profile.instr_cycles
+        policy.enter(0x1000)
+        warm_cost = profile.instr_cycles - cold
+        assert warm_cost < cold
+
+    def test_memo_skips_entirely(self):
+        meter, profile = make_meter()
+        memo = {}
+        policy = SyncPolicy(meter, MetadataSpace.fresh(), memo=memo)
+        policy.enter(0x1000)
+        cost = profile.instr_cycles
+        policy.enter(0x1000)
+        assert profile.instr_cycles == cost
+        memo.clear()
+        policy.enter(0x1000)
+        assert profile.instr_cycles > cost
+
+
+class TestVectorClockArena:
+    def _arena(self):
+        meter, _ = make_meter()
+        return VectorClockArena(meter, MetadataSpace.fresh())
+
+    def test_new_handles_positive_and_distinct(self):
+        arena = self._arena()
+        assert arena.new() == 1
+        assert arena.new() == 2
+
+    def test_get_default_zero(self):
+        arena = self._arena()
+        handle = arena.new()
+        assert arena.get(handle, 3) == 0
+
+    def test_tick_increments(self):
+        arena = self._arena()
+        handle = arena.new()
+        assert arena.tick(handle, 0) == 1
+        assert arena.tick(handle, 0) == 2
+        assert arena.get(handle, 0) == 2
+
+    def test_join_pointwise_max(self):
+        arena = self._arena()
+        a, b = arena.new(), arena.new()
+        arena.set(a, 0, 5)
+        arena.set(a, 1, 1)
+        arena.set(b, 0, 2)
+        arena.set(b, 1, 9)
+        arena.join(a, b)
+        assert arena.get(a, 0) == 5
+        assert arena.get(a, 1) == 9
+
+    def test_copy_replaces(self):
+        arena = self._arena()
+        a, b = arena.new(), arena.new()
+        arena.set(a, 0, 7)
+        arena.set(b, 0, 1)
+        arena.set(b, 2, 3)
+        arena.copy(b, a)
+        assert arena.get(b, 0) == 7
+        assert arena.get(b, 2) == 0
+
+    def test_leq(self):
+        arena = self._arena()
+        a, b = arena.new(), arena.new()
+        arena.set(a, 0, 1)
+        arena.set(b, 0, 2)
+        assert arena.leq(a, b)
+        assert not arena.leq(b, a)
+
+    def test_bad_handle(self):
+        arena = self._arena()
+        with pytest.raises(ExternalFunctionError, match="bad vector-clock handle"):
+            arena.get(99, 0)
+        with pytest.raises(ExternalFunctionError):
+            arena.get(0, 0)
+
+
+@given(
+    entries_a=st.dictionaries(st.integers(0, 7), st.integers(0, 100), max_size=8),
+    entries_b=st.dictionaries(st.integers(0, 7), st.integers(0, 100), max_size=8),
+)
+@settings(max_examples=60)
+def test_join_property(entries_a, entries_b):
+    """join(a, b) == pointwise max; leq is the component order."""
+    meter, _ = make_meter()
+    arena = VectorClockArena(meter, MetadataSpace.fresh())
+    a, b = arena.new(), arena.new()
+    for tid, value in entries_a.items():
+        arena.set(a, tid, value)
+    for tid, value in entries_b.items():
+        arena.set(b, tid, value)
+    arena.join(a, b)
+    for tid in range(8):
+        assert arena.get(a, tid) == max(entries_a.get(tid, 0), entries_b.get(tid, 0))
+    assert arena.leq(b, a)
+
+
+class TestEpochs:
+    def test_pack_unpack(self):
+        epoch = epoch_make(5, 1234)
+        assert epoch_tid(epoch) == 5
+        assert epoch_clock(epoch) == 1234
+
+    def test_zero_epoch(self):
+        assert epoch_tid(0) == 0
+        assert epoch_clock(0) == 0
+
+    @given(tid=st.integers(0, 255), clock=st.integers(0, 2**40))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, tid, clock):
+        epoch = epoch_make(tid, clock)
+        assert epoch_tid(epoch) == tid
+        assert epoch_clock(epoch) == clock
+
+
+class _FakeRuntime:
+    def __init__(self):
+        self.meter, _ = make_meter()
+        self.space = MetadataSpace.fresh()
+
+
+class TestRegistry:
+    def test_unregistered_call_raises(self):
+        registry = ExternalRegistry()
+        with pytest.raises(ExternalFunctionError, match="unregistered"):
+            registry.call(_FakeRuntime(), "ghost")
+
+    def test_register_and_call(self):
+        registry = ExternalRegistry()
+        registry.register("triple", lambda rt, x: x * 3)
+        assert registry.call(_FakeRuntime(), "triple", 4) == 12
+
+    def test_none_result_becomes_zero(self):
+        registry = ExternalRegistry()
+        registry.register("void_fn", lambda rt: None)
+        assert registry.call(_FakeRuntime(), "void_fn") == 0
+
+    def test_contains(self):
+        registry = default_externals()
+        assert "vc_join" in registry
+        assert "ghost" not in registry
+
+    def test_default_vc_kit_end_to_end(self):
+        registry = default_externals()
+        runtime = _FakeRuntime()
+        handle = registry.call(runtime, "vc_new")
+        registry.call(runtime, "vc_tick", handle, 2)
+        assert registry.call(runtime, "vc_get", handle, 2) == 1
+        epoch = registry.call(runtime, "epoch_make", 2, 1)
+        assert registry.call(runtime, "epoch_leq_vc", epoch, handle) == 1
+        stale = registry.call(runtime, "epoch_make", 2, 5)
+        assert registry.call(runtime, "epoch_leq_vc", stale, handle) == 0
+
+    def test_arena_cached_per_runtime(self):
+        registry = default_externals()
+        runtime = _FakeRuntime()
+        registry.call(runtime, "vc_new")
+        arena = runtime._vc_arena
+        registry.call(runtime, "vc_new")
+        assert runtime._vc_arena is arena
+
+    def test_min_max_helpers(self):
+        registry = default_externals()
+        runtime = _FakeRuntime()
+        assert registry.call(runtime, "min", 3, 5) == 3
+        assert registry.call(runtime, "max", 3, 5) == 5

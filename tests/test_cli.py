@@ -1,0 +1,68 @@
+"""Tests for the top-level `python -m repro` CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=240,
+    )
+
+
+def test_list_shows_analyses_and_workloads():
+    result = run_cli("list")
+    assert result.returncode == 0
+    for name in ("eraser", "msan", "sslsan"):
+        assert name in result.stdout
+    for name in ("bzip2", "fft", "memcached_tls_leak"):
+        assert name in result.stdout
+
+
+def test_run_plain():
+    result = run_cli("run", "bzip2")
+    assert result.returncode == 0
+    assert "baseline" in result.stdout
+    assert "overhead" not in result.stdout
+
+
+def test_run_with_analysis():
+    result = run_cli("run", "bzip2", "--analysis", "uaf")
+    assert result.returncode == 0
+    assert "overhead" in result.stdout
+    assert "reports: 0" in result.stdout
+
+
+def test_run_combined():
+    result = run_cli("run", "radix", "--analysis", "eraser",
+                     "--analysis", "uaf", "--combine")
+    assert result.returncode == 0
+    assert "eraser+uaf" in result.stdout
+
+
+def test_run_with_reports():
+    result = run_cli("run", "gcc", "--analysis", "msan", "--reports")
+    assert result.returncode == 0
+    assert "sbitmap.c:349" in result.stdout
+
+
+def test_unknown_workload():
+    result = run_cli("run", "ghost")
+    assert result.returncode == 1
+    assert "unknown workload" in result.stderr
+
+
+def test_unknown_analysis():
+    result = run_cli("run", "bzip2", "--analysis", "ghost")
+    assert result.returncode == 1
+    assert "unknown analysis" in result.stderr
+
+
+def test_bug_workloads_runnable():
+    result = run_cli("run", "memcached_tls_leak", "--analysis", "sslsan")
+    assert result.returncode == 0
+    assert "reports: " in result.stdout
+    assert "reports: 0" not in result.stdout

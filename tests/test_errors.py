@@ -1,0 +1,52 @@
+"""Unit tests for the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AldaError,
+    AldaSyntaxError,
+    AldaTypeError,
+    CompileError,
+    DeadlockError,
+    ExternalFunctionError,
+    IRError,
+    MemoryFault,
+    ReproError,
+    VMError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(IRError, ReproError)
+    assert issubclass(VMError, ReproError)
+    assert issubclass(MemoryFault, VMError)
+    assert issubclass(DeadlockError, VMError)
+    assert issubclass(AldaSyntaxError, AldaError)
+    assert issubclass(AldaTypeError, AldaError)
+    assert issubclass(CompileError, ReproError)
+    assert issubclass(ExternalFunctionError, ReproError)
+
+
+def test_alda_error_location_formatting():
+    error = AldaTypeError("bad thing", line=7, column=3)
+    assert "line 7" in str(error)
+    assert error.line == 7 and error.column == 3
+
+
+def test_alda_error_without_location():
+    error = AldaTypeError("bad thing")
+    assert "line" not in str(error)
+
+
+def test_memory_fault_formats_address():
+    fault = MemoryFault(0x1234, "write")
+    assert "0x1234" in str(fault)
+    assert fault.address == 0x1234
+
+
+def test_catch_all_base():
+    """Library consumers can catch everything with one except clause."""
+    for error in (IRError("x"), VMError("x"), AldaSyntaxError("x"),
+                  CompileError("x"), ExternalFunctionError("x")):
+        with pytest.raises(ReproError):
+            raise error

@@ -1,0 +1,185 @@
+"""Cross-cutting property tests: random programs and model checking."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import IRBuilder
+from repro.vm import Interpreter
+from repro.vm.cache import CacheConfig, CacheSim
+
+
+# ---------------------------------------------------------------------------
+# random straight-line expression programs vs a Python evaluator
+# ---------------------------------------------------------------------------
+_SAFE_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: (a & b) & ((1 << 64) - 1),
+    "or": lambda a, b: (a | b) & ((1 << 64) - 1),
+    "xor": lambda a, b: (a ^ b) & ((1 << 64) - 1),
+}
+
+_expr_ops = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(_SAFE_BINOPS)),
+        st.integers(0, 2**20),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(seed=st.integers(0, 2**16), ops=_expr_ops)
+@settings(max_examples=80)
+def test_random_expression_chain_matches_python(seed, ops):
+    """A random fold of binops over an accumulator matches Python."""
+    b = IRBuilder()
+    b.function("main")
+    register = b.const(seed)
+    expected = seed
+    for op, literal in ops:
+        register = b.binop(op, register, literal)
+        expected = _SAFE_BINOPS[op](expected, literal)
+    b.ret(register)
+    vm = Interpreter(b.module)
+    vm.run()
+    assert vm.threads[0].result == expected
+
+
+@given(values=st.lists(st.integers(0, 2**32), min_size=1, max_size=20))
+@settings(max_examples=60)
+def test_memory_spill_reload_roundtrip(values):
+    """Spilling values to memory and reloading preserves them all."""
+    b = IRBuilder()
+    b.function("main")
+    buf = b.call("malloc", [len(values) * 8])
+    for position, value in enumerate(values):
+        b.store(b.const(value), b.add(buf, position * 8))
+    acc = b.const(0)
+    for position in range(len(values)):
+        acc = b.xor(acc, b.load(b.add(buf, position * 8)))
+    b.ret(acc)
+    vm = Interpreter(b.module)
+    vm.run()
+    expected = 0
+    for value in values:
+        expected ^= value
+    assert vm.threads[0].result == expected
+
+
+@given(
+    chunk_a=st.integers(1, 30),
+    chunk_b=st.integers(1, 30),
+    quantum=st.sampled_from([1, 7, 64]),
+)
+@settings(max_examples=30, deadline=None)
+def test_locked_parallel_sum_correct_for_any_quantum(chunk_a, chunk_b, quantum):
+    """Mutex-protected accumulation is correct under any interleaving."""
+    b = IRBuilder()
+    b.module.add_global("total", 8)
+    b.module.add_global("lock", 64)
+    b.function("worker", ["n"])
+    total = b.global_addr("total")
+    lock = b.global_addr("lock")
+    with b.loop("n"):
+        b.call("mutex_lock", [lock], void=True)
+        b.store(b.add(b.load(total), 1), total)
+        b.call("mutex_unlock", [lock], void=True)
+    b.ret(0)
+    b.function("main")
+    b.store(0, b.global_addr("total"))
+    t = b.call("spawn$worker", [chunk_b])
+    b.call("worker", [chunk_a], void=True)
+    b.call("join", [t], void=True)
+    b.ret(b.load(b.global_addr("total")))
+    vm = Interpreter(b.module, quantum=quantum)
+    vm.run()
+    assert vm.threads[0].result == chunk_a + chunk_b
+
+
+# ---------------------------------------------------------------------------
+# cache simulator vs a reference LRU model
+# ---------------------------------------------------------------------------
+class _ReferenceLRU:
+    """Obviously-correct single-level set-associative LRU cache."""
+
+    def __init__(self, total_bytes, assoc, line_bytes):
+        self.n_sets = total_bytes // (line_bytes * assoc)
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.sets = {}
+
+    def access(self, line):
+        index = line % self.n_sets
+        ways = self.sets.setdefault(index, [])
+        hit = line in ways
+        if hit:
+            ways.remove(line)
+        ways.append(line)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return hit
+
+
+@given(
+    lines=st.lists(st.integers(0, 200), min_size=1, max_size=150),
+)
+@settings(max_examples=60)
+def test_l1_matches_reference_lru(lines):
+    config = CacheConfig(
+        line_bytes=64, l1_bytes=2048, l1_assoc=2,
+        l2_bytes=1 << 30, l2_assoc=1024,  # L2 huge: isolates L1 behaviour
+        l1_hit_cycles=1, l2_hit_cycles=10, dram_cycles=60,
+    )
+    sim = CacheSim(config)
+    reference = _ReferenceLRU(2048, 2, 64)
+    for line in lines:
+        expected_hit = reference.access(line)
+        cycles = sim.access(line * 64, 8)
+        assert (cycles == 1) == expected_hit
+
+
+# ---------------------------------------------------------------------------
+# end-to-end determinism under instrumentation
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("analysis_name", ["uaf", "eraser", "msan"])
+def test_instrumented_runs_deterministic(analysis_name):
+    from repro.analyses import REGISTRY
+    from repro.workloads import SPLASH2
+    from tests.conftest import run_analysis_on
+
+    module = REGISTRY[analysis_name]
+    workload = SPLASH2["radix"]
+    cycles = set()
+    report_counts = set()
+    for _ in range(2):
+        profile, reporter, _ = run_analysis_on(
+            module.compile_(), workload.make_module(1),
+            extern=workload.make_extern(),
+        )
+        cycles.add(profile.cycles)
+        report_counts.add(len(reporter))
+    assert len(cycles) == 1
+    assert len(report_counts) == 1
+
+
+def test_metadata_never_perturbs_program_semantics():
+    """The same program returns the same result with and without an
+    attached analysis (instrumentation must be observation-only)."""
+    from repro.analyses import msan
+    from repro.workloads import SPEC
+
+    module = SPEC["mcf"].make_module(1)
+    plain = Interpreter(module)
+    plain.run()
+    expected = plain.threads[0].result
+
+    module2 = SPEC["mcf"].make_module(1)
+    vm = Interpreter(module2, track_shadow=True)
+    msan.compile_().attach(vm)
+    vm.run()
+    assert vm.threads[0].result == expected

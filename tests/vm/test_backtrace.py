@@ -1,0 +1,99 @@
+"""Tests for analysis-report backtraces (paper §3.1.1: alda_assert
+"generate[s] an error report and analysis backtrace")."""
+
+from repro.compiler import CompileOptions, compile_analysis
+from repro.ir import IRBuilder
+from tests.conftest import run_analysis_on
+
+CHECKER = """
+address := pointer
+flag := int8
+addr2Bad = map(address, flag)
+
+onFree(address ptr) { addr2Bad[ptr] = 1; }
+onLoad(address ptr) { alda_assert(addr2Bad[ptr], 0); }
+insert before func free call onFree($1)
+insert after LoadInst call onLoad($1)
+"""
+
+
+def _nested_module():
+    """main -> outer -> inner; the violation happens inside `inner`."""
+    b = IRBuilder()
+    b.function("inner", ["p"])
+    b.load("p")  # use after free, two frames deep
+    b.ret(0)
+    b.function("outer", ["p"])
+    b.call("inner", ["p"], void=True)
+    b.ret(0)
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.store(1, block)
+    b.call("free", [block], void=True)
+    b.call("outer", [block], void=True)
+    b.ret(0)
+    return b.module
+
+
+def test_backtrace_lists_frames_innermost_first():
+    analysis = compile_analysis(CHECKER, CompileOptions(analysis_name="uafmini"))
+    _, reporter, _ = run_analysis_on(analysis, _nested_module())
+    report = reporter.by_analysis("uafmini")[0]
+    assert len(report.backtrace) == 3
+    assert report.backtrace[0].startswith("inner")
+    assert report.backtrace[1].startswith("outer")
+    assert report.backtrace[2].startswith("main")
+
+
+def test_backtrace_rendered_in_str():
+    analysis = compile_analysis(CHECKER, CompileOptions(analysis_name="uafmini"))
+    _, reporter, _ = run_analysis_on(analysis, _nested_module())
+    text = str(reporter.reports[0])
+    assert "#0 inner" in text
+    assert "#2 main" in text
+
+
+def test_backtrace_uses_loc_tags_when_present():
+    analysis = compile_analysis(CHECKER, CompileOptions(analysis_name="uafmini"))
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.store(1, block)
+    b.call("free", [block], void=True)
+    b.load(block)
+    from repro.workloads.base import mark_loc
+    mark_loc(b, "app.c:99")
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    report = reporter.by_analysis("uafmini")[0]
+    assert report.backtrace[0] == "app.c:99"
+
+
+def test_single_frame_backtrace():
+    analysis = compile_analysis(CHECKER, CompileOptions(analysis_name="uafmini"))
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.call("free", [block], void=True)
+    b.load(block)
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    assert len(reporter.reports[0].backtrace) == 1
+
+
+def test_thread_backtraces_are_per_thread():
+    analysis = compile_analysis(CHECKER, CompileOptions(analysis_name="uafmini"))
+    b = IRBuilder()
+    b.function("victim", ["p"])
+    b.load("p")
+    b.ret(0)
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.call("free", [block], void=True)
+    t = b.call("spawn$victim", [block])
+    b.call("join", [t], void=True)
+    b.ret(0)
+    _, reporter, _ = run_analysis_on(analysis, b.module)
+    report = reporter.by_analysis("uafmini")[0]
+    assert report.backtrace[0].startswith("victim")
+    assert all(not frame.startswith("main") for frame in report.backtrace)

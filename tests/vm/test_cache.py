@@ -1,0 +1,96 @@
+"""Unit tests for the two-level cache simulator."""
+
+from repro.vm.cache import CacheConfig, CacheSim
+
+
+def make_sim(**overrides):
+    defaults = dict(
+        line_bytes=64, l1_bytes=1024, l1_assoc=2, l2_bytes=4096, l2_assoc=2,
+        l1_hit_cycles=1, l2_hit_cycles=10, dram_cycles=60,
+    )
+    defaults.update(overrides)
+    return CacheSim(CacheConfig(**defaults))
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses_to_dram(self):
+        sim = make_sim()
+        assert sim.access(0x1000, 8) == 60
+        assert sim.stats.dram_fills == 1
+
+    def test_second_access_hits_l1(self):
+        sim = make_sim()
+        sim.access(0x1000, 8)
+        assert sim.access(0x1000, 8) == 1
+        assert sim.stats.l1_hits == 1
+
+    def test_same_line_different_offsets_hit(self):
+        sim = make_sim()
+        sim.access(0x1000, 8)
+        assert sim.access(0x1038, 8) == 1  # same 64B line
+
+    def test_adjacent_lines_are_separate(self):
+        sim = make_sim()
+        sim.access(0x1000, 8)
+        assert sim.access(0x1040, 8) == 60
+
+    def test_access_spanning_two_lines(self):
+        sim = make_sim()
+        cycles = sim.access(0x103C, 8)  # crosses the 0x1040 boundary
+        assert cycles == 120
+        assert sim.stats.accesses == 2
+
+    def test_l2_catches_l1_evictions(self):
+        sim = make_sim()
+        # Three lines in the same L1 set (1024/64/2 = 8 sets -> stride 512)
+        sim.access(0x1000, 8)
+        sim.access(0x1000 + 512, 8)
+        sim.access(0x1000 + 1024, 8)  # evicts 0x1000 from the 2-way set
+        assert sim.access(0x1000, 8) == 10  # L2 hit
+        assert sim.stats.l2_hits == 1
+
+    def test_lru_keeps_recently_used(self):
+        sim = make_sim()
+        sim.access(0x1000, 8)
+        sim.access(0x1000 + 512, 8)
+        sim.access(0x1000, 8)  # refresh 0x1000
+        sim.access(0x1000 + 1024, 8)  # should evict 0x1200 (the stale one)
+        assert sim.access(0x1000, 8) == 1  # still in L1
+
+
+class TestStats:
+    def test_counts_accumulate(self):
+        sim = make_sim()
+        for i in range(10):
+            sim.access(0x2000 + i * 8, 8)
+        assert sim.stats.accesses == 10
+
+    def test_miss_rate(self):
+        sim = make_sim()
+        sim.access(0x1000, 8)
+        sim.access(0x1000, 8)
+        assert sim.stats.l1_miss_rate == 0.5
+
+    def test_miss_rate_empty(self):
+        assert make_sim().stats.l1_miss_rate == 0.0
+
+    def test_reset(self):
+        sim = make_sim()
+        sim.access(0x1000, 8)
+        sim.reset_stats()
+        assert sim.stats.accesses == 0
+
+
+class TestDefaults:
+    def test_default_geometry(self):
+        sim = CacheSim()
+        assert sim.config.l1_bytes == 32 * 1024
+        assert sim.config.line_bytes == 64
+
+    def test_working_set_within_l1_all_hits(self):
+        sim = CacheSim()
+        lines = [0x4000 + i * 64 for i in range(64)]  # 4KB, fits easily
+        for addr in lines:
+            sim.access(addr, 8)
+        for addr in lines:
+            assert sim.access(addr, 8) == 1

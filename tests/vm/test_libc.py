@@ -1,0 +1,125 @@
+"""Unit tests for libc builtins."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.ir import IRBuilder
+from repro.vm import Interpreter
+
+
+def run(build, **kwargs):
+    b = IRBuilder()
+    b.function("main")
+    build(b)
+    vm = Interpreter(b.module, **kwargs)
+    vm.run()
+    return vm
+
+
+def test_malloc_free_cycle():
+    vm = run(lambda b: (b.call("free", [b.call("malloc", [32])], void=True), b.ret(0)))
+    assert vm.heap.bytes_allocated == 32
+    assert not vm.heap.live_blocks()
+
+
+def test_calloc_zeroes():
+    def build(b):
+        block = b.call("calloc", [4, 8])
+        b.ret(b.load(b.add(block, 16)))
+    vm = run(build)
+    assert vm.threads[0].result == 0
+    assert vm.heap.size_of(vm.heap.malloc(1) - 0) >= 0  # heap alive
+
+
+def test_memset_fills():
+    def build(b):
+        block = b.call("malloc", [16])
+        b.call("memset", [block, 0xAB, 16], void=True)
+        b.ret(b.load(block, size=1))
+    vm = run(build)
+    assert vm.threads[0].result == 0xAB
+
+
+def test_memcpy_copies():
+    def build(b):
+        src = b.call("malloc", [8])
+        dst = b.call("malloc", [8])
+        b.store(0x1234, src)
+        b.call("memcpy", [dst, src, 8], void=True)
+        b.ret(b.load(dst))
+    vm = run(build)
+    assert vm.threads[0].result == 0x1234
+
+
+def test_gets_writes_default_input():
+    def build(b):
+        buf = b.call("malloc", [32])
+        b.call("gets", [buf], void=True)
+        b.ret(b.load(buf, size=1))
+    vm = run(build)
+    assert vm.threads[0].result == ord("s")  # "simulated-input"
+
+
+def test_gets_consumes_supplied_lines():
+    def build(b):
+        buf = b.call("malloc", [32])
+        b.call("gets", [buf], void=True)
+        b.ret(b.load(buf, size=1))
+    vm = run(build, input_lines=[b"hello"])
+    assert vm.threads[0].result == ord("h")
+
+
+def test_gets_returns_buffer():
+    def build(b):
+        buf = b.call("malloc", [32])
+        returned = b.call("gets", [buf])
+        b.ret(b.sub(returned, buf))
+    vm = run(build)
+    assert vm.threads[0].result == 0
+
+
+def test_rand_deterministic_and_bounded():
+    def build(b):
+        b.ret(b.call("rand"))
+    first = run(build).threads[0].result
+    second = run(build).threads[0].result
+    assert first == second
+    assert 0 <= first < 2**31
+
+
+def test_rand_sequence_varies():
+    def build(b):
+        a = b.call("rand")
+        c = b.call("rand")
+        b.ret(b.cmp("ne", a, c))
+    assert run(build).threads[0].result == 1
+
+
+def test_puts_and_print_int_are_cheap_noops():
+    def build(b):
+        b.call("puts", [1], void=True)
+        b.call("print_int", [42], void=True)
+        b.ret(0)
+    vm = run(build)
+    assert vm.threads[0].result == 0
+
+
+def test_program_exit_noop_but_hookable():
+    from repro.vm import Hooks
+    b = IRBuilder()
+    b.function("main")
+    b.call("program_exit", [], void=True)
+    b.ret(0)
+    seen = []
+    hooks = Hooks()
+    hooks.add("before", "func:program_exit", lambda ctx: seen.append(1))
+    Interpreter(b.module, hooks=hooks).run()
+    assert seen == [1]
+
+
+def test_abort_raises():
+    def build(b):
+        b.call("abort", [], void=True)
+        b.ret(0)
+    with pytest.raises(VMError, match="abort"):
+        run(build)

@@ -1,0 +1,157 @@
+"""Unit tests for the string builtins and their analysis interceptors."""
+
+import pytest
+
+from repro.analyses import msan, taint
+from repro.ir import IRBuilder
+from repro.vm import Interpreter
+from tests.conftest import run_analysis_on
+
+
+def run(build, **kwargs):
+    b = IRBuilder()
+    b.function("main")
+    build(b)
+    vm = Interpreter(b.module, **kwargs)
+    vm.run()
+    return vm
+
+
+def _store_cstring(b, address, text: str):
+    for position, char in enumerate(text):
+        b.store(ord(char), b.add(address, position), size=1)
+    b.store(0, b.add(address, len(text)), size=1)
+
+
+class TestStringBuiltins:
+    def test_strlen(self):
+        def build(b):
+            buf = b.call("calloc", [4, 8])
+            _store_cstring(b, buf, "hello")
+            b.ret(b.call("strlen", [buf]))
+        assert run(build).threads[0].result == 5
+
+    def test_strlen_empty(self):
+        def build(b):
+            buf = b.call("calloc", [1, 8])
+            b.ret(b.call("strlen", [buf]))
+        assert run(build).threads[0].result == 0
+
+    def test_strcpy_copies_and_returns_length_with_nul(self):
+        def build(b):
+            src = b.call("calloc", [4, 8])
+            dst = b.call("calloc", [4, 8])
+            _store_cstring(b, src, "abc")
+            n = b.call("strcpy", [dst, src])
+            first = b.load(dst, size=1)
+            b.ret(b.add(b.mul(n, 256), first))
+        result = run(build).threads[0].result
+        assert result == 4 * 256 + ord("a")
+
+    @pytest.mark.parametrize("a,b_,expected", [
+        ("same", "same", 0),
+        ("abc", "abd", -1),
+        ("abd", "abc", 1),
+        ("ab", "abc", -1),
+    ])
+    def test_strcmp(self, a, b_, expected):
+        def build(b):
+            buf_a = b.call("calloc", [4, 8])
+            buf_b = b.call("calloc", [4, 8])
+            _store_cstring(b, buf_a, a)
+            _store_cstring(b, buf_b, b_)
+            b.ret(b.call("strcmp", [buf_a, buf_b]))
+        assert run(build).threads[0].result == expected
+
+    @pytest.mark.parametrize("text,expected", [
+        ("123", 123),
+        ("-45", -45),
+        ("12ab", 12),
+        ("junk", 0),
+        ("", 0),
+    ])
+    def test_atoi(self, text, expected):
+        def build(b):
+            buf = b.call("calloc", [4, 8])
+            _store_cstring(b, buf, text)
+            b.ret(b.call("atoi", [buf]))
+        assert run(build).threads[0].result == expected
+
+
+class TestMSanStringInterceptors:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return msan.compile_()
+
+    def _reports(self, analysis, build):
+        b = IRBuilder()
+        b.function("main")
+        build(b)
+        _, reporter, _ = run_analysis_on(analysis, b.module)
+        return reporter.by_analysis("msan")
+
+    def test_strlen_on_uninitialized_reported(self, analysis):
+        def build(b):
+            buf = b.call("malloc", [16])  # poison
+            b.call("strlen", [buf], void=True)
+            b.ret(0)
+        assert self._reports(analysis, build)
+
+    def test_strlen_on_initialized_clean(self, analysis):
+        def build(b):
+            buf = b.call("calloc", [2, 8])
+            _store_cstring(b, buf, "ok")
+            b.call("strlen", [buf], void=True)
+            b.ret(0)
+        assert not self._reports(analysis, build)
+
+    def test_strcpy_propagates_poison(self, analysis):
+        def build(b):
+            src = b.call("malloc", [16])          # poisoned source
+            b.store(0, b.add(src, 4), size=1)     # bounded string
+            dst = b.call("calloc", [2, 8])
+            b.call("strcpy", [dst, src], void=True)
+            value = b.load(dst, size=1)
+            with b.if_then(b.cmp("ne", value, 0), loc="strcpy:1"):
+                pass
+            b.ret(0)
+        reports = self._reports(analysis, build)
+        assert any(r.location == "strcpy:1" for r in reports)
+
+    def test_atoi_on_uninitialized_reported(self, analysis):
+        def build(b):
+            buf = b.call("malloc", [8])
+            b.call("atoi", [buf], void=True)
+            b.ret(0)
+        assert self._reports(analysis, build)
+
+
+class TestTaintStringInterceptors:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return taint.compile_()
+
+    def test_atoi_of_user_input_taints_index(self, analysis):
+        b = IRBuilder()
+        b.function("main")
+        table = b.call("calloc", [16, 8])
+        buf = b.call("calloc", [2, 8])
+        b.call("gets", [buf], void=True)        # taint source
+        number = b.call("atoi", [buf])          # parsed user input
+        index = b.and_(number, 7)
+        b.load(b.add(table, b.mul(index, 8)))   # tainted index sink
+        b.ret(0)
+        _, reporter, _ = run_analysis_on(analysis, b.module)
+        assert reporter.by_analysis("taint")
+
+    def test_atoi_of_clean_string_untainted(self, analysis):
+        b = IRBuilder()
+        b.function("main")
+        table = b.call("calloc", [16, 8])
+        buf = b.call("calloc", [2, 8])
+        _store_cstring(b, buf, "3")
+        number = b.call("atoi", [buf])
+        b.load(b.add(table, b.mul(b.and_(number, 7), 8)))
+        b.ret(0)
+        _, reporter, _ = run_analysis_on(analysis, b.module)
+        assert not reporter.by_analysis("taint")

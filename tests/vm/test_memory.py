@@ -1,0 +1,167 @@
+"""Unit + property tests for simulated memory and the heap allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryFault
+from repro.vm.memory import AddressSpace, Heap, Memory
+
+BASE = AddressSpace.HEAP_BASE
+
+
+class TestMemoryBasics:
+    def test_unwritten_reads_zero(self):
+        assert Memory().read(BASE, 8) == 0
+
+    def test_word_roundtrip(self):
+        memory = Memory()
+        memory.write(BASE, 0x1122334455667788, 8)
+        assert memory.read(BASE, 8) == 0x1122334455667788
+
+    def test_byte_roundtrip(self):
+        memory = Memory()
+        memory.write(BASE + 3, 0xAB, 1)
+        assert memory.read(BASE + 3, 1) == 0xAB
+
+    def test_little_endian_layout(self):
+        memory = Memory()
+        memory.write(BASE, 0x0102030405060708, 8)
+        assert memory.read(BASE, 1) == 0x08
+        assert memory.read(BASE + 7, 1) == 0x01
+
+    def test_unaligned_word(self):
+        memory = Memory()
+        memory.write(BASE + 5, 0xDEADBEEFCAFE, 8)
+        assert memory.read(BASE + 5, 8) == 0xDEADBEEFCAFE
+
+    def test_write_masks_to_size(self):
+        memory = Memory()
+        memory.write(BASE, 0x1FF, 1)
+        assert memory.read(BASE, 1) == 0xFF
+
+    def test_null_guard_read(self):
+        with pytest.raises(MemoryFault, match="null guard"):
+            Memory().read(0x10, 8)
+
+    def test_null_guard_write(self):
+        with pytest.raises(MemoryFault, match="null guard"):
+            Memory().write(0x0, 1, 8)
+
+    def test_fault_records_address(self):
+        try:
+            Memory().read(0x20, 1)
+        except MemoryFault as fault:
+            assert fault.address == 0x20
+
+
+class TestFillAndCopy:
+    def test_fill_sets_every_byte(self):
+        memory = Memory()
+        memory.fill(BASE + 1, 0x5A, 21)
+        assert all(memory.read(BASE + 1 + i, 1) == 0x5A for i in range(21))
+        assert memory.read(BASE, 1) == 0  # byte before untouched
+        assert memory.read(BASE + 22, 1) == 0  # byte after untouched
+
+    def test_fill_zero_length(self):
+        memory = Memory()
+        memory.fill(BASE, 0xFF, 0)
+        assert memory.read(BASE, 1) == 0
+
+    def test_copy_moves_bytes(self):
+        memory = Memory()
+        memory.write(BASE, 0xAABBCCDD, 4)
+        memory.copy(BASE + 100, BASE, 4)
+        assert memory.read(BASE + 100, 4) == 0xAABBCCDD
+
+    def test_copy_overlapping_forward(self):
+        memory = Memory()
+        for i in range(8):
+            memory.write(BASE + i, i + 1, 1)
+        memory.copy(BASE + 2, BASE, 8)  # overlap
+        assert [memory.read(BASE + 2 + i, 1) for i in range(8)] == list(range(1, 9))
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=64),
+    size=st.sampled_from([1, 2, 4, 8]),
+    value=st.integers(min_value=0, max_value=2**64 - 1),
+)
+@settings(max_examples=80)
+def test_roundtrip_property(offset, size, value):
+    """Any write is read back exactly (masked to its size), at any offset."""
+    memory = Memory()
+    masked = value & ((1 << (size * 8)) - 1)
+    memory.write(BASE + offset, value, size)
+    assert memory.read(BASE + offset, size) == masked
+
+
+@given(data=st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 255)), min_size=1, max_size=30,
+))
+@settings(max_examples=50)
+def test_byte_writes_match_dict_model(data):
+    """Sequence of byte writes behaves like a plain dict of bytes."""
+    memory = Memory()
+    model = {}
+    for offset, byte in data:
+        memory.write(BASE + offset, byte, 1)
+        model[offset] = byte
+    for offset in range(64):
+        assert memory.read(BASE + offset, 1) == model.get(offset, 0)
+
+
+class TestHeap:
+    def test_malloc_returns_distinct_blocks(self):
+        heap = Heap()
+        a, b = heap.malloc(16), heap.malloc(16)
+        assert a != b
+        assert abs(a - b) >= 16
+
+    def test_free_returns_size(self):
+        heap = Heap()
+        block = heap.malloc(100)
+        assert heap.free(block) == 100
+
+    def test_double_free_counted_not_fatal(self):
+        heap = Heap()
+        block = heap.malloc(8)
+        heap.free(block)
+        assert heap.free(block) == 0
+        assert heap.double_frees == 1
+
+    def test_bad_free_counted(self):
+        heap = Heap()
+        assert heap.free(0xDEAD0000) == 0
+        assert heap.bad_frees == 1
+
+    def test_free_null_is_noop(self):
+        heap = Heap()
+        assert heap.free(0) == 0
+        assert heap.bad_frees == 0
+
+    def test_no_address_reuse_after_free(self):
+        heap = Heap()
+        a = heap.malloc(32)
+        heap.free(a)
+        assert heap.malloc(32) != a
+
+    def test_peak_tracks_live_bytes(self):
+        heap = Heap()
+        a = heap.malloc(100)
+        heap.malloc(50)
+        heap.free(a)
+        heap.malloc(10)
+        assert heap.peak_bytes == 150
+
+    def test_live_blocks(self):
+        heap = Heap()
+        a = heap.malloc(8)
+        b = heap.malloc(8)
+        heap.free(a)
+        assert heap.live_blocks() == {b: 8}
+
+    def test_zero_size_malloc(self):
+        heap = Heap()
+        block = heap.malloc(0)
+        assert heap.size_of(block) == 1

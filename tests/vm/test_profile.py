@@ -1,0 +1,66 @@
+"""Unit tests for Profile and CostMeter accounting."""
+
+import pytest
+
+from repro.vm.cache import CacheSim
+from repro.vm.profile import CostMeter, Profile
+
+
+class TestProfile:
+    def test_cycles_sum_buckets(self):
+        profile = Profile(base_cycles=10, mem_cycles=20, instr_cycles=30)
+        assert profile.cycles == 60
+
+    def test_overhead_vs(self):
+        base = Profile(base_cycles=100)
+        instrumented = Profile(base_cycles=100, instr_cycles=150)
+        assert instrumented.overhead_vs(base) == pytest.approx(2.5)
+
+    def test_overhead_vs_zero_baseline_rejected(self):
+        with pytest.raises(ValueError, match="zero cycles"):
+            Profile(base_cycles=1).overhead_vs(Profile())
+
+    def test_count_event(self):
+        profile = Profile()
+        profile.count_event("LoadInst")
+        profile.count_event("LoadInst")
+        profile.count_event("StoreInst")
+        assert profile.events == {"LoadInst": 2, "StoreInst": 1}
+
+
+class TestCostMeter:
+    def test_cycles_land_in_instr_bucket(self):
+        profile = Profile()
+        meter = CostMeter(profile, CacheSim())
+        meter.cycles(7)
+        assert profile.instr_cycles == 7
+        assert profile.base_cycles == 0
+
+    def test_touch_bills_cache_and_counts_op(self):
+        profile = Profile()
+        meter = CostMeter(profile, CacheSim())
+        meter.touch(0x1_0000_0000, 8)
+        assert profile.metadata_ops == 1
+        assert profile.instr_cycles >= 1  # at least a hit's worth
+
+    def test_touch_second_access_is_hit(self):
+        profile = Profile()
+        meter = CostMeter(profile, CacheSim())
+        meter.touch(0x1_0000_0000, 8)
+        first = profile.instr_cycles
+        meter.touch(0x1_0000_0000, 8)
+        assert profile.instr_cycles - first < first
+
+    def test_footprint(self):
+        profile = Profile()
+        meter = CostMeter(profile, CacheSim())
+        meter.footprint(4096)
+        assert profile.metadata_bytes == 4096
+
+    def test_meter_shares_cache_with_program(self):
+        """Metadata traffic warms the same cache program traffic uses."""
+        profile = Profile()
+        cache = CacheSim()
+        meter = CostMeter(profile, cache)
+        meter.touch(0x5000, 8)
+        assert cache.access(0x5000, 8) == cache.config.l1_hit_cycles

@@ -1,0 +1,74 @@
+"""Unit tests for the report channel."""
+
+from repro.vm.profile import Profile
+from repro.vm.reporting import Report, Reporter
+
+
+def test_report_recorded():
+    reporter = Reporter()
+    reporter.report("msan", "onBranch", "uninit", "f.c:3")
+    assert len(reporter) == 1
+    assert reporter.reports[0].analysis == "msan"
+
+
+def test_dedup_same_site():
+    reporter = Reporter()
+    for _ in range(5):
+        reporter.report("msan", "onBranch", "uninit", "f.c:3")
+    assert len(reporter) == 1
+
+
+def test_distinct_handlers_not_deduped():
+    reporter = Reporter()
+    reporter.report("a", "h1", "boom", "f.c:3")
+    reporter.report("a", "h2", "boom", "f.c:3")
+    assert len(reporter) == 2
+
+
+def test_distinct_locations_not_deduped():
+    reporter = Reporter()
+    reporter.report("a", "h", "boom", "f.c:3")
+    reporter.report("a", "h", "boom", "f.c:4")
+    assert len(reporter) == 2
+
+
+def test_by_analysis_filters():
+    reporter = Reporter()
+    reporter.report("a", "h", "x", "l1")
+    reporter.report("b", "h", "x", "l2")
+    assert [r.location for r in reporter.by_analysis("a")] == ["l1"]
+
+
+def test_locations_helper():
+    reporter = Reporter()
+    reporter.report("a", "h", "x", "l1")
+    reporter.report("a", "h", "x", "l2")
+    assert reporter.locations("a") == ["l1", "l2"]
+    assert reporter.locations() == ["l1", "l2"]
+
+
+def test_profile_counter_increments():
+    profile = Profile()
+    reporter = Reporter(profile)
+    reporter.report("a", "h", "x", "l1")
+    reporter.report("a", "h", "x", "l1")  # deduped
+    assert profile.reports == 1
+
+
+def test_max_reports_cap():
+    reporter = Reporter(max_reports=3)
+    for i in range(10):
+        reporter.report("a", "h", "x", f"l{i}")
+    assert len(reporter) == 3
+
+
+def test_report_str_contains_fields():
+    report = Report("msan", "onBranch", "assert failed", "f.c:3", actual=1, expected=0)
+    text = str(report)
+    assert "msan" in text and "f.c:3" in text and "got 1" in text
+
+
+def test_iteration():
+    reporter = Reporter()
+    reporter.report("a", "h", "x", "l1")
+    assert [r.analysis for r in reporter] == ["a"]

@@ -1,0 +1,129 @@
+"""Unit tests for the local-metadata (register shadow) plane."""
+
+from repro.ir import IRBuilder
+from repro.vm import Hooks, Interpreter
+
+
+def run_with_hooks(module, register):
+    hooks = Hooks()
+    register(hooks)
+    vm = Interpreter(module, hooks=hooks, track_shadow=True)
+    vm.run()
+    return vm
+
+
+def test_constants_have_zero_shadow():
+    b = IRBuilder()
+    b.function("main")
+    x = b.const(5)
+    b.add(x, 1)
+    b.ret(0)
+    seen = []
+    vm = run_with_hooks(
+        b.module,
+        lambda hooks: hooks.add("after", "BinaryOperator",
+                                lambda ctx: seen.append(ctx.operand_shadow(1))),
+    )
+    assert seen == [0]
+
+
+def test_handler_return_becomes_result_shadow():
+    """An after-LoadInst handler's set_result_shadow taints the register,
+    and arithmetic ORs it into derived values."""
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.store(1, block)
+    loaded = b.load(block)
+    derived = b.add(loaded, 5)
+    b.store(derived, block)
+    b.ret(0)
+
+    stored_shadows = []
+
+    def register(hooks):
+        hooks.add("after", "LoadInst", lambda ctx: ctx.set_result_shadow(7))
+        hooks.add("after", "StoreInst",
+                  lambda ctx: stored_shadows.append(ctx.operand_shadow(1)))
+
+    vm = run_with_hooks(b.module, register)
+    # first store: constant (shadow 0); second: derived from load (shadow 7)
+    assert stored_shadows == [0, 7]
+
+
+def test_shadow_propagates_through_or_of_operands():
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [16])
+    b.store(1, block)
+    a = b.load(block)
+    c = b.load(b.add(block, 8))
+    mixed = b.add(a, c)
+    b.store(mixed, block)
+    b.ret(0)
+
+    labels = iter([1, 2])
+    stored = []
+
+    def register(hooks):
+        hooks.add("after", "LoadInst",
+                  lambda ctx: ctx.set_result_shadow(next(labels)))
+        hooks.add("after", "StoreInst",
+                  lambda ctx: stored.append(ctx.operand_shadow(1)))
+
+    run_with_hooks(b.module, register)
+    assert stored[-1] == 1 | 2
+
+
+def test_shadow_crosses_calls_and_returns():
+    b = IRBuilder()
+    b.function("identity", ["x"])
+    b.ret("x")
+    b.function("main")
+    block = b.call("malloc", [8])
+    loaded = b.load(block)
+    back = b.call("identity", [loaded])
+    b.store(back, block)
+    b.ret(0)
+
+    stored = []
+
+    def register(hooks):
+        hooks.add("after", "LoadInst", lambda ctx: ctx.set_result_shadow(3))
+        hooks.add("after", "StoreInst",
+                  lambda ctx: stored.append(ctx.operand_shadow(1)))
+
+    run_with_hooks(b.module, register)
+    assert stored == [3]
+
+
+def test_result_shadow_property():
+    b = IRBuilder()
+    b.function("main")
+    block = b.call("malloc", [8])
+    b.load(block)
+    b.ret(0)
+
+    observed = []
+
+    def register(hooks):
+        def on_load(ctx):
+            ctx.set_result_shadow(9)
+            observed.append(ctx.result_shadow)
+        hooks.add("after", "LoadInst", on_load)
+
+    run_with_hooks(b.module, register)
+    assert observed == [9]
+
+
+def test_shadow_cost_billed_only_when_tracking():
+    b = IRBuilder()
+    b.function("main")
+    x = b.const(1)
+    for _ in range(10):
+        x = b.add(x, 1)
+    b.ret(x)
+    plain = Interpreter(b.module).run()
+    shadowed = Interpreter(b.module, track_shadow=True).run()
+    assert plain.instr_cycles == 0
+    assert shadowed.instr_cycles >= 10  # one cycle per propagated binop

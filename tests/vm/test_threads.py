@@ -1,0 +1,192 @@
+"""Unit tests for threading: spawn/join, mutexes, scheduling, deadlock."""
+
+import pytest
+
+from repro.errors import DeadlockError, VMError
+from repro.ir import IRBuilder
+from repro.vm import Interpreter
+
+
+def test_spawn_and_join_returns_child_result():
+    b = IRBuilder()
+    b.function("child", ["x"])
+    b.ret(b.mul("x", 2))
+    b.function("main")
+    tid = b.call("spawn$child", [21])
+    b.ret(b.call("join", [tid]))
+    vm = Interpreter(b.module)
+    vm.run()
+    assert vm.threads[0].result == 42
+    assert len(vm.threads) == 2
+
+
+def test_spawn_unknown_function():
+    b = IRBuilder()
+    b.function("main")
+    b.call("spawn$ghost", [], void=True)
+    b.ret(0)
+    with pytest.raises(VMError, match="spawn of unknown function"):
+        Interpreter(b.module).run()
+
+
+def test_join_invalid_tid():
+    b = IRBuilder()
+    b.function("main")
+    b.call("join", [99], void=True)
+    b.ret(0)
+    with pytest.raises(VMError, match="join of unknown thread"):
+        Interpreter(b.module).run()
+
+
+def test_many_threads():
+    b = IRBuilder()
+    b.function("child", ["x"])
+    b.ret(b.add("x", 1))
+    b.function("main")
+    tids = [b.call("spawn$child", [i]) for i in range(6)]
+    acc = b.alloca(8)
+    b.store(0, acc)
+    for tid in tids:
+        result = b.call("join", [tid])
+        b.store(b.add(b.load(acc), result), acc)
+    b.ret(b.load(acc))
+    vm = Interpreter(b.module)
+    vm.run()
+    assert vm.threads[0].result == sum(i + 1 for i in range(6))
+
+
+def test_threads_have_disjoint_stacks():
+    b = IRBuilder()
+    b.function("child")
+    slot = b.alloca(8)
+    b.store(777, slot)
+    b.ret(slot)  # return the stack address
+    b.function("main")
+    t1 = b.call("spawn$child", [])
+    t2 = b.call("spawn$child", [])
+    a1 = b.call("join", [t1])
+    a2 = b.call("join", [t2])
+    b.ret(b.sub(a1, a2))
+    vm = Interpreter(b.module)
+    vm.run()
+    assert vm.threads[0].result != 0
+
+
+class TestMutex:
+    def _counter_module(self, locked: bool, rounds: int = 30):
+        b = IRBuilder()
+        b.module.add_global("counter", 8)
+        b.module.add_global("lock", 64)
+        b.function("worker", ["n"])
+        counter = b.global_addr("counter")
+        lock = b.global_addr("lock")
+        with b.loop("n"):
+            if locked:
+                b.call("mutex_lock", [lock], void=True)
+            b.store(b.add(b.load(counter), 1), counter)
+            if locked:
+                b.call("mutex_unlock", [lock], void=True)
+        b.ret(0)
+        b.function("main")
+        counter = b.global_addr("counter")
+        b.store(0, counter)
+        t = b.call("spawn$worker", [rounds])
+        b.call("worker", [rounds], void=True)
+        b.call("join", [t], void=True)
+        b.ret(b.load(counter))
+        return b.module
+
+    def test_locked_counter_exact(self):
+        vm = Interpreter(self._counter_module(locked=True))
+        vm.run()
+        assert vm.threads[0].result == 60
+
+    def test_mutex_blocks_second_thread(self):
+        """A thread that never releases blocks the other; join deadlocks."""
+        b = IRBuilder()
+        b.module.add_global("lock", 64)
+        b.function("holder")
+        b.call("mutex_lock", [b.global_addr("lock")], void=True)
+        spin = b.block("spin")
+        b.jmp(spin)
+        b.position_at(spin)
+        b.jmp(spin)
+        b.function("main")
+        t = b.call("spawn$holder", [])
+        # give the holder time to grab the lock, then try to take it
+        with b.loop(100):
+            b.const(0)
+        b.call("mutex_lock", [b.global_addr("lock")], void=True)
+        b.ret(0)
+        vm = Interpreter(b.module, max_steps=100_000)
+        with pytest.raises(VMError):  # max_steps (holder spins forever)
+            vm.run()
+
+    def test_unlock_not_held_raises(self):
+        b = IRBuilder()
+        b.module.add_global("lock", 64)
+        b.function("main")
+        b.call("mutex_unlock", [b.global_addr("lock")], void=True)
+        b.ret(0)
+        with pytest.raises(VMError, match="does not hold"):
+            Interpreter(b.module).run()
+
+    def test_relock_same_thread_raises(self):
+        b = IRBuilder()
+        b.module.add_global("lock", 64)
+        b.function("main")
+        lock = b.global_addr("lock")
+        b.call("mutex_lock", [lock], void=True)
+        b.call("mutex_lock", [lock], void=True)
+        b.ret(0)
+        with pytest.raises(VMError, match="re-locking"):
+            Interpreter(b.module).run()
+
+    def test_lock_handoff_fifo(self):
+        """Both threads make progress through a contended lock."""
+        vm = Interpreter(self._counter_module(locked=True, rounds=100))
+        vm.run()
+        assert vm.threads[0].result == 200
+
+
+def test_deadlock_detected_on_cross_join():
+    # main joins a child that blocks forever on a lock main holds
+    b = IRBuilder()
+    b.module.add_global("lock", 64)
+    b.function("child")
+    b.call("mutex_lock", [b.global_addr("lock")], void=True)
+    b.ret(0)
+    b.function("main")
+    b.call("mutex_lock", [b.global_addr("lock")], void=True)
+    t = b.call("spawn$child", [])
+    b.call("join", [t], void=True)
+    b.ret(0)
+    with pytest.raises(DeadlockError):
+        Interpreter(b.module).run()
+
+
+def test_scheduling_deterministic():
+    def build():
+        b = IRBuilder()
+        b.module.add_global("counter", 8)
+        b.module.add_global("lock", 64)
+        b.function("worker", ["n"])
+        counter = b.global_addr("counter")
+        lock = b.global_addr("lock")
+        with b.loop("n"):
+            b.call("mutex_lock", [lock], void=True)
+            b.store(b.add(b.load(counter), 1), counter)
+            b.call("mutex_unlock", [lock], void=True)
+        b.ret(0)
+        b.function("main")
+        t1 = b.call("spawn$worker", [40])
+        t2 = b.call("spawn$worker", [40])
+        b.call("join", [t1], void=True)
+        b.call("join", [t2], void=True)
+        b.ret(0)
+        return b.module
+
+    p1 = Interpreter(build()).run()
+    p2 = Interpreter(build()).run()
+    assert p1.cycles == p2.cycles
+    assert p1.instructions == p2.instructions

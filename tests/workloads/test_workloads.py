@@ -1,0 +1,127 @@
+"""Tests for the benchmark workloads: all run, deterministic, right shape."""
+
+import pytest
+
+from repro.vm import Interpreter
+from repro.workloads import ALL, MSAN_EXCLUDED, REALWORLD, SPEC, SPLASH2
+from repro.workloads import fig3_workloads, fig4_workloads, fig5_workloads
+
+
+def run_workload(workload, scale=1):
+    vm = Interpreter(
+        workload.make_module(scale),
+        extern=workload.make_extern(),
+        input_lines=list(workload.input_lines),
+    )
+    profile = vm.run()
+    return vm, profile
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_workload_runs_to_completion(name):
+    vm, profile = run_workload(ALL[name])
+    assert profile.instructions > 300, f"{name} too small to benchmark"
+    assert all(t.status == 3 for t in vm.threads)  # all done
+
+
+@pytest.mark.parametrize("name", sorted(SPLASH2))
+def test_splash2_uses_two_threads(name):
+    vm, _ = run_workload(SPLASH2[name])
+    assert len(vm.threads) == 2
+
+
+@pytest.mark.parametrize("name", sorted(REALWORLD))
+def test_realworld_uses_four_threads(name):
+    vm, _ = run_workload(REALWORLD[name])
+    assert len(vm.threads) == 4
+
+
+@pytest.mark.parametrize("name", sorted(SPEC))
+def test_spec_single_threaded(name):
+    vm, _ = run_workload(SPEC[name])
+    assert len(vm.threads) == 1
+
+
+@pytest.mark.parametrize("name", ["bzip2", "fft", "memcached"])
+def test_deterministic_across_runs(name):
+    _, p1 = run_workload(ALL[name])
+    _, p2 = run_workload(ALL[name])
+    assert p1.cycles == p2.cycles
+
+
+@pytest.mark.parametrize("name", ["bzip2", "radix", "sort"])
+def test_scale_parameter_grows_work(name):
+    _, small = run_workload(ALL[name], scale=1)
+    _, big = run_workload(ALL[name], scale=2)
+    assert big.instructions > small.instructions * 1.3
+
+
+class TestFigureSelections:
+    def test_fig3_excludes_bug_carriers(self):
+        selected = fig3_workloads()
+        assert len(selected) == 20
+        for name in MSAN_EXCLUDED:
+            assert name not in selected
+
+    def test_fig4_is_all_splash2(self):
+        assert set(fig4_workloads()) == set(SPLASH2)
+        assert len(fig4_workloads()) == 12
+
+    def test_fig5_is_splash2_plus_three(self):
+        selected = fig5_workloads()
+        assert set(SPLASH2) <= set(selected)
+        assert {"memcached", "sort", "ffmpeg"} <= set(selected)
+        assert "nginx" not in selected  # paper excludes it from fig 5
+        assert len(selected) == 15
+
+    def test_suites_have_paper_sizes(self):
+        assert len(SPEC) == 9     # 8 + gcc
+        assert len(SPLASH2) == 12
+        assert len(REALWORLD) == 4
+
+
+class TestSeededBugs:
+    """The Table 3 bug carriers must read genuinely uninitialized (or
+    gets-written) memory and branch on it — checked via the ALDA MSan."""
+
+    @pytest.mark.parametrize("name,loc", [
+        ("gcc", "sbitmap.c:349"),
+        ("ocean", "multi.c:261"),
+        ("volrend", "main.c:503"),
+    ])
+    def test_true_uninit_bugs_detected_by_alda_msan(self, name, loc):
+        from repro.analyses import msan
+        from tests.conftest import run_analysis_on
+
+        workload = ALL[name]
+        _, reporter, _ = run_analysis_on(
+            msan.compile_(), workload.make_module(1),
+            extern=workload.make_extern(),
+        )
+        assert loc in reporter.locations("msan")
+
+    @pytest.mark.parametrize("name", ["fmm", "barnes"])
+    def test_gets_workloads_clean_under_alda_msan(self, name):
+        from repro.analyses import msan
+        from tests.conftest import run_analysis_on
+
+        workload = ALL[name]
+        _, reporter, _ = run_analysis_on(
+            msan.compile_(), workload.make_module(1),
+            extern=workload.make_extern(),
+        )
+        assert len(reporter.by_analysis("msan")) == 0
+
+    @pytest.mark.parametrize("name", sorted(fig3_workloads()))
+    def test_fig3_workloads_msan_clean(self, name):
+        """Perf workloads must be free of MSan findings, or Figure 3
+        would be measuring error paths."""
+        from repro.analyses import msan
+        from tests.conftest import run_analysis_on
+
+        workload = ALL[name]
+        _, reporter, _ = run_analysis_on(
+            msan.compile_(), workload.make_module(1),
+            extern=workload.make_extern(),
+        )
+        assert len(reporter.by_analysis("msan")) == 0, reporter.reports[:3]
