@@ -1,0 +1,335 @@
+"""Multiprocessing batch executor over recorded traces.
+
+The unit of work is a :class:`JobSpec`: one workload, one analysis
+configuration (named by a registry key so jobs pickle cheaply), one
+scale.  :func:`run_batch` executes a batch in two phases:
+
+1. **Record** — every unique (workload, scale) pair missing from the
+   trace store is interpreted once and its event trace recorded
+   (parallel across workloads).
+2. **Replay** — every job replays its workload's trace through its
+   analysis (parallel across jobs).  Replay is bit-identical to the
+   inline run (see :mod:`repro.trace.replayer`), so batch results are
+   interchangeable with ``measure_overhead``'s.
+
+Replay results are cached in the store keyed by
+``(trace digest, analysis fingerprint)``; the fingerprint hashes the
+analysis implementation (generated Python for ALDAcc-compiled analyses,
+class source for hand-tuned baselines), so editing an analysis — or a
+workload, which changes the trace digest — invalidates exactly the
+affected cache entries.
+
+Workers are plain ``multiprocessing.Pool`` processes; per-process
+``lru_cache`` keeps each analysis compiled at most once per worker.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import multiprocessing
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.trace.replayer import TraceReplayer
+from repro.trace.store import TraceStore
+
+# -- analysis registry ---------------------------------------------------
+# Spec keys name every configuration the figures use.  Builders are
+# thunks so importing this module never triggers a compile.
+
+
+def _msan_alda():
+    from repro.analyses import msan
+
+    return msan.compile_()
+
+
+def _msan_handtuned():
+    from repro.baselines import HandTunedMSan
+
+    return HandTunedMSan()
+
+
+def _eraser_full():
+    from repro.analyses import eraser
+
+    return eraser.compile_()
+
+
+def _eraser_ds_only():
+    from repro.analyses import eraser
+    from repro.compiler import compile_analysis
+
+    return compile_analysis(eraser.SOURCE, eraser.OPTIONS.ds_only())
+
+
+def _eraser_handtuned():
+    from repro.baselines import HandTunedEraser
+
+    return HandTunedEraser()
+
+
+def _fasttrack_alda():
+    from repro.analyses import fasttrack
+
+    return fasttrack.compile_()
+
+
+def _uaf_alda():
+    from repro.analyses import uaf
+
+    return uaf.compile_()
+
+
+def _taint_alda():
+    from repro.analyses import taint
+
+    return taint.compile_()
+
+
+def _fig5_combined():
+    from repro.analyses import eraser, fasttrack, taint, uaf
+    from repro.compiler import CompileOptions, combine_sources, compile_analysis
+
+    program = combine_sources(
+        [module.SOURCE for module in (eraser, fasttrack, uaf, taint)]
+    )
+    return compile_analysis(
+        program, CompileOptions(granularity=8, analysis_name="combined")
+    )
+
+
+ANALYSIS_SPECS: Dict[str, Callable[[], object]] = {
+    "msan.alda": _msan_alda,
+    "msan.handtuned": _msan_handtuned,
+    "eraser.full": _eraser_full,
+    "eraser.ds_only": _eraser_ds_only,
+    "eraser.handtuned": _eraser_handtuned,
+    "fasttrack.alda": _fasttrack_alda,
+    "uaf.alda": _uaf_alda,
+    "taint.alda": _taint_alda,
+    "fig5.combined": _fig5_combined,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def build_analysis(spec: str):
+    """Build (and memoize per process) the attachable for a spec key."""
+    try:
+        builder = ANALYSIS_SPECS[spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown analysis spec {spec!r}; known: {sorted(ANALYSIS_SPECS)}"
+        ) from None
+    return builder()
+
+
+@functools.lru_cache(maxsize=None)
+def analysis_fingerprint(spec: str) -> str:
+    """Content hash of what a spec key executes during replay.
+
+    ALDAcc-compiled analyses hash their generated Python module plus the
+    compile options; hand-tuned baselines hash their class source.  The
+    spec key itself is mixed in so two specs never collide.
+    """
+    attachable = build_analysis(spec)
+    sha = hashlib.sha256()
+    sha.update(spec.encode("utf-8"))
+    sha.update(b"\x00")
+    source = getattr(attachable, "source", None)
+    if source is not None:  # CompiledAnalysis: the generated module text
+        sha.update(source.encode("utf-8"))
+        sha.update(repr(getattr(attachable, "options", "")).encode("utf-8"))
+    else:  # hand-tuned baseline: hash the implementation itself
+        sha.update(inspect.getsource(type(attachable)).encode("utf-8"))
+    return sha.hexdigest()
+
+
+# -- job model -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One (workload, analysis, scale) measurement; cheap to pickle."""
+
+    workload: str  # key into repro.workloads.ALL
+    spec: str  # key into ANALYSIS_SPECS
+    label: str = ""  # series label for figures; defaults to spec
+    scale: int = 1
+
+
+@dataclass
+class JobResult:
+    workload: str
+    spec: str
+    label: str
+    scale: int
+    baseline_cycles: int
+    instrumented_cycles: int
+    metadata_bytes: int
+    n_reports: int
+    wall_seconds: float
+    cached: bool = False
+
+    @property
+    def overhead(self) -> float:
+        return self.instrumented_cycles / self.baseline_cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "spec": self.spec,
+            "label": self.label,
+            "scale": self.scale,
+            "baseline_cycles": self.baseline_cycles,
+            "instrumented_cycles": self.instrumented_cycles,
+            "overhead": self.overhead,
+            "metadata_bytes": self.metadata_bytes,
+            "n_reports": self.n_reports,
+            "wall_seconds": self.wall_seconds,
+            "cached": self.cached,
+        }
+
+
+# -- worker functions (top level: must pickle) ---------------------------
+
+
+def _record_trace(packed) -> str:
+    root, workload_name, scale = packed
+    from repro.workloads import ALL
+
+    TraceStore(root).get_or_record(ALL[workload_name], scale)
+    return workload_name
+
+
+@functools.lru_cache(maxsize=4)
+def _load_replayer(root: str, workload_name: str, scale: int) -> TraceReplayer:
+    """Per-process replayer cache: jobs for the same workload (adjacent in
+    figure batches, so pool.map chunks keep them in one worker) share the
+    decoded trace instead of re-reading and re-decoding it."""
+    from repro.workloads import ALL
+
+    store = TraceStore(root)
+    return TraceReplayer(store.get_or_record(ALL[workload_name], scale))
+
+
+def _run_job(packed) -> JobResult:
+    root, job = packed
+
+    store = TraceStore(root)
+    replayer = _load_replayer(root, job.workload, job.scale)
+    reader = replayer.trace
+    summary = reader.summary
+    baseline_cycles = summary["plain_cycles"]
+    label = job.label or job.spec
+
+    key = TraceStore.result_key(reader.digest, analysis_fingerprint(job.spec))
+    cached = store.load_result(key)
+    if cached is not None:
+        return JobResult(
+            workload=job.workload,
+            spec=job.spec,
+            label=label,
+            scale=job.scale,
+            baseline_cycles=baseline_cycles,
+            instrumented_cycles=cached["instrumented_cycles"],
+            metadata_bytes=cached["metadata_bytes"],
+            n_reports=cached["n_reports"],
+            wall_seconds=cached["wall_seconds"],
+            cached=True,
+        )
+
+    started = time.perf_counter()
+    profile, reporter = replayer.replay([build_analysis(job.spec)])
+    wall = time.perf_counter() - started
+    store.store_result(
+        key,
+        {
+            "workload": job.workload,
+            "spec": job.spec,
+            "scale": job.scale,
+            "instrumented_cycles": profile.cycles,
+            "metadata_bytes": profile.metadata_bytes,
+            "n_reports": len(list(reporter)),
+            "wall_seconds": wall,
+        },
+    )
+    return JobResult(
+        workload=job.workload,
+        spec=job.spec,
+        label=label,
+        scale=job.scale,
+        baseline_cycles=baseline_cycles,
+        instrumented_cycles=profile.cycles,
+        metadata_bytes=profile.metadata_bytes,
+        n_reports=len(list(reporter)),
+        wall_seconds=wall,
+    )
+
+
+# -- batch driver --------------------------------------------------------
+
+
+def run_batch(
+    jobs: Sequence[JobSpec],
+    processes: int = 1,
+    store: Union[TraceStore, str, None] = None,
+) -> List[JobResult]:
+    """Execute a batch of jobs; results come back in job order.
+
+    ``store`` may be a :class:`TraceStore`, a directory path, or None
+    (a temporary store discarded afterwards).  With ``processes > 1``
+    both phases — trace recording and analysis replay — fan out over a
+    worker pool.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    for job in jobs:
+        if job.spec not in ANALYSIS_SPECS:
+            raise KeyError(
+                f"unknown analysis spec {job.spec!r}; known: {sorted(ANALYSIS_SPECS)}"
+            )
+
+    tempdir: Optional[tempfile.TemporaryDirectory] = None
+    if store is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="alda-traces-")
+        store = TraceStore(tempdir.name)
+    elif not isinstance(store, TraceStore):
+        store = TraceStore(store)
+    root = str(store.root)
+
+    try:
+        from repro.workloads import ALL
+
+        pairs = sorted({(job.workload, job.scale) for job in jobs})
+        for name, _scale in pairs:
+            if name not in ALL:
+                raise KeyError(f"unknown workload {name!r}")
+        missing = [
+            (root, name, scale)
+            for name, scale in pairs
+            if not store.has_trace(ALL[name], scale)
+        ]
+        job_args = [(root, job) for job in jobs]
+
+        if processes > 1:
+            with multiprocessing.Pool(processes) as pool:
+                if len(missing) > 1:
+                    pool.map(_record_trace, missing)
+                else:
+                    for packed in missing:
+                        _record_trace(packed)
+                results = pool.map(_run_job, job_args)
+        else:
+            for packed in missing:
+                _record_trace(packed)
+            results = [_run_job(packed) for packed in job_args]
+        return results
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.harness.figures import figure3, figure4, figure5
 from repro.harness.tables import (
@@ -17,14 +19,32 @@ from repro.harness.tables import (
 )
 
 EXPERIMENTS = ("fig3", "fig4", "fig5", "tab3", "tab4", "sanitizers")
+FIGURES = {"fig3": figure3, "fig4": figure4, "fig5": figure5}
 
 
-def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text") -> str:
+def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
+                   jobs: int = 1, trace_cache=None, bench=None) -> str:
+    """Regenerate one experiment; optionally collect a BENCH record.
+
+    ``bench``, when a dict, is filled with the machine-readable record
+    the ``--json`` flag writes: per-measurement cycles/overheads plus
+    wall-clock and the run configuration.
+    """
     from repro.harness import export
 
-    if name in ("fig3", "fig4", "fig5"):
-        figure = {"fig3": figure3, "fig4": figure4, "fig5": figure5}[name]
-        data = figure(scale, verbose)
+    started = time.perf_counter()
+    if name in FIGURES:
+        data = FIGURES[name](scale, verbose, jobs=jobs, trace_cache=trace_cache)
+        if bench is not None:
+            bench.update(
+                experiment=name,
+                scale=scale,
+                jobs=jobs,
+                trace_cache=str(trace_cache) if trace_cache else None,
+                wall_seconds=time.perf_counter() - started,
+                summary=data.summary,
+                results=data.bench,
+            )
         if fmt == "json":
             return export.figure_to_json(data)
         if fmt == "csv":
@@ -33,20 +53,28 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text") -> s
             from repro.harness.svg import figure_to_svg
             return figure_to_svg(data)
         return data.render()
+    if bench is not None:
+        bench.update(experiment=name, scale=scale, jobs=jobs, trace_cache=None)
     if name == "tab3":
         rows = table3(scale)
-        return export.table3_to_json(rows) if fmt == "json" else render_table3(rows)
-    if name == "tab4":
+        out = export.table3_to_json(rows) if fmt == "json" else render_table3(rows)
+    elif name == "tab4":
         rows, handtuned = table4()
         if fmt == "json":
-            return export.table4_to_json(rows, handtuned)
-        return render_table4(rows, handtuned)
-    if name == "sanitizers":
+            out = export.table4_to_json(rows, handtuned)
+        else:
+            out = render_table4(rows, handtuned)
+    elif name == "sanitizers":
         rows = sanitizer_validation(scale)
         if fmt == "json":
-            return export.sanitizers_to_json(rows)
-        return render_sanitizers(rows)
-    raise SystemExit(f"unknown experiment {name!r}")
+            out = export.sanitizers_to_json(rows)
+        else:
+            out = render_sanitizers(rows)
+    else:
+        raise SystemExit(f"unknown experiment {name!r}")
+    if bench is not None:
+        bench["wall_seconds"] = time.perf_counter() - started
+    return out
 
 
 def main(argv=None) -> int:
@@ -60,12 +88,33 @@ def main(argv=None) -> int:
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--format", choices=("text", "json", "csv", "svg"),
                         default="text", help="output format (csv/svg: figures only)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for figures; >1 records each "
+                             "workload trace once and replays analyses in "
+                             "parallel (see docs/TRACING.md)")
+    parser.add_argument("--trace-cache", metavar="DIR", default=None,
+                        help="persistent trace/result cache directory; implies "
+                             "record/replay mode even with --jobs 1")
+    parser.add_argument("--json", metavar="OUT", default=None, dest="json_out",
+                        help="also write machine-readable BENCH_<experiment>.json "
+                             "records (cycles, overheads, wall-clock) into "
+                             "directory OUT")
     args = parser.parse_args(argv)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         started = time.time()
-        print(run_experiment(name, args.scale, args.verbose, args.format))
+        bench = {} if args.json_out else None
+        print(run_experiment(name, args.scale, args.verbose, args.format,
+                             jobs=args.jobs, trace_cache=args.trace_cache,
+                             bench=bench))
+        if bench:
+            out_dir = Path(args.json_out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"BENCH_{name}.json"
+            out_path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+            if args.format == "text":
+                print(f"[wrote {out_path}]")
         if args.format == "text":
             print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
     return 0

@@ -24,6 +24,9 @@ class FigureData:
     series: List[str]
     rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
     summary: Dict[str, float] = field(default_factory=dict)
+    #: per-measurement records (cycles, wall-clock, cache hits) feeding
+    #: the harness's ``--json`` BENCH export
+    bench: List[dict] = field(default_factory=list)
 
     def add(self, workload: str, series: str, overhead: float) -> None:
         self.rows.setdefault(workload, {})[series] = overhead
@@ -46,23 +49,73 @@ class FigureData:
         return "\n".join(lines)
 
 
-def figure3(scale: int = 1, verbose: bool = False) -> FigureData:
+def _use_batch(jobs: int, trace_cache) -> bool:
+    return jobs > 1 or trace_cache is not None
+
+
+def _run_batch(specs, jobs: int, trace_cache):
+    """specs: (workload, analysis spec, label) tuples plus a shared scale."""
+    from repro.exec import JobSpec, run_batch
+
+    tuples, scale = specs
+    return run_batch(
+        [JobSpec(workload, spec, label, scale) for workload, spec, label in tuples],
+        processes=jobs,
+        store=trace_cache,
+    )
+
+
+def _bench_record(result) -> dict:
+    """BENCH row for an inline OverheadResult (batch results self-serialize)."""
+    return {
+        "workload": result.workload,
+        "label": result.label,
+        "baseline_cycles": result.baseline_cycles,
+        "instrumented_cycles": result.instrumented_cycles,
+        "overhead": result.overhead,
+        "metadata_bytes": result.profile.metadata_bytes,
+        "n_reports": len(result.reports),
+    }
+
+
+def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
+            trace_cache=None) -> FigureData:
     """LLVM MSan vs ALDA MSan across the 20 bug-free workloads."""
-    alda_msan = msan.compile_()
     data = FigureData("Figure 3: LLVM MSan vs ALDA MSan (normalized overhead)",
                       series=["LLVM", "ALDAcc"])
     memory_ratios = []
-    for name, workload in fig3_workloads().items():
-        baseline = run_plain(workload, scale)
-        llvm = measure_overhead(workload, HandTunedMSan, scale, "LLVM", baseline)
-        alda = measure_overhead(workload, alda_msan, scale, "ALDAcc", baseline)
-        data.add(name, "LLVM", llvm.overhead)
-        data.add(name, "ALDAcc", alda.overhead)
-        memory_ratios.append(
-            (alda.profile.metadata_bytes or 1) / (llvm.profile.metadata_bytes or 1)
-        )
-        if verbose:
-            print(f"  {name}: LLVM {llvm.overhead:.2f}x  ALDAcc {alda.overhead:.2f}x")
+    if _use_batch(jobs, trace_cache):
+        names = list(fig3_workloads())
+        tuples = []
+        for name in names:
+            tuples.append((name, "msan.handtuned", "LLVM"))
+            tuples.append((name, "msan.alda", "ALDAcc"))
+        results = _run_batch((tuples, scale), jobs, trace_cache)
+        by = {(r.workload, r.label): r for r in results}
+        for name in names:
+            llvm, alda = by[(name, "LLVM")], by[(name, "ALDAcc")]
+            data.add(name, "LLVM", llvm.overhead)
+            data.add(name, "ALDAcc", alda.overhead)
+            memory_ratios.append(
+                (alda.metadata_bytes or 1) / (llvm.metadata_bytes or 1)
+            )
+            data.bench.extend([llvm.to_dict(), alda.to_dict()])
+            if verbose:
+                print(f"  {name}: LLVM {llvm.overhead:.2f}x  ALDAcc {alda.overhead:.2f}x")
+    else:
+        alda_msan = msan.compile_()
+        for name, workload in fig3_workloads().items():
+            baseline = run_plain(workload, scale)
+            llvm = measure_overhead(workload, HandTunedMSan, scale, "LLVM", baseline)
+            alda = measure_overhead(workload, alda_msan, scale, "ALDAcc", baseline)
+            data.add(name, "LLVM", llvm.overhead)
+            data.add(name, "ALDAcc", alda.overhead)
+            memory_ratios.append(
+                (alda.profile.metadata_bytes or 1) / (llvm.profile.metadata_bytes or 1)
+            )
+            data.bench.extend([_bench_record(llvm), _bench_record(alda)])
+            if verbose:
+                print(f"  {name}: LLVM {llvm.overhead:.2f}x  ALDAcc {alda.overhead:.2f}x")
     data.summary["avg_llvm"] = geomean(data.series_values("LLVM"))
     data.summary["avg_aldacc"] = geomean(data.series_values("ALDAcc"))
     # Paper: "we measured the memory overhead ... roughly equivalent
@@ -71,29 +124,57 @@ def figure3(scale: int = 1, verbose: bool = False) -> FigureData:
     return data
 
 
-def figure4(scale: int = 1, verbose: bool = False) -> FigureData:
+def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
+            trace_cache=None) -> FigureData:
     """Hand-tuned Eraser vs ALDAcc-full vs ALDAcc-ds-only on Splash2."""
-    full = eraser.compile_()
-    ds_only = compile_analysis(eraser.SOURCE, eraser.OPTIONS.ds_only())
     data = FigureData(
         "Figure 4: Eraser on Splash2 (normalized overhead)",
         series=["Hand-Tuned", "ALDAcc-full", "ALDAcc-ds-only"],
     )
     memory_ratios = []
-    for name, workload in fig4_workloads().items():
-        baseline = run_plain(workload, scale)
-        hand = measure_overhead(workload, HandTunedEraser, scale, "Hand-Tuned", baseline)
-        alda = measure_overhead(workload, full, scale, "ALDAcc-full", baseline)
-        ablate = measure_overhead(workload, ds_only, scale, "ALDAcc-ds-only", baseline)
-        data.add(name, "Hand-Tuned", hand.overhead)
-        data.add(name, "ALDAcc-full", alda.overhead)
-        data.add(name, "ALDAcc-ds-only", ablate.overhead)
-        memory_ratios.append(
-            (alda.profile.metadata_bytes or 1) / (hand.profile.metadata_bytes or 1)
-        )
-        if verbose:
-            print(f"  {name}: hand {hand.overhead:.1f}x  full {alda.overhead:.1f}x  "
-                  f"ds-only {ablate.overhead:.1f}x")
+    if _use_batch(jobs, trace_cache):
+        names = list(fig4_workloads())
+        tuples = []
+        for name in names:
+            tuples.append((name, "eraser.handtuned", "Hand-Tuned"))
+            tuples.append((name, "eraser.full", "ALDAcc-full"))
+            tuples.append((name, "eraser.ds_only", "ALDAcc-ds-only"))
+        results = _run_batch((tuples, scale), jobs, trace_cache)
+        by = {(r.workload, r.label): r for r in results}
+        for name in names:
+            hand = by[(name, "Hand-Tuned")]
+            alda = by[(name, "ALDAcc-full")]
+            ablate = by[(name, "ALDAcc-ds-only")]
+            data.add(name, "Hand-Tuned", hand.overhead)
+            data.add(name, "ALDAcc-full", alda.overhead)
+            data.add(name, "ALDAcc-ds-only", ablate.overhead)
+            memory_ratios.append(
+                (alda.metadata_bytes or 1) / (hand.metadata_bytes or 1)
+            )
+            data.bench.extend([hand.to_dict(), alda.to_dict(), ablate.to_dict()])
+            if verbose:
+                print(f"  {name}: hand {hand.overhead:.1f}x  full {alda.overhead:.1f}x  "
+                      f"ds-only {ablate.overhead:.1f}x")
+    else:
+        full = eraser.compile_()
+        ds_only = compile_analysis(eraser.SOURCE, eraser.OPTIONS.ds_only())
+        for name, workload in fig4_workloads().items():
+            baseline = run_plain(workload, scale)
+            hand = measure_overhead(workload, HandTunedEraser, scale, "Hand-Tuned", baseline)
+            alda = measure_overhead(workload, full, scale, "ALDAcc-full", baseline)
+            ablate = measure_overhead(workload, ds_only, scale, "ALDAcc-ds-only", baseline)
+            data.add(name, "Hand-Tuned", hand.overhead)
+            data.add(name, "ALDAcc-full", alda.overhead)
+            data.add(name, "ALDAcc-ds-only", ablate.overhead)
+            memory_ratios.append(
+                (alda.profile.metadata_bytes or 1) / (hand.profile.metadata_bytes or 1)
+            )
+            data.bench.extend(
+                [_bench_record(hand), _bench_record(alda), _bench_record(ablate)]
+            )
+            if verbose:
+                print(f"  {name}: hand {hand.overhead:.1f}x  full {alda.overhead:.1f}x  "
+                      f"ds-only {ablate.overhead:.1f}x")
     data.summary["avg_hand_tuned"] = geomean(data.series_values("Hand-Tuned"))
     data.summary["avg_aldacc_full"] = geomean(data.series_values("ALDAcc-full"))
     data.summary["avg_ds_only"] = geomean(data.series_values("ALDAcc-ds-only"))
@@ -111,31 +192,67 @@ def figure4(scale: int = 1, verbose: bool = False) -> FigureData:
 _FIG5_ANALYSES = ("eraser", "fasttrack", "uaf", "taint")
 
 
-def figure5(scale: int = 1, verbose: bool = False) -> FigureData:
+#: analysis spec keys (see repro.exec.pool.ANALYSIS_SPECS) per fig5 series
+_FIG5_SPECS = {
+    "eraser": "eraser.full",
+    "fasttrack": "fasttrack.alda",
+    "uaf": "uaf.alda",
+    "taint": "taint.alda",
+}
+
+
+def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
+            trace_cache=None) -> FigureData:
     """Four analyses run individually vs combined into one (Figure 5)."""
-    modules = {"eraser": eraser, "fasttrack": fasttrack, "uaf": uaf, "taint": taint}
-    compiled = {name: mod.compile_() for name, mod in modules.items()}
-    combined_program = combine_sources([modules[n].SOURCE for n in _FIG5_ANALYSES])
-    combined = compile_analysis(
-        combined_program, CompileOptions(granularity=8, analysis_name="combined")
-    )
     series = list(_FIG5_ANALYSES) + ["sum_individual", "combined"]
     data = FigureData("Figure 5: combined analysis (normalized overhead)", series)
     speedups = []
-    for name, workload in fig5_workloads().items():
-        baseline = run_plain(workload, scale)
-        total = 0.0
-        for analysis_name in _FIG5_ANALYSES:
-            result = measure_overhead(
-                workload, compiled[analysis_name], scale, analysis_name, baseline
-            )
-            data.add(name, analysis_name, result.overhead)
-            total += result.overhead
-        combined_result = measure_overhead(workload, combined, scale, "combined", baseline)
-        data.add(name, "sum_individual", total)
-        data.add(name, "combined", combined_result.overhead)
-        speedups.append(1.0 - combined_result.overhead / total)
-        if verbose:
-            print(f"  {name}: sum {total:.1f}x  combined {combined_result.overhead:.1f}x")
+    if _use_batch(jobs, trace_cache):
+        names = list(fig5_workloads())
+        tuples = []
+        for name in names:
+            for analysis_name in _FIG5_ANALYSES:
+                tuples.append((name, _FIG5_SPECS[analysis_name], analysis_name))
+            tuples.append((name, "fig5.combined", "combined"))
+        results = _run_batch((tuples, scale), jobs, trace_cache)
+        by = {(r.workload, r.label): r for r in results}
+        for name in names:
+            total = 0.0
+            for analysis_name in _FIG5_ANALYSES:
+                result = by[(name, analysis_name)]
+                data.add(name, analysis_name, result.overhead)
+                data.bench.append(result.to_dict())
+                total += result.overhead
+            combined_result = by[(name, "combined")]
+            data.add(name, "sum_individual", total)
+            data.add(name, "combined", combined_result.overhead)
+            data.bench.append(combined_result.to_dict())
+            speedups.append(1.0 - combined_result.overhead / total)
+            if verbose:
+                print(f"  {name}: sum {total:.1f}x  combined {combined_result.overhead:.1f}x")
+    else:
+        modules = {"eraser": eraser, "fasttrack": fasttrack, "uaf": uaf, "taint": taint}
+        compiled = {name: mod.compile_() for name, mod in modules.items()}
+        combined_program = combine_sources([modules[n].SOURCE for n in _FIG5_ANALYSES])
+        combined = compile_analysis(
+            combined_program, CompileOptions(granularity=8, analysis_name="combined")
+        )
+        for name, workload in fig5_workloads().items():
+            baseline = run_plain(workload, scale)
+            total = 0.0
+            for analysis_name in _FIG5_ANALYSES:
+                result = measure_overhead(
+                    workload, compiled[analysis_name], scale, analysis_name, baseline
+                )
+                data.add(name, analysis_name, result.overhead)
+                data.bench.append(_bench_record(result))
+                total += result.overhead
+            combined_result = measure_overhead(workload, combined, scale, "combined", baseline)
+            data.add(name, "sum_individual", total)
+            data.add(name, "combined", combined_result.overhead)
+            data.bench.append(_bench_record(combined_result))
+            speedups.append(1.0 - combined_result.overhead / total)
+            if verbose:
+                print(f"  {name}: sum {total:.1f}x  combined {combined_result.overhead:.1f}x")
     data.summary["avg_combined_speedup"] = sum(speedups) / len(speedups)
     return data

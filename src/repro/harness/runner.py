@@ -10,6 +10,7 @@ passed directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -100,10 +101,58 @@ def measure_overhead(
     )
 
 
+def measure_overhead_batch(
+    workload: Workload,
+    analyses: Sequence[AttachableSource],
+    scale: int = 1,
+    labels: Optional[Sequence[str]] = None,
+    store=None,
+) -> List[OverheadResult]:
+    """Record the workload once, then replay it through each analysis.
+
+    Equivalent to calling :func:`measure_overhead` per analysis — replay
+    is bit-identical to inline runs (see :mod:`repro.trace`) — but the
+    workload is interpreted exactly once however many analyses are
+    measured.  Pass a :class:`repro.trace.TraceStore` to reuse traces
+    across calls (and processes); otherwise the trace lives in memory.
+    """
+    import io
+
+    from repro.trace import TraceReader, TraceReplayer, record_workload
+
+    if store is not None:
+        reader = store.get_or_record(workload, scale)
+    else:
+        buffer = io.BytesIO()
+        record_workload(workload, scale, buffer)
+        reader = TraceReader(buffer.getvalue())
+    baseline_cycles = reader.summary["plain_cycles"]
+    replayer = TraceReplayer(reader)  # decodes once for all analyses
+
+    results = []
+    for index, analysis in enumerate(analyses):
+        profile, reporter = replayer.replay([analysis])
+        label = labels[index] if labels else ""
+        results.append(
+            OverheadResult(
+                workload=workload.name,
+                label=label or getattr(analysis, "name", "analysis"),
+                baseline_cycles=baseline_cycles,
+                instrumented_cycles=profile.cycles,
+                profile=profile,
+                reports=list(reporter),
+            )
+        )
+    return results
+
+
 def geomean(values: Sequence[float]) -> float:
+    """Geometric mean via summed logs (overflow-safe for cycle ratios)."""
     if not values:
         return 0.0
-    product = 1.0
+    total = 0.0
     for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+        if value <= 0.0:
+            return 0.0  # a non-positive overhead is degenerate; don't NaN
+        total += math.log(value)
+    return math.exp(total / len(values))

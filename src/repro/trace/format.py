@@ -1,0 +1,492 @@
+"""Versioned binary event-trace format (varint records, zlib-framed).
+
+File layout::
+
+    +--------------------------------------------------------------+
+    | magic  b"ALDATRC1"                                           |
+    | zlib-compressed record payload                               |
+    | meta   UTF-8 JSON (workload, scale, digest, summary, ...)    |
+    | u32 LE length of the meta JSON                               |
+    | tail magic b"ALDT"                                           |
+    +--------------------------------------------------------------+
+
+The payload is a flat stream of records, each an opcode byte followed by
+unsigned LEB128 varints (zigzag for signed fields).  Strings (event
+kinds, register names, source locations, backtrace entries) are interned
+in-stream: an ``OP_STR`` record defines the next string id, so readers
+reconstruct the table while streaming.  The trace *digest* is the
+SHA-256 of the uncompressed payload — two runs of a deterministic
+workload produce byte-identical payloads, so digest equality is the
+determinism check.
+
+Record vocabulary (see :mod:`repro.trace.recorder` for the exact
+emission points and :mod:`repro.trace.replayer` for consumption):
+
+=============  ==================================================================
+``OP_STR``     define next string id: ``len`` + UTF-8 bytes
+``OP_EVENT``   one instrumentation event (flags, kind, tid, frame serial,
+               operands, result, sizes, operand/result register bindings,
+               loc, optional backtrace-top entry)
+``OP_ACCESS``  one program cache access: zigzag address delta + size
+``OP_SET0``    shadow op ``reg.m := 0``
+``OP_OR2``     shadow op ``dst.m := lhs.m | rhs.m`` (bills 1 cycle on replay)
+``OP_MOV``     shadow op ``dst.m := src.m`` across frames
+``OP_DEFAULT`` shadow op ``reg.m := 0`` unless set
+``OP_PUSH``    frame push (serial implicit, incrementing): tid + caller entry
+``OP_POP``     frame pop: serial + tid
+``OP_SUMMARY`` run totals: base cycles, instructions, plain mem cycles,
+               heap peak, event/access counts
+=============  ==================================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import VMError
+
+MAGIC = b"ALDATRC1"
+TAIL_MAGIC = b"ALDT"
+FORMAT_VERSION = 1
+
+OP_STR = 1
+OP_EVENT = 2
+OP_ACCESS = 3
+OP_SET0 = 4
+OP_OR2 = 5
+OP_MOV = 6
+OP_DEFAULT = 7
+OP_PUSH = 8
+OP_POP = 9
+OP_SUMMARY = 10
+
+# OP_EVENT flag bits
+EVF_HAS_RESULT = 1
+EVF_HAS_BT = 2
+EVF_AFTER = 4
+
+
+class TraceFormatError(VMError):
+    """Raised for malformed or incompatible trace files."""
+
+
+# ----------------------------------------------------------------------
+# varint primitives
+# ----------------------------------------------------------------------
+def write_varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise ValueError(f"write_varint needs a non-negative value, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def zigzag(value: int) -> int:
+    # Arbitrary-precision zigzag (register values may exceed 64 bits:
+    # the VM masks logical ops but not add/mul).
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def unzigzag(value: int) -> int:
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def read_varint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one unsigned varint; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class TraceWriter:
+    """Streaming trace writer: interning, compression, digest.
+
+    Records accumulate in a bytearray and are flushed through one zlib
+    compressor in chunks, so arbitrarily long traces never hold the
+    whole payload in memory.  ``close`` appends the JSON meta block and
+    returns the final meta dict (including the payload digest).
+    """
+
+    _FLUSH_BYTES = 1 << 20
+
+    def __init__(self, fileobj, meta: Optional[dict] = None) -> None:
+        self._file = fileobj
+        self._meta = dict(meta or {})
+        self._buf = bytearray()
+        self._compress = zlib.compressobj(6)
+        self._sha = hashlib.sha256()
+        self._strings: Dict[str, int] = {}
+        self._last_address = 0
+        self._next_serial = 0
+        self.n_events = 0
+        self.n_accesses = 0
+        self.n_shadow_ops = 0
+        self._closed = False
+        self._file.write(MAGIC)
+
+    # -- plumbing ------------------------------------------------------
+    def _maybe_flush(self) -> None:
+        if len(self._buf) >= self._FLUSH_BYTES:
+            chunk = bytes(self._buf)
+            self._sha.update(chunk)
+            self._file.write(self._compress.compress(chunk))
+            self._buf.clear()
+
+    def intern(self, text: str) -> int:
+        ident = self._strings.get(text)
+        if ident is None:
+            ident = len(self._strings)
+            self._strings[text] = ident
+            raw = text.encode("utf-8")
+            buf = self._buf
+            buf.append(OP_STR)
+            write_varint(buf, len(raw))
+            buf.extend(raw)
+        return ident
+
+    # -- records -------------------------------------------------------
+    def event(
+        self,
+        after: bool,
+        kind: str,
+        tid: int,
+        frame_serial: int,
+        ops: Tuple[int, ...],
+        result: Optional[int],
+        sizes: Tuple[int, ...],
+        result_size: int,
+        operand_regs: Tuple[Optional[str], ...],
+        result_reg: Optional[str],
+        loc: str,
+        bt_top: str,
+    ) -> None:
+        kind_id = self.intern(kind)
+        loc_id = self.intern(loc)
+        reg_ids = tuple(
+            0 if reg is None else self.intern(reg) + 1 for reg in operand_regs
+        )
+        result_reg_id = 0 if result_reg is None else self.intern(result_reg) + 1
+        flags = 0
+        bt_id = 0
+        if result is not None:
+            flags |= EVF_HAS_RESULT
+        if after:
+            flags |= EVF_AFTER
+        if bt_top != loc:
+            flags |= EVF_HAS_BT
+            bt_id = self.intern(bt_top)
+        buf = self._buf
+        buf.append(OP_EVENT)
+        write_varint(buf, flags)
+        write_varint(buf, kind_id)
+        write_varint(buf, tid)
+        write_varint(buf, frame_serial)
+        write_varint(buf, len(ops))
+        for op in ops:
+            write_varint(buf, zigzag(op))
+        if result is not None:
+            write_varint(buf, zigzag(result))
+        write_varint(buf, len(sizes))
+        for size in sizes:
+            write_varint(buf, size)
+        write_varint(buf, result_size)
+        write_varint(buf, len(reg_ids))
+        for reg_id in reg_ids:
+            write_varint(buf, reg_id)
+        write_varint(buf, result_reg_id)
+        write_varint(buf, loc_id)
+        if flags & EVF_HAS_BT:
+            write_varint(buf, bt_id)
+        self.n_events += 1
+        self._maybe_flush()
+
+    def access(self, address: int, size: int) -> None:
+        buf = self._buf
+        buf.append(OP_ACCESS)
+        write_varint(buf, zigzag(address - self._last_address))
+        write_varint(buf, size)
+        self._last_address = address
+        self.n_accesses += 1
+        self._maybe_flush()
+
+    def shadow_set0(self, serial: int, reg: str) -> None:
+        reg_id = self.intern(reg)
+        buf = self._buf
+        buf.append(OP_SET0)
+        write_varint(buf, serial)
+        write_varint(buf, reg_id)
+        self.n_shadow_ops += 1
+
+    def shadow_or2(self, serial: int, dst: str, lhs: Optional[str],
+                   rhs: Optional[str]) -> None:
+        dst_id = self.intern(dst)
+        lhs_id = 0 if lhs is None else self.intern(lhs) + 1
+        rhs_id = 0 if rhs is None else self.intern(rhs) + 1
+        buf = self._buf
+        buf.append(OP_OR2)
+        write_varint(buf, serial)
+        write_varint(buf, dst_id)
+        write_varint(buf, lhs_id)
+        write_varint(buf, rhs_id)
+        self.n_shadow_ops += 1
+
+    def shadow_mov(self, dst_serial: int, dst: str, src_serial: int,
+                   src: Optional[str]) -> None:
+        dst_id = self.intern(dst)
+        src_id = 0 if src is None else self.intern(src) + 1
+        buf = self._buf
+        buf.append(OP_MOV)
+        write_varint(buf, dst_serial)
+        write_varint(buf, dst_id)
+        write_varint(buf, src_serial)
+        write_varint(buf, src_id)
+        self.n_shadow_ops += 1
+
+    def shadow_default(self, serial: int, reg: str) -> None:
+        reg_id = self.intern(reg)
+        buf = self._buf
+        buf.append(OP_DEFAULT)
+        write_varint(buf, serial)
+        write_varint(buf, reg_id)
+        self.n_shadow_ops += 1
+
+    def frame_push(self, tid: int, caller_entry: Optional[str]) -> int:
+        """Returns the serial assigned to the pushed frame."""
+        entry_id = 0 if caller_entry is None else self.intern(caller_entry) + 1
+        buf = self._buf
+        buf.append(OP_PUSH)
+        write_varint(buf, tid)
+        write_varint(buf, entry_id)
+        serial = self._next_serial
+        self._next_serial += 1
+        return serial
+
+    def frame_pop(self, serial: int, tid: int) -> None:
+        buf = self._buf
+        buf.append(OP_POP)
+        write_varint(buf, serial)
+        write_varint(buf, tid)
+
+    def summary(self, base_cycles: int, instructions: int, mem_cycles: int,
+                heap_peak_bytes: int) -> None:
+        buf = self._buf
+        buf.append(OP_SUMMARY)
+        write_varint(buf, base_cycles)
+        write_varint(buf, instructions)
+        write_varint(buf, mem_cycles)
+        write_varint(buf, heap_peak_bytes)
+        write_varint(buf, self.n_events)
+        write_varint(buf, self.n_accesses)
+        self._meta["summary"] = {
+            "base_cycles": base_cycles,
+            "instructions": instructions,
+            "mem_cycles": mem_cycles,
+            "heap_peak_bytes": heap_peak_bytes,
+            "plain_cycles": base_cycles + mem_cycles,
+        }
+
+    # -- finalization --------------------------------------------------
+    @property
+    def digest(self) -> str:
+        if not self._closed:
+            raise TraceFormatError("digest is only final after close()")
+        return self._meta["digest"]
+
+    def close(self) -> dict:
+        if self._closed:
+            return self._meta
+        chunk = bytes(self._buf)
+        self._sha.update(chunk)
+        self._file.write(self._compress.compress(chunk))
+        self._file.write(self._compress.flush())
+        self._buf.clear()
+        self._meta.update(
+            version=FORMAT_VERSION,
+            digest=self._sha.hexdigest(),
+            n_events=self.n_events,
+            n_accesses=self.n_accesses,
+            n_shadow_ops=self.n_shadow_ops,
+            n_strings=len(self._strings),
+        )
+        raw_meta = json.dumps(self._meta, sort_keys=True).encode("utf-8")
+        self._file.write(raw_meta)
+        self._file.write(struct.pack("<I", len(raw_meta)))
+        self._file.write(TAIL_MAGIC)
+        self._closed = True
+        return self._meta
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+class TraceReader:
+    """Reads one trace: meta block plus the decompressed payload.
+
+    The payload is exposed as raw bytes (``payload``) for the replayer's
+    tight decode loop, and as a generic :meth:`records` iterator for
+    tools and tests.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        if not data.startswith(MAGIC):
+            raise TraceFormatError("not an ALDA trace (bad magic)")
+        if not data.endswith(TAIL_MAGIC):
+            raise TraceFormatError("truncated trace (bad tail magic)")
+        meta_len = struct.unpack("<I", data[-8:-4])[0]
+        meta_end = len(data) - 8
+        meta_start = meta_end - meta_len
+        if meta_start < len(MAGIC):
+            raise TraceFormatError("corrupt trace meta block")
+        self.meta = json.loads(data[meta_start:meta_end].decode("utf-8"))
+        if self.meta.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {self.meta.get('version')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        self.payload = zlib.decompress(data[len(MAGIC):meta_start])
+
+    @classmethod
+    def from_file(cls, path) -> "TraceReader":
+        with open(path, "rb") as handle:
+            return cls(handle.read())
+
+    @property
+    def digest(self) -> str:
+        return self.meta["digest"]
+
+    @property
+    def summary(self) -> dict:
+        return self.meta["summary"]
+
+    def verify(self) -> bool:
+        """Recompute the payload digest and compare with the meta block."""
+        return hashlib.sha256(self.payload).hexdigest() == self.meta["digest"]
+
+    def records(self) -> Iterator[Tuple]:
+        """Generic record iterator (slow path; replayer decodes inline).
+
+        Yields tuples whose first element is the opcode; string ids are
+        resolved to the interned text.
+        """
+        buf = self.payload
+        pos = 0
+        end = len(buf)
+        strings: List[str] = []
+        last_address = 0
+        serial = 0
+        while pos < end:
+            op = buf[pos]
+            pos += 1
+            if op == OP_STR:
+                length, pos = read_varint(buf, pos)
+                strings.append(buf[pos:pos + length].decode("utf-8"))
+                pos += length
+            elif op == OP_EVENT:
+                flags, pos = read_varint(buf, pos)
+                kind_id, pos = read_varint(buf, pos)
+                tid, pos = read_varint(buf, pos)
+                frame_serial, pos = read_varint(buf, pos)
+                n_ops, pos = read_varint(buf, pos)
+                ops = []
+                for _ in range(n_ops):
+                    value, pos = read_varint(buf, pos)
+                    ops.append(unzigzag(value))
+                result = None
+                if flags & EVF_HAS_RESULT:
+                    value, pos = read_varint(buf, pos)
+                    result = unzigzag(value)
+                n_sizes, pos = read_varint(buf, pos)
+                sizes = []
+                for _ in range(n_sizes):
+                    value, pos = read_varint(buf, pos)
+                    sizes.append(value)
+                result_size, pos = read_varint(buf, pos)
+                n_regs, pos = read_varint(buf, pos)
+                regs = []
+                for _ in range(n_regs):
+                    value, pos = read_varint(buf, pos)
+                    regs.append(None if value == 0 else strings[value - 1])
+                result_reg_id, pos = read_varint(buf, pos)
+                loc_id, pos = read_varint(buf, pos)
+                bt = None
+                if flags & EVF_HAS_BT:
+                    bt_id, pos = read_varint(buf, pos)
+                    bt = strings[bt_id]
+                yield (
+                    OP_EVENT,
+                    "after" if flags & EVF_AFTER else "before",
+                    strings[kind_id], tid, frame_serial, tuple(ops), result,
+                    tuple(sizes), result_size, tuple(regs),
+                    None if result_reg_id == 0 else strings[result_reg_id - 1],
+                    strings[loc_id], bt,
+                )
+            elif op == OP_ACCESS:
+                delta, pos = read_varint(buf, pos)
+                size, pos = read_varint(buf, pos)
+                last_address += unzigzag(delta)
+                yield (OP_ACCESS, last_address, size)
+            elif op in (OP_SET0, OP_DEFAULT):
+                frame_serial, pos = read_varint(buf, pos)
+                reg_id, pos = read_varint(buf, pos)
+                yield (op, frame_serial, strings[reg_id])
+            elif op == OP_OR2:
+                frame_serial, pos = read_varint(buf, pos)
+                dst_id, pos = read_varint(buf, pos)
+                lhs_id, pos = read_varint(buf, pos)
+                rhs_id, pos = read_varint(buf, pos)
+                yield (
+                    OP_OR2, frame_serial, strings[dst_id],
+                    None if lhs_id == 0 else strings[lhs_id - 1],
+                    None if rhs_id == 0 else strings[rhs_id - 1],
+                )
+            elif op == OP_MOV:
+                dst_serial, pos = read_varint(buf, pos)
+                dst_id, pos = read_varint(buf, pos)
+                src_serial, pos = read_varint(buf, pos)
+                src_id, pos = read_varint(buf, pos)
+                yield (
+                    OP_MOV, dst_serial, strings[dst_id], src_serial,
+                    None if src_id == 0 else strings[src_id - 1],
+                )
+            elif op == OP_PUSH:
+                tid, pos = read_varint(buf, pos)
+                entry_id, pos = read_varint(buf, pos)
+                yield (
+                    OP_PUSH, serial, tid,
+                    None if entry_id == 0 else strings[entry_id - 1],
+                )
+                serial += 1
+            elif op == OP_POP:
+                frame_serial, pos = read_varint(buf, pos)
+                tid, pos = read_varint(buf, pos)
+                yield (OP_POP, frame_serial, tid)
+            elif op == OP_SUMMARY:
+                base_cycles, pos = read_varint(buf, pos)
+                instructions, pos = read_varint(buf, pos)
+                mem_cycles, pos = read_varint(buf, pos)
+                heap_peak, pos = read_varint(buf, pos)
+                n_events, pos = read_varint(buf, pos)
+                n_accesses, pos = read_varint(buf, pos)
+                yield (OP_SUMMARY, base_cycles, instructions, mem_cycles,
+                       heap_peak, n_events, n_accesses)
+            else:
+                raise TraceFormatError(f"unknown opcode {op} at offset {pos - 1}")

@@ -1,0 +1,175 @@
+"""Trace recording: capture one full instrumentation event stream.
+
+A :class:`TraceRecorder` is an *attachable* in the same sense as an
+analysis (``needs_shadow`` + ``attach(vm)``), but instead of consuming
+events it records every join point the VM can fire — all nine
+instruction kinds, before and after, plus every function boundary — so
+the resulting trace is a superset of what any analysis would observe
+inline.  Alongside events it captures:
+
+* the program's cache-access stream (by wrapping ``vm.cache.access``),
+  in exact interleaved order with events, because metadata traffic from
+  a replayed analysis pollutes the same simulated cache the program
+  uses — ordering is what makes replayed ``mem_cycles`` bit-identical;
+* the local-metadata (shadow register) dataflow, via the interpreter's
+  :class:`~repro.vm.events.ExecutionTracer` hook, so replayed handlers
+  observe exactly the ``$X.m`` values they would have seen inline even
+  though replay never touches the IR;
+* per-event backtrace-top entries (only when they differ from the event
+  location) plus frozen caller entries at frame pushes, so
+  ``alda_assert`` reports replay with identical backtraces;
+* a run summary (base cycles, instruction count, uninstrumented memory
+  cycles, heap peak) — the denominator of every overhead figure, for
+  free, since a recording run *is* a plain run cost-wise.
+
+Recording runs with ``track_shadow=True`` regardless of the future
+consumer, because the dataflow must be in the trace for analyses that
+need it; replay simply skips shadow records when the attached analyses
+do not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.instructions import INSTRUMENTABLE_KINDS
+from repro.vm.events import ExecutionTracer
+from repro.vm.interpreter import Interpreter
+from repro.vm.profile import Profile
+from repro.workloads.base import Workload
+
+from repro.trace.format import TraceWriter
+
+#: Interpreter-level pseudo-calls that fire ``func:`` events without
+#: being module functions or libc builtins.
+PSEUDO_FUNCTIONS = ("spawn", "join", "global_addr", "mutex_lock", "mutex_unlock")
+
+
+class TraceRecorder(ExecutionTracer):
+    """Attachable that streams the full event trace into a TraceWriter."""
+
+    name = "trace-recorder"
+    needs_shadow = True
+
+    def __init__(self, writer: TraceWriter) -> None:
+        self._writer = writer
+        self._vm: Optional[Interpreter] = None
+        #: id(frame.shadow) -> trace frame serial, live frames only
+        self._serials: Dict[int, int] = {}
+
+    # -- ExecutionTracer callbacks -------------------------------------
+    def frame_push(self, shadow, tid, caller_shadow=None, caller_entry="") -> None:
+        serial = self._writer.frame_push(tid, caller_entry or None)
+        self._serials[id(shadow)] = serial
+
+    def frame_pop(self, shadow, tid) -> None:
+        serial = self._serials.pop(id(shadow))
+        self._writer.frame_pop(serial, tid)
+
+    def shadow_set0(self, shadow, reg) -> None:
+        self._writer.shadow_set0(self._serials[id(shadow)], reg)
+
+    def shadow_or2(self, shadow, dst, lhs, rhs) -> None:
+        self._writer.shadow_or2(self._serials[id(shadow)], dst, lhs, rhs)
+
+    def shadow_mov(self, dst_shadow, dst, src_shadow, src) -> None:
+        self._writer.shadow_mov(
+            self._serials[id(dst_shadow)], dst, self._serials[id(src_shadow)], src
+        )
+
+    def shadow_default(self, shadow, reg) -> None:
+        self._writer.shadow_default(self._serials[id(shadow)], reg)
+
+    # -- event capture -------------------------------------------------
+    def _make_callback(self, after: bool):
+        writer = self._writer
+        serials = self._serials
+
+        def callback(ctx):
+            vm = ctx.vm
+            top = vm.backtrace(1)
+            writer.event(
+                after,
+                ctx.kind,
+                ctx.tid,
+                serials[id(ctx.shadow_regs)],
+                ctx.ops,
+                ctx.result,
+                ctx.sizes,
+                ctx.result_size,
+                ctx.operand_regs,
+                ctx.result_reg,
+                ctx.loc,
+                top[0] if top else ctx.loc,
+            )
+
+        # The recorder is pure observation: bill nothing to the profile.
+        callback.dispatch_cycles = 0
+        return callback
+
+    def attach(self, vm: Interpreter) -> "TraceRecorder":
+        self._vm = vm
+        vm.set_tracer(self)
+
+        # Wrap the shared cache so every program access lands in the
+        # stream, in order (libc builtins included: they all go through
+        # vm.cache.access).
+        real_access = vm.cache.access
+        writer = self._writer
+
+        def recording_access(address, size=8):
+            writer.access(address, size)
+            return real_access(address, size)
+
+        vm.cache.access = recording_access
+
+        before = self._make_callback(after=False)
+        after = self._make_callback(after=True)
+        for kind in sorted(INSTRUMENTABLE_KINDS):
+            vm.hooks.add_instruction("before", kind, before)
+            vm.hooks.add_instruction("after", kind, after)
+        names = set(vm.module.functions)
+        names.update(vm._builtins)
+        names.update(PSEUDO_FUNCTIONS)
+        for name in sorted(names):
+            vm.hooks.add_function("before", name, before)
+            vm.hooks.add_function("after", name, after)
+        return self
+
+    def finish(self, profile: Profile) -> dict:
+        """Write the run summary and finalize the trace; returns meta."""
+        self._writer.summary(
+            base_cycles=profile.base_cycles,
+            instructions=profile.instructions,
+            mem_cycles=profile.mem_cycles,
+            heap_peak_bytes=profile.heap_peak_bytes,
+        )
+        return self._writer.close()
+
+
+def record_workload(
+    workload: Workload,
+    scale: int,
+    fileobj,
+    meta: Optional[dict] = None,
+) -> dict:
+    """Record one workload execution into ``fileobj``; returns trace meta.
+
+    The recording run is cost-equivalent to a plain (uninstrumented)
+    run: hooks bill zero dispatch and the recorder performs no metadata
+    traffic, so the summary's ``base_cycles + mem_cycles`` is exactly
+    the overhead denominator ``run_plain`` would have produced.
+    """
+    full_meta = {"workload": workload.name, "scale": scale}
+    full_meta.update(meta or {})
+    writer = TraceWriter(fileobj, full_meta)
+    vm = Interpreter(
+        workload.make_module(scale),
+        extern=workload.make_extern(),
+        input_lines=list(workload.input_lines),
+        track_shadow=True,
+    )
+    recorder = TraceRecorder(writer)
+    recorder.attach(vm)
+    profile = vm.run()
+    return recorder.finish(profile)

@@ -1,0 +1,388 @@
+"""Trace replay: re-fire recorded events through attachable analyses.
+
+:class:`TraceReplayer` consumes a recorded trace (see
+:mod:`repro.trace.recorder`) and drives any analysis that speaks the
+``needs_shadow``/``attach(vm)`` protocol — ALDAcc-compiled analyses and
+hand-tuned baselines alike — *without re-interpreting the IR*.  The
+replay reproduces the inline cost model bit-for-bit:
+
+* program ``base_cycles``/``instructions``/``heap_peak_bytes`` come from
+  the trace summary (they are analysis-independent);
+* program ``mem_cycles`` are recomputed by replaying the recorded
+  cache-access stream through a fresh :class:`~repro.vm.cache.CacheSim`
+  — the same cache object the attached analyses' cost meters bill
+  metadata traffic through, in the same interleaved order as inline, so
+  cache pollution effects are reproduced exactly;
+* handler dispatch, handler bodies, and metadata-structure costs are
+  billed by actually running the handlers, exactly as
+  ``Interpreter._fire`` would;
+* the local-metadata plane is reconstructed from the recorded shadow
+  dataflow ops (applied only when an attached analysis needs shadow,
+  mirroring ``track_shadow``), including the per-op
+  ``_SHADOW_PROP_CYCLES`` billing for BinOp/Cmp propagation.
+
+The replayed profile therefore equals the profile of
+``run_instrumented(workload, analyses)`` field for field, and the
+reports (including backtraces) match exactly.
+
+The varint payload is decoded once per :class:`TraceReplayer` into a
+flat record list with strings and access addresses resolved; replaying
+the same trace through several analyses (the whole point of recording)
+pays the decode a single time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.vm.cache import CacheConfig, CacheSim
+from repro.vm.events import EventContext, Hooks
+from repro.vm.profile import Profile
+from repro.vm.reporting import Reporter
+
+from repro.trace.format import (
+    EVF_AFTER,
+    EVF_HAS_BT,
+    EVF_HAS_RESULT,
+    OP_ACCESS,
+    OP_DEFAULT,
+    OP_EVENT,
+    OP_MOV,
+    OP_OR2,
+    OP_POP,
+    OP_PUSH,
+    OP_SET0,
+    OP_STR,
+    OP_SUMMARY,
+    TraceFormatError,
+    TraceReader,
+    read_varint,
+    unzigzag,
+)
+
+# Mirrors repro.vm.interpreter's constants; replay must bill identically.
+_HANDLER_DISPATCH_CYCLES = 2
+_SHADOW_PROP_CYCLES = 1
+
+# Decoded-record tags (first tuple element).
+R_ACCESS = 0
+R_EVENT = 1
+R_SET0 = 2
+R_OR2 = 3
+R_MOV = 4
+R_DEFAULT = 5
+R_PUSH = 6
+R_POP = 7
+R_SUMMARY = 8
+
+
+class ReplayVM:
+    """The attach surface analyses see during replay.
+
+    Provides exactly what inline attachment uses: ``hooks``, ``cache``,
+    ``profile``, ``reporter``, ``track_shadow``, and ``backtrace()``
+    (reconstructed from the trace so ``alda_assert`` reports carry the
+    same frames as inline runs).
+    """
+
+    def __init__(self, cache_config: Optional[CacheConfig] = None) -> None:
+        self.hooks = Hooks()
+        self.cache = CacheSim(cache_config)
+        self.profile = Profile()
+        self.reporter = Reporter(self.profile)
+        self.track_shadow = False
+        # Current-event backtrace state, maintained by the replay loop.
+        self._bt_top = ""
+        self._bt_tid = 0
+        self._bt_stacks = {}
+
+    def backtrace(self, limit: int = 16) -> Tuple[str, ...]:
+        stack = self._bt_stacks.get(self._bt_tid)
+        entries = [self._bt_top]
+        if stack:
+            entries.extend(reversed(stack))
+        return tuple(entries[:limit])
+
+
+def _materialize(source):
+    if isinstance(source, type):
+        return source()
+    if hasattr(source, "attach"):
+        return source
+    return source()
+
+
+def _decode(payload: bytes) -> List[tuple]:
+    """One pass over the varint payload into resolved record tuples.
+
+    Strings are interned to Python objects, access-address deltas are
+    resolved to absolute addresses, and event operand/size lists become
+    tuples — everything a replay pass would otherwise redo per analysis.
+    """
+    buf = payload
+    pos = 0
+    end = len(buf)
+    strings: List[str] = []
+    records: List[tuple] = []
+    append = records.append
+    last_address = 0
+
+    while pos < end:
+        op = buf[pos]
+        pos += 1
+
+        if op == OP_ACCESS:
+            delta, pos = read_varint(buf, pos)
+            size, pos = read_varint(buf, pos)
+            last_address += unzigzag(delta)
+            append((R_ACCESS, last_address, size))
+
+        elif op == OP_EVENT:
+            flags, pos = read_varint(buf, pos)
+            kind_id, pos = read_varint(buf, pos)
+            tid, pos = read_varint(buf, pos)
+            frame_serial, pos = read_varint(buf, pos)
+            n_ops, pos = read_varint(buf, pos)
+            ops = []
+            for _ in range(n_ops):
+                value, pos = read_varint(buf, pos)
+                ops.append(unzigzag(value))
+            result = None
+            if flags & EVF_HAS_RESULT:
+                value, pos = read_varint(buf, pos)
+                result = unzigzag(value)
+            n_sizes, pos = read_varint(buf, pos)
+            sizes = []
+            for _ in range(n_sizes):
+                value, pos = read_varint(buf, pos)
+                sizes.append(value)
+            result_size, pos = read_varint(buf, pos)
+            n_regs, pos = read_varint(buf, pos)
+            operand_regs = []
+            for _ in range(n_regs):
+                value, pos = read_varint(buf, pos)
+                operand_regs.append(None if value == 0 else strings[value - 1])
+            result_reg_id, pos = read_varint(buf, pos)
+            loc_id, pos = read_varint(buf, pos)
+            loc = strings[loc_id]
+            bt_top = loc
+            if flags & EVF_HAS_BT:
+                bt_id, pos = read_varint(buf, pos)
+                bt_top = strings[bt_id]
+            append((
+                R_EVENT,
+                bool(flags & EVF_AFTER),
+                strings[kind_id],
+                tid,
+                frame_serial,
+                tuple(ops),
+                result,
+                tuple(sizes),
+                result_size,
+                tuple(operand_regs),
+                None if result_reg_id == 0 else strings[result_reg_id - 1],
+                loc,
+                bt_top,
+            ))
+
+        elif op == OP_STR:
+            length, pos = read_varint(buf, pos)
+            strings.append(buf[pos:pos + length].decode("utf-8"))
+            pos += length
+
+        elif op == OP_OR2:
+            frame_serial, pos = read_varint(buf, pos)
+            dst_id, pos = read_varint(buf, pos)
+            lhs_id, pos = read_varint(buf, pos)
+            rhs_id, pos = read_varint(buf, pos)
+            append((
+                R_OR2,
+                frame_serial,
+                strings[dst_id],
+                None if lhs_id == 0 else strings[lhs_id - 1],
+                None if rhs_id == 0 else strings[rhs_id - 1],
+            ))
+
+        elif op == OP_SET0:
+            frame_serial, pos = read_varint(buf, pos)
+            reg_id, pos = read_varint(buf, pos)
+            append((R_SET0, frame_serial, strings[reg_id]))
+
+        elif op == OP_DEFAULT:
+            frame_serial, pos = read_varint(buf, pos)
+            reg_id, pos = read_varint(buf, pos)
+            append((R_DEFAULT, frame_serial, strings[reg_id]))
+
+        elif op == OP_MOV:
+            dst_serial, pos = read_varint(buf, pos)
+            dst_id, pos = read_varint(buf, pos)
+            src_serial, pos = read_varint(buf, pos)
+            src_id, pos = read_varint(buf, pos)
+            append((
+                R_MOV,
+                dst_serial,
+                strings[dst_id],
+                src_serial,
+                None if src_id == 0 else strings[src_id - 1],
+            ))
+
+        elif op == OP_PUSH:
+            tid, pos = read_varint(buf, pos)
+            entry_id, pos = read_varint(buf, pos)
+            append((R_PUSH, tid, None if entry_id == 0 else strings[entry_id - 1]))
+
+        elif op == OP_POP:
+            frame_serial, pos = read_varint(buf, pos)
+            tid, pos = read_varint(buf, pos)
+            append((R_POP, frame_serial, tid))
+
+        elif op == OP_SUMMARY:
+            base_cycles, pos = read_varint(buf, pos)
+            instructions, pos = read_varint(buf, pos)
+            mem_cycles, pos = read_varint(buf, pos)
+            heap_peak, pos = read_varint(buf, pos)
+            _n_events, pos = read_varint(buf, pos)
+            _n_accesses, pos = read_varint(buf, pos)
+            append((R_SUMMARY, base_cycles, instructions, mem_cycles, heap_peak))
+
+        else:
+            raise TraceFormatError(f"unknown opcode {op} at offset {pos - 1}")
+
+    return records
+
+
+class TraceReplayer:
+    """Replays one trace through one or more attachable analyses.
+
+    Reuse one instance to replay several analyses over the same trace:
+    the decoded record list is built lazily and cached.
+    """
+
+    def __init__(self, trace: Union[TraceReader, bytes]) -> None:
+        self.trace = trace if isinstance(trace, TraceReader) else TraceReader(trace)
+        self._records: Optional[List[tuple]] = None
+
+    @property
+    def records(self) -> List[tuple]:
+        if self._records is None:
+            self._records = _decode(self.trace.payload)
+        return self._records
+
+    def replay(
+        self,
+        analyses: Sequence[object],
+        cache_config: Optional[CacheConfig] = None,
+    ) -> Tuple[Profile, Reporter]:
+        """Fire the recorded event stream through ``analyses``.
+
+        Returns ``(profile, reporter)`` exactly as an inline
+        ``run_instrumented`` call would have.
+        """
+        vm = ReplayVM(cache_config)
+        attachables = [_materialize(source) for source in analyses]
+        vm.track_shadow = any(a.needs_shadow for a in attachables)
+        for attachable in attachables:
+            attachable.attach(vm)
+
+        hb = vm.hooks.before
+        ha = vm.hooks.after
+        profile = vm.profile
+        cache_access = vm.cache.access
+        track_shadow = vm.track_shadow
+        count_event = profile.count_event
+        bt_stacks = vm._bt_stacks
+
+        #: serial -> (shadow dict, tid, contributed a backtrace entry)
+        frames = {}
+        next_serial = 0
+        mem_cycles = 0
+        seq = 0
+        saw_summary = False
+
+        for rec in self.records:
+            tag = rec[0]
+
+            if tag == R_ACCESS:
+                mem_cycles += cache_access(rec[1], rec[2])
+
+            elif tag == R_EVENT:
+                seq += 1
+                kind = rec[2]
+                callbacks = (ha if rec[1] else hb).get(kind)
+                if callbacks:
+                    # Flush program mem_cycles accumulated so far: handler
+                    # bodies bill metadata traffic into the same profile.
+                    profile.mem_cycles += mem_cycles
+                    mem_cycles = 0
+                    tid = rec[3]
+                    context = EventContext(
+                        vm,
+                        kind,
+                        tid,
+                        rec[5],
+                        rec[6],
+                        frames[rec[4]][0],
+                        rec[9],
+                        rec[10],
+                        rec[7],
+                        rec[8],
+                        rec[11],
+                        seq,
+                    )
+                    vm._bt_top = rec[12]
+                    vm._bt_tid = tid
+                    for callback in callbacks:
+                        profile.handler_calls += 1
+                        profile.instr_cycles += getattr(
+                            callback, "dispatch_cycles", _HANDLER_DISPATCH_CYCLES
+                        )
+                        count_event(kind)
+                        callback(context)
+
+            elif tag == R_OR2:
+                if track_shadow:
+                    shadow = frames[rec[1]][0]
+                    meta = shadow.get(rec[3], 0) if rec[3] is not None else 0
+                    if rec[4] is not None:
+                        meta |= shadow.get(rec[4], 0)
+                    shadow[rec[2]] = meta
+                    profile.instr_cycles += _SHADOW_PROP_CYCLES
+
+            elif tag == R_SET0:
+                if track_shadow:
+                    frames[rec[1]][0][rec[2]] = 0
+
+            elif tag == R_DEFAULT:
+                if track_shadow:
+                    frames[rec[1]][0].setdefault(rec[2], 0)
+
+            elif tag == R_MOV:
+                if track_shadow:
+                    value = 0
+                    if rec[4] is not None:
+                        value = frames[rec[3]][0].get(rec[4], 0)
+                    frames[rec[1]][0][rec[2]] = value
+
+            elif tag == R_PUSH:
+                tid, entry = rec[1], rec[2]
+                frames[next_serial] = ({}, tid, entry is not None)
+                if entry is not None:
+                    bt_stacks.setdefault(tid, []).append(entry)
+                next_serial += 1
+
+            elif tag == R_POP:
+                _, _, has_entry = frames.pop(rec[1])
+                if has_entry:
+                    bt_stacks[rec[2]].pop()
+
+            else:  # R_SUMMARY
+                profile.base_cycles += rec[1]
+                profile.instructions += rec[2]
+                profile.heap_peak_bytes = rec[4]
+                saw_summary = True
+
+        if not saw_summary:
+            raise TraceFormatError("trace has no summary record (truncated?)")
+        profile.mem_cycles += mem_cycles
+        profile.cache = vm.cache.stats
+        return profile, vm.reporter

@@ -1,0 +1,123 @@
+"""Content-addressed on-disk trace cache.
+
+Traces are keyed by ``(workload name, scale, module digest)``, where the
+module digest hashes the *content* the recorder would execute: the
+workload module's canonical disassembly, its input lines, and the names
+of its simulated extern functions.  Editing a workload therefore
+invalidates its cached traces automatically; re-running with an
+unchanged workload is a pure cache hit that skips interpretation
+entirely.
+
+The store also hosts a result cache for the batch executor
+(:mod:`repro.exec.pool`): replay results keyed by
+``(trace digest, analysis fingerprint)``.  Writes are atomic
+(tmp + rename), so concurrent workers race benignly — last writer wins
+with identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.ir.text import print_module
+from repro.workloads.base import Workload
+
+from repro.trace.format import TraceReader
+from repro.trace.recorder import record_workload
+
+
+def module_digest(workload: Workload, scale: int) -> str:
+    """Digest of everything that determines a workload's event stream."""
+    sha = hashlib.sha256()
+    sha.update(print_module(workload.make_module(scale)).encode("utf-8"))
+    for line in workload.input_lines:
+        sha.update(b"\x00input\x00")
+        sha.update(line)
+    extern = workload.make_extern() or {}
+    for name in sorted(extern):
+        sha.update(b"\x00extern\x00")
+        sha.update(name.encode("utf-8"))
+    sha.update(f"\x00scale={scale}\x00threads={workload.threads}".encode("utf-8"))
+    return sha.hexdigest()
+
+
+class TraceStore:
+    """Directory of recorded traces plus the batch-executor result cache."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "results").mkdir(exist_ok=True)
+
+    # -- traces --------------------------------------------------------
+    def trace_path(self, workload: Workload, scale: int,
+                   digest: Optional[str] = None) -> Path:
+        digest = digest or module_digest(workload, scale)
+        return self.root / f"{workload.name}-s{scale}-{digest[:16]}.trace"
+
+    def get_or_record(self, workload: Workload, scale: int = 1) -> TraceReader:
+        """Open the cached trace for (workload, scale), recording on miss."""
+        digest = module_digest(workload, scale)
+        path = self.trace_path(workload, scale, digest)
+        if not path.exists():
+            handle = tempfile.NamedTemporaryFile(
+                dir=str(self.root), suffix=".tmp", delete=False
+            )
+            try:
+                with handle:
+                    record_workload(
+                        workload, scale, handle, meta={"module_digest": digest}
+                    )
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        return TraceReader.from_file(path)
+
+    def has_trace(self, workload: Workload, scale: int = 1) -> bool:
+        return self.trace_path(workload, scale).exists()
+
+    # -- replay-result cache -------------------------------------------
+    @staticmethod
+    def result_key(trace_digest: str, analysis_fingerprint: str) -> str:
+        sha = hashlib.sha256()
+        sha.update(trace_digest.encode("utf-8"))
+        sha.update(b"\x00")
+        sha.update(analysis_fingerprint.encode("utf-8"))
+        return sha.hexdigest()
+
+    def _result_path(self, key: str) -> Path:
+        return self.root / "results" / f"{key}.json"
+
+    def load_result(self, key: str) -> Optional[dict]:
+        path = self._result_path(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def store_result(self, key: str, payload: dict) -> None:
+        path = self._result_path(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=str(path.parent), suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise

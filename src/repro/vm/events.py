@@ -107,6 +107,32 @@ class EventContext:
         #: instrumentation event observe the same value
         self.seq = seq
 
+    # -- capture accessors (used by repro.trace.recorder) ---------------
+    @property
+    def operand_regs(self) -> Tuple[Optional[str], ...]:
+        """Register name (or None for constants) behind each operand."""
+        return self._operand_regs
+
+    @property
+    def result_reg(self) -> Optional[str]:
+        """Register name of the result, when the event has one."""
+        return self._result_reg
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Byte sizes of all operands (``sizeof($1..$n)``)."""
+        return self._sizes
+
+    @property
+    def result_size(self) -> int:
+        """Byte size of the result (``sizeof($r)``)."""
+        return self._result_size
+
+    @property
+    def shadow_regs(self) -> Dict[str, int]:
+        """The live local-metadata plane this event reads and writes."""
+        return self._shadow_regs
+
     # -- ALDA call-arg accessors ---------------------------------------
     def operand(self, index: int) -> int:
         """``$index`` (1-based)."""
@@ -142,3 +168,42 @@ class EventContext:
         """Attach a handler's return value as ``$r``'s local metadata."""
         if self._result_reg is not None:
             self._shadow_regs[self._result_reg] = value
+
+
+class ExecutionTracer:
+    """Capture hook for full-execution tracing (see :mod:`repro.trace`).
+
+    An interpreter with a tracer installed (``Interpreter.set_tracer``)
+    reports every frame push/pop and every local-metadata (shadow
+    register) dataflow operation as it executes.  Together with the
+    instrumentation event stream (captured via ordinary :class:`Hooks`
+    on every join point) and the cache-access stream, this is exactly
+    the information a record/replay system needs to re-fire events
+    through an analysis later *without* re-interpreting the IR, while
+    keeping the cost model bit-identical.
+
+    The default implementation ignores everything, so subclasses only
+    override what they consume.  Shadow dicts are identified by object
+    identity between ``frame_push`` and ``frame_pop``.
+    """
+
+    def frame_push(self, shadow: Dict[str, int], tid: int, caller_shadow=None,
+                   caller_entry: str = "") -> None:
+        """A frame was pushed; ``caller_entry`` is its caller's backtrace entry."""
+
+    def frame_pop(self, shadow: Dict[str, int], tid: int) -> None:
+        """A frame was popped (its shadow dict will not be referenced again)."""
+
+    def shadow_set0(self, shadow: Dict[str, int], reg: str) -> None:
+        """``reg.m := 0`` (Const/Load/Alloca destinations)."""
+
+    def shadow_or2(self, shadow: Dict[str, int], dst: str,
+                   lhs: Optional[str], rhs: Optional[str]) -> None:
+        """``dst.m := lhs.m | rhs.m`` (BinOp/Cmp; None operands read 0)."""
+
+    def shadow_mov(self, dst_shadow: Dict[str, int], dst: str,
+                   src_shadow: Dict[str, int], src: Optional[str]) -> None:
+        """``dst.m := src.m`` across frames (call args, return values)."""
+
+    def shadow_default(self, shadow: Dict[str, int], reg: str) -> None:
+        """``reg.m := 0`` unless already set (builtin-call results)."""

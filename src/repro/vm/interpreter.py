@@ -147,6 +147,17 @@ class Interpreter:
         self._ha = self.hooks.after
         self._fire_seq = 0
         self._current_thread: Optional[ThreadState] = None
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Install an :class:`repro.vm.events.ExecutionTracer` (or None).
+
+        Must be called before :meth:`run`; threads already created would
+        otherwise miss their frame_push notifications.
+        """
+        if self.threads:
+            raise VMError("set_tracer must be called before run()")
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # setup
@@ -209,6 +220,8 @@ class Interpreter:
         frame.stack_mark = thread.stack_top
         thread.frames.append(frame)
         self.threads.append(thread)
+        if self._tracer is not None:
+            self._tracer.frame_push(frame.shadow, thread.tid)
         return thread
 
     # ------------------------------------------------------------------
@@ -252,6 +265,7 @@ class Interpreter:
         cache_access = self.cache.access
         memory = self.memory
         track_shadow = self.track_shadow
+        tracer = self._tracer
         hb = self._hb
         ha = self._ha
         executed = 0
@@ -271,6 +285,8 @@ class Interpreter:
                 regs[instr.result] = instr.value
                 if track_shadow:
                     frame.shadow[instr.result] = 0
+                    if tracer is not None:
+                        tracer.shadow_set0(frame.shadow, instr.result)
                 if "ConstInst" in ha:
                     self._fire(
                         ha["ConstInst"], "ConstInst", thread, frame, instr,
@@ -322,6 +338,12 @@ class Interpreter:
                     )
                     shadow[instr.result] = meta
                     profile.instr_cycles += _SHADOW_PROP_CYCLES
+                    if tracer is not None:
+                        tracer.shadow_or2(
+                            shadow, instr.result,
+                            lhs if type(lhs) is str else None,
+                            rhs if type(rhs) is str else None,
+                        )
                 if "BinaryOperator" in ha:
                     self._fire(
                         ha["BinaryOperator"], "BinaryOperator", thread, frame, instr,
@@ -354,6 +376,12 @@ class Interpreter:
                     )
                     shadow[instr.result] = meta
                     profile.instr_cycles += _SHADOW_PROP_CYCLES
+                    if tracer is not None:
+                        tracer.shadow_or2(
+                            shadow, instr.result,
+                            lhs if type(lhs) is str else None,
+                            rhs if type(rhs) is str else None,
+                        )
                 if "CmpInst" in ha:
                     self._fire(
                         ha["CmpInst"], "CmpInst", thread, frame, instr,
@@ -374,6 +402,8 @@ class Interpreter:
                 regs[instr.result] = value
                 if track_shadow:
                     frame.shadow[instr.result] = 0
+                    if tracer is not None:
+                        tracer.shadow_set0(frame.shadow, instr.result)
                 if "LoadInst" in ha:
                     self._fire(
                         ha["LoadInst"], "LoadInst", thread, frame, instr,
@@ -430,6 +460,8 @@ class Interpreter:
                 regs[instr.result] = address
                 if track_shadow:
                     frame.shadow[instr.result] = 0
+                    if tracer is not None:
+                        tracer.shadow_set0(frame.shadow, instr.result)
                 if "AllocaInst" in ha:
                     self._fire(
                         ha["AllocaInst"], "AllocaInst", thread, frame, instr,
@@ -489,12 +521,23 @@ class Interpreter:
             new_frame.call_instr = instr
             new_frame.call_ops = args
             new_frame.caller_shadow = frame.shadow
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.frame_push(
+                    new_frame.shadow, thread.tid, frame.shadow,
+                    self._bt_entry(frame),
+                )
             if self.track_shadow:
                 caller_shadow = frame.shadow
                 for param, arg in zip(target.params, instr.args):
                     new_frame.shadow[param] = (
                         caller_shadow.get(arg, 0) if type(arg) is str else 0
                     )
+                    if tracer is not None:
+                        tracer.shadow_mov(
+                            new_frame.shadow, param, caller_shadow,
+                            arg if type(arg) is str else None,
+                        )
             thread.frames.append(new_frame)
             return
 
@@ -557,6 +600,8 @@ class Interpreter:
             frame.regs[instr.result] = value
             if self.track_shadow:
                 frame.shadow.setdefault(instr.result, 0)
+                if self._tracer is not None:
+                    self._tracer.shadow_default(frame.shadow, instr.result)
 
     def _do_ret(self, thread: ThreadState, frame: Frame, instr: Ret) -> None:
         value_op = instr.value
@@ -565,12 +610,15 @@ class Interpreter:
             value = frame.regs[value_op] if type(value_op) is str else value_op
         thread.stack_top = frame.stack_mark
         thread.frames.pop()
+        tracer = self._tracer
 
         if not thread.frames:
             thread.status = _DONE
             thread.result = value
             for waiter in self._joiners.pop(thread.tid, []):
                 waiter.status = _RUNNABLE
+            if tracer is not None:
+                tracer.frame_pop(frame.shadow, thread.tid)
             return
 
         caller = thread.frames[-1]
@@ -582,6 +630,13 @@ class Interpreter:
                     frame.shadow.get(value_op, 0) if type(value_op) is str else 0
                 )
                 caller.shadow[call_instr.result] = returned_shadow
+                if tracer is not None:
+                    tracer.shadow_mov(
+                        caller.shadow, call_instr.result, frame.shadow,
+                        value_op if type(value_op) is str else None,
+                    )
+        if tracer is not None:
+            tracer.frame_pop(frame.shadow, thread.tid)
         key = "func:" + frame.function.name
         if call_instr is not None and key in self._ha:
             self._fire(
@@ -694,13 +749,17 @@ class Interpreter:
         thread = self._current_thread
         if thread is None or not thread.frames:
             return ()
-        frames = []
-        for frame in reversed(thread.frames[-limit:]):
-            index = max(0, frame.ip - 1)
-            instr = frame.code[index] if index < len(frame.code) else None
-            loc = getattr(instr, "loc", "") if instr is not None else ""
-            frames.append(loc if loc else f"{frame.function.name}+{frame.ip}")
-        return tuple(frames)
+        return tuple(
+            self._bt_entry(frame) for frame in reversed(thread.frames[-limit:])
+        )
+
+    @staticmethod
+    def _bt_entry(frame: Frame) -> str:
+        """One frame's backtrace entry, exactly as :meth:`backtrace` renders it."""
+        index = max(0, frame.ip - 1)
+        instr = frame.code[index] if index < len(frame.code) else None
+        loc = getattr(instr, "loc", "") if instr is not None else ""
+        return loc if loc else f"{frame.function.name}+{frame.ip}"
 
     @staticmethod
     def _loc(frame: Frame, instr) -> str:

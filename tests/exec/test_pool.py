@@ -1,0 +1,105 @@
+"""Tests for the batch executor."""
+
+import pytest
+
+from repro.exec import (
+    ANALYSIS_SPECS,
+    JobSpec,
+    JobResult,
+    analysis_fingerprint,
+    build_analysis,
+    run_batch,
+)
+from repro.harness.runner import measure_overhead
+from repro.trace import TraceStore
+from repro.workloads import ALL
+
+
+JOBS = [
+    JobSpec("bzip2", "msan.alda", "ALDAcc"),
+    JobSpec("bzip2", "msan.handtuned", "LLVM"),
+    JobSpec("fft", "eraser.full", "ALDAcc-full"),
+]
+
+
+def test_registry_builds_every_spec():
+    for spec in ANALYSIS_SPECS:
+        attachable = build_analysis(spec)
+        assert hasattr(attachable, "attach")
+        assert hasattr(attachable, "needs_shadow")
+
+
+def test_fingerprints_unique_and_stable():
+    prints = {spec: analysis_fingerprint(spec) for spec in ANALYSIS_SPECS}
+    assert len(set(prints.values())) == len(prints)
+    assert analysis_fingerprint("msan.alda") == prints["msan.alda"]
+
+
+def test_unknown_spec_rejected():
+    with pytest.raises(KeyError):
+        build_analysis("nope.missing")
+    with pytest.raises(KeyError):
+        run_batch([JobSpec("bzip2", "nope.missing")])
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        run_batch([JobSpec("no_such_workload", "msan.alda")])
+
+
+def test_run_batch_matches_inline(tmp_path):
+    results = run_batch(JOBS, store=tmp_path)
+    assert [r.label for r in results] == ["ALDAcc", "LLVM", "ALDAcc-full"]
+    for job, result in zip(JOBS, results):
+        inline = measure_overhead(
+            ALL[job.workload], build_analysis(job.spec), label=job.label
+        )
+        assert result.baseline_cycles == inline.baseline_cycles
+        assert result.instrumented_cycles == inline.instrumented_cycles
+        assert result.overhead == inline.overhead
+        assert result.metadata_bytes == inline.profile.metadata_bytes
+        assert not result.cached
+
+
+def test_run_batch_result_cache(tmp_path):
+    first = run_batch(JOBS, store=tmp_path)
+    second = run_batch(JOBS, store=tmp_path)
+    assert all(not r.cached for r in first)
+    assert all(r.cached for r in second)
+    for a, b in zip(first, second):
+        assert a.instrumented_cycles == b.instrumented_cycles
+        assert a.baseline_cycles == b.baseline_cycles
+
+
+def test_run_batch_parallel_equals_serial(tmp_path):
+    serial = run_batch(JOBS, processes=1, store=tmp_path / "a")
+    parallel = run_batch(JOBS, processes=2, store=tmp_path / "b")
+    for a, b in zip(serial, parallel):
+        assert a.workload == b.workload and a.label == b.label
+        assert a.instrumented_cycles == b.instrumented_cycles
+        assert a.baseline_cycles == b.baseline_cycles
+
+
+def test_run_batch_records_each_workload_once(tmp_path):
+    run_batch(JOBS, store=tmp_path)
+    store = TraceStore(tmp_path)
+    traces = list(store.root.glob("*.trace"))
+    assert len(traces) == 2  # bzip2 + fft, not one per job
+
+
+def test_run_batch_temporary_store():
+    results = run_batch(JOBS[:1])  # no store: records into a tempdir
+    assert len(results) == 1
+    assert results[0].overhead > 1.0
+
+
+def test_job_result_serialization():
+    result = JobResult(
+        workload="w", spec="s", label="l", scale=1,
+        baseline_cycles=100, instrumented_cycles=250,
+        metadata_bytes=7, n_reports=0, wall_seconds=0.5,
+    )
+    as_dict = result.to_dict()
+    assert as_dict["overhead"] == 2.5
+    assert as_dict["workload"] == "w"
+    assert not as_dict["cached"]

@@ -67,3 +67,16 @@ class TestGeomean:
 
     def test_order_independent(self):
         assert geomean([2.0, 8.0, 3.0]) == pytest.approx(geomean([8.0, 3.0, 2.0]))
+
+    def test_no_overflow_on_large_values(self):
+        # log-sum formulation: a raw product of these would be float inf
+        values = [1e200] * 4
+        assert geomean(values) == pytest.approx(1e200, rel=1e-9)
+
+    def test_no_underflow_on_tiny_values(self):
+        values = [1e-200] * 4
+        assert geomean(values) == pytest.approx(1e-200, rel=1e-9)
+
+    def test_non_positive_degenerates_to_zero(self):
+        assert geomean([2.0, 0.0]) == 0.0
+        assert geomean([2.0, -1.0]) == 0.0

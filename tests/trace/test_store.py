@@ -1,0 +1,50 @@
+"""Tests for the content-addressed trace store."""
+
+from repro.trace import TraceStore, module_digest
+from repro.workloads import ALL, SPEC
+
+
+def test_module_digest_stable_and_scale_sensitive():
+    workload = SPEC["bzip2"]
+    assert module_digest(workload, 1) == module_digest(workload, 1)
+    assert module_digest(workload, 1) != module_digest(workload, 2)
+    assert module_digest(workload, 1) != module_digest(ALL["fft"], 1)
+
+
+def test_get_or_record_caches(tmp_path):
+    store = TraceStore(tmp_path)
+    workload = SPEC["bzip2"]
+    assert not store.has_trace(workload)
+    first = store.get_or_record(workload)
+    assert store.has_trace(workload)
+    path = store.trace_path(workload, 1)
+    stamp = path.stat().st_mtime_ns
+    second = store.get_or_record(workload)  # hit: no re-record
+    assert path.stat().st_mtime_ns == stamp
+    assert first.digest == second.digest
+
+
+def test_trace_path_keyed_by_module_digest(tmp_path):
+    store = TraceStore(tmp_path)
+    workload = SPEC["bzip2"]
+    path = store.trace_path(workload, 1)
+    assert workload.name in path.name
+    assert module_digest(workload, 1)[:16] in path.name
+
+
+def test_result_cache_roundtrip(tmp_path):
+    store = TraceStore(tmp_path)
+    key = TraceStore.result_key("a" * 64, "b" * 64)
+    assert store.load_result(key) is None
+    store.store_result(key, {"cycles": 42})
+    assert store.load_result(key) == {"cycles": 42}
+    # distinct fingerprints get distinct keys
+    assert key != TraceStore.result_key("a" * 64, "c" * 64)
+
+
+def test_result_cache_tolerates_corruption(tmp_path):
+    store = TraceStore(tmp_path)
+    key = TraceStore.result_key("a" * 64, "b" * 64)
+    store.store_result(key, {"cycles": 42})
+    store._result_path(key).write_text("not json{")
+    assert store.load_result(key) is None
