@@ -4,9 +4,7 @@ Not a paper experiment — these keep the reproduction's own performance
 honest (a slow substrate would make the figure benches unusable).
 """
 
-import pytest
-
-from repro.ir import IRBuilder, parse_module, print_module
+from repro.ir import parse_module, print_module
 from repro.vm import Interpreter
 from repro.workloads import ALL
 

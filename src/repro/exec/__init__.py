@@ -16,11 +16,19 @@ from repro.exec.pool import (
     build_analysis,
     run_batch,
 )
+from repro.exec.workers import (
+    PersistentWorkerPool,
+    TaskError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "ANALYSIS_SPECS",
     "JobResult",
     "JobSpec",
+    "PersistentWorkerPool",
+    "TaskError",
+    "WorkerCrashError",
     "analysis_fingerprint",
     "build_analysis",
     "run_batch",

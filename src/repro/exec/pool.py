@@ -19,8 +19,10 @@ class source for hand-tuned baselines), so editing an analysis — or a
 workload, which changes the trace digest — invalidates exactly the
 affected cache entries.
 
-Workers are plain ``multiprocessing.Pool`` processes; per-process
-``lru_cache`` keeps each analysis compiled at most once per worker.
+Workers are :class:`repro.exec.workers.PersistentWorkerPool` processes;
+per-process ``lru_cache`` keeps each analysis compiled at most once per
+worker, and because the pool is long-lived the same warm caches back the
+resident analysis daemon (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -28,7 +30,6 @@ from __future__ import annotations
 import functools
 import hashlib
 import inspect
-import multiprocessing
 import tempfile
 import time
 from dataclasses import dataclass
@@ -197,6 +198,10 @@ class JobResult:
 
 # -- worker functions (top level: must pickle) ---------------------------
 
+#: dotted task paths for PersistentWorkerPool submission
+RECORD_TASK = "repro.exec.pool:_record_trace"
+REPLAY_TASK = "repro.exec.pool:_run_job"
+
 
 def _record_trace(packed) -> str:
     root, workload_name, scale = packed
@@ -318,13 +323,15 @@ def run_batch(
         job_args = [(root, job) for job in jobs]
 
         if processes > 1:
-            with multiprocessing.Pool(processes) as pool:
+            from repro.exec.workers import PersistentWorkerPool
+
+            with PersistentWorkerPool(processes) as pool:
                 if len(missing) > 1:
-                    pool.map(_record_trace, missing)
+                    pool.map(RECORD_TASK, missing)
                 else:
                     for packed in missing:
                         _record_trace(packed)
-                results = pool.map(_run_job, job_args)
+                results = pool.map(REPLAY_TASK, job_args)
         else:
             for packed in missing:
                 _record_trace(packed)

@@ -1,0 +1,39 @@
+"""Task functions for exercising the worker pool's failure model.
+
+These exist so tests (and operators poking at a deployment) can drive
+:class:`repro.exec.workers.PersistentWorkerPool` through its three
+outcomes — success, task exception, worker death — without inventing
+ad-hoc importable modules.  They are addressed by dotted path like any
+other task, e.g. ``"repro.exec.testing:echo"``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo(payload):
+    """Round-trip the payload (success path)."""
+    return payload
+
+
+def fail(payload):
+    """Raise inside the worker (TaskError path; worker survives)."""
+    raise ValueError(f"intentional task failure: {payload!r}")
+
+
+def crash(payload):
+    """Kill the worker process abruptly (WorkerCrashError path)."""
+    os._exit(int(payload) if payload else 1)
+
+
+def sleep(payload):
+    """Hold a worker busy for ``payload`` seconds; returns the payload."""
+    time.sleep(float(payload))
+    return payload
+
+
+def pid(_payload) -> int:
+    """The worker's process id (asserts process reuse across calls)."""
+    return os.getpid()

@@ -1,0 +1,209 @@
+"""Long-lived worker processes with crash detection and respawn.
+
+:class:`PersistentWorkerPool` replaces the batch-scoped
+``multiprocessing.Pool`` the executor originally used.  Workers survive
+across submissions, so everything a worker memoizes per process —
+compiled analyses (:func:`repro.exec.pool.build_analysis`), decoded
+trace replayers — stays warm for the pool's whole lifetime.  That is
+what makes a resident analysis daemon (:mod:`repro.serve`) pay compile
+and decode costs once instead of per request.
+
+Tasks are addressed by dotted path (``"pkg.mod:function"``) and resolved
+with :mod:`importlib` inside the worker, so any module — including ones
+the parent imported after the pool could have been designed — can
+contribute tasks without a central registry.  Payloads and results cross
+the process boundary by pickling over a per-worker ``Pipe``.
+
+Failure model:
+
+* a task that *raises* is reported back and re-raised in the caller as
+  :class:`TaskError` — the worker stays alive;
+* a worker that *dies* mid-call (segfault, ``os._exit``, OOM kill)
+  surfaces as :class:`WorkerCrashError` on exactly the in-flight call,
+  and the pool respawns a fresh worker before the next submission —
+  one poisoned request never takes the pool down.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import queue
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+class TaskError(RuntimeError):
+    """A task function raised inside the worker (worker survived)."""
+
+
+class WorkerCrashError(RuntimeError):
+    """The worker process died while executing a task."""
+
+
+def resolve_task(path: str) -> Callable:
+    """Resolve ``"pkg.mod:function"`` to the callable it names."""
+    module_name, sep, func_name = path.partition(":")
+    if not sep or not module_name or not func_name:
+        raise ValueError(f"task path must look like 'pkg.mod:function', got {path!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)
+
+
+def _worker_main(conn) -> None:
+    """Worker request loop: recv (task_path, payload), send (ok, value)."""
+    resolved: Dict[str, Callable] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent closed its end: clean shutdown
+        if message is None:
+            return
+        task_path, payload = message
+        try:
+            func = resolved.get(task_path)
+            if func is None:
+                func = resolved[task_path] = resolve_task(task_path)
+            result = func(payload)
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            conn.send((False, f"{type(exc).__name__}: {exc}\n"
+                              f"{traceback.format_exc()}"))
+        else:
+            conn.send((True, result))
+
+
+class _WorkerHandle:
+    """One worker process plus the parent's end of its pipe."""
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+
+    def call(self, task_path: str, payload: Any) -> Any:
+        try:
+            self.conn.send((task_path, payload))
+            ok, value = self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerCrashError(
+                f"worker pid {self.process.pid} died mid-task "
+                f"(exitcode {self.process.exitcode})"
+            ) from exc
+        if not ok:
+            raise TaskError(value)
+        return value
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)
+        self.conn.close()
+        self.process.close()
+
+
+class PersistentWorkerPool:
+    """A fixed-size pool of long-lived workers, safe for threaded callers.
+
+    ``call`` borrows an idle worker (blocking while all are busy),
+    runs one task on it, and returns it.  A crashed worker is replaced
+    transparently; the ``restarts`` counter records every replacement so
+    operators can see flapping workers in the serve metrics.
+    """
+
+    def __init__(self, size: int, start_method: Optional[str] = None) -> None:
+        if size < 1:
+            raise ValueError("pool needs at least one worker")
+        self._ctx = multiprocessing.get_context(start_method)
+        self.size = size
+        self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.restarts = 0
+        self._workers: List[_WorkerHandle] = [
+            _WorkerHandle(self._ctx) for _ in range(size)
+        ]
+        for worker in self._workers:
+            self._idle.put(worker)
+
+    # -- submission ----------------------------------------------------
+    def call(self, task_path: str, payload: Any) -> Any:
+        """Run one task on an idle worker; blocks while all are busy."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        worker = self._idle.get()
+        try:
+            return worker.call(task_path, payload)
+        except WorkerCrashError:
+            worker = self._respawn(worker)
+            raise
+        finally:
+            self._idle.put(worker)
+
+    def map(self, task_path: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run one task over many payloads, ``self.size`` at a time.
+
+        Results come back in payload order; the first failure propagates
+        after in-flight tasks finish (ThreadPoolExecutor semantics).
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if len(payloads) == 1 or self.size == 1:
+            return [self.call(task_path, payload) for payload in payloads]
+        with ThreadPoolExecutor(max_workers=self.size) as executor:
+            futures = [
+                executor.submit(self.call, task_path, payload)
+                for payload in payloads
+            ]
+            return [future.result() for future in futures]
+
+    # -- lifecycle -----------------------------------------------------
+    def _respawn(self, dead: _WorkerHandle) -> _WorkerHandle:
+        with self._lock:
+            self.restarts += 1
+            try:
+                dead.stop(timeout=0.5)
+            except (OSError, ValueError):
+                pass
+            fresh = _WorkerHandle(self._ctx)
+            try:
+                self._workers[self._workers.index(dead)] = fresh
+            except ValueError:
+                self._workers.append(fresh)
+            return fresh
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for worker in self._workers if worker.alive)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.stop()
+            except (OSError, ValueError):
+                pass
+        self._workers.clear()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -23,7 +23,8 @@ FIGURES = {"fig3": figure3, "fig4": figure4, "fig5": figure5}
 
 
 def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
-                   jobs: int = 1, trace_cache=None, bench=None) -> str:
+                   jobs: int = 1, trace_cache=None, server=None,
+                   bench=None) -> str:
     """Regenerate one experiment; optionally collect a BENCH record.
 
     ``bench``, when a dict, is filled with the machine-readable record
@@ -34,13 +35,15 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
 
     started = time.perf_counter()
     if name in FIGURES:
-        data = FIGURES[name](scale, verbose, jobs=jobs, trace_cache=trace_cache)
+        data = FIGURES[name](scale, verbose, jobs=jobs, trace_cache=trace_cache,
+                             server=server)
         if bench is not None:
             bench.update(
                 experiment=name,
                 scale=scale,
                 jobs=jobs,
                 trace_cache=str(trace_cache) if trace_cache else None,
+                server=server,
                 wall_seconds=time.perf_counter() - started,
                 summary=data.summary,
                 results=data.bench,
@@ -95,6 +98,9 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-cache", metavar="DIR", default=None,
                         help="persistent trace/result cache directory; implies "
                              "record/replay mode even with --jobs 1")
+    parser.add_argument("--server", metavar="HOST:PORT", default=None,
+                        help="execute figure replays on a repro.serve daemon "
+                             "instead of a local pool (see docs/SERVING.md)")
     parser.add_argument("--json", metavar="OUT", default=None, dest="json_out",
                         help="also write machine-readable BENCH_<experiment>.json "
                              "records (cycles, overheads, wall-clock) into "
@@ -107,7 +113,7 @@ def main(argv=None) -> int:
         bench = {} if args.json_out else None
         print(run_experiment(name, args.scale, args.verbose, args.format,
                              jobs=args.jobs, trace_cache=args.trace_cache,
-                             bench=bench))
+                             server=args.server, bench=bench))
         if bench:
             out_dir = Path(args.json_out)
             out_dir.mkdir(parents=True, exist_ok=True)

@@ -49,20 +49,29 @@ class FigureData:
         return "\n".join(lines)
 
 
-def _use_batch(jobs: int, trace_cache) -> bool:
-    return jobs > 1 or trace_cache is not None
+def _use_batch(jobs: int, trace_cache, server=None) -> bool:
+    return jobs > 1 or trace_cache is not None or server is not None
 
 
-def _run_batch(specs, jobs: int, trace_cache):
-    """specs: (workload, analysis spec, label) tuples plus a shared scale."""
+def _run_batch(specs, jobs: int, trace_cache, server=None):
+    """specs: (workload, analysis spec, label) tuples plus a shared scale.
+
+    With ``server`` set (a ``HOST:PORT`` string or a
+    :class:`repro.serve.ServeClient`), jobs execute on a resident
+    analysis daemon instead of a local pool — replay is the same, so the
+    results are bit-identical either way.
+    """
     from repro.exec import JobSpec, run_batch
 
     tuples, scale = specs
-    return run_batch(
-        [JobSpec(workload, spec, label, scale) for workload, spec, label in tuples],
-        processes=jobs,
-        store=trace_cache,
-    )
+    job_specs = [
+        JobSpec(workload, spec, label, scale) for workload, spec, label in tuples
+    ]
+    if server is not None:
+        from repro.serve.client import run_jobs
+
+        return run_jobs(server, job_specs, store=trace_cache)
+    return run_batch(job_specs, processes=jobs, store=trace_cache)
 
 
 def _bench_record(result) -> dict:
@@ -79,18 +88,18 @@ def _bench_record(result) -> dict:
 
 
 def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
-            trace_cache=None) -> FigureData:
+            trace_cache=None, server=None) -> FigureData:
     """LLVM MSan vs ALDA MSan across the 20 bug-free workloads."""
     data = FigureData("Figure 3: LLVM MSan vs ALDA MSan (normalized overhead)",
                       series=["LLVM", "ALDAcc"])
     memory_ratios = []
-    if _use_batch(jobs, trace_cache):
+    if _use_batch(jobs, trace_cache, server):
         names = list(fig3_workloads())
         tuples = []
         for name in names:
             tuples.append((name, "msan.handtuned", "LLVM"))
             tuples.append((name, "msan.alda", "ALDAcc"))
-        results = _run_batch((tuples, scale), jobs, trace_cache)
+        results = _run_batch((tuples, scale), jobs, trace_cache, server)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             llvm, alda = by[(name, "LLVM")], by[(name, "ALDAcc")]
@@ -125,21 +134,21 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
 
 
 def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
-            trace_cache=None) -> FigureData:
+            trace_cache=None, server=None) -> FigureData:
     """Hand-tuned Eraser vs ALDAcc-full vs ALDAcc-ds-only on Splash2."""
     data = FigureData(
         "Figure 4: Eraser on Splash2 (normalized overhead)",
         series=["Hand-Tuned", "ALDAcc-full", "ALDAcc-ds-only"],
     )
     memory_ratios = []
-    if _use_batch(jobs, trace_cache):
+    if _use_batch(jobs, trace_cache, server):
         names = list(fig4_workloads())
         tuples = []
         for name in names:
             tuples.append((name, "eraser.handtuned", "Hand-Tuned"))
             tuples.append((name, "eraser.full", "ALDAcc-full"))
             tuples.append((name, "eraser.ds_only", "ALDAcc-ds-only"))
-        results = _run_batch((tuples, scale), jobs, trace_cache)
+        results = _run_batch((tuples, scale), jobs, trace_cache, server)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             hand = by[(name, "Hand-Tuned")]
@@ -202,19 +211,19 @@ _FIG5_SPECS = {
 
 
 def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
-            trace_cache=None) -> FigureData:
+            trace_cache=None, server=None) -> FigureData:
     """Four analyses run individually vs combined into one (Figure 5)."""
     series = list(_FIG5_ANALYSES) + ["sum_individual", "combined"]
     data = FigureData("Figure 5: combined analysis (normalized overhead)", series)
     speedups = []
-    if _use_batch(jobs, trace_cache):
+    if _use_batch(jobs, trace_cache, server):
         names = list(fig5_workloads())
         tuples = []
         for name in names:
             for analysis_name in _FIG5_ANALYSES:
                 tuples.append((name, _FIG5_SPECS[analysis_name], analysis_name))
             tuples.append((name, "fig5.combined", "combined"))
-        results = _run_batch((tuples, scale), jobs, trace_cache)
+        results = _run_batch((tuples, scale), jobs, trace_cache, server)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             total = 0.0

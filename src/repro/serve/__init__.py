@@ -1,0 +1,53 @@
+"""Analysis-as-a-service: a resident daemon over the record/replay core.
+
+One-shot CLI runs pay analysis compile and worker spin-up on every
+invocation.  ``repro.serve`` keeps those costs resident: an asyncio TCP
+daemon accepts recorded traces (or just their digests) over a
+length-prefixed binary protocol, replays them through warm worker
+processes that keep analyses compiled across requests, dedupes
+concurrent identical work (single-flight), caches results on disk, and
+answers repeats in microseconds — turning ALDA analyses into a
+queryable service rather than a batch script.
+
+Modules:
+
+* :mod:`repro.serve.protocol` — wire format (frames, error codes);
+* :mod:`repro.serve.server` — the daemon: admission control with
+  explicit ``BUSY`` backpressure, per-request timeouts, graceful drain;
+* :mod:`repro.serve.scheduler` — bounded admission + single-flight;
+* :mod:`repro.serve.tasks` — the worker-side replay task;
+* :mod:`repro.serve.metrics` — counters/gauges/latency histograms,
+  served via ``STATS`` frames;
+* :mod:`repro.serve.client` — blocking client + the harness adapter
+  behind ``python -m repro.harness figN --server HOST:PORT``;
+* :mod:`repro.serve.loadgen` — load generator
+  (``python -m repro.serve loadgen``).
+
+See ``docs/SERVING.md`` for the protocol and semantics reference.
+"""
+
+from repro.serve.client import (
+    RequestFailed,
+    ServeClient,
+    ServeError,
+    ServerBusy,
+    run_jobs,
+)
+from repro.serve.server import (
+    AnalysisServer,
+    ServeConfig,
+    ServerHandle,
+    serve_in_thread,
+)
+
+__all__ = [
+    "AnalysisServer",
+    "RequestFailed",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerBusy",
+    "ServerHandle",
+    "run_jobs",
+    "serve_in_thread",
+]

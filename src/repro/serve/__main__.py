@@ -1,0 +1,106 @@
+"""CLI for the analysis daemon.
+
+Commands::
+
+    python -m repro.serve --port 7091 --workers 4      # run the daemon
+    python -m repro.serve stats --server HOST:PORT     # metrics snapshot
+    python -m repro.serve loadgen --server HOST:PORT   # load generator
+    python -m repro.serve shutdown --server HOST:PORT  # graceful drain
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+
+def _serve(argv) -> int:
+    from repro.serve.server import ServeConfig, run_server
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run the ALDA analysis daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7091,
+                        help="TCP port (0 picks a free one; default 7091)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="warm replay worker processes (default 2)")
+    parser.add_argument("--queue", type=int, default=None, metavar="K",
+                        help="admission capacity before BUSY "
+                             "(default: 4 per worker)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="trace/result cache directory "
+                             "(default: private temp dir)")
+    parser.add_argument("--read-timeout", type=float, default=10.0)
+    parser.add_argument("--request-timeout", type=float, default=120.0)
+    parser.add_argument("--drain-grace", type=float, default=15.0)
+    args = parser.parse_args(argv)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        store_root=args.store,
+        read_timeout=args.read_timeout,
+        request_timeout=args.request_timeout,
+        drain_grace=args.drain_grace,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _stats(argv) -> int:
+    from repro.serve.client import ServeClient
+    from repro.serve.metrics import render_snapshot
+
+    parser = argparse.ArgumentParser(prog="python -m repro.serve stats")
+    parser.add_argument("--server", required=True, metavar="HOST:PORT")
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+
+    with ServeClient(args.server) as client:
+        snap = client.stats()
+    if args.as_json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+    else:
+        print(render_snapshot(snap))
+    return 0
+
+
+def _shutdown(argv) -> int:
+    from repro.serve.client import ServeClient
+
+    parser = argparse.ArgumentParser(prog="python -m repro.serve shutdown")
+    parser.add_argument("--server", required=True, metavar="HOST:PORT")
+    args = parser.parse_args(argv)
+
+    with ServeClient(args.server) as client:
+        client.request_shutdown()
+    print("shutdown requested")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "stats":
+        return _stats(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.serve.loadgen import main as loadgen_main
+
+        return loadgen_main(argv[1:])
+    if argv and argv[0] == "shutdown":
+        return _shutdown(argv[1:])
+    if argv and argv[0] == "serve":
+        argv = argv[1:]
+    return _serve(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

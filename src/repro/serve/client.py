@@ -1,0 +1,213 @@
+"""Blocking client for the analysis daemon.
+
+:class:`ServeClient` speaks the framed protocol over one persistent TCP
+connection (RPCs are sequential per client; use one client per thread
+for concurrency).  :func:`run_jobs` is the harness adapter: it executes
+a batch of :class:`~repro.exec.pool.JobSpec` against a server and
+returns :class:`~repro.exec.pool.JobResult` rows interchangeable with
+``run_batch``'s — same replay, same cost model, same numbers.
+
+Submission is digest-first: the client tries a digest-only request
+(zero trace bytes on the wire) and uploads the trace once only when the
+server answers ``UNKNOWN_TRACE``.  After the first upload every
+subsequent request for that trace, from any client, is digest-only.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exec.pool import JobResult, JobSpec
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """Base class for daemon-reported failures."""
+
+
+class ServerBusy(ServeError):
+    """BUSY frame: admission queue full; retry with backoff."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(
+            f"server busy (queue {payload.get('queue_depth')}"
+            f"/{payload.get('capacity')})"
+        )
+        self.queue_depth = payload.get("queue_depth")
+        self.capacity = payload.get("capacity")
+
+
+class RequestFailed(ServeError):
+    """ERROR frame; ``code`` is one of :data:`repro.serve.protocol.ERROR_CODES`."""
+
+    def __init__(self, payload: dict) -> None:
+        super().__init__(f"{payload.get('code')}: {payload.get('message')}")
+        self.code = payload.get("code")
+        self.message = payload.get("message")
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"server address must be HOST:PORT, got {address!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class ServeClient:
+    """One blocking connection to a repro.serve daemon."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]],
+                 timeout: float = 300.0) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.address = address
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- plumbing ------------------------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self.address, self.timeout)
+            self._sock.settimeout(self.timeout)
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _rpc(self, raw_frame: bytes) -> Tuple[int, bytes]:
+        sock = self._connection()
+        try:
+            sock.sendall(raw_frame)
+            return protocol.recv_frame(sock)
+        except (OSError, protocol.ProtocolError):
+            self.close()  # poisoned connection: reconnect on next call
+            raise
+
+    # -- RPCs ----------------------------------------------------------
+    def submit(self, spec: str, trace_bytes: bytes = b"",
+               digest: Optional[str] = None,
+               timeout: Optional[float] = None) -> dict:
+        """Submit one replay; returns the RESULT payload.
+
+        Raises :class:`ServerBusy` on backpressure and
+        :class:`RequestFailed` for ERROR frames (``exc.code`` says why,
+        e.g. ``UNKNOWN_TRACE`` for a digest the server has never seen).
+        """
+        frame_type, body = self._rpc(protocol.encode_request(
+            spec, digest=digest, timeout=timeout, trace_bytes=trace_bytes
+        ))
+        if frame_type == protocol.RESULT:
+            return protocol.decode_json_body(body)
+        if frame_type == protocol.BUSY:
+            raise ServerBusy(protocol.decode_json_body(body))
+        if frame_type == protocol.ERROR:
+            raise RequestFailed(protocol.decode_json_body(body))
+        raise ServeError(f"unexpected frame type {frame_type} in response")
+
+    def submit_digest_first(self, spec: str, digest: str,
+                            trace_bytes: bytes,
+                            timeout: Optional[float] = None) -> dict:
+        """Digest-only probe, uploading the trace only on UNKNOWN_TRACE."""
+        try:
+            return self.submit(spec, digest=digest, timeout=timeout)
+        except RequestFailed as exc:
+            if exc.code != "UNKNOWN_TRACE":
+                raise
+        return self.submit(spec, trace_bytes=trace_bytes, timeout=timeout)
+
+    def stats(self) -> dict:
+        frame_type, body = self._rpc(protocol.encode_frame(protocol.STATS_REQUEST))
+        if frame_type != protocol.STATS:
+            raise ServeError(f"expected STATS response, got {frame_type}")
+        return protocol.decode_json_body(body)
+
+    def ping(self) -> bool:
+        frame_type, _body = self._rpc(protocol.encode_frame(protocol.PING))
+        return frame_type == protocol.PONG
+
+    def request_shutdown(self) -> None:
+        """Ask the server to drain and exit (admin)."""
+        self._rpc(protocol.encode_frame(protocol.SHUTDOWN))
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# harness adapter
+# ----------------------------------------------------------------------
+def run_jobs(
+    server: Union[str, ServeClient],
+    jobs: Sequence[JobSpec],
+    store=None,
+) -> List[JobResult]:
+    """Execute harness jobs against a daemon; results come back in order.
+
+    Traces are recorded locally (into ``store``, or a temporary
+    directory) exactly once per (workload, scale) — the daemon replays
+    them remotely, so ``JobResult`` rows are bit-identical to
+    :func:`repro.exec.pool.run_batch` on the same jobs.
+    """
+    import tempfile
+
+    from repro.trace.store import TraceStore
+    from repro.workloads import ALL
+
+    jobs = list(jobs)
+    if not jobs:
+        return []
+
+    client = server if isinstance(server, ServeClient) else ServeClient(server)
+    owns_client = not isinstance(server, ServeClient)
+    tempdir = None
+    if store is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="alda-client-traces-")
+        store = TraceStore(tempdir.name)
+    elif not isinstance(store, TraceStore):
+        store = TraceStore(store)
+
+    try:
+        readers: Dict[Tuple[str, int], tuple] = {}
+        for workload_name, scale in sorted({(j.workload, j.scale) for j in jobs}):
+            workload = ALL[workload_name]
+            reader = store.get_or_record(workload, scale)
+            path = store.trace_path(workload, scale)
+            readers[(workload_name, scale)] = (reader, path)
+
+        results = []
+        for job in jobs:
+            reader, path = readers[(job.workload, job.scale)]
+            response = client.submit_digest_first(
+                job.spec, reader.digest, path.read_bytes()
+            )
+            record = response["result"]
+            baseline = record.get("baseline_cycles")
+            if baseline is None:
+                baseline = reader.summary["plain_cycles"]
+            results.append(JobResult(
+                workload=job.workload,
+                spec=job.spec,
+                label=job.label or job.spec,
+                scale=job.scale,
+                baseline_cycles=baseline,
+                instrumented_cycles=record["instrumented_cycles"],
+                metadata_bytes=record["metadata_bytes"],
+                n_reports=record["n_reports"],
+                wall_seconds=record["wall_seconds"],
+                cached=bool(response.get("cached")),
+            ))
+        return results
+    finally:
+        if owns_client:
+            client.close()
+        if tempdir is not None:
+            tempdir.cleanup()

@@ -1,0 +1,235 @@
+"""Load generator for the analysis daemon.
+
+Replays a request mix against a running server at a target rate and
+reports throughput, latency percentiles (overall / cache-hit / cold
+replay), and the error/busy breakdown — the amortization story of a
+resident daemon in one JSON record::
+
+    python -m repro.serve loadgen --server 127.0.0.1:7091 \\
+        --workload fft --spec eraser.full --requests 100 \\
+        --concurrency 4 --out benchmarks/artifacts/serve_loadgen.json
+
+Latencies here are measured client-side over the socket, exact (sorted
+samples, no histogram estimation), so they compose with the server's
+own STATS histograms as an end-to-end check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+from typing import List, Optional
+
+from repro.serve.client import RequestFailed, ServeClient, ServerBusy
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Exact percentile over a sample list (nearest-rank interpolation)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class LoadGen:
+    """Fires ``requests`` total requests from ``concurrency`` clients."""
+
+    def __init__(self, address: str, specs: List[str], digest: str,
+                 trace_bytes: bytes, requests: int, concurrency: int,
+                 rate: Optional[float] = None, timeout: float = 300.0) -> None:
+        self.address = address
+        self.specs = specs
+        self.digest = digest
+        self.trace_bytes = trace_bytes
+        self.requests = requests
+        self.concurrency = max(1, concurrency)
+        self.rate = rate
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._next = 0
+        self.latencies_ms: List[float] = []
+        self.cached_ms: List[float] = []
+        self.uncached_ms: List[float] = []
+        self.busy = 0
+        self.errors: List[str] = []
+
+    def _claim(self) -> Optional[int]:
+        with self._lock:
+            if self._next >= self.requests:
+                return None
+            index = self._next
+            self._next += 1
+            return index
+
+    def _worker(self, started_at: float) -> None:
+        with ServeClient(self.address, timeout=self.timeout) as client:
+            while True:
+                index = self._claim()
+                if index is None:
+                    return
+                if self.rate:
+                    target = started_at + index / self.rate
+                    delay = target - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                spec = self.specs[index % len(self.specs)]
+                begin = time.perf_counter()
+                try:
+                    response = client.submit_digest_first(
+                        spec, self.digest, self.trace_bytes
+                    )
+                except ServerBusy:
+                    with self._lock:
+                        self.busy += 1
+                    continue
+                except RequestFailed as exc:
+                    with self._lock:
+                        self.errors.append(str(exc))
+                    continue
+                elapsed_ms = (time.perf_counter() - begin) * 1000.0
+                with self._lock:
+                    self.latencies_ms.append(elapsed_ms)
+                    if response.get("cached"):
+                        self.cached_ms.append(elapsed_ms)
+                    else:
+                        self.uncached_ms.append(elapsed_ms)
+
+    def run(self) -> dict:
+        started_at = time.perf_counter()
+        threads = [
+            threading.Thread(target=self._worker, args=(started_at,),
+                             name=f"loadgen-{i}", daemon=True)
+            for i in range(self.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started_at
+        completed = len(self.latencies_ms)
+        report = {
+            "config": {
+                "server": self.address,
+                "specs": self.specs,
+                "trace_digest": self.digest,
+                "requests": self.requests,
+                "concurrency": self.concurrency,
+                "rate": self.rate,
+            },
+            "wall_seconds": wall,
+            "completed": completed,
+            "busy": self.busy,
+            "errors": len(self.errors),
+            "error_samples": self.errors[:5],
+            "throughput_rps": completed / wall if wall > 0 else 0.0,
+            "latency_ms": {
+                "p50": percentile(self.latencies_ms, 50),
+                "p95": percentile(self.latencies_ms, 95),
+                "p99": percentile(self.latencies_ms, 99),
+                "max": max(self.latencies_ms, default=0.0),
+            },
+            "cold_replay_ms": {
+                "count": len(self.uncached_ms),
+                "mean": (sum(self.uncached_ms) / len(self.uncached_ms)
+                         if self.uncached_ms else 0.0),
+                "p50": percentile(self.uncached_ms, 50),
+            },
+            "cache_hit_ms": {
+                "count": len(self.cached_ms),
+                "mean": (sum(self.cached_ms) / len(self.cached_ms)
+                         if self.cached_ms else 0.0),
+                "p50": percentile(self.cached_ms, 50),
+                "p99": percentile(self.cached_ms, 99),
+            },
+        }
+        cold = report["cold_replay_ms"]["p50"]
+        hit = report["cache_hit_ms"]["p50"]
+        if cold and hit:
+            report["amortization_speedup"] = cold / hit
+        return report
+
+
+def render_report(report: dict) -> str:
+    latency = report["latency_ms"]
+    lines = [
+        f"completed {report['completed']}/{report['config']['requests']} "
+        f"in {report['wall_seconds']:.2f}s "
+        f"({report['throughput_rps']:.1f} req/s), "
+        f"busy {report['busy']}, errors {report['errors']}",
+        f"latency p50 {latency['p50']:.2f}ms  p95 {latency['p95']:.2f}ms  "
+        f"p99 {latency['p99']:.2f}ms  max {latency['max']:.2f}ms",
+        f"cold replay: n={report['cold_replay_ms']['count']} "
+        f"p50 {report['cold_replay_ms']['p50']:.2f}ms",
+        f"cache hit:   n={report['cache_hit_ms']['count']} "
+        f"p50 {report['cache_hit_ms']['p50']:.2f}ms",
+    ]
+    if "amortization_speedup" in report:
+        lines.append(
+            f"amortization: cache hit {report['amortization_speedup']:.1f}x "
+            "faster than cold replay"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve loadgen",
+        description="Replay a request mix against a repro.serve daemon.",
+    )
+    parser.add_argument("--server", required=True, metavar="HOST:PORT")
+    parser.add_argument("--workload", default="fft",
+                        help="workload whose trace the requests replay")
+    parser.add_argument("--spec", action="append", default=None,
+                        help="analysis spec key(s); repeat for a mix "
+                             "(default: eraser.full)")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=None,
+                        help="target request rate in req/s (default: unpaced)")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    from repro.trace.store import TraceStore
+    from repro.workloads import ALL
+
+    if args.workload not in ALL:
+        parser.error(f"unknown workload {args.workload!r}")
+    specs = args.spec or ["eraser.full"]
+
+    with tempfile.TemporaryDirectory(prefix="alda-loadgen-") as tmp:
+        store = TraceStore(tmp)
+        workload = ALL[args.workload]
+        reader = store.get_or_record(workload, args.scale)
+        trace_bytes = store.trace_path(workload, args.scale).read_bytes()
+
+        gen = LoadGen(args.server, specs, reader.digest, trace_bytes,
+                      args.requests, args.concurrency, args.rate, args.timeout)
+        report = gen.run()
+    report["config"]["workload"] = args.workload
+    report["config"]["scale"] = args.scale
+
+    print(render_report(report))
+    if args.out:
+        import pathlib
+
+        out_path = pathlib.Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {out_path}]")
+    return 0 if not gen.errors else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Admission control and single-flight dedup for the analysis daemon.
+
+Two invariants the server leans on:
+
+* **Bounded admission.**  At most ``capacity`` *distinct* replays may be
+  admitted (queued or running) at once.  The excess is rejected with
+  :class:`BusyError` immediately — the server never buffers an unbounded
+  backlog, so overload degrades into fast ``BUSY`` responses instead of
+  latency collapse.
+* **Single flight.**  Concurrent requests for the same
+  ``(trace digest, analysis fingerprint)`` key share one execution.
+  Followers attach to the leader's task and do not consume admission
+  capacity — a thundering herd of identical requests costs one worker
+  slot.
+
+Work runs on :class:`repro.exec.workers.PersistentWorkerPool` via a
+thread executor sized to the pool, so the event loop never blocks on a
+worker pipe.  Tasks are created independently of any client connection
+and awaited through ``asyncio.shield`` by callers: a client that times
+out or disconnects leaves the replay running, and its result still lands
+in the on-disk cache for the next request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Tuple
+
+from repro.exec.workers import PersistentWorkerPool
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.tasks import REPLAY_DIGEST_TASK
+
+
+class BusyError(RuntimeError):
+    """Admission queue full; carries the depth/capacity for the BUSY frame."""
+
+    def __init__(self, queue_depth: int, capacity: int) -> None:
+        super().__init__(f"admission queue full ({queue_depth}/{capacity})")
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+class ReplayScheduler:
+    """Dispatches replay requests to the warm worker pool."""
+
+    def __init__(
+        self,
+        pool: PersistentWorkerPool,
+        capacity: int,
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.pool = pool
+        self.capacity = capacity
+        self.metrics = metrics
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool.size, thread_name_prefix="serve-worker-io"
+        )
+        self._inflight: Dict[str, asyncio.Task] = {}
+        self._admitted = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    def drain_empty(self) -> bool:
+        return not self._inflight
+
+    # -- submission ----------------------------------------------------
+    def submit(self, key: str, payload: dict) -> Tuple[asyncio.Task, bool]:
+        """Admit (or join) a replay; returns ``(task, joined_existing)``.
+
+        Raises :class:`BusyError` instead of queueing past capacity.
+        The returned task is shared: callers must ``asyncio.shield`` it
+        so one caller's cancellation cannot kill another's request.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.counter("single_flight_hits").inc()
+            return existing, True
+        if self._admitted >= self.capacity:
+            self.metrics.counter("busy_total").inc()
+            raise BusyError(self._admitted, self.capacity)
+        self._admitted += 1
+        self.metrics.gauge("queue_depth").inc()
+        task = asyncio.get_running_loop().create_task(self._execute(payload))
+        self._inflight[key] = task
+        task.add_done_callback(lambda _t, _key=key: self._release(_key))
+        return task, False
+
+    def _release(self, key: str) -> None:
+        self._inflight.pop(key, None)
+        self._admitted -= 1
+
+    async def _execute(self, payload: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        in_flight = self.metrics.gauge("in_flight")
+        queue_depth = self.metrics.gauge("queue_depth")
+        try:
+            in_flight.inc()
+            # queue_depth counts admitted-not-yet-finished leaders; the
+            # executor thread below blocks until a worker frees up, which
+            # is exactly the "queued" portion of that gauge.
+            return await loop.run_in_executor(
+                self._executor, self.pool.call, REPLAY_DIGEST_TASK, payload
+            )
+        finally:
+            in_flight.dec()
+            queue_depth.dec()
+            self.metrics.gauge("worker_restarts").set(self.pool.restarts)
+
+    # -- lifecycle -----------------------------------------------------
+    async def drain(self, grace_seconds: float) -> bool:
+        """Wait for in-flight replays to finish; True if fully drained."""
+        deadline = asyncio.get_running_loop().time() + grace_seconds
+        while self._inflight:
+            if asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.05)
+        return True
+
+    def close(self) -> None:
+        for task in list(self._inflight.values()):
+            task.cancel()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self.pool.close()

@@ -1,0 +1,432 @@
+"""The analysis daemon: an asyncio TCP server over warm replay workers.
+
+``python -m repro.serve --port P --workers N`` starts one.  Clients
+(:mod:`repro.serve.client`) submit a recorded trace — or just its
+digest, for cache lookups — plus an analysis-registry key, and receive
+the replay cost summary over the length-prefixed protocol of
+:mod:`repro.serve.protocol`.
+
+Request path, in order:
+
+1. frame decode (read timeout guards slow-loris clients; an oversized
+   declared length is rejected before its body is read);
+2. spec validation against :data:`repro.exec.pool.ANALYSIS_SPECS`;
+3. trace ingest (atomic, content-addressed by payload digest) when the
+   request carries bytes;
+4. result-cache lookup on ``(trace digest, analysis fingerprint)``;
+5. on miss: bounded admission (``BUSY`` when full), single-flight dedup,
+   then a warm :class:`~repro.exec.workers.PersistentWorkerPool` worker
+   replays the trace — analyses stay compiled across requests, and a
+   crashed worker fails only its own request and is respawned;
+6. per-request timeout with the replay left running (its result still
+   lands in the cache).
+
+SIGTERM/SIGINT drain gracefully: new requests get ``SHUTTING_DOWN``,
+in-flight replays get a grace period to finish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exec.pool import ANALYSIS_SPECS, analysis_fingerprint
+from repro.exec.workers import PersistentWorkerPool, TaskError, WorkerCrashError
+from repro.trace.format import TraceFormatError, TraceReader
+from repro.trace.store import TraceStore
+
+from repro.serve import protocol
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.scheduler import BusyError, ReplayScheduler
+
+
+@dataclass
+class ServeConfig:
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port (reported by AnalysisServer.port)
+    workers: int = 2
+    #: max distinct replays admitted (queued + running) before BUSY;
+    #: None -> 4 slots per worker
+    queue_capacity: Optional[int] = None
+    #: trace/result cache directory; None -> private temp dir
+    store_root: Optional[str] = None
+    #: per-frame read deadline (slow-loris defense)
+    read_timeout: float = 10.0
+    #: default per-request replay deadline (client may ask for less)
+    request_timeout: float = 120.0
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    #: how long SIGTERM waits for in-flight replays
+    drain_grace: float = 15.0
+
+    def resolved_capacity(self) -> int:
+        return self.queue_capacity if self.queue_capacity else self.workers * 4
+
+
+class AnalysisServer:
+    """One daemon instance; start/stop from asyncio, or via serve_in_thread."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        root = self.config.store_root
+        if root is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="alda-serve-")
+            root = self._tempdir.name
+        self.store = TraceStore(root)
+        self.pool: Optional[PersistentWorkerPool] = None
+        self.scheduler: Optional[ReplayScheduler] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self.pool = PersistentWorkerPool(self.config.workers)
+        self.scheduler = ReplayScheduler(
+            self.pool, self.config.resolved_capacity(), self.metrics
+        )
+        self.metrics.gauge("workers_alive").set(self.pool.alive_workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.config.host}:{self.port}"
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.shutdown())
+                )
+
+    async def serve_until_stopped(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, let in-flight replays finish."""
+        if self._draining:
+            return
+        self._draining = True
+        self.metrics.gauge("draining").set(1)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.scheduler is not None:
+            await self.scheduler.drain(self.config.drain_grace)
+            self.scheduler.close()
+        for conn_writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                conn_writer.close()
+        await asyncio.sleep(0)  # let connection handlers observe the close
+        if self._tempdir is not None:
+            with contextlib.suppress(OSError):
+                self._tempdir.cleanup()
+        self._stopped.set()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await asyncio.wait_for(
+                        protocol.read_frame(reader, self.config.max_frame),
+                        self.config.read_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    self.metrics.counter("read_timeouts").inc()
+                    break
+                except protocol.FrameTooLarge:
+                    self.metrics.counter("bad_frames").inc()
+                    self._send_error(writer, "FRAME_TOO_LARGE",
+                                     "declared frame length exceeds limit")
+                    await writer.drain()
+                    break
+                except protocol.ProtocolError as exc:
+                    self.metrics.counter("bad_frames").inc()
+                    self._send_error(writer, "BAD_FRAME", str(exc))
+                    await writer.drain()
+                    break
+                if frame is None:
+                    break  # clean EOF
+                frame_type, body = frame
+                if frame_type == protocol.PING:
+                    protocol.write_frame(writer, protocol.PONG)
+                elif frame_type == protocol.STATS_REQUEST:
+                    writer.write(protocol.encode_json_frame(
+                        protocol.STATS, self.snapshot()
+                    ))
+                elif frame_type == protocol.REQUEST:
+                    try:
+                        await self._handle_request(writer, body)
+                    except (ConnectionResetError, BrokenPipeError):
+                        raise
+                    except Exception as exc:  # noqa: BLE001 - fail the
+                        # request, keep the connection and server alive
+                        self._send_error(writer, "INTERNAL",
+                                         f"{type(exc).__name__}: {exc}")
+                elif frame_type == protocol.SHUTDOWN:
+                    protocol.write_frame(writer, protocol.PONG)
+                    await writer.drain()
+                    asyncio.ensure_future(self.shutdown())
+                    break
+                else:
+                    self.metrics.counter("bad_frames").inc()
+                    self._send_error(writer, "BAD_FRAME",
+                                     f"unexpected frame type {frame_type}")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            return  # loop teardown: exit quietly, socket dies with the loop
+        finally:
+            self._connections.discard(writer)
+            # No await here: this finally also runs under task
+            # cancellation at loop teardown, where awaiting would
+            # re-raise and spam the loop's exception handler.
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _send_error(self, writer, code: str, message: str) -> None:
+        writer.write(protocol.encode_json_frame(
+            protocol.ERROR, {"code": code, "message": message}
+        ))
+        self.metrics.counter("errors_total").inc()
+
+    # -- request pipeline ----------------------------------------------
+    async def _handle_request(self, writer, body: bytes) -> None:
+        started = time.perf_counter()
+        self.metrics.counter("requests_total").inc()
+        try:
+            request = protocol.decode_request(body)
+        except protocol.ProtocolError as exc:
+            self.metrics.counter("bad_frames").inc()
+            self._send_error(writer, "BAD_FRAME", str(exc))
+            return
+        if self._draining:
+            self._send_error(writer, "SHUTTING_DOWN", "server is draining")
+            return
+        if request.spec not in ANALYSIS_SPECS:
+            self._send_error(
+                writer, "UNKNOWN_SPEC",
+                f"unknown analysis spec {request.spec!r}; "
+                f"known: {sorted(ANALYSIS_SPECS)}",
+            )
+            return
+        if request.digest is not None:
+            try:
+                self.store.digest_path(request.digest)
+            except ValueError as exc:
+                self._send_error(writer, "BAD_FRAME", str(exc))
+                return
+
+        loop = asyncio.get_running_loop()
+        if request.trace_bytes:
+            try:
+                reader = await loop.run_in_executor(
+                    None, self.store.ingest, request.trace_bytes
+                )
+            except TraceFormatError as exc:
+                self._send_error(writer, "BAD_TRACE", str(exc))
+                return
+            digest = reader.digest
+            self.metrics.counter("traces_ingested").inc()
+        else:
+            digest = request.digest
+
+        # The fingerprint builds the analysis on first use (lru-cached);
+        # keep that compile off the event loop.
+        fingerprint = await loop.run_in_executor(
+            None, analysis_fingerprint, request.spec
+        )
+        key = TraceStore.result_key(digest, fingerprint)
+
+        cached = self.store.load_result(key)
+        if cached is not None:
+            self.metrics.counter("cache_hits").inc()
+            if cached.get("baseline_cycles") is None:
+                cached = dict(cached)
+                cached["baseline_cycles"] = self._baseline_from_trace(digest)
+            self._send_result(writer, cached, started, cached_hit=True,
+                              single_flight=False)
+            return
+        self.metrics.counter("cache_misses").inc()
+
+        if self.store.find_by_digest(digest) is None:
+            self._send_error(
+                writer, "UNKNOWN_TRACE",
+                f"no ingested trace with digest {digest}; "
+                "submit the trace bytes once first",
+            )
+            return
+
+        payload = {"root": str(self.store.root), "digest": digest,
+                   "spec": request.spec}
+        try:
+            task, joined = self.scheduler.submit(key, payload)
+        except BusyError as exc:
+            writer.write(protocol.encode_json_frame(
+                protocol.BUSY,
+                {"queue_depth": exc.queue_depth, "capacity": exc.capacity},
+            ))
+            return
+
+        timeout = self.config.request_timeout
+        if request.timeout is not None:
+            timeout = min(timeout, request.timeout)
+        try:
+            record = await asyncio.wait_for(asyncio.shield(task), timeout)
+        except asyncio.TimeoutError:
+            self.metrics.counter("request_timeouts").inc()
+            self._send_error(
+                writer, "TIMEOUT",
+                f"replay exceeded {timeout:.1f}s (still running; its result "
+                "will be cached)",
+            )
+            return
+        except WorkerCrashError as exc:
+            self.metrics.counter("worker_crashes").inc()
+            self._send_error(writer, "WORKER_CRASH", str(exc))
+            return
+        except TaskError as exc:
+            self._send_error(writer, "ANALYSIS_ERROR", str(exc).splitlines()[0])
+            return
+        self._send_result(writer, record, started, cached_hit=False,
+                          single_flight=joined)
+
+    def _baseline_from_trace(self, digest: str) -> Optional[int]:
+        path = self.store.find_by_digest(digest)
+        if path is None:
+            return None
+        try:
+            return TraceReader.read_meta(path)["summary"]["plain_cycles"]
+        except (OSError, KeyError, TraceFormatError):
+            return None
+
+    def _send_result(self, writer, record: dict, started: float,
+                     cached_hit: bool, single_flight: bool) -> None:
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        latency = "latency_cached_ms" if cached_hit else "latency_replay_ms"
+        self.metrics.histogram("request_latency_ms").observe(wall_ms)
+        self.metrics.histogram(latency).observe(wall_ms)
+        self.metrics.counter("results_total").inc()
+        writer.write(protocol.encode_json_frame(protocol.RESULT, {
+            "result": record,
+            "cached": cached_hit,
+            "single_flight": single_flight,
+            "wall_ms": wall_ms,
+        }))
+
+    # -- stats ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        snap = self.metrics.snapshot()
+        if self.pool is not None:
+            snap["gauges"]["workers_alive"] = self.pool.alive_workers
+            snap["gauges"]["worker_restarts"] = self.pool.restarts
+        if self.scheduler is not None:
+            snap["gauges"]["admitted"] = self.scheduler.admitted
+        snap["config"] = {
+            "workers": self.config.workers,
+            "queue_capacity": self.config.resolved_capacity(),
+            "read_timeout": self.config.read_timeout,
+            "request_timeout": self.config.request_timeout,
+            "store_root": str(self.store.root),
+        }
+        return snap
+
+
+# ----------------------------------------------------------------------
+# embedding helpers
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on a background thread (tests, smoke checks)."""
+
+    def __init__(self, server: AnalysisServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self._loop
+            ).result(timeout)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(config: Optional[ServeConfig] = None,
+                    start_timeout: float = 30.0) -> ServerHandle:
+    """Start an AnalysisServer on a daemon thread; returns when listening."""
+    config = config or ServeConfig()
+    started = threading.Event()
+    box: dict = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            server = AnalysisServer(config)
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.serve_until_stopped()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 - surface to starter
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(start_timeout):
+        raise RuntimeError("serve thread failed to start in time")
+    if "error" in box:
+        raise RuntimeError(f"serve thread failed: {box['error']}")
+    return ServerHandle(box["server"], box["loop"], thread)
+
+
+async def run_server(config: ServeConfig) -> None:
+    """CLI entry: start, install signal handlers, serve until drained."""
+    server = AnalysisServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    print(f"repro.serve listening on {server.address} "
+          f"({config.workers} workers, "
+          f"queue capacity {config.resolved_capacity()}, "
+          f"store {server.store.root})", flush=True)
+    await server.serve_until_stopped()
+    print("repro.serve drained and stopped", flush=True)

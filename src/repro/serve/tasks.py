@@ -1,0 +1,63 @@
+"""Worker-process task for the analysis daemon.
+
+Runs inside :class:`repro.exec.workers.PersistentWorkerPool` workers.
+Everything expensive is memoized per process and the processes are
+long-lived, so a warm worker answers a request with zero compile or
+decode cost:
+
+* :func:`repro.exec.pool.build_analysis` keeps each analysis compiled
+  once per worker for the pool's lifetime;
+* the replayer cache below keeps recently used traces decoded, keyed by
+  payload digest (content-addressed, so never stale).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+from repro.exec.pool import analysis_fingerprint, build_analysis
+from repro.trace.replayer import TraceReplayer
+from repro.trace.store import TraceStore
+
+#: dotted task path for PersistentWorkerPool submission
+REPLAY_DIGEST_TASK = "repro.serve.tasks:replay_digest"
+
+
+@functools.lru_cache(maxsize=8)
+def _replayer(root: str, digest: str) -> TraceReplayer:
+    store = TraceStore(root)
+    return TraceReplayer(store.open_by_digest(digest))
+
+
+def replay_digest(payload: dict) -> dict:
+    """Replay one ingested trace through one analysis; cache the result.
+
+    ``payload``: ``{"root": store dir, "digest": trace payload digest,
+    "spec": analysis registry key}``.  Returns the result-cache record —
+    the same dict a concurrent request for the same key would read from
+    disk — including ``baseline_cycles`` so digest-only clients need no
+    local copy of the trace.
+    """
+    root, digest, spec = payload["root"], payload["digest"], payload["spec"]
+    store = TraceStore(root)
+    replayer = _replayer(root, digest)
+    summary = replayer.trace.summary
+
+    key = TraceStore.result_key(digest, analysis_fingerprint(spec))
+    started = time.perf_counter()
+    profile, reporter = replayer.replay([build_analysis(spec)])
+    wall = time.perf_counter() - started
+    record = {
+        "spec": spec,
+        "trace_digest": digest,
+        "workload": replayer.trace.meta.get("workload"),
+        "scale": replayer.trace.meta.get("scale"),
+        "baseline_cycles": summary["plain_cycles"],
+        "instrumented_cycles": profile.cycles,
+        "metadata_bytes": profile.metadata_bytes,
+        "n_reports": len(list(reporter)),
+        "wall_seconds": wall,
+    }
+    store.store_result(key, record)
+    return record

@@ -338,6 +338,24 @@ class TraceWriter:
 # ----------------------------------------------------------------------
 # reader
 # ----------------------------------------------------------------------
+def _split_trace(data: bytes) -> Tuple[dict, int]:
+    """Validate framing; return (meta dict, payload end offset)."""
+    if not data.startswith(MAGIC):
+        raise TraceFormatError("not an ALDA trace (bad magic)")
+    if not data.endswith(TAIL_MAGIC):
+        raise TraceFormatError("truncated trace (bad tail magic)")
+    meta_len = struct.unpack("<I", data[-8:-4])[0]
+    meta_end = len(data) - 8
+    meta_start = meta_end - meta_len
+    if meta_start < len(MAGIC):
+        raise TraceFormatError("corrupt trace meta block")
+    try:
+        meta = json.loads(data[meta_start:meta_end].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise TraceFormatError(f"corrupt trace meta block: {exc}") from None
+    return meta, meta_start
+
+
 class TraceReader:
     """Reads one trace: meta block plus the decompressed payload.
 
@@ -347,27 +365,33 @@ class TraceReader:
     """
 
     def __init__(self, data: bytes) -> None:
-        if not data.startswith(MAGIC):
-            raise TraceFormatError("not an ALDA trace (bad magic)")
-        if not data.endswith(TAIL_MAGIC):
-            raise TraceFormatError("truncated trace (bad tail magic)")
-        meta_len = struct.unpack("<I", data[-8:-4])[0]
-        meta_end = len(data) - 8
-        meta_start = meta_end - meta_len
-        if meta_start < len(MAGIC):
-            raise TraceFormatError("corrupt trace meta block")
-        self.meta = json.loads(data[meta_start:meta_end].decode("utf-8"))
+        self.meta, meta_start = _split_trace(data)
         if self.meta.get("version") != FORMAT_VERSION:
             raise TraceFormatError(
                 f"unsupported trace version {self.meta.get('version')!r} "
                 f"(expected {FORMAT_VERSION})"
             )
-        self.payload = zlib.decompress(data[len(MAGIC):meta_start])
+        try:
+            self.payload = zlib.decompress(data[len(MAGIC):meta_start])
+        except zlib.error as exc:
+            raise TraceFormatError(f"corrupt trace payload: {exc}") from None
 
     @classmethod
     def from_file(cls, path) -> "TraceReader":
         with open(path, "rb") as handle:
             return cls(handle.read())
+
+    @staticmethod
+    def read_meta(path) -> dict:
+        """Parse only the tail meta block of a trace file.
+
+        Skips payload decompression entirely — the cheap path for
+        callers that need the digest or cost summary (e.g. the serve
+        daemon answering a digest-only request) but not the records.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return _split_trace(data)[0]
 
     @property
     def digest(self) -> str:

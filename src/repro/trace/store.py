@@ -9,10 +9,16 @@ unchanged workload is a pure cache hit that skips interpretation
 entirely.
 
 The store also hosts a result cache for the batch executor
-(:mod:`repro.exec.pool`): replay results keyed by
-``(trace digest, analysis fingerprint)``.  Writes are atomic
-(tmp + rename), so concurrent workers race benignly — last writer wins
-with identical bytes.
+(:mod:`repro.exec.pool`) and the serve daemon (:mod:`repro.serve`):
+replay results keyed by ``(trace digest, analysis fingerprint)``, plus a
+``by-digest/`` index of ingested trace payloads for digest-addressed
+lookups over the wire.
+
+Every write is atomic — bytes land in a temp file *in the destination
+directory* and are published with ``os.replace`` — so any number of
+concurrent writers (server workers, parallel CI jobs) race benignly:
+readers observe either the complete old file or the complete new file,
+never a partial write, and identical content makes the race a no-op.
 """
 
 from __future__ import annotations
@@ -22,12 +28,12 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from repro.ir.text import print_module
 from repro.workloads.base import Workload
 
-from repro.trace.format import TraceReader
+from repro.trace.format import TraceFormatError, TraceReader
 from repro.trace.recorder import record_workload
 
 
@@ -46,8 +52,32 @@ def module_digest(workload: Workload, scale: int) -> str:
     return sha.hexdigest()
 
 
+def _atomic_write(path: Path, write: Callable) -> None:
+    """Publish a file atomically: temp file in the same dir + os.replace.
+
+    ``write`` receives the open temp-file handle.  Concurrent writers of
+    the same path each stage their own temp file; whichever replaces
+    last wins, and readers never see a half-written file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb", dir=str(path.parent), suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            write(handle)
+            handle.flush()
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
 class TraceStore:
-    """Directory of recorded traces plus the batch-executor result cache."""
+    """Directory of recorded traces plus the replay-result cache."""
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -65,25 +95,51 @@ class TraceStore:
         digest = module_digest(workload, scale)
         path = self.trace_path(workload, scale, digest)
         if not path.exists():
-            handle = tempfile.NamedTemporaryFile(
-                dir=str(self.root), suffix=".tmp", delete=False
+            _atomic_write(
+                path,
+                lambda handle: record_workload(
+                    workload, scale, handle, meta={"module_digest": digest}
+                ),
             )
-            try:
-                with handle:
-                    record_workload(
-                        workload, scale, handle, meta={"module_digest": digest}
-                    )
-                os.replace(handle.name, path)
-            except BaseException:
-                try:
-                    os.unlink(handle.name)
-                except OSError:
-                    pass
-                raise
         return TraceReader.from_file(path)
 
     def has_trace(self, workload: Workload, scale: int = 1) -> bool:
         return self.trace_path(workload, scale).exists()
+
+    # -- digest-addressed traces (serve ingest path) -------------------
+    def digest_path(self, digest: str) -> Path:
+        if not digest or any(c in digest for c in "/\\."):
+            raise ValueError(f"malformed trace digest {digest!r}")
+        return self.root / "by-digest" / f"{digest}.trace"
+
+    def ingest(self, data: Union[bytes, TraceReader]) -> TraceReader:
+        """Store a trace received as raw bytes, keyed by payload digest.
+
+        Validates the framing first (:class:`TraceFormatError` on
+        garbage), verifies the advertised digest against the payload,
+        then publishes atomically under ``by-digest/<digest>.trace``.
+        Re-ingesting identical bytes is an idempotent no-op.
+        """
+        if isinstance(data, TraceReader):
+            raise TypeError("ingest takes raw trace bytes")
+        reader = TraceReader(data)
+        if not reader.verify():
+            raise TraceFormatError("trace payload does not match its digest")
+        path = self.digest_path(reader.digest)
+        if not path.exists():
+            _atomic_write(path, lambda handle: handle.write(data))
+        return reader
+
+    def find_by_digest(self, digest: str) -> Optional[Path]:
+        """Path of an ingested trace with this payload digest, if any."""
+        path = self.digest_path(digest)
+        return path if path.exists() else None
+
+    def open_by_digest(self, digest: str) -> TraceReader:
+        path = self.find_by_digest(digest)
+        if path is None:
+            raise KeyError(f"no ingested trace with digest {digest}")
+        return TraceReader.from_file(path)
 
     # -- replay-result cache -------------------------------------------
     @staticmethod
@@ -98,26 +154,12 @@ class TraceStore:
         return self.root / "results" / f"{key}.json"
 
     def load_result(self, key: str) -> Optional[dict]:
-        path = self._result_path(key)
-        if not path.exists():
-            return None
         try:
-            return json.loads(path.read_text())
+            return json.loads(self._result_path(key).read_text())
         except (OSError, ValueError):
+            # Missing, mid-replace, or corrupt: treat all as a cache miss.
             return None
 
     def store_result(self, key: str, payload: dict) -> None:
-        path = self._result_path(key)
-        handle = tempfile.NamedTemporaryFile(
-            mode="w", dir=str(path.parent), suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+        _atomic_write(self._result_path(key), lambda handle: handle.write(raw))

@@ -1,7 +1,5 @@
 """Integration tests for the hand-tuned MSan and Eraser baselines."""
 
-import pytest
-
 from repro.baselines import HandTunedEraser, HandTunedMSan
 from repro.ir import IRBuilder
 from repro.vm import Interpreter

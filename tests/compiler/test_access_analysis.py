@@ -6,7 +6,6 @@ from repro.compiler.access_analysis import (
     is_hoistable_key,
     key_repr,
 )
-from repro.alda import ast_nodes as ast
 
 
 def summary_of(source):

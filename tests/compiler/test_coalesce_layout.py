@@ -1,7 +1,5 @@
 """Unit tests for phases 2a/2b: coalescing and layout/structure selection."""
 
-import pytest
-
 from repro.alda import check_program, parse_program
 from repro.compiler.access_analysis import analyze_accesses
 from repro.compiler.coalesce import coalesce_maps, hot_maps

@@ -6,8 +6,6 @@ optimization behaviour is directly visible in the artifact text.
 
 import re
 
-import pytest
-
 from repro.compiler import CompileOptions, compile_analysis
 
 SOURCE_MULTI_ACCESS = """

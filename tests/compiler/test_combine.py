@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.alda import ast_nodes as ast
 from repro.compiler import CompileOptions, combine_sources, compile_analysis
 from repro.errors import CompileError
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.compiler import CompileOptions, compile_analysis
 from repro.compiler.instrument import build_maps
-from repro.compiler.layout import FieldPlan, GroupPlan, LayoutPlan, _align
+from repro.compiler.layout import LayoutPlan, _align
 from repro.errors import CompileError
 
 

@@ -9,7 +9,6 @@ code paths (hoisting, memoization, coalesced vs singleton maps,
 different backing structures), so agreement is a strong oracle.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Tests for profile-guided metadata grouping (the paper's future work)."""
 
-import pytest
-
 from repro.compiler import (
     AccessProfile,
     CompileOptions,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.compiler import CompileOptions, compile_analysis
+from repro.compiler import compile_analysis
 from repro.ir import IRBuilder
 from repro.vm import Interpreter
 

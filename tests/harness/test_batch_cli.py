@@ -13,8 +13,10 @@ def stub_figure(monkeypatch):
     """Replace fig4 with a tiny figure so CLI plumbing tests stay fast."""
     calls = {}
 
-    def fake_figure4(scale=1, verbose=False, jobs=1, trace_cache=None):
-        calls.update(scale=scale, jobs=jobs, trace_cache=trace_cache)
+    def fake_figure4(scale=1, verbose=False, jobs=1, trace_cache=None,
+                     server=None):
+        calls.update(scale=scale, jobs=jobs, trace_cache=trace_cache,
+                     server=server)
         data = FigureData("stub", series=["A"])
         data.add("w1", "A", 2.0)
         data.summary["avg"] = 2.0
@@ -50,10 +52,16 @@ def test_json_flag_writes_bench_file(stub_figure, tmp_path, capsys):
     assert str(out / "BENCH_fig4.json") in capsys.readouterr().out
 
 
+def test_server_flag_forwarded(stub_figure, capsys):
+    assert cli.main(["fig4", "--server", "127.0.0.1:7091"]) == 0
+    assert stub_figure["server"] == "127.0.0.1:7091"
+
+
 def test_defaults_stay_inline(stub_figure):
     cli.main(["fig4"])
     assert stub_figure["jobs"] == 1
     assert stub_figure["trace_cache"] is None
+    assert stub_figure["server"] is None
 
 
 def test_real_figure_batch_cli(tmp_path, capsys):

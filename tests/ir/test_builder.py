@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import IRError
 from repro.ir import IRBuilder, validate_module
-from repro.ir.instructions import Alloca, BinOp, Br, Call, Const, Load, Store
+from repro.ir.instructions import BinOp, Br, Const
 from repro.vm import Interpreter
 
 

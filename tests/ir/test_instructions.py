@@ -1,7 +1,5 @@
 """Unit tests for the mini-IR instruction set."""
 
-import pytest
-
 from repro.ir.instructions import (
     Alloca,
     BinOp,

@@ -73,7 +73,9 @@ class TestCoalescedMap:
         profile = Profile()
         meter = CostMeter(profile, CacheSim())
         space = MetadataSpace.fresh()
-        factory = lambda: BitVecSet.universe(16, meter)
+        def factory():
+            return BitVecSet.universe(16, meter)
+
         field = FieldSpec("locks", 0, 8, "set", factory)
         impl = ShadowMemory(meter, space, 8, 8, lambda: [factory()])
         cmap = CoalescedMap("m", impl, [field], meter)
@@ -113,7 +115,9 @@ class TestCoalescedMap:
         profile = Profile()
         meter = CostMeter(profile, CacheSim())
         space = MetadataSpace.fresh()
-        factory = lambda: BitVecSet.empty(8, meter)
+        def factory():
+            return BitVecSet.empty(8, meter)
+
         field = FieldSpec("s", 0, 8, "set", factory)
         impl = ShadowMemory(meter, space, 8, 8, lambda: [factory()])
         cmap = CoalescedMap("m", impl, [field], meter)

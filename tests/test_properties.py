@@ -1,7 +1,5 @@
 """Cross-cutting property tests: random programs and model checking."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
