@@ -88,8 +88,14 @@ def _bench_record(result) -> dict:
 
 
 def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
-            trace_cache=None, server=None) -> FigureData:
-    """LLVM MSan vs ALDA MSan across the 20 bug-free workloads."""
+            trace_cache=None, server=None,
+            backend: str = "compiled") -> FigureData:
+    """LLVM MSan vs ALDA MSan across the 20 bug-free workloads.
+
+    ``backend`` selects the VM dispatch strategy for the inline path
+    (see :class:`repro.vm.Interpreter`); the batch/replay path decodes
+    recorded traces and is backend-independent.
+    """
     data = FigureData("Figure 3: LLVM MSan vs ALDA MSan (normalized overhead)",
                       series=["LLVM", "ALDAcc"])
     memory_ratios = []
@@ -114,9 +120,11 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
     else:
         alda_msan = msan.compile_()
         for name, workload in fig3_workloads().items():
-            baseline = run_plain(workload, scale)
-            llvm = measure_overhead(workload, HandTunedMSan, scale, "LLVM", baseline)
-            alda = measure_overhead(workload, alda_msan, scale, "ALDAcc", baseline)
+            baseline = run_plain(workload, scale, backend=backend)
+            llvm = measure_overhead(workload, HandTunedMSan, scale, "LLVM",
+                                    baseline, backend=backend)
+            alda = measure_overhead(workload, alda_msan, scale, "ALDAcc",
+                                    baseline, backend=backend)
             data.add(name, "LLVM", llvm.overhead)
             data.add(name, "ALDAcc", alda.overhead)
             memory_ratios.append(
@@ -134,7 +142,8 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
 
 
 def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
-            trace_cache=None, server=None) -> FigureData:
+            trace_cache=None, server=None,
+            backend: str = "compiled") -> FigureData:
     """Hand-tuned Eraser vs ALDAcc-full vs ALDAcc-ds-only on Splash2."""
     data = FigureData(
         "Figure 4: Eraser on Splash2 (normalized overhead)",
@@ -168,10 +177,13 @@ def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
         full = eraser.compile_()
         ds_only = compile_analysis(eraser.SOURCE, eraser.OPTIONS.ds_only())
         for name, workload in fig4_workloads().items():
-            baseline = run_plain(workload, scale)
-            hand = measure_overhead(workload, HandTunedEraser, scale, "Hand-Tuned", baseline)
-            alda = measure_overhead(workload, full, scale, "ALDAcc-full", baseline)
-            ablate = measure_overhead(workload, ds_only, scale, "ALDAcc-ds-only", baseline)
+            baseline = run_plain(workload, scale, backend=backend)
+            hand = measure_overhead(workload, HandTunedEraser, scale, "Hand-Tuned",
+                                    baseline, backend=backend)
+            alda = measure_overhead(workload, full, scale, "ALDAcc-full",
+                                    baseline, backend=backend)
+            ablate = measure_overhead(workload, ds_only, scale, "ALDAcc-ds-only",
+                                      baseline, backend=backend)
             data.add(name, "Hand-Tuned", hand.overhead)
             data.add(name, "ALDAcc-full", alda.overhead)
             data.add(name, "ALDAcc-ds-only", ablate.overhead)
@@ -211,7 +223,8 @@ _FIG5_SPECS = {
 
 
 def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
-            trace_cache=None, server=None) -> FigureData:
+            trace_cache=None, server=None,
+            backend: str = "compiled") -> FigureData:
     """Four analyses run individually vs combined into one (Figure 5)."""
     series = list(_FIG5_ANALYSES) + ["sum_individual", "combined"]
     data = FigureData("Figure 5: combined analysis (normalized overhead)", series)
@@ -247,16 +260,19 @@ def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
             combined_program, CompileOptions(granularity=8, analysis_name="combined")
         )
         for name, workload in fig5_workloads().items():
-            baseline = run_plain(workload, scale)
+            baseline = run_plain(workload, scale, backend=backend)
             total = 0.0
             for analysis_name in _FIG5_ANALYSES:
                 result = measure_overhead(
-                    workload, compiled[analysis_name], scale, analysis_name, baseline
+                    workload, compiled[analysis_name], scale, analysis_name,
+                    baseline, backend=backend,
                 )
                 data.add(name, analysis_name, result.overhead)
                 data.bench.append(_bench_record(result))
                 total += result.overhead
-            combined_result = measure_overhead(workload, combined, scale, "combined", baseline)
+            combined_result = measure_overhead(workload, combined, scale,
+                                               "combined", baseline,
+                                               backend=backend)
             data.add(name, "sum_individual", total)
             data.add(name, "combined", combined_result.overhead)
             data.bench.append(_bench_record(combined_result))

@@ -45,13 +45,15 @@ def _materialize(source: AttachableSource) -> Attachable:
     return source()  # a factory callable
 
 
-def run_plain(workload: Workload, scale: int = 1) -> Profile:
+def run_plain(workload: Workload, scale: int = 1,
+              backend: str = "compiled") -> Profile:
     """Uninstrumented run — the denominator of every overhead figure."""
     module = workload.make_module(scale)
     vm = Interpreter(
         module,
         extern=workload.make_extern(),
         input_lines=list(workload.input_lines),
+        backend=backend,
     )
     return vm.run()
 
@@ -60,6 +62,7 @@ def run_instrumented(
     workload: Workload,
     analyses: Sequence[AttachableSource],
     scale: int = 1,
+    backend: str = "compiled",
 ):
     """Run with one or more analyses attached; returns (profile, reporter)."""
     attachables = [_materialize(source) for source in analyses]
@@ -69,6 +72,7 @@ def run_instrumented(
         extern=workload.make_extern(),
         input_lines=list(workload.input_lines),
         track_shadow=any(a.needs_shadow for a in attachables),
+        backend=backend,
     )
     for attachable in attachables:
         attachable.attach(vm)
@@ -82,6 +86,7 @@ def measure_overhead(
     scale: int = 1,
     label: str = "",
     baseline: Optional[Profile] = None,
+    backend: str = "compiled",
 ) -> OverheadResult:
     """Normalized overhead of one analysis on one workload.
 
@@ -89,8 +94,9 @@ def measure_overhead(
     across several configurations of the same workload/scale.
     """
     if baseline is None:
-        baseline = run_plain(workload, scale)
-    profile, reporter = run_instrumented(workload, [analysis], scale)
+        baseline = run_plain(workload, scale, backend=backend)
+    profile, reporter = run_instrumented(workload, [analysis], scale,
+                                         backend=backend)
     return OverheadResult(
         workload=workload.name,
         label=label or getattr(analysis, "name", "analysis"),

@@ -185,6 +185,14 @@ def render_snapshot(snap: dict) -> str:
     lines = [f"uptime: {snap.get('uptime_seconds', 0.0):.1f}s"]
     if "cache_hit_rate" in snap:
         lines.append(f"cache_hit_rate: {snap['cache_hit_rate']:.3f}")
+    compile_cache = snap.get("compile_cache")
+    if compile_cache is not None:
+        lines.append(
+            "compile_cache: "
+            f"hits={compile_cache.get('hits', 0)} "
+            f"misses={compile_cache.get('misses', 0)} "
+            f"entries={compile_cache.get('entries', 0)}"
+        )
     for name, value in snap.get("counters", {}).items():
         lines.append(f"counter {name}: {value}")
     for name, value in snap.get("gauges", {}).items():

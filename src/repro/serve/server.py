@@ -339,6 +339,12 @@ class AnalysisServer:
     # -- stats ----------------------------------------------------------
     def snapshot(self) -> dict:
         snap = self.metrics.snapshot()
+        # VM closure-compilation cache (repro.vm.compile): in-process
+        # counters, so they cover embedded servers and any recording
+        # done in this process; pool workers keep their own caches warm.
+        from repro.vm.compile import compile_cache_stats
+
+        snap["compile_cache"] = compile_cache_stats()
         if self.pool is not None:
             snap["gauges"]["workers_alive"] = self.pool.alive_workers
             snap["gauges"]["worker_restarts"] = self.pool.restarts

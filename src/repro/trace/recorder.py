@@ -152,6 +152,7 @@ def record_workload(
     scale: int,
     fileobj,
     meta: Optional[dict] = None,
+    backend: str = "compiled",
 ) -> dict:
     """Record one workload execution into ``fileobj``; returns trace meta.
 
@@ -159,6 +160,11 @@ def record_workload(
     run: hooks bill zero dispatch and the recorder performs no metadata
     traffic, so the summary's ``base_cycles + mem_cycles`` is exactly
     the overhead denominator ``run_plain`` would have produced.
+
+    ``backend`` selects the VM dispatch strategy; both produce
+    byte-identical traces (the recorder hooks force the compiled
+    backend's general paths, so every access and event is captured in
+    the same order).
     """
     full_meta = {"workload": workload.name, "scale": scale}
     full_meta.update(meta or {})
@@ -168,6 +174,7 @@ def record_workload(
         extern=workload.make_extern(),
         input_lines=list(workload.input_lines),
         track_shadow=True,
+        backend=backend,
     )
     recorder = TraceRecorder(writer)
     recorder.attach(vm)

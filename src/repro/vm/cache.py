@@ -27,7 +27,7 @@ class CacheConfig:
     dram_cycles: int = 60
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     accesses: int = 0
     l1_hits: int = 0
@@ -58,6 +58,8 @@ class _Level:
         if ways is None:
             self.sets[index] = [line]
             return False
+        if ways[-1] == line:
+            return True  # already MRU: remove+append would be a no-op
         try:
             ways.remove(line)
         except ValueError:
@@ -78,25 +80,38 @@ class CacheSim:
         self.l1 = _Level(self.config.l1_bytes, self.config.l1_assoc, self.config.line_bytes)
         self.l2 = _Level(self.config.l2_bytes, self.config.l2_assoc, self.config.line_bytes)
         self.stats = CacheStats()
+        self._l1_cycles = self.config.l1_hit_cycles
+        self._l2_cycles = self.config.l2_hit_cycles
+        self._dram_cycles = self.config.dram_cycles
 
     def access(self, address: int, size: int = 8) -> int:
         """Access ``size`` bytes at ``address``; returns total cycles."""
-        first = address >> self._line_shift
-        last = (address + max(size, 1) - 1) >> self._line_shift
-        cycles = 0
+        shift = self._line_shift
+        first = address >> shift
+        last = (address + (size if size > 1 else 1) - 1) >> shift
         stats = self.stats
-        config = self.config
+        if first == last:  # the overwhelmingly common, line-local case
+            stats.accesses += 1
+            if self.l1.access(first):
+                stats.l1_hits += 1
+                return self._l1_cycles
+            if self.l2.access(first):
+                stats.l2_hits += 1
+                return self._l2_cycles
+            stats.dram_fills += 1
+            return self._dram_cycles
+        cycles = 0
         for line in range(first, last + 1):
             stats.accesses += 1
             if self.l1.access(line):
                 stats.l1_hits += 1
-                cycles += config.l1_hit_cycles
+                cycles += self._l1_cycles
             elif self.l2.access(line):
                 stats.l2_hits += 1
-                cycles += config.l2_hit_cycles
+                cycles += self._l2_cycles
             else:
                 stats.dram_fills += 1
-                cycles += config.dram_cycles
+                cycles += self._dram_cycles
         return cycles
 
     def reset_stats(self) -> None:

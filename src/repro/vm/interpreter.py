@@ -75,10 +75,13 @@ class Frame:
         "caller_shadow",
     )
 
-    def __init__(self, function: Function, regs: Dict[str, int]) -> None:
+    def __init__(self, function: Function, regs: Dict[str, int],
+                 code: Optional[list] = None) -> None:
         self.function = function
         self.blocks = function.blocks
-        self.code = function.blocks[function.entry].instructions
+        # ``code`` is the entry block's instruction list (reference
+        # backend) or its compiled closure list (compiled backend).
+        self.code = code if code is not None else function.blocks[function.entry].instructions
         self.ip = 0
         self.regs = regs
         self.shadow: Dict[str, int] = {}
@@ -116,7 +119,12 @@ class Interpreter:
         quantum: int = 64,
         max_steps: int = 200_000_000,
         input_lines: Optional[Sequence[bytes]] = None,
+        backend: str = "compiled",
     ) -> None:
+        if backend not in ("compiled", "reference"):
+            raise ValueError(
+                f"unknown backend {backend!r}; choose 'compiled' or 'reference'"
+            )
         validate_module(module)
         self.module = module
         self.hooks = hooks or Hooks()
@@ -148,6 +156,12 @@ class Interpreter:
         self._fire_seq = 0
         self._current_thread: Optional[ThreadState] = None
         self._tracer = None
+
+        #: "compiled" (default): decode-once closure execution, see
+        #: :mod:`repro.vm.compile`.  "reference": the object-walking
+        #: switch loop below — same observable state, bit for bit.
+        self.backend = backend
+        self._entry_code: Optional[Dict[str, list]] = None
 
     def set_tracer(self, tracer) -> None:
         """Install an :class:`repro.vm.events.ExecutionTracer` (or None).
@@ -216,7 +230,11 @@ class Interpreter:
                 f"{function.name} expects {len(function.params)} args, got {len(args)}"
             )
         thread = ThreadState(len(self.threads))
-        frame = Frame(function, dict(zip(function.params, args)))
+        entry_code = self._entry_code
+        frame = Frame(
+            function, dict(zip(function.params, args)),
+            entry_code[function.name] if entry_code is not None else None,
+        )
         frame.stack_mark = thread.stack_top
         thread.frames.append(frame)
         self.threads.append(thread)
@@ -228,6 +246,16 @@ class Interpreter:
     # run loop
     # ------------------------------------------------------------------
     def run(self, entry: str = "main", args: Sequence[int] = ()) -> Profile:
+        if self.backend == "compiled":
+            if self._entry_code is None:
+                # Bound here — not in __init__ — so the snapshot sees the
+                # hooks analyses attached and any wrapped cache.access.
+                from repro.vm.compile import bind_module
+
+                self._entry_code = bind_module(self)
+            run_quantum = self._run_quantum_compiled
+        else:
+            run_quantum = self._run_quantum
         main = self.module.get_function(entry)
         self._new_thread(main, list(args))
         steps_budget = self.max_steps
@@ -242,7 +270,7 @@ class Interpreter:
                 if status != _RUNNABLE:
                     continue
                 ran_any = True
-                executed = self._run_quantum(thread)
+                executed = run_quantum(thread)
                 steps_budget -= executed
                 if steps_budget <= 0:
                     raise VMError(f"exceeded max_steps={self.max_steps}")
@@ -260,6 +288,47 @@ class Interpreter:
     # ------------------------------------------------------------------
     # core execution
     # ------------------------------------------------------------------
+    def _run_quantum_compiled(self, thread: ThreadState) -> int:
+        """Quantum driver for the closure backend (:mod:`repro.vm.compile`).
+
+        Each slot in ``frame.code`` is a specialized ``step(thread,
+        frame)`` closure; all decode happened at bind time.  The frame,
+        its code list, and the instruction pointer live in *locals*
+        (threaded-code style — see the ``Step`` protocol in
+        :mod:`repro.vm.compile`): ``None`` advances the local ip, a
+        returned :class:`Frame` is a control transfer the driver reloads
+        from, and any other truthy value ends the quantum (thread
+        blocked or finished — ``frame.ip`` was already synchronized by
+        the closure, so no write-back, which would clobber the rewound
+        ip of a join/lock retry).  The per-step ``instructions``/
+        ``base_cycles`` increments are batched into one add per quantum;
+        the try/finally keeps the totals exact even when a step raises
+        (the reference counts the raising instruction too, and the for
+        loop has already assigned ``n`` when the body runs).
+        """
+        profile = self.profile
+        frame = thread.frames[-1]
+        code = frame.code
+        ip = frame.ip
+        n = 0
+        self._current_thread = thread
+        try:
+            for n in range(1, self.quantum + 1):
+                r = code[ip](thread, frame)
+                if r is None:
+                    ip += 1
+                elif r.__class__ is Frame:
+                    frame = r
+                    code = frame.code
+                    ip = frame.ip
+                else:
+                    return n
+            frame.ip = ip
+        finally:
+            profile.instructions += n
+            profile.base_cycles += n
+        return n
+
     def _run_quantum(self, thread: ThreadState) -> int:
         profile = self.profile
         cache_access = self.cache.access

@@ -78,7 +78,15 @@ class TestLanguageReferenceExample:
 
 
 def test_docs_exist():
-    for name in ("LANGUAGE.md", "COSTMODEL.md", "SUBSTRATE.md", "TUTORIAL.md"):
+    for name in (
+        "ARCHITECTURE.md",
+        "LANGUAGE.md",
+        "COSTMODEL.md",
+        "SUBSTRATE.md",
+        "TUTORIAL.md",
+        "TRACING.md",
+        "SERVING.md",
+    ):
         assert (DOCS / name).exists()
 
 
@@ -87,3 +95,91 @@ def test_readme_design_experiments_exist():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
         assert (root / name).exists()
         assert len((root / name).read_text()) > 1000
+
+
+def test_readme_links_architecture_and_indexes_docs():
+    readme = (DOCS.parent / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    for doc in sorted(DOCS.glob("*.md")):
+        assert f"docs/{doc.name}" in readme, f"README docs index misses {doc.name}"
+
+
+def _python_blocks(path: pathlib.Path):
+    return re.findall(r"```python\n(.*?)```", path.read_text(), re.DOTALL)
+
+
+@pytest.mark.parametrize("name", ["ARCHITECTURE.md", "SUBSTRATE.md"])
+def test_doc_python_blocks_execute(name):
+    """Every fenced Python block in the architecture docs actually runs."""
+    blocks = _python_blocks(DOCS / name)
+    assert blocks, f"{name} has no ```python blocks"
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"<{name}:block{index}>", "exec"), {})
+
+
+# ``repro.alda.parser`` etc. in prose; trailing attribute (``.run``) or
+# call (``Interpreter(...)``) suffixes are resolved with getattr.
+_MODPATH = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def _resolve(dotted: str) -> bool:
+    import importlib
+
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:split]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[split:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in DOCS.glob("*.md"))
+)
+def test_doc_module_references_resolve(name):
+    """Every ``repro.*`` dotted path named in docs/*.md imports/resolves."""
+    text = (DOCS / name).read_text()
+    bad = sorted(
+        {match for match in _MODPATH.findall(text) if not _resolve(match)}
+    )
+    assert not bad, f"{name} references unresolvable paths: {bad}"
+
+
+_CLI_LINE = re.compile(r"python -m (repro[\w.]*)((?:[ \t]+\S+)*)")
+_FLAG = re.compile(r"^--[a-z][a-z-]*$")
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(p.name for p in DOCS.glob("*.md")) + ["README.md"],
+)
+def test_doc_cli_flags_exist(name):
+    """Every ``python -m repro...`` module exists and every ``--flag``
+    shown with it appears literally in that package's source (argparse
+    declarations are plain string literals here)."""
+    import importlib.util
+
+    path = (DOCS / name) if (DOCS / name).exists() else (DOCS.parent / name)
+    src_root = DOCS.parent / "src"
+    for module_name, tail in _CLI_LINE.findall(path.read_text()):
+        spec = importlib.util.find_spec(module_name)
+        assert spec is not None, f"{name}: python -m {module_name} does not exist"
+        package_dir = src_root / pathlib.Path(*module_name.split("."))
+        sources = (
+            "\n".join(p.read_text() for p in package_dir.rglob("*.py"))
+            if package_dir.is_dir()
+            else pathlib.Path(str(package_dir) + ".py").read_text()
+        )
+        for token in tail.split():
+            flag = token.split("=")[0]
+            if _FLAG.match(flag):
+                assert f'"{flag}"' in sources or f"'{flag}'" in sources, (
+                    f"{name}: {flag} not found in {module_name} source"
+                )
