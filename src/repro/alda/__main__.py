@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.alda check analysis.alda          # parse + type check
+    python -m repro.alda lint analysis.alda           # flag dead declarations
     python -m repro.alda layout analysis.alda         # show chosen structures
     python -m repro.alda codegen analysis.alda        # show generated handlers
     python -m repro.alda fmt analysis.alda            # canonical formatting
@@ -25,7 +26,9 @@ def main(argv=None) -> int:
         prog="python -m repro.alda",
         description="Check, inspect, and format ALDA analyses.",
     )
-    parser.add_argument("command", choices=("check", "layout", "codegen", "fmt"))
+    parser.add_argument(
+        "command", choices=("check", "lint", "layout", "codegen", "fmt")
+    )
     parser.add_argument("file", help="ALDA source file")
     parser.add_argument("--granularity", type=int, default=8)
     parser.add_argument("--no-coalesce", action="store_true")
@@ -51,6 +54,16 @@ def main(argv=None) -> int:
         if info.externals:
             print(f"  external functions: {sorted(info.externals)}")
         return 0
+
+    if args.command == "lint":
+        from repro.alda.lint import lint_program
+
+        diagnostics = lint_program(info)
+        for diag in diagnostics:
+            print(f"{args.file}:{diag}")
+        if not diagnostics:
+            print(f"{args.file}: clean")
+        return 1 if diagnostics else 0
 
     if args.command == "fmt":
         print(print_program(program), end="")

@@ -1,0 +1,210 @@
+"""aldalint: diagnostics over a checked ALDA program.
+
+Three classes of dead weight the type checker accepts but an author
+almost certainly did not intend:
+
+* ``unused-map`` — a map/set declaration no handler body ever reads or
+  writes;
+* ``unbound-handler`` — a handler no insertion declaration binds and no
+  bound handler calls (directly or transitively): it can never run;
+* ``constant-assert`` — an ``alda_assert`` whose actual and expected
+  operands both fold to the same constant: the check can never fire.
+
+``lint_program`` works on the :class:`repro.alda.semantics.ProgramInfo`
+the checker produced, so it sees resolved constants.  The CLI is
+``python -m repro.alda lint <file>`` (exit status 1 when anything is
+flagged); ``tests/alda/test_lint.py`` sweeps every bundled analysis in
+``src/repro/analyses`` and requires them all clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.alda import ast_nodes as ast
+from repro.alda.semantics import ProgramInfo
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    code: str
+    message: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"line {self.line}: {self.code}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# AST walking helpers
+# ----------------------------------------------------------------------
+def _walk_exprs(stmts: Iterable[ast.Stmt]):
+    """Yield every expression node in a handler body, depth first."""
+    stack: List[object] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, ast.ExprStmt):
+            stack.append(node.expr)
+        elif isinstance(node, ast.Assign):
+            stack.append(node.target)
+            stack.append(node.value)
+        elif isinstance(node, ast.If):
+            stack.append(node.cond)
+            stack.extend(node.then_body)
+            stack.extend(node.else_body)
+        elif isinstance(node, ast.Return):
+            stack.append(node.value)
+        else:  # an expression node
+            yield node
+            if isinstance(node, ast.Unary):
+                stack.append(node.operand)
+            elif isinstance(node, ast.Binary):
+                stack.append(node.lhs)
+                stack.append(node.rhs)
+            elif isinstance(node, ast.Index):
+                stack.append(node.key)
+            elif isinstance(node, ast.MethodCall):
+                stack.append(node.base)
+                stack.extend(node.args)
+            elif isinstance(node, (ast.CallExpr,)):
+                stack.extend(node.args)
+
+
+def _maps_used(body: Iterable[ast.Stmt]) -> Set[str]:
+    used = set()
+    for expr in _walk_exprs(body):
+        if isinstance(expr, ast.Index):
+            used.add(expr.base)
+        elif isinstance(expr, ast.MethodCall):
+            base = expr.base
+            if isinstance(base, ast.Name):
+                used.add(base.ident)
+            elif isinstance(base, ast.Index):
+                used.add(base.base)
+    return used
+
+
+def _calls_made(body: Iterable[ast.Stmt]) -> Set[str]:
+    return {
+        expr.func for expr in _walk_exprs(body)
+        if isinstance(expr, ast.CallExpr)
+    }
+
+
+# ----------------------------------------------------------------------
+# constant folding (for the alda_assert check)
+# ----------------------------------------------------------------------
+def _fold(expr, consts: Dict[str, int]) -> Optional[int]:
+    """Fold an expression to an int, or None if it is not constant."""
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return consts.get(expr.ident)
+    if isinstance(expr, ast.Unary):
+        value = _fold(expr.operand, consts)
+        if value is None:
+            return None
+        if expr.op == "!":
+            return 0 if value else 1
+        if expr.op == "-":
+            return -value
+        return None
+    if isinstance(expr, ast.Binary):
+        lhs = _fold(expr.lhs, consts)
+        rhs = _fold(expr.rhs, consts)
+        if lhs is None or rhs is None:
+            return None
+        op = expr.op
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return None if rhs == 0 else lhs // rhs
+        if op == "==":
+            return 1 if lhs == rhs else 0
+        if op == "!=":
+            return 1 if lhs != rhs else 0
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        if op == "&&":
+            return 1 if (lhs and rhs) else 0
+        if op == "||":
+            return 1 if (lhs or rhs) else 0
+        if op == "&":
+            return lhs & rhs
+        if op == "|":
+            return lhs | rhs
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# the linter
+# ----------------------------------------------------------------------
+def lint_program(info: ProgramInfo) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    # unused-map: no handler body references the declaration.
+    used_maps: Set[str] = set()
+    for func in info.funcs.values():
+        used_maps |= _maps_used(func.decl.body)
+    for decl in info.program.meta_decls():
+        if decl.name not in used_maps:
+            diagnostics.append(Diagnostic(
+                "unused-map",
+                f"map/set {decl.name!r} is declared but never used",
+                decl.line,
+            ))
+
+    # unbound-handler: unreachable from any insertion declaration.
+    bound = {decl.handler for decl in info.inserts if decl.handler in info.funcs}
+    reachable = set()
+    frontier = list(bound)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable or name not in info.funcs:
+            continue
+        reachable.add(name)
+        frontier.extend(_calls_made(info.funcs[name].decl.body))
+    for name, func in info.funcs.items():
+        if name not in reachable:
+            diagnostics.append(Diagnostic(
+                "unbound-handler",
+                f"handler {name!r} is never bound by an insertion "
+                f"declaration (and never called from one that is)",
+                func.decl.line,
+            ))
+
+    # constant-assert: alda_assert(actual, expected) with both operands
+    # constant-foldable and equal — the check can never fire.
+    for func in info.funcs.values():
+        for expr in _walk_exprs(func.decl.body):
+            if not isinstance(expr, ast.CallExpr) or expr.func != "alda_assert":
+                continue
+            if len(expr.args) != 2:
+                continue
+            actual = _fold(expr.args[0], info.consts)
+            expected = _fold(expr.args[1], info.consts)
+            if actual is not None and expected is not None and actual == expected:
+                diagnostics.append(Diagnostic(
+                    "constant-assert",
+                    f"alda_assert in {func.name!r} is constant-foldably "
+                    f"always-true ({actual} == {expected}); it can never "
+                    f"report",
+                    expr.line,
+                ))
+
+    diagnostics.sort(key=lambda d: (d.line, d.code))
+    return diagnostics

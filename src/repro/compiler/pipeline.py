@@ -41,6 +41,11 @@ class CompileOptions:
     structure_selection: bool = True
     shadow_factor_threshold: float = 3.0
     analysis_name: str = "analysis"
+    #: Run the static instrumentation-elision pass
+    #: (:mod:`repro.staticpass.elide`) when attaching to a VM: hook
+    #: sites proved redundant for this analysis are never fired.
+    #: Observable output is unchanged; event counts and costs drop.
+    elide_instrumentation: bool = False
 
     def ds_only(self) -> "CompileOptions":
         """The Figure 4 ablation: keep structure selection, drop layout opts."""
@@ -142,8 +147,28 @@ class CompiledAnalysis:
                 return True
         return False
 
-    def attach(self, vm, hooks=None) -> AnalysisRuntime:
-        """Wire this analysis into a VM: build structures, register hooks."""
+    def attach(self, vm, hooks=None, elide=None) -> AnalysisRuntime:
+        """Wire this analysis into a VM: build structures, register hooks.
+
+        ``elide`` overrides ``options.elide_instrumentation`` for this
+        attachment (the mask is a VM-level property, so the same
+        compiled analysis can be attached with and without elision).
+        Every attachment to a VM's own hook table registers an elision
+        mask — an empty one when elision is off — so the VM applies the
+        *intersection*: one elision-unsafe analysis vetoes elision for
+        the whole run.
+        """
+        if hooks is None and hasattr(vm, "register_elision"):
+            do_elide = (
+                self.options.elide_instrumentation if elide is None
+                else bool(elide)
+            )
+            if do_elide:
+                from repro.staticpass.elide import elision_mask, policy_for
+
+                vm.register_elision(elision_mask(vm.module, policy_for(self)))
+            else:
+                vm.register_elision({})
         meter = CostMeter(vm.profile, vm.cache)
         space = MetadataSpace.fresh()
         runtime = AnalysisRuntime(

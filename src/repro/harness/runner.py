@@ -45,6 +45,19 @@ def _materialize(source: AttachableSource) -> Attachable:
     return source()  # a factory callable
 
 
+def _attach(attachable: Attachable, vm, elide: Optional[bool]) -> None:
+    """Attach, forwarding the elision override to analyses that take it
+    (hand-tuned baselines predate the ``elide`` keyword)."""
+    import inspect
+
+    if elide is not None and (
+        "elide" in inspect.signature(attachable.attach).parameters
+    ):
+        attachable.attach(vm, elide=elide)
+    else:
+        attachable.attach(vm)
+
+
 def run_plain(workload: Workload, scale: int = 1,
               backend: str = "compiled") -> Profile:
     """Uninstrumented run — the denominator of every overhead figure."""
@@ -63,8 +76,13 @@ def run_instrumented(
     analyses: Sequence[AttachableSource],
     scale: int = 1,
     backend: str = "compiled",
+    elide: Optional[bool] = None,
 ):
-    """Run with one or more analyses attached; returns (profile, reporter)."""
+    """Run with one or more analyses attached; returns (profile, reporter).
+
+    ``elide`` forces instrumentation elision on/off for every attached
+    compiled analysis (None: each analysis's ``CompileOptions`` decides).
+    """
     attachables = [_materialize(source) for source in analyses]
     module = workload.make_module(scale)
     vm = Interpreter(
@@ -75,7 +93,7 @@ def run_instrumented(
         backend=backend,
     )
     for attachable in attachables:
-        attachable.attach(vm)
+        _attach(attachable, vm, elide)
     profile = vm.run()
     return profile, vm.reporter
 
@@ -87,16 +105,19 @@ def measure_overhead(
     label: str = "",
     baseline: Optional[Profile] = None,
     backend: str = "compiled",
+    elide: Optional[bool] = None,
 ) -> OverheadResult:
     """Normalized overhead of one analysis on one workload.
 
     Pass a precomputed ``baseline`` profile to amortize the plain run
     across several configurations of the same workload/scale.
+    ``elide`` forces instrumentation elision on/off (None: the
+    analysis's own ``CompileOptions`` decide).
     """
     if baseline is None:
         baseline = run_plain(workload, scale, backend=backend)
     profile, reporter = run_instrumented(workload, [analysis], scale,
-                                         backend=backend)
+                                         backend=backend, elide=elide)
     return OverheadResult(
         workload=workload.name,
         label=label or getattr(analysis, "name", "analysis"),

@@ -193,6 +193,11 @@ def render_snapshot(snap: dict) -> str:
             f"misses={compile_cache.get('misses', 0)} "
             f"entries={compile_cache.get('entries', 0)}"
         )
+    for subsystem, stats in sorted(snap.get("subsystems", {}).items()):
+        if subsystem == "vm.compile":
+            continue  # rendered above as the legacy compile_cache line
+        rendered = " ".join(f"{key}={value}" for key, value in sorted(stats.items()))
+        lines.append(f"{subsystem}: {rendered}")
     for name, value in snap.get("counters", {}).items():
         lines.append(f"counter {name}: {value}")
     for name, value in snap.get("gauges", {}).items():

@@ -339,12 +339,21 @@ class AnalysisServer:
     # -- stats ----------------------------------------------------------
     def snapshot(self) -> dict:
         snap = self.metrics.snapshot()
-        # VM closure-compilation cache (repro.vm.compile): in-process
-        # counters, so they cover embedded servers and any recording
-        # done in this process; pool workers keep their own caches warm.
+        # Per-subsystem in-process counters, namespaced in one block:
+        # the VM closure-compilation cache (repro.vm.compile) and the
+        # instrumentation-elision pass (repro.staticpass).  They cover
+        # embedded servers and any recording done in this process; pool
+        # workers keep their own caches warm.
+        from repro.staticpass import staticpass_stats
         from repro.vm.compile import compile_cache_stats
 
-        snap["compile_cache"] = compile_cache_stats()
+        compile_cache = compile_cache_stats()
+        snap["subsystems"] = {
+            "vm.compile": compile_cache,
+            "staticpass": staticpass_stats(),
+        }
+        # Legacy alias, predates the namespaced block.
+        snap["compile_cache"] = compile_cache
         if self.pool is not None:
             snap["gauges"]["workers_alive"] = self.pool.alive_workers
             snap["gauges"]["worker_restarts"] = self.pool.restarts

@@ -1,0 +1,70 @@
+"""Intra-procedural static analysis over :mod:`repro.ir` modules.
+
+The framework mirrors a classic compiler middle-end, scaled to the
+mini-IR: :mod:`repro.staticpass.cfg` builds a control-flow graph per
+function (with typed structural errors), :mod:`repro.staticpass.dominators`
+computes dominator trees (Cooper–Harvey–Kennedy),
+:mod:`repro.staticpass.dataflow` provides a generic forward dataflow
+solver plus reaching definitions, and :mod:`repro.staticpass.escape`
+classifies alloca-derived addresses as provably stack-local and
+non-escaping.
+
+On top of those passes, :mod:`repro.staticpass.elide` implements the
+instrumentation-elision pass: given a compiled analysis's hook
+subscriptions and its declared elision safety, it computes the set of
+load/store sites whose hooks are statically redundant.  The mask is
+consumed by both VM backends (``repro.vm.compile`` and the reference
+loop in ``repro.vm.interpreter``), keeping observable analysis output
+bit-identical while dropping event counts and handler work.
+
+``python -m repro.staticpass report <analysis> <workload>`` prints the
+per-function elision statistics for any bundled spec/workload pair.
+"""
+
+from repro.staticpass.cfg import (
+    CFG,
+    BlockNode,
+    CFGError,
+    DuplicateDefinitionError,
+    MissingLabelError,
+    MissingTerminatorError,
+    StaticPassError,
+    build_cfg,
+)
+from repro.staticpass.dataflow import ReachingDefinitions, reaching_definitions, solve_forward
+from repro.staticpass.dominators import DominatorTree, dominator_tree
+from repro.staticpass.elide import (
+    ElisionPolicy,
+    ElisionReport,
+    analyze_elision,
+    elision_mask,
+    policy_for,
+    register_policy,
+    staticpass_stats,
+)
+from repro.staticpass.escape import EscapeInfo, analyze_escapes
+
+__all__ = [
+    "CFG",
+    "BlockNode",
+    "CFGError",
+    "DominatorTree",
+    "DuplicateDefinitionError",
+    "ElisionPolicy",
+    "ElisionReport",
+    "EscapeInfo",
+    "MissingLabelError",
+    "MissingTerminatorError",
+    "ReachingDefinitions",
+    "StaticPassError",
+    "analyze_elision",
+    "analyze_escapes",
+    "build_cfg",
+    "dominator_tree",
+    "elision_mask",
+    "policy_for",
+    "reaching_definitions",
+    "register_policy",
+    "solve_forward",
+    "staticpass_stats",
+]

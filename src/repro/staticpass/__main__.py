@@ -1,0 +1,114 @@
+"""Elision statistics for bundled analysis specs and workloads.
+
+Usage::
+
+    python -m repro.staticpass report eraser.full bzip2
+    python -m repro.staticpass report uaf.alda radix --scale 2 --json
+
+``report`` prints, per subject function, how many load/store hook sites
+the analysis subscribes to and how many the elision pass proves
+skippable, split by category (``stack_local`` / ``dominated``).  Specs
+are the keys of :data:`repro.exec.pool.ANALYSIS_SPECS`; workloads are
+the keys of :data:`repro.workloads.ALL`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticpass",
+        description="Static-analysis reports over repro.ir modules.",
+    )
+    parser.add_argument("command", choices=("report",))
+    parser.add_argument("analysis", help="analysis spec (see repro.exec.pool)")
+    parser.add_argument("workload", help="workload name (see repro.workloads)")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+
+    from repro.exec.pool import ANALYSIS_SPECS, build_analysis
+    from repro.staticpass.elide import analyze_elision, policy_for
+    from repro.workloads import ALL
+
+    if args.analysis not in ANALYSIS_SPECS:
+        print(
+            f"unknown analysis {args.analysis!r}; choose from "
+            f"{', '.join(sorted(ANALYSIS_SPECS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload not in ALL:
+        print(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{', '.join(sorted(ALL))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    analysis = build_analysis(args.analysis)
+    policy = policy_for(analysis)
+    module = ALL[args.workload].make_module(args.scale)
+    report = analyze_elision(module, policy)
+
+    if args.as_json:
+        payload = {
+            "analysis": args.analysis,
+            "workload": args.workload,
+            "scale": args.scale,
+            "policy": {
+                "name": policy.analysis,
+                "skip_stack_local": policy.skip_stack_local,
+                "skip_dominated": policy.skip_dominated,
+                "enabled": policy.enabled,
+            },
+            "multithreaded": report.multithreaded,
+            "totals": report.counts(),
+            "functions": {
+                name: {
+                    "considered": f.considered,
+                    "stack_local": f.stack_local,
+                    "dominated": f.dominated,
+                    "dominated_by_tree": f.dominated_by_tree,
+                    "unknown": f.unknown,
+                }
+                for name, f in sorted(report.functions.items())
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    threading = "multithreaded" if report.multithreaded else "single-threaded"
+    print(f"{args.analysis} on {args.workload} (scale {args.scale}, {threading})")
+    if not policy.enabled:
+        print("  elision disabled for this analysis "
+              "(no declared safety or metadata interlock)")
+        return 0
+    header = f"  {'function':<22} {'sites':>6} {'stack':>6} {'domin':>6} {'kept':>6}"
+    print(header)
+    for name, f in sorted(report.functions.items()):
+        if not f.considered:
+            continue
+        print(f"  {name:<22} {f.considered:>6} {f.stack_local:>6} "
+              f"{f.dominated:>6} {f.unknown:>6}")
+    totals = report.counts()
+    if totals["considered"]:
+        percent = 100.0 * totals["elided"] / totals["considered"]
+        print(f"  total: {totals['elided']}/{totals['considered']} static "
+              f"sites elided ({percent:.1f}%) — "
+              f"stack_local={totals['stack_local']} "
+              f"dominated={totals['dominated']}")
+    else:
+        print("  no load/store hook sites")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

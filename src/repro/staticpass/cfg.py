@@ -1,0 +1,204 @@
+"""Control-flow graphs over :class:`repro.ir.module.Function`.
+
+``build_cfg`` is the entry point of every static pass: it turns a
+function's labeled blocks into an explicit graph (successor and
+predecessor edges, reverse-postorder), collects the register definition
+map, and rejects structurally malformed functions with *typed* errors
+so callers can distinguish "this module is broken" from a crash inside
+a pass:
+
+* :class:`MissingLabelError` — a branch or jump names a label the
+  function does not define;
+* :class:`MissingTerminatorError` — a block is empty or falls through
+  off the end of the function (its last instruction is not a
+  terminator), or a terminator appears before the end of a block;
+* :class:`DuplicateDefinitionError` — a register is defined twice
+  (including redefinition of a parameter).  The passes in this package
+  assume single static assignment, which :class:`repro.ir.builder.IRBuilder`
+  guarantees via fresh register names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import TERMINATORS, Br, Instruction, Jmp
+from repro.ir.module import Function
+
+#: A site names one instruction: (block label, index within the block).
+Site = Tuple[str, int]
+
+
+class StaticPassError(IRError):
+    """Base class for structural errors raised by the static passes."""
+
+
+class CFGError(StaticPassError):
+    """The function cannot be turned into a well-formed CFG."""
+
+
+class MissingLabelError(CFGError):
+    """A branch/jump targets a label the function does not define."""
+
+
+class MissingTerminatorError(CFGError):
+    """A block is empty, falls through off the end of the function, or
+    places a terminator before the end of the block."""
+
+
+class DuplicateDefinitionError(CFGError):
+    """A register has more than one static definition."""
+
+
+@dataclass
+class BlockNode:
+    """One basic block plus its graph edges."""
+
+    label: str
+    instructions: List[Instruction]
+    succs: List[str] = field(default_factory=list)
+    preds: List[str] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+
+@dataclass
+class CFG:
+    """Explicit control-flow graph for one function.
+
+    ``defs`` maps every register (parameters included) to its defining
+    site; parameters are recorded with the pseudo-site ``("<params>",
+    position)``.  ``rpo`` lists the labels of the blocks reachable from
+    the entry in reverse postorder — the iteration order every forward
+    pass in this package uses.
+    """
+
+    function: Function
+    entry: str
+    blocks: Dict[str, BlockNode]
+    defs: Dict[str, Site]
+    rpo: List[str]
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    def reachable(self, label: str) -> bool:
+        return label in self._rpo_index
+
+    def rpo_index(self, label: str) -> int:
+        return self._rpo_index[label]
+
+    def __post_init__(self) -> None:
+        self._rpo_index = {label: i for i, label in enumerate(self.rpo)}
+
+
+def _successors(function: Function, label: str, term: Instruction) -> List[str]:
+    if isinstance(term, Br):
+        targets = [term.then_label, term.else_label]
+    elif isinstance(term, Jmp):
+        targets = [term.label]
+    else:  # Ret
+        return []
+    for target in targets:
+        if target not in function.blocks:
+            raise MissingLabelError(
+                f"{function.name}:{label}: branch to missing label {target!r}"
+            )
+    return targets
+
+
+def build_cfg(function: Function) -> CFG:
+    """Build the CFG for one function, raising typed errors on malformed
+    input (see the module docstring for the error taxonomy)."""
+    if function.entry not in function.blocks:
+        raise MissingLabelError(
+            f"{function.name}: entry block {function.entry!r} does not exist"
+        )
+
+    defs: Dict[str, Site] = {}
+    for position, param in enumerate(function.params):
+        if param in defs:
+            raise DuplicateDefinitionError(
+                f"{function.name}: parameter {param!r} declared twice"
+            )
+        defs[param] = ("<params>", position)
+
+    blocks: Dict[str, BlockNode] = {}
+    for label, block in function.blocks.items():
+        instructions = block.instructions
+        if not instructions:
+            raise MissingTerminatorError(
+                f"{function.name}:{label}: empty block (no terminator)"
+            )
+        if not isinstance(instructions[-1], TERMINATORS):
+            raise MissingTerminatorError(
+                f"{function.name}:{label}: control falls through off the "
+                f"function end (last instruction "
+                f"{type(instructions[-1]).__name__} is not a terminator)"
+            )
+        for index, instr in enumerate(instructions[:-1]):
+            if isinstance(instr, TERMINATORS):
+                raise MissingTerminatorError(
+                    f"{function.name}:{label}[{index}]: terminator in the "
+                    f"middle of a block"
+                )
+        for index, instr in enumerate(instructions):
+            result = getattr(instr, "result", None)
+            if result:
+                if result in defs:
+                    raise DuplicateDefinitionError(
+                        f"{function.name}:{label}[{index}]: register "
+                        f"{result!r} defined twice (first at "
+                        f"{defs[result][0]}[{defs[result][1]}])"
+                    )
+                defs[result] = (label, index)
+        blocks[label] = BlockNode(label, instructions)
+
+    for label, node in blocks.items():
+        node.succs = _successors(function, label, node.terminator)
+    for label, node in blocks.items():
+        for succ in node.succs:
+            blocks[succ].preds.append(label)
+
+    return CFG(function, function.entry, blocks, defs,
+               _reverse_postorder(blocks, function.entry))
+
+
+def _reverse_postorder(blocks: Dict[str, BlockNode], entry: str) -> List[str]:
+    """Iterative DFS postorder, reversed; only reachable blocks appear."""
+    seen = {entry}
+    order: List[str] = []
+    stack: List[Tuple[str, int]] = [(entry, 0)]
+    while stack:
+        label, edge = stack[-1]
+        succs = blocks[label].succs
+        if edge < len(succs):
+            stack[-1] = (label, edge + 1)
+            succ = succs[edge]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, 0))
+        else:
+            stack.pop()
+            order.append(label)
+    order.reverse()
+    return order
+
+
+def module_cfgs(module) -> Dict[str, CFG]:
+    """CFGs for every function in a module (raises on the first
+    malformed one)."""
+    return {name: build_cfg(fn) for name, fn in module.functions.items()}
+
+
+def site_instruction(cfg: CFG, site: Site) -> Optional[Instruction]:
+    """The instruction at ``site``, or None if out of range."""
+    node = cfg.blocks.get(site[0])
+    if node is None or not 0 <= site[1] < len(node.instructions):
+        return None
+    return node.instructions[site[1]]

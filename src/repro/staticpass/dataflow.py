@@ -1,0 +1,119 @@
+"""Generic forward dataflow solving plus reaching definitions.
+
+``solve_forward`` is the workhorse every flow-sensitive pass in this
+package shares: a worklist fixpoint over the CFG in reverse postorder,
+parameterized by the lattice operations (``meet``) and the per-block
+``transfer`` function.  Block *out* facts are recomputed from scratch
+each visit, so transfer functions may be arbitrary (not just gen/kill
+bit vectors).
+
+:func:`reaching_definitions` instantiates it for the classic problem:
+which definition sites of each register may reach a program point.
+With the SSA-form modules :class:`repro.ir.builder.IRBuilder` produces
+every register has exactly one static definition, so the interesting
+output is *whether* (not *which of several*) a definition reaches — the
+elision pass uses the same block-walk discipline for its availability
+analysis (:mod:`repro.staticpass.elide`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple, TypeVar
+
+from repro.staticpass.cfg import CFG, Site
+
+Fact = TypeVar("Fact")
+
+
+def solve_forward(
+    cfg: CFG,
+    entry_fact: Fact,
+    transfer: Callable[[str, Fact], Fact],
+    meet: Callable[[Fact, Fact], Fact],
+) -> Dict[str, Fact]:
+    """Forward fixpoint; returns the *in* fact of every reachable block.
+
+    ``entry_fact`` seeds the entry block; a block whose predecessors
+    have not all produced facts yet meets only the available ones
+    (standard optimistic initialization: unvisited predecessors are
+    top).
+    """
+    block_in: Dict[str, Fact] = {cfg.entry: entry_fact}
+    block_out: Dict[str, Fact] = {}
+    worklist = list(cfg.rpo)
+    pending = set(worklist)
+    while worklist:
+        label = worklist.pop(0)
+        pending.discard(label)
+        if label != cfg.entry:
+            fact: Optional[Fact] = None
+            for pred in cfg.blocks[label].preds:
+                out = block_out.get(pred)
+                if out is None:
+                    continue
+                fact = out if fact is None else meet(fact, out)
+            if fact is None:
+                continue  # every predecessor still unvisited
+            block_in[label] = fact
+        out = transfer(label, block_in[label])
+        if block_out.get(label) != out:
+            block_out[label] = out
+            for succ in cfg.blocks[label].succs:
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return block_in
+
+
+#: A definition fact: (register, defining site).  Parameters use the
+#: pseudo-site ("<params>", position) — see :class:`repro.staticpass.cfg.CFG`.
+Definition = Tuple[str, Site]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Reaching-definition sets at block entry, plus point queries."""
+
+    cfg: CFG
+    block_in: Dict[str, FrozenSet[Definition]]
+
+    def at(self, label: str, index: int) -> FrozenSet[Definition]:
+        """Definitions reaching the instruction at ``(label, index)``
+        (i.e. just before it executes)."""
+        facts = set(self.block_in.get(label, frozenset()))
+        for position, instr in enumerate(self.cfg.blocks[label].instructions):
+            if position >= index:
+                break
+            result = getattr(instr, "result", None)
+            if result:
+                facts = {d for d in facts if d[0] != result}
+                facts.add((result, (label, position)))
+        return frozenset(facts)
+
+    def reaching(self, label: str, index: int, register: str) -> FrozenSet[Site]:
+        """Sites whose definition of ``register`` reaches the point."""
+        return frozenset(
+            site for reg, site in self.at(label, index) if reg == register
+        )
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefinitions:
+    entry = frozenset(
+        (param, ("<params>", position))
+        for position, param in enumerate(cfg.function.params)
+    )
+
+    def transfer(label: str, facts: FrozenSet[Definition]) -> FrozenSet[Definition]:
+        out = set(facts)
+        for index, instr in enumerate(cfg.blocks[label].instructions):
+            result = getattr(instr, "result", None)
+            if result:
+                out = {d for d in out if d[0] != result}
+                out.add((result, (label, index)))
+        return frozenset(out)
+
+    def meet(a: FrozenSet[Definition], b: FrozenSet[Definition]):
+        return a | b  # may-reach: union
+
+    return ReachingDefinitions(cfg, solve_forward(cfg, entry, transfer, meet))

@@ -1,0 +1,96 @@
+"""Dominator trees via Cooper–Harvey–Kennedy.
+
+"A Simple, Fast Dominance Algorithm" (Cooper, Harvey & Kennedy, 2001):
+iterate ``idom`` to a fixed point over the reverse postorder, meeting
+predecessor dominators with the two-finger ``intersect`` walk on
+postorder numbers.  For the mini-IR's small, reducible CFGs this
+converges in one or two sweeps and beats Lengauer–Tarjan on simplicity
+by a mile.
+
+Unreachable blocks have no dominators; ``DominatorTree.dominates``
+returns False whenever either endpoint is unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.staticpass.cfg import CFG
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator map plus tree queries for one CFG."""
+
+    entry: str
+    idom: Dict[str, Optional[str]]
+    children: Dict[str, List[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            for label, parent in self.idom.items():
+                if parent is not None:
+                    self.children.setdefault(parent, []).append(label)
+        self._depth: Dict[str, int] = {}
+        for label in self.idom:
+            self._compute_depth(label)
+
+    def _compute_depth(self, label: str) -> int:
+        cached = self._depth.get(label)
+        if cached is not None:
+            return cached
+        parent = self.idom[label]
+        depth = 0 if parent is None else self._compute_depth(parent) + 1
+        self._depth[label] = depth
+        return depth
+
+    def depth(self, label: str) -> int:
+        return self._depth[label]
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff block ``a`` dominates block ``b`` (reflexive)."""
+        if a not in self.idom or b not in self.idom:
+            return False
+        walk: Optional[str] = b
+        while walk is not None and self._depth[walk] >= self._depth[a]:
+            if walk == a:
+                return True
+            walk = self.idom[walk]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+
+def dominator_tree(cfg: CFG) -> DominatorTree:
+    """Cooper–Harvey–Kennedy over ``cfg.rpo`` (reachable blocks only)."""
+    rpo = cfg.rpo
+    index = {label: i for i, label in enumerate(rpo)}
+    # Postorder number = len - 1 - rpo index; intersect() walks toward
+    # higher postorder numbers, i.e. lower rpo indices.
+    idom: Dict[str, Optional[str]] = {cfg.entry: cfg.entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo[1:]:
+            new_idom: Optional[str] = None
+            for pred in cfg.blocks[label].preds:
+                if pred not in index or idom.get(pred) is None:
+                    continue  # unreachable or not yet processed
+                new_idom = pred if new_idom is None else intersect(new_idom, pred)
+            if new_idom is not None and idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    idom[cfg.entry] = None
+    return DominatorTree(cfg.entry, idom)

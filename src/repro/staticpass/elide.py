@@ -1,0 +1,369 @@
+"""Instrumentation elision: prove hook sites redundant before they fire.
+
+The pass answers, per load/store site of a subject module, "would this
+analysis's observable output (reports and backtraces) change if the
+hooks at this site never fired?"  Two site classes can be proved safe:
+
+* ``stack_local`` — the address is an alloca-derived, non-escaping
+  stack slot (:mod:`repro.staticpass.escape`).  Only the owning thread
+  can ever touch it, so a race detector's per-address state machine can
+  never leave its exclusive state and never report.  Declared safe by
+  the race-detection policies only.
+* ``dominated`` — an identical address expression is already
+  instrumented on every path to this site, with no intervening call
+  (calls are the barrier: they may free, lock, spawn, or re-enter the
+  analysis) and no redefinition of the address register.  Safe for
+  pure *check* handlers whose verdict depends only on (address, analysis
+  state): the dominating site already rendered the same verdict.  In a
+  multithreaded module the fact is tracked only for stack-local
+  addresses — between two accesses of a shared address another thread
+  may run and change the analysis state.
+
+Per-analysis safety is declared in :data:`POLICIES` (keyed by
+``CompileOptions.analysis_name``) and *interlocked* automatically:
+an analysis whose load/store insertions touch register metadata
+(``$N.m`` arguments, or an ``after`` handler whose return value becomes
+the destination register's shadow — e.g. msan, taint) gets no elision
+regardless of the declared policy, because skipping a site would change
+the metadata dataflow downstream.
+
+The mask produced here is consumed at hook-dispatch time by both VM
+backends; see ``Interpreter.register_elision`` and the site-aware hook
+lookup in ``repro.vm.compile``.  The invariant — enforced by
+``tests/staticpass/test_elision_equivalence.py`` across every bundled
+workload × spec — is that elision never changes observable analysis
+output; only event counts and costs may drop.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ir.instructions import Call, Load, Store
+from repro.ir.module import Module
+from repro.staticpass.cfg import CFG, CFGError, build_cfg
+from repro.staticpass.dominators import dominator_tree
+from repro.staticpass.escape import STACK_LOCAL, analyze_escapes
+from repro.staticpass.dataflow import solve_forward
+
+#: (function name, block label, instruction index) -> suppressed positions.
+SiteKey = Tuple[str, str, int]
+SiteMask = Dict[SiteKey, FrozenSet[str]]
+
+_KINDS = ("LoadInst", "StoreInst")
+
+
+@dataclass(frozen=True)
+class ElisionPolicy:
+    """Declared elision safety for one analysis.
+
+    ``subscriptions`` records which hook positions the analysis binds
+    per instrumentable kind, e.g. ``(("LoadInst", ("after",)),)``; only
+    subscribed positions are ever suppressed.
+    """
+
+    analysis: str = ""
+    skip_stack_local: bool = False
+    skip_dominated: bool = False
+    subscriptions: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+
+    def positions(self, kind: str) -> Tuple[str, ...]:
+        for subscribed_kind, positions in self.subscriptions:
+            if subscribed_kind == kind:
+                return positions
+        return ()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            (self.skip_stack_local or self.skip_dominated)
+            and self.subscriptions
+        )
+
+
+#: Declared safety per analysis name.  Race detectors keep per-address
+#: state machines that cannot report without a second thread touching
+#: the address; memory-safety checks are pure per-address verdicts, so
+#: only dominated re-checks may be skipped.
+POLICIES: Dict[str, ElisionPolicy] = {
+    "eraser": ElisionPolicy("eraser", skip_stack_local=True, skip_dominated=True),
+    "fasttrack": ElisionPolicy("fasttrack", skip_stack_local=True,
+                               skip_dominated=True),
+    "uaf": ElisionPolicy("uaf", skip_dominated=True),
+}
+
+
+def register_policy(name: str, policy: ElisionPolicy) -> None:
+    """Declare elision safety for a custom analysis name."""
+    POLICIES[name] = policy
+
+
+def policy_for(analysis) -> ElisionPolicy:
+    """Resolve the effective policy for a :class:`CompiledAnalysis`.
+
+    Starts from the :data:`POLICIES` entry for the analysis name
+    (default: no elision), attaches the analysis's actual load/store
+    hook subscriptions, and applies the metadata interlock described in
+    the module docstring.
+    """
+    base = POLICIES.get(analysis.name, ElisionPolicy(analysis.name))
+    subscriptions: Dict[str, List[str]] = {}
+    for decl in analysis.info.inserts:
+        if decl.point_kind != "inst" or decl.point_name not in _KINDS:
+            continue
+        if any(arg.metadata for arg in decl.args):
+            return ElisionPolicy(analysis.name)  # metadata consumer
+        handler = analysis.info.funcs[decl.handler]
+        if decl.position == "after" and handler.ret_type is not None:
+            return ElisionPolicy(analysis.name)  # metadata producer
+        positions = subscriptions.setdefault(decl.point_name, [])
+        if decl.position not in positions:
+            positions.append(decl.position)
+    return ElisionPolicy(
+        analysis.name,
+        skip_stack_local=base.skip_stack_local,
+        skip_dominated=base.skip_dominated,
+        subscriptions=tuple(
+            (kind, tuple(sorted(positions)))
+            for kind, positions in sorted(subscriptions.items())
+        ),
+    )
+
+
+@dataclass
+class FunctionElision:
+    """Per-function site census."""
+
+    name: str
+    considered: int = 0
+    stack_local: int = 0
+    dominated: int = 0
+    unknown: int = 0
+    #: dominated sites whose covering access sits in a dominating block
+    #: (vs. merged coverage from several paths)
+    dominated_by_tree: int = 0
+
+
+@dataclass
+class ElisionReport:
+    """Full result of the pass on one (module, policy) pair."""
+
+    policy: ElisionPolicy
+    multithreaded: bool
+    functions: Dict[str, FunctionElision] = field(default_factory=dict)
+    mask: SiteMask = field(default_factory=dict)
+
+    @property
+    def considered(self) -> int:
+        return sum(f.considered for f in self.functions.values())
+
+    @property
+    def elided(self) -> int:
+        return sum(f.stack_local + f.dominated for f in self.functions.values())
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "considered": self.considered,
+            "stack_local": sum(f.stack_local for f in self.functions.values()),
+            "dominated": sum(f.dominated for f in self.functions.values()),
+            "elided": self.elided,
+        }
+
+
+def _is_multithreaded(module: Module) -> bool:
+    for function in module.functions.values():
+        for block in function.blocks.values():
+            for instr in block.instructions:
+                if isinstance(instr, Call) and instr.callee.startswith("spawn"):
+                    return True
+    return False
+
+
+def _address_key(operand):
+    return operand if type(operand) is str else ("imm", operand)
+
+
+def _analyze_function(cfg: CFG, policy: ElisionPolicy,
+                      multithreaded: bool) -> Tuple[FunctionElision, SiteMask]:
+    census = FunctionElision(cfg.name)
+    mask: SiteMask = {}
+    escapes = analyze_escapes(cfg)
+
+    def site_positions(instr) -> Tuple[str, ...]:
+        kind = "LoadInst" if isinstance(instr, Load) else "StoreInst"
+        return policy.positions(kind)
+
+    def is_stack_local(instr) -> bool:
+        return escapes.address_class(instr.address) == STACK_LOCAL
+
+    def generates(instr) -> bool:
+        """Does this site leave an "already instrumented" fact behind?
+
+        Sites whose hooks are suppressed by the stack-local rule leave
+        none.  In a multithreaded module only stack-local addresses
+        (touched by exactly one thread) carry facts across steps.
+        """
+        local = is_stack_local(instr)
+        if policy.skip_stack_local and local:
+            return False
+        return local or not multithreaded
+
+    # Availability of same-address instrumented accesses: facts map an
+    # address key to the byte size guaranteed instrumented on every
+    # path.  Calls clear all facts; redefining the address register
+    # kills its facts (loop-carried registers take new values).
+    def transfer(label: str, facts: Dict) -> Dict:
+        facts = dict(facts)
+        for instr in cfg.blocks[label].instructions:
+            if isinstance(instr, Call):
+                facts.clear()
+            result = getattr(instr, "result", None)
+            if result:
+                facts.pop(result, None)
+            if isinstance(instr, (Load, Store)) and generates(instr):
+                key = _address_key(instr.address)
+                facts[key] = max(facts.get(key, 0), instr.size)
+        return facts
+
+    def meet(a: Dict, b: Dict) -> Dict:
+        return {key: min(size, b[key]) for key, size in a.items() if key in b}
+
+    want_dominated = policy.skip_dominated
+    block_in = (
+        solve_forward(cfg, {}, transfer, meet) if want_dominated else {}
+    )
+    gen_blocks: Dict[object, List[str]] = {}
+    if want_dominated:
+        for label in cfg.rpo:
+            for instr in cfg.blocks[label].instructions:
+                if isinstance(instr, (Load, Store)) and generates(instr):
+                    gen_blocks.setdefault(
+                        _address_key(instr.address), []
+                    ).append(label)
+    dom = dominator_tree(cfg) if want_dominated else None
+
+    for label, node in cfg.blocks.items():
+        facts = dict(block_in.get(label, {}))
+        local_gens = set()  # keys already instrumented earlier in this block
+        for index, instr in enumerate(node.instructions):
+            if isinstance(instr, (Load, Store)):
+                positions = site_positions(instr)
+                if positions:
+                    census.considered += 1
+                    local = is_stack_local(instr)
+                    key = _address_key(instr.address)
+                    covered = (
+                        want_dominated
+                        and label in block_in
+                        and facts.get(key, 0) >= instr.size
+                    )
+                    if policy.skip_stack_local and local:
+                        census.stack_local += 1
+                        mask[(cfg.name, label, index)] = frozenset(positions)
+                    elif covered:
+                        census.dominated += 1
+                        mask[(cfg.name, label, index)] = frozenset(positions)
+                        if key in local_gens or (dom is not None and any(
+                            g != label and dom.dominates(g, label)
+                            for g in gen_blocks.get(key, ())
+                        )):
+                            census.dominated_by_tree += 1
+                    else:
+                        census.unknown += 1
+            # replay the transfer so in-block facts stay exact
+            if isinstance(instr, Call):
+                facts.clear()
+                local_gens.clear()
+            result = getattr(instr, "result", None)
+            if result:
+                facts.pop(result, None)
+                local_gens.discard(result)
+            if isinstance(instr, (Load, Store)) and generates(instr):
+                key = _address_key(instr.address)
+                facts[key] = max(facts.get(key, 0), instr.size)
+                local_gens.add(key)
+    return census, mask
+
+
+# ----------------------------------------------------------------------
+# module-level driver, memoized process-wide like the stage-1 compile
+# cache (repro.vm.compile): serve workers and the harness analyze each
+# (module, policy) pair exactly once.
+# ----------------------------------------------------------------------
+_CACHE: "OrderedDict[Tuple[str, ElisionPolicy], ElisionReport]" = OrderedDict()
+_CACHE_CAPACITY = 64
+_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+_SITES_CONSIDERED = 0
+_SITES_ELIDED = 0
+
+
+def staticpass_stats() -> Dict[str, int]:
+    """Process-wide elision counters (surfaced by ``repro.serve`` under
+    the ``staticpass.*`` namespace of the ``stats`` frame)."""
+    with _LOCK:
+        return {
+            "mask_cache_hits": _HITS,
+            "mask_cache_misses": _MISSES,
+            "masks_cached": len(_CACHE),
+            "sites_considered": _SITES_CONSIDERED,
+            "sites_elided": _SITES_ELIDED,
+        }
+
+
+def clear_staticpass_cache() -> None:
+    global _HITS, _MISSES, _SITES_CONSIDERED, _SITES_ELIDED
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
+        _SITES_CONSIDERED = 0
+        _SITES_ELIDED = 0
+
+
+def analyze_elision(module: Module, policy: ElisionPolicy,
+                    digest: Optional[str] = None) -> ElisionReport:
+    """Run the full pass; results are memoized by (IR digest, policy)."""
+    global _HITS, _MISSES, _SITES_CONSIDERED, _SITES_ELIDED
+    from repro.vm.compile import ir_digest
+
+    if digest is None:
+        digest = ir_digest(module)
+    key = (digest, policy)
+    with _LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+            return cached
+        _MISSES += 1
+
+    report = ElisionReport(policy, _is_multithreaded(module))
+    if policy.enabled:
+        for name, function in module.functions.items():
+            try:
+                cfg = build_cfg(function)
+            except CFGError:
+                # A function the CFG builder rejects gets no elision;
+                # the VM validates and executes it independently.
+                continue
+            census, mask = _analyze_function(cfg, policy, report.multithreaded)
+            report.functions[name] = census
+            report.mask.update(mask)
+
+    with _LOCK:
+        _CACHE[key] = report
+        while len(_CACHE) > _CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+        _SITES_CONSIDERED += report.considered
+        _SITES_ELIDED += report.elided
+    return report
+
+
+def elision_mask(module: Module, policy: ElisionPolicy) -> SiteMask:
+    """The site mask alone — what ``Interpreter.register_elision`` takes."""
+    return analyze_elision(module, policy).mask

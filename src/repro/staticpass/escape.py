@@ -1,0 +1,142 @@
+"""Conservative address/escape analysis for alloca-derived registers.
+
+The question the elision pass needs answered per load/store site is:
+*is this address provably a stack slot that no other thread (and no
+callee) can observe?*  The analysis is deliberately blunt:
+
+* **roots** — registers defined by ``Alloca``;
+* **derived** — registers defined by an ``add``/``sub`` whose operands
+  include exactly one alloca-derived register (pointer arithmetic off a
+  slot; the other operand is treated as a plain offset);
+* **escaped** — an alloca whose derived closure is used *anywhere*
+  except as a load/store address, as a compare operand, as a branch
+  condition, or as the pointer side of further ``add``/``sub``
+  arithmetic.  Stored values, call arguments, return values, alloca
+  sizes and every other binop all count as escapes — if the address can
+  flow into memory, into a callee, or out of the function, another
+  thread (or a re-entrant call) could reach the slot and the pass must
+  not call it local.
+
+``address_class`` then classifies an address operand: ``"stack_local"``
+when it is a register derived only from non-escaping allocas,
+``"unknown"`` otherwise (heap pointers, globals, immediates, anything
+laundered through unsupported arithmetic).
+
+Soundness note: a *derived* pointer is attributed to its root alloca
+even when the offset walks out of the slot's bounds; in-bounds pointer
+arithmetic is the same assumption every production race detector's
+stack-local filter makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Load,
+    Ret,
+    Store,
+)
+from repro.staticpass.cfg import CFG
+
+STACK_LOCAL = "stack_local"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class EscapeInfo:
+    """Per-function escape facts (see module docstring)."""
+
+    allocas: FrozenSet[str]
+    escaped: FrozenSet[str]
+    derived_from: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def address_class(self, operand) -> str:
+        """``"stack_local"`` or ``"unknown"`` for one address operand."""
+        if type(operand) is not str:
+            return UNKNOWN  # immediate: globals or hand-written constants
+        roots = self.derived_from.get(operand)
+        if not roots:
+            return UNKNOWN
+        if roots & self.escaped:
+            return UNKNOWN
+        return STACK_LOCAL
+
+
+def _instructions(cfg: CFG):
+    for label, node in cfg.blocks.items():
+        for index, instr in enumerate(node.instructions):
+            yield label, index, instr
+
+
+def analyze_escapes(cfg: CFG) -> EscapeInfo:
+    allocas: Set[str] = set()
+    for _, _, instr in _instructions(cfg):
+        if isinstance(instr, Alloca):
+            allocas.add(instr.result)
+
+    # Derived closure: fixpoint because blocks are not guaranteed to be
+    # topologically ordered (and loops feed registers forward anyway).
+    derived: Dict[str, Set[str]] = {root: {root} for root in allocas}
+    changed = True
+    while changed:
+        changed = False
+        for _, _, instr in _instructions(cfg):
+            if not isinstance(instr, BinOp) or instr.op not in ("add", "sub"):
+                continue
+            roots: Set[str] = set()
+            for operand in (instr.lhs, instr.rhs):
+                if type(operand) is str and operand in derived:
+                    roots |= derived[operand]
+            if roots and roots != derived.get(instr.result, set()):
+                derived.setdefault(instr.result, set()).update(roots)
+                changed = True
+
+    escaped: Set[str] = set()
+
+    def escape_uses(operands: Iterable[object]) -> None:
+        for operand in operands:
+            if type(operand) is str and operand in derived:
+                escaped.update(derived[operand])
+
+    for _, _, instr in _instructions(cfg):
+        if isinstance(instr, Load):
+            continue  # address use: allowed
+        if isinstance(instr, Store):
+            escape_uses([instr.value])  # the *stored value* escapes
+        elif isinstance(instr, BinOp):
+            if instr.op not in ("add", "sub"):
+                escape_uses([instr.lhs, instr.rhs])
+        elif isinstance(instr, (Cmp, Br)):
+            continue  # compares/branch conditions never leak the address
+        elif isinstance(instr, Call):
+            escape_uses(instr.args)
+        elif isinstance(instr, Ret):
+            if instr.value is not None:
+                escape_uses([instr.value])
+        elif isinstance(instr, Alloca):
+            escape_uses([instr.size])
+
+    return EscapeInfo(
+        allocas=frozenset(allocas),
+        escaped=frozenset(escaped),
+        derived_from={reg: frozenset(roots) for reg, roots in derived.items()},
+    )
+
+
+def classify_sites(cfg: CFG, info: EscapeInfo) -> List[Tuple[str, int, str, str]]:
+    """Every load/store site with its address class:
+    ``(label, index, "load"|"store", class)``."""
+    sites = []
+    for label, index, instr in _instructions(cfg):
+        if isinstance(instr, Load):
+            sites.append((label, index, "load", info.address_class(instr.address)))
+        elif isinstance(instr, Store):
+            sites.append((label, index, "store", info.address_class(instr.address)))
+    return sites

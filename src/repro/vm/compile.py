@@ -212,7 +212,7 @@ def _compile_module(module: Module, digest: str) -> CompiledModule:
         blocks: Dict[str, List[Emitter]] = {}
         for label, block in function.blocks.items():
             blocks[label] = [
-                _EMITTERS[type(instr)](instr, name, index, module)
+                _EMITTERS[type(instr)](instr, name, label, index, module)
                 for index, instr in enumerate(block.instructions)
             ]
         functions[name] = CompiledFunction(name, function.entry, blocks)
@@ -227,7 +227,7 @@ class _Binder:
 
     __slots__ = (
         "vm", "profile", "memory", "cache_access", "track_shadow",
-        "tracer", "before", "after", "fire", "code", "entries",
+        "tracer", "before", "after", "fire", "code", "entries", "elide",
     )
 
     def __init__(self, vm: Interpreter) -> None:
@@ -247,6 +247,24 @@ class _Binder:
         #: emitters can capture targets before they are filled.
         self.code: Dict[Tuple[str, str], list] = {}
         self.entries: Dict[str, list] = {}
+        #: Effective instrumentation-elision mask (repro.staticpass):
+        #: (function, label, index) -> suppressed hook positions.
+        #: Stage 1 is digest-keyed and shared across VMs, so the
+        #: per-analysis mask applies here, at bind time — suppressed
+        #: sites see hb/ha as None and get the hookless fast path.
+        self.elide = vm._elision_sites()
+
+    def site_hooks(self, kind: str, fname: str, label: str, index: int):
+        """Hook lists for one site, with the elision mask applied."""
+        hb = self.before.get(kind)
+        ha = self.after.get(kind)
+        suppressed = self.elide.get((fname, label, index)) if self.elide else None
+        if suppressed:
+            if "before" in suppressed:
+                hb = None
+            if "after" in suppressed:
+                ha = None
+        return hb, ha
 
 
 def bind_module(vm: Interpreter,
@@ -422,7 +440,7 @@ _CMP_GE = lambda a, b: 1 if a >= b else 0  # noqa: E731  (reference's default ar
 # ----------------------------------------------------------------------
 # emitters — one per instruction class
 # ----------------------------------------------------------------------
-def _emit_const(instr: Const, fname: str, index: int, module: Module) -> Emitter:
+def _emit_const(instr: Const, fname: str, label: str, index: int, module: Module) -> Emitter:
     result = instr.result
     value = instr.value
     nxt = index + 1
@@ -455,7 +473,7 @@ def _emit_const(instr: Const, fname: str, index: int, module: Module) -> Emitter
     return bind, instr.loc
 
 
-def _emit_binop(instr: BinOp, fname: str, index: int, module: Module) -> Emitter:
+def _emit_binop(instr: BinOp, fname: str, label: str, index: int, module: Module) -> Emitter:
     result = instr.result
     lhs = instr.lhs
     rhs = instr.rhs
@@ -546,7 +564,7 @@ def _emit_binop(instr: BinOp, fname: str, index: int, module: Module) -> Emitter
     return bind, instr.loc
 
 
-def _emit_cmp(instr: Cmp, fname: str, index: int, module: Module) -> Emitter:
+def _emit_cmp(instr: Cmp, fname: str, label: str, index: int, module: Module) -> Emitter:
     result = instr.result
     lhs = instr.lhs
     rhs = instr.rhs
@@ -627,7 +645,7 @@ def _emit_cmp(instr: Cmp, fname: str, index: int, module: Module) -> Emitter:
     return bind, instr.loc
 
 
-def _emit_load(instr: Load, fname: str, index: int, module: Module) -> Emitter:
+def _emit_load(instr: Load, fname: str, label: str, index: int, module: Module) -> Emitter:
     result = instr.result
     address_op = instr.address
     areg = type(address_op) is str
@@ -637,8 +655,7 @@ def _emit_load(instr: Load, fname: str, index: int, module: Module) -> Emitter:
     operand_regs = (address_op if areg else None,)
 
     def bind(b: _Binder) -> Step:
-        hb = b.before.get("LoadInst")
-        ha = b.after.get("LoadInst")
+        hb, ha = b.site_hooks("LoadInst", fname, label, index)
         shadow_on = b.track_shadow
         tracer = b.tracer
         profile = b.profile
@@ -712,7 +729,7 @@ def _emit_load(instr: Load, fname: str, index: int, module: Module) -> Emitter:
     return bind, instr.loc
 
 
-def _emit_store(instr: Store, fname: str, index: int, module: Module) -> Emitter:
+def _emit_store(instr: Store, fname: str, label: str, index: int, module: Module) -> Emitter:
     value_op = instr.value
     address_op = instr.address
     vreg = type(value_op) is str
@@ -724,8 +741,7 @@ def _emit_store(instr: Store, fname: str, index: int, module: Module) -> Emitter
     operand_regs = (value_op if vreg else None, address_op if areg else None)
 
     def bind(b: _Binder) -> Step:
-        hb = b.before.get("StoreInst")
-        ha = b.after.get("StoreInst")
+        hb, ha = b.site_hooks("StoreInst", fname, label, index)
         profile = b.profile
         cache_access = b.cache_access
         memory_write = b.memory.write
@@ -784,7 +800,7 @@ def _emit_store(instr: Store, fname: str, index: int, module: Module) -> Emitter
     return bind, instr.loc
 
 
-def _emit_br(instr: Br, fname: str, index: int, module: Module) -> Emitter:
+def _emit_br(instr: Br, fname: str, label: str, index: int, module: Module) -> Emitter:
     cond_op = instr.cond
     creg = type(cond_op) is str
     then_label = instr.then_label
@@ -834,7 +850,7 @@ def _emit_br(instr: Br, fname: str, index: int, module: Module) -> Emitter:
     return bind, instr.loc
 
 
-def _emit_jmp(instr: Jmp, fname: str, index: int, module: Module) -> Emitter:
+def _emit_jmp(instr: Jmp, fname: str, label: str, index: int, module: Module) -> Emitter:
     label = instr.label
 
     def bind(b: _Binder) -> Step:
@@ -849,7 +865,7 @@ def _emit_jmp(instr: Jmp, fname: str, index: int, module: Module) -> Emitter:
     return bind, instr.loc
 
 
-def _emit_alloca(instr: Alloca, fname: str, index: int, module: Module) -> Emitter:
+def _emit_alloca(instr: Alloca, fname: str, label: str, index: int, module: Module) -> Emitter:
     result = instr.result
     size_op = instr.size
     sreg = type(size_op) is str
@@ -893,7 +909,7 @@ def _emit_alloca(instr: Alloca, fname: str, index: int, module: Module) -> Emitt
     return bind, instr.loc
 
 
-def _emit_ret(instr: Ret, fname: str, index: int, module: Module) -> Emitter:
+def _emit_ret(instr: Ret, fname: str, label: str, index: int, module: Module) -> Emitter:
     value_op = instr.value
     vreg = type(value_op) is str
     const_value = 0 if value_op is None or vreg else value_op
@@ -961,7 +977,7 @@ def _emit_ret(instr: Ret, fname: str, index: int, module: Module) -> Emitter:
     return bind, instr.loc
 
 
-def _emit_call(instr: Call, fname: str, index: int, module: Module) -> Emitter:
+def _emit_call(instr: Call, fname: str, label: str, index: int, module: Module) -> Emitter:
     callee = instr.callee
     args_spec = tuple(instr.args)
     nargs = len(args_spec)

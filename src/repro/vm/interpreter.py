@@ -157,6 +157,16 @@ class Interpreter:
         self._current_thread: Optional[ThreadState] = None
         self._tracer = None
 
+        #: Instrumentation-elision masks (repro.staticpass.elide): each
+        #: attached analysis registers the site mask it proved safe (an
+        #: empty mask vetoes).  The effective mask is the intersection,
+        #: so hooks are only suppressed where *every* analysis agreed.
+        self._elision_masks: List[Dict[Tuple[str, str, int], frozenset]] = []
+        # Identity sets of Load/Store instruction objects whose
+        # before/after hooks are suppressed (reference backend).
+        self._elide_before: frozenset = frozenset()
+        self._elide_after: frozenset = frozenset()
+
         #: "compiled" (default): decode-once closure execution, see
         #: :mod:`repro.vm.compile`.  "reference": the object-walking
         #: switch loop below — same observable state, bit for bit.
@@ -172,6 +182,55 @@ class Interpreter:
         if self.threads:
             raise VMError("set_tracer must be called before run()")
         self._tracer = tracer
+
+    def register_elision(
+        self, mask: Dict[Tuple[str, str, int], frozenset]
+    ) -> None:
+        """Register one analysis's statically-skippable hook sites.
+
+        ``mask`` maps ``(function, block label, instruction index)`` to
+        the hook positions (``"before"``/``"after"``) proved redundant
+        by :mod:`repro.staticpass.elide`.  Every attaching analysis
+        registers a mask (possibly empty); only the intersection is
+        applied, so one elision-unsafe analysis disables elision for
+        the whole run.  Must be called before :meth:`run`.
+        """
+        if self.threads:
+            raise VMError("register_elision must be called before run()")
+        self._elision_masks.append(dict(mask))
+
+    def _elision_sites(self) -> Dict[Tuple[str, str, int], frozenset]:
+        """Effective site mask: intersection of all registered masks."""
+        if not self._elision_masks:
+            return {}
+        effective = dict(self._elision_masks[0])
+        for mask in self._elision_masks[1:]:
+            merged = {}
+            for site, positions in effective.items():
+                other = mask.get(site)
+                if other:
+                    common = positions & other
+                    if common:
+                        merged[site] = common
+            effective = merged
+        return effective
+
+    def _materialize_elision(self) -> None:
+        """Resolve the site mask to instruction identities for the
+        reference loop (the compiled backend resolves at bind time)."""
+        before, after = set(), set()
+        for (fname, label, index), positions in self._elision_sites().items():
+            function = self.module.functions.get(fname)
+            block = function.blocks.get(label) if function else None
+            if block is None or index >= len(block.instructions):
+                continue
+            instr_id = id(block.instructions[index])
+            if "before" in positions:
+                before.add(instr_id)
+            if "after" in positions:
+                after.add(instr_id)
+        self._elide_before = frozenset(before)
+        self._elide_after = frozenset(after)
 
     # ------------------------------------------------------------------
     # setup
@@ -255,6 +314,8 @@ class Interpreter:
                 self._entry_code = bind_module(self)
             run_quantum = self._run_quantum_compiled
         else:
+            if self._elision_masks and not self.threads:
+                self._materialize_elision()
             run_quantum = self._run_quantum
         main = self.module.get_function(entry)
         self._new_thread(main, list(args))
@@ -337,6 +398,8 @@ class Interpreter:
         tracer = self._tracer
         hb = self._hb
         ha = self._ha
+        elide_before = self._elide_before
+        elide_after = self._elide_after
         executed = 0
 
         self._current_thread = thread
@@ -461,7 +524,7 @@ class Interpreter:
                 address_op = instr.address
                 address = regs[address_op] if type(address_op) is str else address_op
                 size = instr.size
-                if "LoadInst" in hb:
+                if "LoadInst" in hb and id(instr) not in elide_before:
                     self._fire(
                         hb["LoadInst"], "LoadInst", thread, frame, instr,
                         (address,), None, _EIGHT, size,
@@ -473,7 +536,7 @@ class Interpreter:
                     frame.shadow[instr.result] = 0
                     if tracer is not None:
                         tracer.shadow_set0(frame.shadow, instr.result)
-                if "LoadInst" in ha:
+                if "LoadInst" in ha and id(instr) not in elide_after:
                     self._fire(
                         ha["LoadInst"], "LoadInst", thread, frame, instr,
                         (address,), value, _EIGHT, size,
@@ -485,14 +548,14 @@ class Interpreter:
                 value = regs[value_op] if type(value_op) is str else value_op
                 address = regs[address_op] if type(address_op) is str else address_op
                 size = instr.size
-                if "StoreInst" in hb:
+                if "StoreInst" in hb and id(instr) not in elide_before:
                     self._fire(
                         hb["StoreInst"], "StoreInst", thread, frame, instr,
                         (value, address), None, (size, 8), 0,
                     )
                 profile.mem_cycles += cache_access(address, size)
                 memory.write(address, value, size)
-                if "StoreInst" in ha:
+                if "StoreInst" in ha and id(instr) not in elide_after:
                     self._fire(
                         ha["StoreInst"], "StoreInst", thread, frame, instr,
                         (value, address), None, (size, 8), 0,

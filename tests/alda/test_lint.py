@@ -1,0 +1,131 @@
+"""Tests for aldalint (``repro.alda.lint``): unit diagnostics on planted
+defects, a clean-sweep over every bundled analysis, and the CLI entry."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro.analyses
+import repro.analyses.extras
+from repro.alda import check_program, parse_program
+from repro.alda.lint import Diagnostic, lint_program
+
+
+def lint(source):
+    return lint_program(check_program(parse_program(source)))
+
+
+CLEAN = """\
+address := pointer
+
+liveMap = map(address, int64)
+
+onLoad(address a) {
+  liveMap[a] = 1;
+}
+
+insert before LoadInst call onLoad($1)
+"""
+
+
+class TestDiagnostics:
+    def test_clean_program_has_no_diagnostics(self):
+        assert lint(CLEAN) == []
+
+    def test_unused_map(self):
+        diags = lint(CLEAN.replace(
+            "liveMap = map(address, int64)",
+            "liveMap = map(address, int64)\ndeadMap = map(address, int64)",
+        ))
+        assert [d.code for d in diags] == ["unused-map"]
+        assert "deadMap" in diags[0].message
+        assert diags[0].line > 0
+
+    def test_unbound_handler(self):
+        diags = lint(CLEAN + "\norphan(address a) {\n  liveMap[a] = 2;\n}\n")
+        assert [d.code for d in diags] == ["unbound-handler"]
+        assert "orphan" in diags[0].message
+
+    def test_transitively_called_handler_is_bound(self):
+        source = CLEAN.replace(
+            "  liveMap[a] = 1;",
+            "  helper(a);",
+        ) + "\nhelper(address a) {\n  liveMap[a] = 1;\n}\n"
+        assert lint(source) == []
+
+    def test_constant_assert(self):
+        diags = lint(CLEAN.replace(
+            "  liveMap[a] = 1;",
+            "  liveMap[a] = 1;\n  alda_assert(2 - 2, 0);",
+        ))
+        assert [d.code for d in diags] == ["constant-assert"]
+
+    def test_constant_assert_folds_const_decls(self):
+        source = "const ZERO = 0\n" + CLEAN.replace(
+            "  liveMap[a] = 1;",
+            "  liveMap[a] = 1;\n  alda_assert(ZERO, 0);",
+        )
+        assert [d.code for d in lint(source)] == ["constant-assert"]
+
+    def test_failing_constant_assert_not_flagged(self):
+        # Always-FALSE asserts fire every event — loud, not dead.
+        source = CLEAN.replace(
+            "  liveMap[a] = 1;",
+            "  liveMap[a] = 1;\n  alda_assert(1, 0);",
+        )
+        assert lint(source) == []
+
+    def test_non_constant_assert_not_flagged(self):
+        source = CLEAN.replace(
+            "  liveMap[a] = 1;",
+            "  alda_assert(liveMap[a], 0);",
+        )
+        assert lint(source) == []
+
+    def test_diagnostics_sorted_by_line(self):
+        source = CLEAN.replace(
+            "liveMap = map(address, int64)",
+            "deadMap = map(address, int64)\nliveMap = map(address, int64)",
+        ) + "\norphan(address a) {\n  liveMap[a] = 2;\n}\n"
+        diags = lint(source)
+        assert [d.code for d in diags] == ["unused-map", "unbound-handler"]
+        assert diags[0].line < diags[1].line
+
+    def test_diagnostic_str(self):
+        diag = Diagnostic("unused-map", "map 'm' is declared but never used", 3)
+        assert str(diag) == "line 3: unused-map: map 'm' is declared but never used"
+
+
+def _bundled_sources():
+    for pkg in (repro.analyses, repro.analyses.extras):
+        for entry in pkgutil.iter_modules(pkg.__path__):
+            if entry.name == "extras":
+                continue
+            module = importlib.import_module(f"{pkg.__name__}.{entry.name}")
+            if hasattr(module, "SOURCE"):
+                yield pytest.param(module.SOURCE, id=f"{pkg.__name__}.{entry.name}")
+
+
+@pytest.mark.parametrize("source", list(_bundled_sources()))
+def test_bundled_analyses_are_lint_clean(source):
+    """Every ALDA spec shipped in repro.analyses passes aldalint."""
+    assert lint(source) == []
+
+
+class TestCli:
+    def test_lint_clean_file(self, tmp_path, capsys):
+        from repro.alda.__main__ import main
+
+        path = tmp_path / "clean.alda"
+        path.write_text(CLEAN)
+        assert main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_flags_and_exits_nonzero(self, tmp_path, capsys):
+        from repro.alda.__main__ import main
+
+        path = tmp_path / "dirty.alda"
+        path.write_text(CLEAN + "\norphan(address a) {\n  liveMap[a] = 2;\n}\n")
+        assert main(["lint", str(path)]) == 1
+        assert "unbound-handler" in capsys.readouterr().out

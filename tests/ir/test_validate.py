@@ -97,3 +97,72 @@ class TestModuleValidation:
         module.add_function(main)
         module.add_function(helper)
         assert validate_module(module) == []
+
+
+class TestStaticPassAgreement:
+    """Malformed shapes the staticpass CFG builder must reject are also
+    rejected (or at least tolerated as typed errors) by the validator.
+
+    The two front ends overlap but are not identical: the validator's
+    definite-assignment check is flow-insensitive and accepts duplicate
+    register definitions, while ``repro.staticpass.cfg.build_cfg``
+    enforces single static assignment.  Every CFG error is an
+    ``IRError`` subclass so callers can treat both uniformly.
+    """
+
+    def _branch_to_missing_label(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Const(result="%c", value=1))
+        entry.append(Br(cond="%c", then_label="entry", else_label="ghost"))
+        return fn
+
+    def _fallthrough(self):
+        fn = Function("f")
+        fn.block("entry").append(Const(result="%a", value=1))
+        return fn
+
+    def _duplicate_definition(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Const(result="%a", value=1))
+        entry.append(Const(result="%a", value=2))
+        entry.append(Ret(value="%a"))
+        return fn
+
+    def test_both_reject_missing_label(self):
+        from repro.staticpass import MissingLabelError, build_cfg
+
+        fn = self._branch_to_missing_label()
+        with pytest.raises(IRError):
+            validate_function(fn)
+        with pytest.raises(MissingLabelError):
+            build_cfg(fn)
+
+    def test_both_reject_fallthrough_off_function_end(self):
+        from repro.staticpass import MissingTerminatorError, build_cfg
+
+        fn = self._fallthrough()
+        with pytest.raises(IRError):
+            validate_function(fn)
+        with pytest.raises(MissingTerminatorError):
+            build_cfg(fn)
+
+    def test_duplicate_definition_is_cfg_only(self):
+        from repro.staticpass import DuplicateDefinitionError, build_cfg
+
+        fn = self._duplicate_definition()
+        validate_function(fn)  # flow-insensitive: accepted
+        with pytest.raises(DuplicateDefinitionError):
+            build_cfg(fn)
+
+    def test_cfg_errors_are_ir_errors(self):
+        """The elision pass catches ``CFGError`` to skip a malformed
+        function; anything else would crash the attach path."""
+        from repro.staticpass import CFGError, build_cfg
+
+        for make in (self._branch_to_missing_label, self._fallthrough,
+                     self._duplicate_definition):
+            with pytest.raises(CFGError) as excinfo:
+                build_cfg(make())
+            assert isinstance(excinfo.value, IRError)

@@ -64,3 +64,19 @@ def test_snapshot_is_json_able_and_renders():
     assert "counter requests_total: 1" in text
     assert "gauge queue_depth: 2" in text
     assert "histogram request_latency_ms" in text
+
+
+def test_render_snapshot_subsystem_block():
+    snap = {
+        "uptime_seconds": 1.0,
+        "compile_cache": {"hits": 3, "misses": 1, "entries": 1},
+        "subsystems": {
+            "vm.compile": {"hits": 3, "misses": 1, "entries": 1},
+            "staticpass": {"mask_cache_hits": 2, "sites_elided": 9},
+        },
+    }
+    text = render_snapshot(snap)
+    assert "compile_cache: hits=3 misses=1 entries=1" in text
+    assert "staticpass: mask_cache_hits=2 sites_elided=9" in text
+    # vm.compile is not rendered twice
+    assert text.count("hits=3") == 1

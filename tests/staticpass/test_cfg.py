@@ -1,0 +1,183 @@
+"""CFG construction: edges, reverse postorder, defs, and the typed
+errors raised on structurally malformed functions."""
+
+import pytest
+
+from repro.ir import Function, validate_module
+from repro.ir.instructions import Br, Const, Jmp, Ret
+from repro.ir.text import parse_module
+from repro.staticpass import (
+    CFGError,
+    DuplicateDefinitionError,
+    MissingLabelError,
+    MissingTerminatorError,
+    StaticPassError,
+    build_cfg,
+)
+from repro.staticpass.cfg import module_cfgs, site_instruction
+
+DIAMOND = """
+func main(x) {
+entry:
+  %c = cmp lt x, 10
+  br %c, small, big
+small:
+  %a = add x, 1
+  jmp done
+big:
+  %b = add x, 2
+  jmp done
+done:
+  ret x
+}
+"""
+
+
+def cfg_of(text, name="main"):
+    return build_cfg(parse_module(text).get_function(name))
+
+
+class TestConstruction:
+    def test_edges(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.entry == "entry"
+        assert cfg.blocks["entry"].succs == ["small", "big"]
+        assert cfg.blocks["small"].succs == ["done"]
+        assert sorted(cfg.blocks["done"].preds) == ["big", "small"]
+        assert cfg.blocks["done"].succs == []
+
+    def test_rpo_starts_at_entry_and_orders_before_join(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.rpo[0] == "entry"
+        assert cfg.rpo[-1] == "done"
+        assert cfg.rpo_index("entry") < cfg.rpo_index("small")
+        assert cfg.rpo_index("big") < cfg.rpo_index("done")
+
+    def test_defs_map_params_and_results(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.defs["x"] == ("<params>", 0)
+        assert cfg.defs["%c"] == ("entry", 0)
+        assert cfg.defs["%a"] == ("small", 0)
+
+    def test_unreachable_block_excluded_from_rpo(self):
+        cfg = cfg_of("""
+        func main() {
+        entry:
+          ret 0
+        island:
+          ret 1
+        }
+        """)
+        assert cfg.rpo == ["entry"]
+        assert not cfg.reachable("island")
+        assert cfg.reachable("entry")
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of("""
+        func main(n) {
+        entry:
+          jmp head
+        head:
+          %c = cmp lt n, 10
+          br %c, body, exit
+        body:
+          jmp head
+        exit:
+          ret n
+        }
+        """)
+        assert "head" in cfg.blocks["body"].succs
+        assert "body" in cfg.blocks["head"].preds
+
+    def test_module_cfgs_and_site_instruction(self):
+        module = parse_module(DIAMOND)
+        cfgs = module_cfgs(module)
+        assert set(cfgs) == {"main"}
+        instr = site_instruction(cfgs["main"], ("entry", 0))
+        assert type(instr).__name__ == "Cmp"
+        assert site_instruction(cfgs["main"], ("entry", 99)) is None
+        assert site_instruction(cfgs["main"], ("nowhere", 0)) is None
+
+
+class TestTypedErrors:
+    """Each malformed shape raises its own error class (all of them
+    CFGError → StaticPassError → IRError), never a bare crash."""
+
+    def test_branch_to_missing_label(self):
+        fn = Function("f")
+        fn.block("entry").append(Br(cond=1, then_label="gone", else_label="entry"))
+        with pytest.raises(MissingLabelError, match="missing label 'gone'"):
+            build_cfg(fn)
+
+    def test_jump_to_missing_label(self):
+        fn = Function("f")
+        fn.block("entry").append(Jmp(label="gone"))
+        with pytest.raises(MissingLabelError, match="gone"):
+            build_cfg(fn)
+
+    def test_missing_entry_block(self):
+        fn = Function("f")
+        fn.block("other").append(Ret())
+        with pytest.raises(MissingLabelError, match="entry"):
+            build_cfg(fn)
+
+    def test_empty_block(self):
+        fn = Function("f")
+        fn.block("entry")
+        with pytest.raises(MissingTerminatorError, match="empty block"):
+            build_cfg(fn)
+
+    def test_fallthrough_off_function_end(self):
+        fn = Function("f")
+        fn.block("entry").append(Const(result="%a", value=1))
+        with pytest.raises(MissingTerminatorError, match="falls through"):
+            build_cfg(fn)
+
+    def test_terminator_mid_block(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Ret())
+        entry.append(Ret())
+        with pytest.raises(MissingTerminatorError, match="middle of a block"):
+            build_cfg(fn)
+
+    def test_duplicate_register_definition(self):
+        fn = Function("f")
+        entry = fn.block("entry")
+        entry.append(Const(result="%a", value=1))
+        entry.append(Const(result="%a", value=2))
+        entry.append(Ret(value="%a"))
+        with pytest.raises(DuplicateDefinitionError, match="defined twice"):
+            build_cfg(fn)
+
+    def test_parameter_redefinition(self):
+        fn = Function("f", params=["x"])
+        entry = fn.block("entry")
+        entry.append(Const(result="x", value=1))
+        entry.append(Ret(value="x"))
+        with pytest.raises(DuplicateDefinitionError):
+            build_cfg(fn)
+
+    def test_duplicate_parameter(self):
+        fn = Function("f", params=["x", "x"])
+        fn.block("entry").append(Ret())
+        with pytest.raises(DuplicateDefinitionError, match="parameter"):
+            build_cfg(fn)
+
+    def test_error_taxonomy(self):
+        """Callers catch CFGError to mean "malformed module, skip it"."""
+        for cls in (MissingLabelError, MissingTerminatorError,
+                    DuplicateDefinitionError):
+            assert issubclass(cls, CFGError)
+            assert issubclass(cls, StaticPassError)
+
+    def test_all_workload_modules_build(self):
+        """Every bundled workload module is CFG-clean (the elision pass
+        depends on this; a regression would silently disable it)."""
+        from repro.workloads import ALL
+
+        for name in sorted(ALL):
+            module = ALL[name].make_module(1)
+            validate_module(module)
+            for fn in module.functions.values():
+                build_cfg(fn)

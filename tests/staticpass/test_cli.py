@@ -1,0 +1,42 @@
+"""The ``python -m repro.staticpass report`` entry point."""
+
+import json
+
+from repro.staticpass.__main__ import main
+
+
+def test_report_table(capsys):
+    assert main(["report", "eraser.full", "bzip2"]) == 0
+    out = capsys.readouterr().out
+    assert "eraser.full on bzip2" in out
+    assert "stack_local=" in out
+    assert "sites elided" in out
+
+
+def test_report_json_payload(capsys):
+    assert main(["report", "uaf.alda", "bzip2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["analysis"] == "uaf.alda"
+    assert payload["policy"]["skip_dominated"] is True
+    assert payload["totals"]["elided"] >= 1
+    assert payload["totals"]["stack_local"] == 0  # uaf: dominated only
+    for census in payload["functions"].values():
+        assert set(census) == {"considered", "stack_local", "dominated",
+                               "dominated_by_tree", "unknown"}
+
+
+def test_report_scale_flag(capsys):
+    assert main(["report", "eraser.full", "bzip2", "--scale", "2"]) == 0
+    assert "scale 2" in capsys.readouterr().out
+
+
+def test_report_disabled_analysis(capsys):
+    assert main(["report", "msan.alda", "bzip2"]) == 0
+    assert "elision disabled" in capsys.readouterr().out
+
+
+def test_unknown_names_exit_2(capsys):
+    assert main(["report", "nope.alda", "bzip2"]) == 2
+    assert "unknown analysis" in capsys.readouterr().err
+    assert main(["report", "eraser.full", "nope"]) == 2
+    assert "unknown workload" in capsys.readouterr().err

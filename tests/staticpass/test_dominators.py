@@ -1,0 +1,116 @@
+"""Dominator-tree tests (Cooper–Harvey–Kennedy over the mini-IR)."""
+
+from repro.ir.text import parse_module
+from repro.staticpass import build_cfg, dominator_tree
+
+DIAMOND = """
+func main(x) {
+entry:
+  %c = cmp lt x, 10
+  br %c, small, big
+small:
+  jmp done
+big:
+  jmp done
+done:
+  ret x
+}
+"""
+
+LOOP = """
+func main(n) {
+entry:
+  jmp head
+head:
+  %c = cmp lt n, 10
+  br %c, body, exit
+body:
+  %d = cmp lt n, 5
+  br %d, latch, head
+latch:
+  jmp head
+exit:
+  ret n
+}
+"""
+
+
+def tree_of(text):
+    cfg = build_cfg(parse_module(text).get_function("main"))
+    return cfg, dominator_tree(cfg)
+
+
+class TestDiamond:
+    def test_idoms(self):
+        _, dom = tree_of(DIAMOND)
+        assert dom.idom["entry"] is None
+        assert dom.idom["small"] == "entry"
+        assert dom.idom["big"] == "entry"
+        # Neither arm dominates the join; only the split point does.
+        assert dom.idom["done"] == "entry"
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        _, dom = tree_of(DIAMOND)
+        assert dom.dominates("entry", "entry")
+        assert dom.dominates("entry", "done")
+        assert not dom.dominates("small", "done")
+        assert not dom.dominates("done", "entry")
+
+    def test_strict_dominance(self):
+        _, dom = tree_of(DIAMOND)
+        assert dom.strictly_dominates("entry", "done")
+        assert not dom.strictly_dominates("entry", "entry")
+
+    def test_children_and_depth(self):
+        _, dom = tree_of(DIAMOND)
+        assert sorted(dom.children["entry"]) == ["big", "done", "small"]
+        assert dom.depth("entry") == 0
+        assert dom.depth("done") == 1
+
+
+class TestLoop:
+    def test_header_dominates_body_and_latch(self):
+        _, dom = tree_of(LOOP)
+        assert dom.dominates("head", "body")
+        assert dom.dominates("head", "latch")
+        assert dom.dominates("head", "exit")
+        assert dom.idom["latch"] == "body"
+
+    def test_back_edge_does_not_invert_dominance(self):
+        _, dom = tree_of(LOOP)
+        assert not dom.dominates("body", "head")
+        assert not dom.dominates("latch", "head")
+
+
+class TestEdgeCases:
+    def test_single_block(self):
+        _, dom = tree_of("func main() {\n  ret 0\n}")
+        assert dom.idom == {"entry": None}
+        assert dom.dominates("entry", "entry")
+
+    def test_unreachable_block_never_dominates(self):
+        _, dom = tree_of("""
+        func main() {
+        entry:
+          ret 0
+        island:
+          ret 1
+        }
+        """)
+        assert not dom.dominates("island", "entry")
+        assert not dom.dominates("entry", "island")
+        assert not dom.dominates("island", "island")
+
+    def test_workload_modules_accepted(self):
+        """Every reachable block of every bundled workload gets an idom."""
+        from repro.workloads import ALL
+
+        for name in ("bzip2", "radix", "fft"):
+            module = ALL[name].make_module(1)
+            for fn in module.functions.values():
+                cfg = build_cfg(fn)
+                dom = dominator_tree(cfg)
+                for label in cfg.rpo:
+                    if label != cfg.entry:
+                        assert dom.idom[label] is not None
+                        assert dom.dominates(cfg.entry, label)

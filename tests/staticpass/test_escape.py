@@ -1,0 +1,157 @@
+"""Conservative escape analysis: what counts as a provably-local slot."""
+
+from repro.ir.text import parse_module
+from repro.staticpass import analyze_escapes, build_cfg
+from repro.staticpass.escape import STACK_LOCAL, UNKNOWN, classify_sites
+
+
+def info_of(text):
+    cfg = build_cfg(parse_module(text).get_function("main"))
+    return cfg, analyze_escapes(cfg)
+
+
+class TestLocalSlots:
+    def test_plain_alloca_is_stack_local(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          store 1 -> [%s], 8
+          %v = load [%s], 8
+          ret %v
+        }
+        """)
+        assert info.allocas == {"%s"}
+        assert info.escaped == frozenset()
+        assert info.address_class("%s") == STACK_LOCAL
+
+    def test_pointer_arithmetic_stays_local(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 16
+          %p = add %s, 8
+          %q = sub %p, 4
+          store 1 -> [%q], 4
+          ret 0
+        }
+        """)
+        assert info.address_class("%p") == STACK_LOCAL
+        assert info.address_class("%q") == STACK_LOCAL
+        assert info.derived_from["%q"] == {"%s"}
+
+    def test_compare_and_branch_do_not_escape(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          %c = cmp lt %s, 4096
+          br %c, low, high
+        low:
+          ret 0
+        high:
+          %v = load [%s], 8
+          ret %v
+        }
+        """)
+        assert info.address_class("%s") == STACK_LOCAL
+
+
+class TestEscapes:
+    def test_call_argument_escapes(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          call helper(%s)
+          ret 0
+        }
+        func helper(p) {
+        entry:
+          ret 0
+        }
+        """)
+        assert "%s" in info.escaped
+        assert info.address_class("%s") == UNKNOWN
+
+    def test_stored_value_escapes(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          %g = const 4096
+          store %s -> [%g], 8
+          ret 0
+        }
+        """)
+        assert "%s" in info.escaped
+
+    def test_returned_address_escapes(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          ret %s
+        }
+        """)
+        assert "%s" in info.escaped
+
+    def test_escape_via_derived_pointer_taints_root(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 16
+          %p = add %s, 8
+          call helper(%p)
+          %v = load [%s], 8
+          ret %v
+        }
+        func helper(p) {
+        entry:
+          ret 0
+        }
+        """)
+        # The derived pointer escaped, so the root slot is reachable too.
+        assert info.address_class("%s") == UNKNOWN
+        assert info.address_class("%p") == UNKNOWN
+
+    def test_non_additive_arithmetic_launders(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          %x = mul %s, 2
+          ret 0
+        }
+        """)
+        assert "%s" in info.escaped
+
+
+class TestClassification:
+    def test_heap_and_immediate_addresses_unknown(self):
+        _, info = info_of("""
+        func main() {
+        entry:
+          %h = call malloc(64)
+          %v = load [%h], 8
+          %w = load [4096], 8
+          ret %v
+        }
+        """)
+        assert info.address_class("%h") == UNKNOWN
+        assert info.address_class(4096) == UNKNOWN
+
+    def test_classify_sites_lists_every_access(self):
+        cfg, info = info_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          %h = call malloc(8)
+          store 1 -> [%s], 8
+          %v = load [%h], 8
+          ret %v
+        }
+        """)
+        sites = classify_sites(cfg, info)
+        assert ("entry", 2, "store", STACK_LOCAL) in sites
+        assert ("entry", 3, "load", UNKNOWN) in sites

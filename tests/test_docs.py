@@ -83,6 +83,7 @@ def test_docs_exist():
         "LANGUAGE.md",
         "COSTMODEL.md",
         "SUBSTRATE.md",
+        "STATICPASS.md",
         "TUTORIAL.md",
         "TRACING.md",
         "SERVING.md",
