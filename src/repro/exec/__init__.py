@@ -20,6 +20,7 @@ from repro.exec.workers import (
     PersistentWorkerPool,
     TaskError,
     WorkerCrashError,
+    WorkerHangError,
 )
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "PersistentWorkerPool",
     "TaskError",
     "WorkerCrashError",
+    "WorkerHangError",
     "analysis_fingerprint",
     "build_analysis",
     "run_batch",

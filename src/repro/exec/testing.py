@@ -37,3 +37,16 @@ def sleep(payload):
 def pid(_payload) -> int:
     """The worker's process id (asserts process reuse across calls)."""
     return os.getpid()
+
+
+def hang(_payload):
+    """Block forever (WorkerHangError path: the watchdog must kill us)."""
+    while True:
+        time.sleep(3600)
+
+
+def busy_hang(_payload):
+    """Spin without sleeping (hangs that also burn CPU still heartbeat:
+    the worker's heartbeat loop runs on its own thread)."""
+    while True:
+        pass

@@ -1,4 +1,4 @@
-"""Long-lived worker processes with crash detection and respawn.
+"""Long-lived worker processes with crash *and hang* detection.
 
 :class:`PersistentWorkerPool` replaces the batch-scoped
 ``multiprocessing.Pool`` the executor originally used.  Workers survive
@@ -21,15 +21,27 @@ Failure model:
 * a worker that *dies* mid-call (segfault, ``os._exit``, OOM kill)
   surfaces as :class:`WorkerCrashError` on exactly the in-flight call,
   and the pool respawns a fresh worker before the next submission —
-  one poisoned request never takes the pool down.
+  one poisoned request never takes the pool down;
+* a worker whose task *hangs* is caught by the watchdog: each worker
+  runs its task on a job thread and sends per-job **heartbeats** over
+  the pipe while the task runs, and the parent enforces an optional
+  ``hang_timeout`` — an overdue or silent worker is killed and the call
+  raises :class:`WorkerHangError` (a :class:`WorkerCrashError`
+  subclass, so crash-handling callers heal hangs for free);
+* a background **reaper** (optional, ``reaper_interval``) respawns
+  workers that died while idle — e.g. OOM-killed between requests —
+  so pool capacity recovers without waiting for the next crash-y call.
 """
 
 from __future__ import annotations
 
 import importlib
 import multiprocessing
+import os
 import queue
+import stat
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -43,6 +55,15 @@ class WorkerCrashError(RuntimeError):
     """The worker process died while executing a task."""
 
 
+class WorkerHangError(WorkerCrashError):
+    """The watchdog killed a worker whose task exceeded ``hang_timeout``
+    (or that stopped heartbeating entirely)."""
+
+
+#: Wire tag for heartbeat messages (worker -> parent, between results).
+_HEARTBEAT = "hb"
+
+
 def resolve_task(path: str) -> Callable:
     """Resolve ``"pkg.mod:function"`` to the callable it names."""
     module_name, sep, func_name = path.partition(":")
@@ -52,8 +73,57 @@ def resolve_task(path: str) -> Callable:
     return getattr(module, func_name)
 
 
-def _worker_main(conn) -> None:
-    """Worker request loop: recv (task_path, payload), send (ok, value)."""
+def _run_task(resolved: Dict[str, Callable], task_path: str, payload: Any,
+              box: dict) -> None:
+    """Execute one task on the worker's job thread; box the reply."""
+    try:
+        func = resolved.get(task_path)
+        if func is None:
+            func = resolved[task_path] = resolve_task(task_path)
+        result = func(payload)
+    except BaseException as exc:  # noqa: BLE001 - report, don't die
+        box["reply"] = (False, f"{type(exc).__name__}: {exc}\n"
+                               f"{traceback.format_exc()}")
+    else:
+        box["reply"] = (True, result)
+
+
+def _close_inherited_sockets(keep_fd: int) -> None:
+    """Close socket fds a fork leaked into this worker.
+
+    A fork-started worker inherits every fd its parent had open.  When
+    the parent is a network server respawning a crashed worker
+    mid-traffic, that includes *accepted client connections* (and the
+    listening socket): the leaked duplicate keeps the kernel's refcount
+    on the connection above zero, so the server's later ``close()``
+    never emits FIN/RST and the peer blocks until its own timeout.  A
+    worker needs exactly one inherited channel — its pipe — so every
+    other inherited socket gets closed here, first thing.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):
+        return  # no /proc (non-Linux): accept the leak rather than guess
+    for fd in fds:
+        if fd <= 2 or fd == keep_fd:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+def _worker_main(conn, heartbeat_interval: float = 0.5) -> None:
+    """Worker request loop: recv (task_path, payload), send (ok, value).
+
+    Each task runs on a daemon job thread while this loop sends
+    ``(_HEARTBEAT, elapsed)`` frames every ``heartbeat_interval``
+    seconds — the parent can tell a slow job (heartbeats flowing) from
+    a wedged process (silence) and a hung job (heartbeats past the
+    deadline), and kill accordingly.
+    """
+    _close_inherited_sockets(conn.fileno())
     resolved: Dict[str, Callable] = {}
     while True:
         try:
@@ -63,57 +133,145 @@ def _worker_main(conn) -> None:
         if message is None:
             return
         task_path, payload = message
+        box: dict = {}
+        job = threading.Thread(
+            target=_run_task, args=(resolved, task_path, payload, box),
+            daemon=True,
+        )
+        started = time.monotonic()
+        job.start()
+        while True:
+            job.join(heartbeat_interval)
+            if not job.is_alive():
+                break
+            try:
+                conn.send((_HEARTBEAT, time.monotonic() - started))
+            except (OSError, BrokenPipeError):
+                return  # parent gone
         try:
-            func = resolved.get(task_path)
-            if func is None:
-                func = resolved[task_path] = resolve_task(task_path)
-            result = func(payload)
-        except BaseException as exc:  # noqa: BLE001 - report, don't die
-            conn.send((False, f"{type(exc).__name__}: {exc}\n"
-                              f"{traceback.format_exc()}"))
-        else:
-            conn.send((True, result))
+            conn.send(box["reply"])
+        except (OSError, BrokenPipeError):
+            return
 
 
 class _WorkerHandle:
     """One worker process plus the parent's end of its pipe."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, heartbeat_interval: float = 0.5) -> None:
+        self.heartbeat_interval = heartbeat_interval
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
+            target=_worker_main, args=(child_conn, heartbeat_interval),
+            daemon=True,
         )
         self.process.start()
         child_conn.close()
+        #: monotonic start of the in-flight job (None when idle); the
+        #: pool's reaper reads this to spot overdue jobs from outside.
+        self.job_started: Optional[float] = None
 
-    def call(self, task_path: str, payload: Any) -> Any:
+    def call(self, task_path: str, payload: Any,
+             hang_timeout: Optional[float] = None) -> Any:
+        """Run one task; enforce ``hang_timeout`` via heartbeats.
+
+        A worker that exceeds the deadline — or sends nothing at all
+        for several heartbeat intervals — is killed here and reported
+        as :class:`WorkerHangError`.
+        """
+        silence_grace = max(self.heartbeat_interval * 6, 3.0)
+        self.job_started = time.monotonic()
+        deadline = (None if hang_timeout is None
+                    else self.job_started + hang_timeout)
         try:
-            self.conn.send((task_path, payload))
-            ok, value = self.conn.recv()
-        except (EOFError, OSError, BrokenPipeError) as exc:
-            raise WorkerCrashError(
-                f"worker pid {self.process.pid} died mid-task "
-                f"(exitcode {self.process.exitcode})"
-            ) from exc
+            try:
+                self.conn.send((task_path, payload))
+                while True:
+                    if deadline is None:
+                        ready = self.conn.poll(silence_grace)
+                        overdue = False
+                    else:
+                        remaining = deadline - time.monotonic()
+                        overdue = remaining <= 0
+                        ready = (False if overdue else
+                                 self.conn.poll(min(remaining, silence_grace)))
+                    if not ready:
+                        if overdue or hang_timeout is not None:
+                            raise _HangDetected(
+                                "job deadline exceeded" if overdue
+                                else "worker stopped heartbeating"
+                            )
+                        continue  # no deadline set: keep waiting forever
+                    message = self.conn.recv()
+                    if message[0] == _HEARTBEAT:
+                        continue
+                    ok, value = message
+                    break
+            except _HangDetected as hang:
+                elapsed = time.monotonic() - self.job_started
+                self.kill()
+                raise WorkerHangError(
+                    f"worker {self._describe()} hung ({hang}; "
+                    f"{elapsed:.1f}s elapsed) and was killed"
+                ) from None
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise WorkerCrashError(
+                    f"worker {self._describe()} died mid-task"
+                ) from exc
+        finally:
+            self.job_started = None
         if not ok:
             raise TaskError(value)
         return value
 
+    def _describe(self) -> str:
+        # Concurrent stop() may have reaped and close()d the process
+        # object; pid/exitcode raise ValueError then.
+        try:
+            return f"pid {self.process.pid} (exitcode {self.process.exitcode})"
+        except ValueError:
+            return "(already reaped)"
+
     @property
     def alive(self) -> bool:
-        return self.process.is_alive()
+        try:
+            return self.process.is_alive()
+        except ValueError:
+            return False  # process object closed after reaping
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (watchdog path)."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
 
     def stop(self, timeout: float = 2.0) -> None:
+        """Shut the worker down, escalating politely: close -> SIGTERM
+        -> SIGKILL, and always reap — a worker that survives two join
+        timeouts must not linger as a zombie."""
         try:
             self.conn.send(None)
         except (OSError, BrokenPipeError):
             pass
         self.process.join(timeout)
         if self.process.is_alive():
-            self.process.kill()
+            self.process.terminate()
             self.process.join(timeout)
-        self.conn.close()
-        self.process.close()
+        if self.process.is_alive():
+            self.process.kill()
+            # SIGKILL cannot be caught: the join is bounded only to
+            # survive a pathological scheduler, not an unkillable child.
+            self.process.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if not self.process.is_alive():
+            self.process.close()
+
+
+class _HangDetected(Exception):
+    """Internal: watchdog tripped inside ``_WorkerHandle.call``."""
 
 
 class PersistentWorkerPool:
@@ -122,23 +280,48 @@ class PersistentWorkerPool:
     ``call`` borrows an idle worker (blocking while all are busy),
     runs one task on it, and returns it.  A crashed worker is replaced
     transparently; the ``restarts`` counter records every replacement so
-    operators can see flapping workers in the serve metrics.
+    operators can see flapping workers in the serve metrics, and
+    ``hangs`` counts watchdog kills specifically.
+
+    ``hang_timeout`` (seconds per job) arms the watchdog;
+    ``reaper_interval`` starts a background thread that respawns
+    workers found dead while idle and hard-kills busy workers running
+    past the hang deadline (a backstop for callers that abandoned their
+    call thread).  Both default to off, preserving batch semantics.
     """
 
-    def __init__(self, size: int, start_method: Optional[str] = None) -> None:
+    def __init__(self, size: int, start_method: Optional[str] = None,
+                 heartbeat_interval: float = 0.5,
+                 hang_timeout: Optional[float] = None,
+                 reaper_interval: Optional[float] = None) -> None:
         if size < 1:
             raise ValueError("pool needs at least one worker")
         self._ctx = multiprocessing.get_context(start_method)
         self.size = size
+        self.heartbeat_interval = heartbeat_interval
+        self.hang_timeout = hang_timeout
         self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
         self.restarts = 0
+        self.hangs = 0
+        self.reaped = 0
         self._workers: List[_WorkerHandle] = [
-            _WorkerHandle(self._ctx) for _ in range(size)
+            self._spawn() for _ in range(size)
         ]
         for worker in self._workers:
             self._idle.put(worker)
+        self._reaper_stop = threading.Event()
+        self._reaper: Optional[threading.Thread] = None
+        if reaper_interval:
+            self._reaper = threading.Thread(
+                target=self._reap_loop, args=(reaper_interval,),
+                name="worker-pool-reaper", daemon=True,
+            )
+            self._reaper.start()
+
+    def _spawn(self) -> _WorkerHandle:
+        return _WorkerHandle(self._ctx, self.heartbeat_interval)
 
     # -- submission ----------------------------------------------------
     def call(self, task_path: str, payload: Any) -> Any:
@@ -146,8 +329,18 @@ class PersistentWorkerPool:
         if self._closed:
             raise RuntimeError("pool is closed")
         worker = self._idle.get()
+        if not worker.alive:
+            # Died while idle (OOM kill, external SIGKILL): heal
+            # transparently instead of failing this unrelated call.
+            worker = self._respawn(worker)
         try:
-            return worker.call(task_path, payload)
+            return worker.call(task_path, payload,
+                               hang_timeout=self.hang_timeout)
+        except WorkerHangError:
+            worker = self._respawn(worker)
+            with self._lock:
+                self.hangs += 1
+            raise
         except WorkerCrashError:
             worker = self._respawn(worker)
             raise
@@ -180,12 +373,56 @@ class PersistentWorkerPool:
                 dead.stop(timeout=0.5)
             except (OSError, ValueError):
                 pass
-            fresh = _WorkerHandle(self._ctx)
+            fresh = self._spawn()
             try:
                 self._workers[self._workers.index(dead)] = fresh
             except ValueError:
                 self._workers.append(fresh)
             return fresh
+
+    def _reap_loop(self, interval: float) -> None:
+        while not self._reaper_stop.wait(interval):
+            if self._closed:
+                return
+            self.reap_once()
+
+    def reap_once(self) -> int:
+        """One reaper sweep; returns how many workers were acted on.
+
+        Respawns workers that died while idle, and kills busy workers
+        whose job is past ``hang_timeout`` plus a grace period (their
+        blocked caller then observes the death and heals the pool).
+        """
+        acted = 0
+        # Idle sweep: drain the queue, replace the dead, put all back.
+        idle: List[_WorkerHandle] = []
+        try:
+            while True:
+                idle.append(self._idle.get_nowait())
+        except queue.Empty:
+            pass
+        for worker in idle:
+            if worker.alive:
+                self._idle.put(worker)
+            else:
+                self._idle.put(self._respawn(worker))
+                with self._lock:
+                    self.reaped += 1
+                acted += 1
+        # Busy sweep: hard-kill overdue jobs (backstop; the in-flight
+        # call normally trips its own deadline first).
+        if self.hang_timeout is not None:
+            grace = max(self.heartbeat_interval * 6, 3.0)
+            now = time.monotonic()
+            for worker in list(self._workers):
+                started = worker.job_started
+                if (started is not None
+                        and now - started > self.hang_timeout + grace):
+                    worker.kill()
+                    with self._lock:
+                        self.reaped += 1
+                    acted += 1
+        return acted
 
     @property
     def alive_workers(self) -> int:
@@ -195,6 +432,9 @@ class PersistentWorkerPool:
         if self._closed:
             return
         self._closed = True
+        self._reaper_stop.set()
+        if self._reaper is not None:
+            self._reaper.join(timeout=5.0)
         for worker in self._workers:
             try:
                 worker.stop()

@@ -1,0 +1,113 @@
+"""Deterministic fault injection for the runtime layers (``faultline``).
+
+The serve/exec/trace layers are threaded with *named fault points* —
+``faultline.inject("worker.hang")`` and friends — that are no-ops in
+production: with no plan installed, :func:`inject` is one module-global
+load and a ``None`` comparison.  Installing a :class:`FaultPlan`
+(seeded RNG plus a per-point probability/count schedule) turns selected
+points live, so chaos tests drive the system through worker crashes,
+hangs, BUSY storms, connection resets, partial writes, and corrupt
+store reads — reproducibly, from a seed.
+
+Install a plan three ways:
+
+* API: ``faultline.install(FaultPlan(seed=7, points={"serve.busy": 0.2}))``
+* env: ``REPRO_FAULTLINE='{"seed": 7, "points": {...}}'`` (parsed at
+  import; this is how pool worker *processes* receive the plan)
+* both, for fork-started workers that inherit parent module state.
+
+The VM hot loop (:mod:`repro.vm`) never imports this package — fault
+points live at request/job/file granularity, not per instruction.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.faultline.plan import FAULT_POINTS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "clear",
+    "inject",
+    "install",
+    "stats",
+    "suppressed",
+]
+
+ENV_VAR = "REPRO_FAULTLINE"
+
+_active: Optional[FaultPlan] = None
+_tls = threading.local()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-wide active plan; returns it."""
+    global _active
+    _active = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection (fault points become no-ops again)."""
+    global _active
+    _active = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _active
+
+
+def inject(point: str) -> bool:
+    """True when the named fault should fire now.
+
+    The caller implements the fault's behavior (sleep, abort, corrupt
+    bytes, ...) — this function only makes the scheduling decision.
+    With no plan installed the cost is one global load and a compare.
+    """
+    plan = _active
+    if plan is None:
+        return False
+    if point in getattr(_tls, "suppressed", ()):
+        return False
+    return plan.should_fire(point)
+
+
+@contextmanager
+def suppressed(*points: str):
+    """Mask fault points for the current thread.
+
+    The degraded-mode inline executor uses this: worker-targeted faults
+    (``worker.crash.midjob``) must not execute in the *server* process,
+    where the crash would take the whole daemon down instead of one
+    expendable worker.
+    """
+    previous = getattr(_tls, "suppressed", frozenset())
+    _tls.suppressed = previous | frozenset(points)
+    try:
+        yield
+    finally:
+        _tls.suppressed = previous
+
+
+def stats() -> dict:
+    """Checks/fires per point for the active plan (for ``serve stats``)."""
+    plan = _active
+    if plan is None:
+        return {"installed": False}
+    return {"installed": True, **plan.stats()}
+
+
+def _load_from_env() -> None:
+    value = os.environ.get(ENV_VAR)
+    if value:
+        install(FaultPlan.from_env(value))
+
+
+_load_from_env()

@@ -59,7 +59,10 @@ def _run_batch(specs, jobs: int, trace_cache, server=None):
     With ``server`` set (a ``HOST:PORT`` string or a
     :class:`repro.serve.ServeClient`), jobs execute on a resident
     analysis daemon instead of a local pool — replay is the same, so the
-    results are bit-identical either way.
+    results are bit-identical either way.  An address string gets a
+    resilient client (default :class:`repro.serve.ResilienceConfig`):
+    transient BUSY/reset/crash responses are retried with backoff
+    instead of aborting the whole figure run.
     """
     from repro.exec import JobSpec, run_batch
 

@@ -14,25 +14,38 @@ Modules:
 * :mod:`repro.serve.protocol` — wire format (frames, error codes);
 * :mod:`repro.serve.server` — the daemon: admission control with
   explicit ``BUSY`` backpressure, per-request timeouts, graceful drain;
-* :mod:`repro.serve.scheduler` — bounded admission + single-flight;
+* :mod:`repro.serve.scheduler` — bounded admission + single-flight +
+  degraded-mode inline dispatch behind a circuit breaker;
 * :mod:`repro.serve.tasks` — the worker-side replay task;
 * :mod:`repro.serve.metrics` — counters/gauges/latency histograms,
   served via ``STATS`` frames;
-* :mod:`repro.serve.client` — blocking client + the harness adapter
-  behind ``python -m repro.harness figN --server HOST:PORT``;
+* :mod:`repro.serve.client` — blocking client (retry/backoff + circuit
+  breaker) + the harness adapter behind
+  ``python -m repro.harness figN --server HOST:PORT``;
+* :mod:`repro.serve.config` — :class:`ResilienceConfig`, every
+  retry/backoff/watchdog/breaker knob in one dataclass;
+* :mod:`repro.serve.resilience` — the retry-policy and circuit-breaker
+  machines themselves;
+* :mod:`repro.serve.chaos` — seeded fault-injection runs
+  (``python -m repro.serve chaos``), asserting bit-correct-or-typed;
 * :mod:`repro.serve.loadgen` — load generator
   (``python -m repro.serve loadgen``).
 
-See ``docs/SERVING.md`` for the protocol and semantics reference.
+See ``docs/SERVING.md`` for the protocol and semantics reference, and
+``docs/RESILIENCE.md`` for the failure model.
 """
 
 from repro.serve.client import (
+    CircuitOpenError,
     RequestFailed,
+    RetriesExhausted,
     ServeClient,
     ServeError,
     ServerBusy,
     run_jobs,
 )
+from repro.serve.config import ResilienceConfig
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
 from repro.serve.server import (
     AnalysisServer,
     ServeConfig,
@@ -42,7 +55,12 @@ from repro.serve.server import (
 
 __all__ = [
     "AnalysisServer",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "RequestFailed",
+    "ResilienceConfig",
+    "RetriesExhausted",
+    "RetryPolicy",
     "ServeClient",
     "ServeConfig",
     "ServeError",

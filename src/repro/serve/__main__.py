@@ -5,6 +5,7 @@ Commands::
     python -m repro.serve --port 7091 --workers 4      # run the daemon
     python -m repro.serve stats --server HOST:PORT     # metrics snapshot
     python -m repro.serve loadgen --server HOST:PORT   # load generator
+    python -m repro.serve chaos --seed 7               # fault-injection run
     python -m repro.serve shutdown --server HOST:PORT  # graceful drain
 """
 
@@ -17,6 +18,7 @@ import sys
 
 
 def _serve(argv) -> int:
+    from repro.serve.config import ResilienceConfig
     from repro.serve.server import ServeConfig, run_server
 
     parser = argparse.ArgumentParser(
@@ -27,7 +29,8 @@ def _serve(argv) -> int:
     parser.add_argument("--port", type=int, default=7091,
                         help="TCP port (0 picks a free one; default 7091)")
     parser.add_argument("--workers", type=int, default=2,
-                        help="warm replay worker processes (default 2)")
+                        help="warm replay worker processes (default 2; "
+                             "0 replays inline in the server process)")
     parser.add_argument("--queue", type=int, default=None, metavar="K",
                         help="admission capacity before BUSY "
                              "(default: 4 per worker)")
@@ -37,8 +40,32 @@ def _serve(argv) -> int:
     parser.add_argument("--read-timeout", type=float, default=10.0)
     parser.add_argument("--request-timeout", type=float, default=120.0)
     parser.add_argument("--drain-grace", type=float, default=15.0)
+    defaults = ResilienceConfig()
+    parser.add_argument("--hang-timeout", type=float,
+                        default=defaults.hang_timeout, metavar="SEC",
+                        help="per-job watchdog deadline before a worker is "
+                             f"killed (default {defaults.hang_timeout}; "
+                             "0 disables)")
+    parser.add_argument("--breaker-threshold", type=int,
+                        default=defaults.breaker_threshold, metavar="N",
+                        help="consecutive worker failures before dispatch "
+                             "falls back to inline replay "
+                             f"(default {defaults.breaker_threshold})")
+    parser.add_argument("--breaker-reset", type=float,
+                        default=defaults.breaker_reset, metavar="SEC",
+                        help="seconds before an open breaker re-probes the "
+                             f"pool (default {defaults.breaker_reset})")
+    parser.add_argument("--no-inline-fallback", action="store_true",
+                        help="fail requests instead of replaying inline "
+                             "when the worker pool is unhealthy")
     args = parser.parse_args(argv)
 
+    resilience = ResilienceConfig(
+        hang_timeout=args.hang_timeout if args.hang_timeout else None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        inline_fallback=not args.no_inline_fallback,
+    )
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -48,6 +75,7 @@ def _serve(argv) -> int:
         read_timeout=args.read_timeout,
         request_timeout=args.request_timeout,
         drain_grace=args.drain_grace,
+        resilience=resilience,
     )
     try:
         asyncio.run(run_server(config))
@@ -74,6 +102,84 @@ def _stats(argv) -> int:
     return 0
 
 
+def _parse_fault(raw: str):
+    """``point=probability[:max_fires[:skip_first]]`` -> (point, FaultSpec)."""
+    from repro.faultline import FaultSpec
+
+    point, sep, schedule = raw.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"fault must look like point=probability, got {raw!r}"
+        )
+    parts = schedule.split(":")
+    try:
+        spec = FaultSpec(
+            probability=float(parts[0]),
+            max_fires=int(parts[1]) if len(parts) > 1 and parts[1] else None,
+            skip_first=int(parts[2]) if len(parts) > 2 else 0,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return point, spec
+
+
+def _chaos(argv) -> int:
+    from repro.faultline import FAULT_POINTS
+    from repro.serve.chaos import render_report, run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve chaos",
+        description="Seeded fault-injection run against a private server; "
+                    "asserts every request is bit-correct or a typed error.",
+    )
+    parser.add_argument("--seed", type=int, required=True,
+                        help="fault-schedule seed (a failing run is "
+                             "reproduced by its seed)")
+    parser.add_argument("--fault", action="append", default=None,
+                        metavar="POINT=P[:MAX[:SKIP]]", type=_parse_fault,
+                        help="arm a fault point, e.g. worker.crash.midjob=0.3 "
+                             f"(points: {', '.join(FAULT_POINTS)}); "
+                             "repeatable. Default: a mixed storm.")
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument("--concurrency", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--workload", default="fft")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--analysis", default="eraser.full", metavar="SPEC",
+                        help="analysis spec key to replay (default "
+                             "eraser.full)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    if args.fault:
+        points = dict(args.fault)
+    else:
+        points = {
+            "serve.busy": 0.15,
+            "serve.conn.reset": 0.1,
+            "worker.crash.midjob": 0.2,
+            "store.read.corrupt": 0.1,
+            "store.write.partial": 0.1,
+        }
+    report = run_chaos(
+        seed=args.seed, points=points, requests=args.requests,
+        concurrency=args.concurrency, workers=args.workers,
+        workload=args.workload, scale=args.scale, spec=args.analysis,
+    )
+    print(render_report(report))
+    if args.out:
+        import pathlib
+
+        out_path = pathlib.Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[wrote {out_path}]")
+    return 0 if report.invariant_ok else 1
+
+
 def _shutdown(argv) -> int:
     from repro.serve.client import ServeClient
 
@@ -95,6 +201,8 @@ def main(argv=None) -> int:
         from repro.serve.loadgen import main as loadgen_main
 
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos(argv[1:])
     if argv and argv[0] == "shutdown":
         return _shutdown(argv[1:])
     if argv and argv[0] == "serve":

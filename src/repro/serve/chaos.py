@@ -1,0 +1,293 @@
+"""Chaos harness: drive a live daemon through injected faults.
+
+:func:`run_chaos` is the executable form of the resilience contract:
+
+* record a workload trace and compute its reference replay result
+  *before* any fault is armed;
+* install a seeded :class:`~repro.faultline.FaultPlan` (API + the
+  ``REPRO_FAULTLINE`` env var, so spawned pool workers inherit it);
+* hammer a freshly started server from concurrent resilient clients;
+* classify every request: **bit-correct result**, **typed error**, or —
+  the one outcome that must never happen — **wrong result**;
+* finally check the server still answers ping/stats and drains cleanly.
+
+The invariant a chaos run asserts is *correct or typed, never wrong*:
+faults may cost availability (a request may exhaust its retries and
+surface a typed error) but never integrity (a request that returns a
+RESULT returns the same numbers a fault-free run would).
+
+Reproducibility: the fault schedule derives entirely from the plan
+seed, and client retry jitter from ``seed`` — a failing run is re-run
+from two integers.
+
+CLI::
+
+    python -m repro.serve chaos --seed 7 --requests 40 \\
+        --fault worker.crash.midjob=0.3 --fault serve.busy=0.2
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro import faultline
+from repro.faultline import FaultPlan, FaultSpec
+from repro.serve.client import (
+    CircuitOpenError,
+    RequestFailed,
+    RetriesExhausted,
+    ServeClient,
+    ServerBusy,
+)
+from repro.serve.config import ResilienceConfig
+from repro.serve.server import ServeConfig, serve_in_thread
+
+#: Result fields that must be bit-identical to the reference replay.
+#: (wall_seconds is a measurement, not a result.)
+DETERMINISTIC_FIELDS = (
+    "baseline_cycles", "instrumented_cycles", "metadata_bytes", "n_reports",
+)
+
+#: Fast-test resilience posture: tight watchdog, quick breaker reset,
+#: generous attempts — chaos runs finish in seconds, not minutes.
+CHAOS_RESILIENCE = ResilienceConfig(
+    max_attempts=8,
+    backoff_base=0.02,
+    backoff_max=0.25,
+    retry_budget=20.0,
+    breaker_threshold=4,
+    breaker_reset=0.5,
+    heartbeat_interval=0.2,
+    hang_timeout=5.0,
+    reaper_interval=0.5,
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome classification for one chaos run."""
+
+    seed: int
+    requests: int
+    ok: int = 0
+    wrong_results: List[dict] = field(default_factory=list)
+    typed_errors: Dict[str, int] = field(default_factory=dict)
+    unavailable: int = 0  # retries exhausted / busy / breaker open
+    wall_seconds: float = 0.0
+    server_survived: bool = False
+    drained: bool = False
+    health: Optional[dict] = None
+    plan_stats: Optional[dict] = None
+
+    @property
+    def answered(self) -> int:
+        return self.ok + self.unavailable + sum(self.typed_errors.values())
+
+    @property
+    def invariant_ok(self) -> bool:
+        """Correct-or-typed-never-wrong, and the server outlived the storm."""
+        return (not self.wrong_results
+                and self.answered == self.requests
+                and self.server_survived
+                and self.drained)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "ok": self.ok,
+            "wrong_results": len(self.wrong_results),
+            "typed_errors": dict(sorted(self.typed_errors.items())),
+            "unavailable": self.unavailable,
+            "wall_seconds": self.wall_seconds,
+            "server_survived": self.server_survived,
+            "drained": self.drained,
+            "invariant_ok": self.invariant_ok,
+            "plan_stats": self.plan_stats,
+        }
+
+
+def reference_result(store, workload_name: str, scale: int, spec: str) -> dict:
+    """Fault-free replay of (workload, scale, spec); the ground truth."""
+    from repro.exec.pool import analysis_fingerprint
+    from repro.serve.tasks import replay_digest
+    from repro.trace.store import TraceStore
+    from repro.workloads import ALL
+
+    assert faultline.active_plan() is None, \
+        "reference must be computed before the fault plan is installed"
+    workload = ALL[workload_name]
+    reader = store.get_or_record(workload, scale)
+    # replay_digest resolves traces through the by-digest/ namespace
+    # (the daemon's ingest path), so mirror the recording there.
+    store.ingest(store.trace_path(workload, scale).read_bytes())
+    record = replay_digest({
+        "root": str(store.root), "digest": reader.digest, "spec": spec,
+    })
+    # Drop the reference from the result cache: chaos requests must
+    # exercise the replay path, not hit a pre-warmed entry.
+    key = TraceStore.result_key(reader.digest, analysis_fingerprint(spec))
+    cache_path = store._result_path(key)
+    if cache_path.exists():
+        cache_path.unlink()
+    return record
+
+
+def run_chaos(
+    seed: int,
+    points: Mapping[str, Union[FaultSpec, float]],
+    requests: int = 24,
+    concurrency: int = 3,
+    workers: int = 2,
+    workload: str = "fft",
+    scale: int = 1,
+    spec: str = "eraser.full",
+    resilience: ResilienceConfig = CHAOS_RESILIENCE,
+    use_env: bool = True,
+    client_timeout: float = 30.0,
+) -> ChaosReport:
+    """One seeded chaos run against a private server; returns the report.
+
+    ``points`` maps fault-point names to probabilities or
+    :class:`FaultSpec` schedules.  The server, its store, and the fault
+    plan live and die inside this call; global faultline state is
+    restored on exit.
+    """
+    import tempfile
+
+    from repro.trace.store import TraceStore
+    from repro.workloads import ALL
+
+    report = ChaosReport(seed=seed, requests=requests)
+    plan = FaultPlan(seed=seed, points=points)
+    previous_env = os.environ.get(faultline.ENV_VAR)
+
+    with tempfile.TemporaryDirectory(prefix="alda-chaos-") as tmp:
+        store = TraceStore(tmp)
+        reference = reference_result(store, workload, scale, spec)
+        expected = {name: reference[name] for name in DETERMINISTIC_FIELDS}
+        trace_bytes = store.trace_path(ALL[workload], scale).read_bytes()
+        digest = store.get_or_record(ALL[workload], scale).digest
+
+        try:
+            if use_env:
+                os.environ[faultline.ENV_VAR] = plan.to_env()
+            faultline.install(plan)
+
+            config = ServeConfig(workers=workers, store_root=tmp,
+                                 request_timeout=60.0,
+                                 resilience=resilience)
+            handle = serve_in_thread(config)
+            lock = threading.Lock()
+            counter = {"next": 0}
+            started = time.perf_counter()
+
+            def claim() -> Optional[int]:
+                with lock:
+                    if counter["next"] >= requests:
+                        return None
+                    counter["next"] += 1
+                    return counter["next"] - 1
+
+            def client_loop(worker_index: int) -> None:
+                client = ServeClient(
+                    handle.address, timeout=client_timeout,
+                    resilience=resilience, retry_seed=seed + worker_index,
+                )
+                with client:
+                    while True:
+                        if claim() is None:
+                            return
+                        try:
+                            response = client.submit_digest_first(
+                                spec, digest, trace_bytes
+                            )
+                        except (ServerBusy, RetriesExhausted,
+                                CircuitOpenError):
+                            with lock:
+                                report.unavailable += 1
+                            continue
+                        except RequestFailed as exc:
+                            with lock:
+                                code = exc.code or "UNKNOWN"
+                                report.typed_errors[code] = (
+                                    report.typed_errors.get(code, 0) + 1
+                                )
+                            continue
+                        except OSError as exc:
+                            with lock:
+                                code = f"transport:{type(exc).__name__}"
+                                report.typed_errors[code] = (
+                                    report.typed_errors.get(code, 0) + 1
+                                )
+                            continue
+                        record = response["result"]
+                        got = {name: record.get(name)
+                               for name in DETERMINISTIC_FIELDS}
+                        with lock:
+                            if got == expected:
+                                report.ok += 1
+                            else:
+                                report.wrong_results.append(
+                                    {"expected": expected, "got": got}
+                                )
+
+            threads = [
+                threading.Thread(target=client_loop, args=(i,),
+                                 name=f"chaos-client-{i}", daemon=True)
+                for i in range(max(1, concurrency))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            report.wall_seconds = time.perf_counter() - started
+
+            # The server must have outlived the storm: answer a clean
+            # ping and a stats request, then drain without leftovers.
+            with ServeClient(handle.address, timeout=30.0) as probe:
+                report.server_survived = probe.ping()
+                snap = probe.stats()
+                report.health = snap.get("health")
+            handle.stop(timeout=30.0)
+            report.drained = True
+        finally:
+            faultline.clear()
+            if use_env:
+                if previous_env is None:
+                    os.environ.pop(faultline.ENV_VAR, None)
+                else:
+                    os.environ[faultline.ENV_VAR] = previous_env
+            report.plan_stats = plan.stats()
+
+    return report
+
+
+def render_report(report: ChaosReport) -> str:
+    lines = [
+        f"chaos seed={report.seed}: {report.ok}/{report.requests} bit-correct, "
+        f"{report.unavailable} unavailable (typed), "
+        f"{sum(report.typed_errors.values())} typed errors, "
+        f"{len(report.wrong_results)} WRONG results "
+        f"in {report.wall_seconds:.2f}s",
+    ]
+    for code, count in sorted(report.typed_errors.items()):
+        lines.append(f"  error {code}: {count}")
+    if report.plan_stats:
+        fires = report.plan_stats.get("fires", {})
+        lines.append(
+            "  faults fired: "
+            + (", ".join(f"{point}={count}"
+                         for point, count in sorted(fires.items()))
+               or "none")
+        )
+    lines.append(
+        f"  server survived: {report.server_survived}, "
+        f"drained: {report.drained}, "
+        f"invariant: {'OK' if report.invariant_ok else 'VIOLATED'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Resilience knobs for the serving stack, in one place.
+
+Before this module, retry/backoff/timeout constants were scattered
+magic numbers (client retries, worker deadlines, breaker thresholds).
+:class:`ResilienceConfig` is the single source of truth: the client's
+retry policy and circuit breaker, the worker watchdog, and the
+server's degraded-mode fallback all read from it.  The server embeds
+its copy in ``serve stats`` (``config.resilience``) so a live
+deployment's failure posture is inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every retry/backoff/watchdog/breaker knob the runtime layers use."""
+
+    # -- client retry policy ------------------------------------------
+    #: total attempts per logical request (1 = no retries)
+    max_attempts: int = 5
+    #: first backoff sleep, seconds; doubles each retry
+    backoff_base: float = 0.05
+    #: growth factor between consecutive backoffs
+    backoff_factor: float = 2.0
+    #: per-sleep ceiling, seconds
+    backoff_max: float = 2.0
+    #: fraction of each backoff randomized away (0 = deterministic)
+    backoff_jitter: float = 0.5
+    #: cumulative sleep budget per logical request, seconds — retries
+    #: stop when the budget is spent even if attempts remain
+    retry_budget: float = 15.0
+    #: ERROR codes worth retrying on a fresh attempt (transient
+    #: server-side failures; transport errors and BUSY always retry)
+    retry_codes: Tuple[str, ...] = ("WORKER_CRASH",)
+
+    # -- circuit breaker ----------------------------------------------
+    #: consecutive failures before the breaker opens
+    breaker_threshold: int = 5
+    #: seconds an open breaker waits before letting one probe through
+    breaker_reset: float = 5.0
+
+    # -- worker watchdog ----------------------------------------------
+    #: seconds between worker heartbeats while a job runs
+    heartbeat_interval: float = 0.5
+    #: per-job deadline before the watchdog kills the worker;
+    #: None disables hang detection
+    hang_timeout: Optional[float] = 150.0
+    #: seconds between reaper sweeps (respawn dead-idle workers);
+    #: None disables the reaper thread
+    reaper_interval: Optional[float] = 2.0
+
+    # -- degraded mode -------------------------------------------------
+    #: run replays inline in the server process when the worker pool is
+    #: unavailable (dead, breaker open, or configured with 0 workers)
+    inline_fallback: bool = True
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["retry_codes"] = list(self.retry_codes)
+        return payload

@@ -9,6 +9,11 @@ resident daemon in one JSON record::
         --workload fft --spec eraser.full --requests 100 \\
         --concurrency 4 --out benchmarks/artifacts/serve_loadgen.json
 
+Clients retry transient failures (BUSY, resets, worker crashes) through
+the resilience layer by default, so ``busy`` counts *exhausted* retry
+budgets, not transient rejections; pass ``--no-retry`` for the raw
+fail-fast view, and ``--seed`` to make retry jitter reproducible.
+
 Latencies here are measured client-side over the socket, exact (sorted
 samples, no histogram estimation), so they compose with the server's
 own STATS histograms as an end-to-end check.
@@ -23,7 +28,14 @@ import threading
 import time
 from typing import List, Optional
 
-from repro.serve.client import RequestFailed, ServeClient, ServerBusy
+from repro.serve.client import (
+    CircuitOpenError,
+    RequestFailed,
+    RetriesExhausted,
+    ServeClient,
+    ServerBusy,
+)
+from repro.serve.config import ResilienceConfig
 
 
 def percentile(samples: List[float], p: float) -> float:
@@ -45,7 +57,9 @@ class LoadGen:
 
     def __init__(self, address: str, specs: List[str], digest: str,
                  trace_bytes: bytes, requests: int, concurrency: int,
-                 rate: Optional[float] = None, timeout: float = 300.0) -> None:
+                 rate: Optional[float] = None, timeout: float = 300.0,
+                 resilience: Optional[ResilienceConfig] = ResilienceConfig(),
+                 seed: Optional[int] = None) -> None:
         self.address = address
         self.specs = specs
         self.digest = digest
@@ -54,13 +68,20 @@ class LoadGen:
         self.concurrency = max(1, concurrency)
         self.rate = rate
         self.timeout = timeout
+        self.resilience = resilience
+        self.seed = seed
         self._lock = threading.Lock()
         self._next = 0
         self.latencies_ms: List[float] = []
         self.cached_ms: List[float] = []
         self.uncached_ms: List[float] = []
         self.busy = 0
+        self.breaker_open = 0
         self.errors: List[str] = []
+        self.retry_stats = {
+            "attempts": 0, "retries": 0, "busy_retried": 0,
+            "transport_retried": 0, "code_retried": 0, "breaker_rejections": 0,
+        }
 
     def _claim(self) -> Optional[int]:
         with self._lock:
@@ -70,12 +91,15 @@ class LoadGen:
             self._next += 1
             return index
 
-    def _worker(self, started_at: float) -> None:
-        with ServeClient(self.address, timeout=self.timeout) as client:
+    def _worker(self, worker_index: int, started_at: float) -> None:
+        retry_seed = None if self.seed is None else self.seed + worker_index
+        client = ServeClient(self.address, timeout=self.timeout,
+                             resilience=self.resilience, retry_seed=retry_seed)
+        with client:
             while True:
                 index = self._claim()
                 if index is None:
-                    return
+                    break
                 if self.rate:
                     target = started_at + index / self.rate
                     delay = target - time.perf_counter()
@@ -87,13 +111,21 @@ class LoadGen:
                     response = client.submit_digest_first(
                         spec, self.digest, self.trace_bytes
                     )
-                except ServerBusy:
+                except (ServerBusy, RetriesExhausted):
                     with self._lock:
                         self.busy += 1
+                    continue
+                except CircuitOpenError:
+                    with self._lock:
+                        self.breaker_open += 1
                     continue
                 except RequestFailed as exc:
                     with self._lock:
                         self.errors.append(str(exc))
+                    continue
+                except OSError as exc:
+                    with self._lock:
+                        self.errors.append(f"{type(exc).__name__}: {exc}")
                     continue
                 elapsed_ms = (time.perf_counter() - begin) * 1000.0
                 with self._lock:
@@ -102,11 +134,14 @@ class LoadGen:
                         self.cached_ms.append(elapsed_ms)
                     else:
                         self.uncached_ms.append(elapsed_ms)
+        with self._lock:
+            for key, value in client.retry_stats.items():
+                self.retry_stats[key] += value
 
     def run(self) -> dict:
         started_at = time.perf_counter()
         threads = [
-            threading.Thread(target=self._worker, args=(started_at,),
+            threading.Thread(target=self._worker, args=(i, started_at),
                              name=f"loadgen-{i}", daemon=True)
             for i in range(self.concurrency)
         ]
@@ -124,12 +159,16 @@ class LoadGen:
                 "requests": self.requests,
                 "concurrency": self.concurrency,
                 "rate": self.rate,
+                "retry": self.resilience is not None,
+                "seed": self.seed,
             },
             "wall_seconds": wall,
             "completed": completed,
             "busy": self.busy,
+            "breaker_open": self.breaker_open,
             "errors": len(self.errors),
             "error_samples": self.errors[:5],
+            "resilience": dict(self.retry_stats),
             "throughput_rps": completed / wall if wall > 0 else 0.0,
             "latency_ms": {
                 "p50": percentile(self.latencies_ms, 50),
@@ -172,6 +211,15 @@ def render_report(report: dict) -> str:
         f"cache hit:   n={report['cache_hit_ms']['count']} "
         f"p50 {report['cache_hit_ms']['p50']:.2f}ms",
     ]
+    resilience = report.get("resilience")
+    if resilience and resilience.get("retries"):
+        lines.append(
+            f"retries: {resilience['retries']} "
+            f"(busy {resilience['busy_retried']}, "
+            f"transport {resilience['transport_retried']}, "
+            f"transient-code {resilience['code_retried']}); "
+            f"breaker rejections {resilience['breaker_rejections']}"
+        )
     if "amortization_speedup" in report:
         lines.append(
             f"amortization: cache hit {report['amortization_speedup']:.1f}x "
@@ -197,6 +245,15 @@ def main(argv=None) -> int:
     parser.add_argument("--rate", type=float, default=None,
                         help="target request rate in req/s (default: unpaced)")
     parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--no-retry", action="store_true",
+                        help="fail fast: disable the retry/backoff layer")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        help="retry attempts per request "
+                             "(default: ResilienceConfig.max_attempts)")
+    parser.add_argument("--retry-budget", type=float, default=None,
+                        help="cumulative backoff sleep budget in seconds")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed retry jitter for reproducible schedules")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the JSON report here")
     args = parser.parse_args(argv)
@@ -208,6 +265,16 @@ def main(argv=None) -> int:
         parser.error(f"unknown workload {args.workload!r}")
     specs = args.spec or ["eraser.full"]
 
+    if args.no_retry:
+        resilience = None
+    else:
+        overrides = {}
+        if args.max_attempts is not None:
+            overrides["max_attempts"] = args.max_attempts
+        if args.retry_budget is not None:
+            overrides["retry_budget"] = args.retry_budget
+        resilience = ResilienceConfig(**overrides)
+
     with tempfile.TemporaryDirectory(prefix="alda-loadgen-") as tmp:
         store = TraceStore(tmp)
         workload = ALL[args.workload]
@@ -215,7 +282,8 @@ def main(argv=None) -> int:
         trace_bytes = store.trace_path(workload, args.scale).read_bytes()
 
         gen = LoadGen(args.server, specs, reader.digest, trace_bytes,
-                      args.requests, args.concurrency, args.rate, args.timeout)
+                      args.requests, args.concurrency, args.rate, args.timeout,
+                      resilience=resilience, seed=args.seed)
         report = gen.run()
     report["config"]["workload"] = args.workload
     report["config"]["scale"] = args.scale
@@ -229,7 +297,3 @@ def main(argv=None) -> int:
         out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"[wrote {out_path}]")
     return 0 if not gen.errors else 1
-
-
-if __name__ == "__main__":
-    raise SystemExit(main())

@@ -180,6 +180,49 @@ class MetricsRegistry:
         return snap
 
 
+def render_health(health: Optional[dict]) -> List[str]:
+    """Render the server's health block (pool / breaker / faults / store)."""
+    if not health:
+        return []
+    lines = [f"health: degraded={str(health.get('degraded', False)).lower()}"]
+    pool = health.get("pool")
+    if pool:
+        lines.append(
+            f"  pool: alive={pool.get('alive')}/{pool.get('size')} "
+            f"restarts={pool.get('restarts')} hangs={pool.get('hangs')} "
+            f"reaped={pool.get('reaped')}"
+        )
+    else:
+        lines.append("  pool: none (inline mode)")
+    breaker = health.get("breaker")
+    if breaker:
+        lines.append(
+            f"  breaker: state={breaker.get('state')} "
+            f"trips={breaker.get('trips')} "
+            f"consecutive_failures={breaker.get('consecutive_failures')}"
+        )
+    lines.append(f"  inline_replays: {health.get('inline_replays', 0)}")
+    faults = health.get("faultline") or {}
+    if faults.get("installed"):
+        fires = faults.get("fires") or {}
+        lines.append(
+            f"  faultline: installed seed={faults.get('seed')} "
+            f"fired={sum(fires.values())}"
+        )
+        for point, count in sorted(fires.items()):
+            lines.append(f"    {point}: {count}")
+    else:
+        lines.append("  faultline: not installed")
+    store = health.get("store") or {}
+    if store:
+        lines.append(
+            f"  store: verified_reads={store.get('verified_reads', 0)} "
+            f"corrupt_detected={store.get('corrupt_detected', 0)} "
+            f"quarantined={store.get('quarantined', 0)}"
+        )
+    return lines
+
+
 def render_snapshot(snap: dict) -> str:
     """Human-readable STATS rendering for the CLI."""
     lines = [f"uptime: {snap.get('uptime_seconds', 0.0):.1f}s"]
@@ -198,6 +241,7 @@ def render_snapshot(snap: dict) -> str:
             continue  # rendered above as the legacy compile_cache line
         rendered = " ".join(f"{key}={value}" for key, value in sorted(stats.items()))
         lines.append(f"{subsystem}: {rendered}")
+    lines.extend(render_health(snap.get("health")))
     for name, value in snap.get("counters", {}).items():
         lines.append(f"counter {name}: {value}")
     for name, value in snap.get("gauges", {}).items():

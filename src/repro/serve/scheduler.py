@@ -1,6 +1,6 @@
-"""Admission control and single-flight dedup for the analysis daemon.
+"""Admission control, single-flight dedup, and degraded-mode dispatch.
 
-Two invariants the server leans on:
+Three invariants the server leans on:
 
 * **Bounded admission.**  At most ``capacity`` *distinct* replays may be
   admitted (queued or running) at once.  The excess is rejected with
@@ -12,6 +12,13 @@ Two invariants the server leans on:
   Followers attach to the leader's task and do not consume admission
   capacity — a thundering herd of identical requests costs one worker
   slot.
+* **Degraded availability.**  Dispatch onto the worker pool is guarded
+  by a :class:`~repro.serve.resilience.CircuitBreaker`: repeated worker
+  crashes/hangs trip it, and while it is open — or when the server runs
+  with no pool at all (``workers=0``) — replays execute *inline* in the
+  server process instead of failing.  Inline execution suppresses the
+  ``worker.*`` fault points, so an injected "worker crash" can never
+  take the server itself down.  ``degraded`` is visible in stats.
 
 Work runs on :class:`repro.exec.workers.PersistentWorkerPool` via a
 thread executor sized to the pool, so the event loop never blocks on a
@@ -25,10 +32,17 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.exec.workers import PersistentWorkerPool
+from repro.exec.workers import (
+    PersistentWorkerPool,
+    TaskError,
+    WorkerCrashError,
+    WorkerHangError,
+)
+from repro.serve.config import ResilienceConfig
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import CircuitBreaker
 from repro.serve.tasks import REPLAY_DIGEST_TASK
 
 
@@ -46,15 +60,21 @@ class ReplayScheduler:
 
     def __init__(
         self,
-        pool: PersistentWorkerPool,
+        pool: Optional[PersistentWorkerPool],
         capacity: int,
         metrics: MetricsRegistry,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.pool = pool
         self.capacity = capacity
         self.metrics = metrics
+        self.resilience = resilience or ResilienceConfig()
+        self.breaker = CircuitBreaker(
+            self.resilience.breaker_threshold, self.resilience.breaker_reset
+        )
+        pool_size = pool.size if pool is not None else 0
         self._executor = ThreadPoolExecutor(
-            max_workers=pool.size, thread_name_prefix="serve-worker-io"
+            max_workers=max(2, pool_size), thread_name_prefix="serve-worker-io"
         )
         self._inflight: Dict[str, asyncio.Task] = {}
         self._admitted = 0
@@ -66,6 +86,34 @@ class ReplayScheduler:
 
     def drain_empty(self) -> bool:
         return not self._inflight
+
+    @property
+    def degraded(self) -> bool:
+        """True when replays would not run on a healthy worker pool."""
+        if self.pool is None or self.pool.size == 0:
+            return True
+        if self.breaker.state != CircuitBreaker.CLOSED:
+            return True
+        return self.pool.alive_workers == 0
+
+    def health(self) -> dict:
+        """Pool + breaker health, embedded in ``serve stats``."""
+        report = {
+            "degraded": self.degraded,
+            "breaker": self.breaker.snapshot(),
+            "inline_replays": self.metrics.counter("inline_replays").value,
+        }
+        if self.pool is not None:
+            report["pool"] = {
+                "size": self.pool.size,
+                "alive": self.pool.alive_workers,
+                "restarts": self.pool.restarts,
+                "hangs": self.pool.hangs,
+                "reaped": self.pool.reaped,
+            }
+        else:
+            report["pool"] = None
+        return report
 
     # -- submission ----------------------------------------------------
     def submit(self, key: str, payload: dict) -> Tuple[asyncio.Task, bool]:
@@ -93,6 +141,26 @@ class ReplayScheduler:
         self._inflight.pop(key, None)
         self._admitted -= 1
 
+    def _inline_replay(self, payload: dict) -> dict:
+        """Degraded mode: replay in-process, worker faults suppressed.
+
+        ``worker.*`` fault points simulate a *worker process* dying;
+        letting them fire here would kill the server, which is exactly
+        the blast-radius containment this fallback exists to provide.
+        """
+        from repro import faultline
+        from repro.serve.tasks import replay_digest
+        from repro.trace.store import StoreCorruptionError
+
+        with faultline.suppressed("worker.crash.midjob", "worker.hang"):
+            try:
+                return replay_digest(payload)
+            except StoreCorruptionError:
+                raise  # typed: the server maps it to UNKNOWN_TRACE
+            except Exception as exc:  # noqa: BLE001 - match the pool's
+                # TaskError surface so callers handle one failure shape
+                raise TaskError(f"{type(exc).__name__}: {exc}") from exc
+
     async def _execute(self, payload: dict) -> dict:
         loop = asyncio.get_running_loop()
         in_flight = self.metrics.gauge("in_flight")
@@ -102,13 +170,42 @@ class ReplayScheduler:
             # queue_depth counts admitted-not-yet-finished leaders; the
             # executor thread below blocks until a worker frees up, which
             # is exactly the "queued" portion of that gauge.
+            use_pool = (self.pool is not None and self.pool.size > 0
+                        and self.breaker.allow())
+            if use_pool:
+                try:
+                    record = await loop.run_in_executor(
+                        self._executor, self.pool.call,
+                        REPLAY_DIGEST_TASK, payload,
+                    )
+                except WorkerHangError:
+                    self.metrics.counter("worker_hangs").inc()
+                    self.breaker.record_failure()
+                    raise
+                except WorkerCrashError:
+                    self.breaker.record_failure()
+                    raise
+                self.breaker.record_success()
+                return record
+            if (self.pool is not None and self.pool.size > 0
+                    and not self.resilience.inline_fallback):
+                # Breaker open and fallback disabled: fail fast with the
+                # crash type clients already retry on.
+                raise WorkerCrashError(
+                    "worker pool circuit breaker open (inline fallback "
+                    "disabled)"
+                )
+            self.metrics.counter("inline_replays").inc()
+            self.metrics.gauge("degraded").set(1)
             return await loop.run_in_executor(
-                self._executor, self.pool.call, REPLAY_DIGEST_TASK, payload
+                self._executor, self._inline_replay, payload
             )
         finally:
             in_flight.dec()
             queue_depth.dec()
-            self.metrics.gauge("worker_restarts").set(self.pool.restarts)
+            if self.pool is not None:
+                self.metrics.gauge("worker_restarts").set(self.pool.restarts)
+            self.metrics.gauge("degraded").set(1 if self.degraded else 0)
 
     # -- lifecycle -----------------------------------------------------
     async def drain(self, grace_seconds: float) -> bool:
@@ -124,4 +221,5 @@ class ReplayScheduler:
         for task in list(self._inflight.values()):
             task.cancel()
         self._executor.shutdown(wait=False, cancel_futures=True)
-        self.pool.close()
+        if self.pool is not None:
+            self.pool.close()

@@ -13,13 +13,21 @@ Request path, in order:
 2. spec validation against :data:`repro.exec.pool.ANALYSIS_SPECS`;
 3. trace ingest (atomic, content-addressed by payload digest) when the
    request carries bytes;
-4. result-cache lookup on ``(trace digest, analysis fingerprint)``;
+4. result-cache lookup on ``(trace digest, analysis fingerprint)`` —
+   entries are digest-verified on read, corrupt ones quarantined;
 5. on miss: bounded admission (``BUSY`` when full), single-flight dedup,
    then a warm :class:`~repro.exec.workers.PersistentWorkerPool` worker
    replays the trace — analyses stay compiled across requests, and a
-   crashed worker fails only its own request and is respawned;
+   crashed or hung worker fails only its own request and is respawned;
 6. per-request timeout with the replay left running (its result still
    lands in the cache).
+
+Failure posture: worker crashes/hangs trip the scheduler's circuit
+breaker, after which replays run *inline* in the server process
+(``degraded`` in stats) until the pool proves healthy again.  A stored
+trace that fails digest verification is quarantined and reported as
+``UNKNOWN_TRACE`` so the client re-uploads it.  With ``workers=0`` the
+server runs in permanent inline mode — slower, but correct.
 
 SIGTERM/SIGINT drain gracefully: new requests get ``SHUTTING_DOWN``,
 in-flight replays get a grace period to finish.
@@ -30,18 +38,21 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import signal
+import socket as socketlib
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import faultline
 from repro.exec.pool import ANALYSIS_SPECS, analysis_fingerprint
 from repro.exec.workers import PersistentWorkerPool, TaskError, WorkerCrashError
 from repro.trace.format import TraceFormatError, TraceReader
-from repro.trace.store import TraceStore
+from repro.trace.store import StoreCorruptionError, TraceStore, integrity_stats
 
 from repro.serve import protocol
+from repro.serve.config import ResilienceConfig
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import BusyError, ReplayScheduler
 
@@ -50,9 +61,11 @@ from repro.serve.scheduler import BusyError, ReplayScheduler
 class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick a free port (reported by AnalysisServer.port)
+    #: replay worker processes; 0 runs every replay inline in the server
+    #: process (degraded but available — useful where fork/spawn is not)
     workers: int = 2
     #: max distinct replays admitted (queued + running) before BUSY;
-    #: None -> 4 slots per worker
+    #: None -> 4 slots per worker (min 4, so workers=0 still admits)
     queue_capacity: Optional[int] = None
     #: trace/result cache directory; None -> private temp dir
     store_root: Optional[str] = None
@@ -63,9 +76,13 @@ class ServeConfig:
     max_frame: int = protocol.MAX_FRAME_BYTES
     #: how long SIGTERM waits for in-flight replays
     drain_grace: float = 15.0
+    #: retry/breaker/watchdog knobs (shared with clients and the pool)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def resolved_capacity(self) -> int:
-        return self.queue_capacity if self.queue_capacity else self.workers * 4
+        if self.queue_capacity:
+            return self.queue_capacity
+        return max(4, self.workers * 4)
 
 
 class AnalysisServer:
@@ -89,11 +106,20 @@ class AnalysisServer:
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
-        self.pool = PersistentWorkerPool(self.config.workers)
+        resilience = self.config.resilience
+        if self.config.workers > 0:
+            self.pool = PersistentWorkerPool(
+                self.config.workers,
+                heartbeat_interval=resilience.heartbeat_interval,
+                hang_timeout=resilience.hang_timeout,
+                reaper_interval=resilience.reaper_interval,
+            )
         self.scheduler = ReplayScheduler(
-            self.pool, self.config.resolved_capacity(), self.metrics
+            self.pool, self.config.resolved_capacity(), self.metrics,
+            resilience=resilience,
         )
-        self.metrics.gauge("workers_alive").set(self.pool.alive_workers)
+        if self.pool is not None:
+            self.metrics.gauge("workers_alive").set(self.pool.alive_workers)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -176,6 +202,21 @@ class AnalysisServer:
                         protocol.STATS, self.snapshot()
                     ))
                 elif frame_type == protocol.REQUEST:
+                    if faultline.inject("serve.conn.reset"):
+                        # Chaos: drop the connection mid-request, the
+                        # way a proxy restart or a peer RST would.
+                        self.metrics.counter("faults_conn_reset").inc()
+                        with contextlib.suppress(Exception):
+                            # shutdown() tears down the *connection*, not
+                            # just this process's fd — the peer sees the
+                            # reset even if a forked worker holds a
+                            # leaked duplicate of the socket.
+                            sock = writer.get_extra_info("socket")
+                            if sock is not None:
+                                sock.shutdown(socketlib.SHUT_RDWR)
+                        with contextlib.suppress(Exception):
+                            writer.transport.abort()
+                        break
                     try:
                         await self._handle_request(writer, body)
                     except (ConnectionResetError, BrokenPipeError):
@@ -212,6 +253,12 @@ class AnalysisServer:
         ))
         self.metrics.counter("errors_total").inc()
 
+    def _send_busy(self, writer, queue_depth: int, capacity: int) -> None:
+        writer.write(protocol.encode_json_frame(
+            protocol.BUSY,
+            {"queue_depth": queue_depth, "capacity": capacity},
+        ))
+
     # -- request pipeline ----------------------------------------------
     async def _handle_request(self, writer, body: bytes) -> None:
         started = time.perf_counter()
@@ -224,6 +271,14 @@ class AnalysisServer:
             return
         if self._draining:
             self._send_error(writer, "SHUTTING_DOWN", "server is draining")
+            return
+        if faultline.inject("serve.busy"):
+            # Chaos: synthetic backpressure, indistinguishable from a
+            # genuinely full admission queue.
+            self.metrics.counter("faults_busy").inc()
+            self.metrics.counter("busy_total").inc()
+            capacity = self.config.resolved_capacity()
+            self._send_busy(writer, capacity, capacity)
             return
         if request.spec not in ANALYSIS_SPECS:
             self._send_error(
@@ -284,10 +339,7 @@ class AnalysisServer:
         try:
             task, joined = self.scheduler.submit(key, payload)
         except BusyError as exc:
-            writer.write(protocol.encode_json_frame(
-                protocol.BUSY,
-                {"queue_depth": exc.queue_depth, "capacity": exc.capacity},
-            ))
+            self._send_busy(writer, exc.queue_depth, exc.capacity)
             return
 
         timeout = self.config.request_timeout
@@ -303,15 +355,34 @@ class AnalysisServer:
                 "will be cached)",
             )
             return
+        except StoreCorruptionError as exc:
+            # Inline replay hit a corrupt stored trace; it is now
+            # quarantined, so a re-upload from the client repairs it.
+            self._report_corruption(writer, digest, str(exc))
+            return
         except WorkerCrashError as exc:
             self.metrics.counter("worker_crashes").inc()
             self._send_error(writer, "WORKER_CRASH", str(exc))
             return
         except TaskError as exc:
-            self._send_error(writer, "ANALYSIS_ERROR", str(exc).splitlines()[0])
+            message = str(exc).splitlines()[0]
+            if "StoreCorruptionError" in message:
+                # Same corruption, detected inside a pool worker and
+                # serialized across the pipe as a TaskError.
+                self._report_corruption(writer, digest, message)
+                return
+            self._send_error(writer, "ANALYSIS_ERROR", message)
             return
         self._send_result(writer, record, started, cached_hit=False,
                           single_flight=joined)
+
+    def _report_corruption(self, writer, digest: str, detail: str) -> None:
+        self.metrics.counter("store_corruptions").inc()
+        self._send_error(
+            writer, "UNKNOWN_TRACE",
+            f"stored trace {digest} failed verification and was "
+            f"quarantined; re-submit the trace bytes ({detail})",
+        )
 
     def _baseline_from_trace(self, digest: str) -> Optional[int]:
         path = self.store.find_by_digest(digest)
@@ -337,6 +408,21 @@ class AnalysisServer:
         }))
 
     # -- stats ----------------------------------------------------------
+    def health(self) -> dict:
+        """Pool / breaker / fault-injection / store-integrity posture."""
+        report = {
+            "degraded": (self.scheduler.degraded
+                         if self.scheduler is not None else False),
+            "faultline": faultline.stats(),
+            "store": {
+                **integrity_stats(),
+                "quarantined": len(self.store.quarantined_entries()),
+            },
+        }
+        if self.scheduler is not None:
+            report.update(self.scheduler.health())
+        return report
+
     def snapshot(self) -> dict:
         snap = self.metrics.snapshot()
         # Per-subsystem in-process counters, namespaced in one block:
@@ -359,12 +445,14 @@ class AnalysisServer:
             snap["gauges"]["worker_restarts"] = self.pool.restarts
         if self.scheduler is not None:
             snap["gauges"]["admitted"] = self.scheduler.admitted
+        snap["health"] = self.health()
         snap["config"] = {
             "workers": self.config.workers,
             "queue_capacity": self.config.resolved_capacity(),
             "read_timeout": self.config.read_timeout,
             "request_timeout": self.config.request_timeout,
             "store_root": str(self.store.root),
+            "resilience": self.config.resilience.to_dict(),
         }
         return snap
 
@@ -439,8 +527,10 @@ async def run_server(config: ServeConfig) -> None:
     server = AnalysisServer(config)
     await server.start()
     server.install_signal_handlers()
+    mode = (f"{config.workers} workers" if config.workers
+            else "inline (degraded) mode, 0 workers")
     print(f"repro.serve listening on {server.address} "
-          f"({config.workers} workers, "
+          f"({mode}, "
           f"queue capacity {config.resolved_capacity()}, "
           f"store {server.store.root})", flush=True)
     await server.serve_until_stopped()

@@ -14,8 +14,10 @@ decode cost:
 from __future__ import annotations
 
 import functools
+import os
 import time
 
+from repro import faultline
 from repro.exec.pool import analysis_fingerprint, build_analysis
 from repro.trace.replayer import TraceReplayer
 from repro.trace.store import TraceStore
@@ -40,6 +42,15 @@ def replay_digest(payload: dict) -> dict:
     local copy of the trace.
     """
     root, digest, spec = payload["root"], payload["digest"], payload["spec"]
+    # Fault points for the chaos suite: simulate a worker dying or
+    # wedging mid-job.  No-ops unless a FaultPlan is installed; the
+    # server's degraded-mode inline runner suppresses both (a "worker"
+    # crash must never execute in the server process).
+    if faultline.inject("worker.crash.midjob"):
+        os._exit(23)
+    if faultline.inject("worker.hang"):
+        while True:
+            time.sleep(3600)
     store = TraceStore(root)
     replayer = _replayer(root, digest)
     summary = replayer.trace.summary

@@ -14,7 +14,9 @@ analysis *consumption*:
   attachable analysis with bit-identical cost accounting, without
   re-interpreting the IR;
 * :mod:`repro.trace.store` — a content-addressed on-disk cache keyed by
-  (workload, scale, module digest).
+  (workload, scale, module digest), with digest verification on every
+  read, quarantine of corrupt entries, and a ``fsck`` recovery scan
+  (``python -m repro.trace fsck``).
 
 See ``docs/TRACING.md`` for format details and the replay cost-model
 guarantees.
@@ -23,9 +25,15 @@ guarantees.
 from repro.trace.format import TraceFormatError, TraceReader, TraceWriter
 from repro.trace.recorder import TraceRecorder, record_workload
 from repro.trace.replayer import ReplayVM, TraceReplayer
-from repro.trace.store import TraceStore, module_digest
+from repro.trace.store import (
+    StoreCorruptionError,
+    TraceStore,
+    integrity_stats,
+    module_digest,
+)
 
 __all__ = [
+    "StoreCorruptionError",
     "TraceFormatError",
     "TraceReader",
     "TraceWriter",
@@ -34,5 +42,6 @@ __all__ = [
     "ReplayVM",
     "TraceReplayer",
     "TraceStore",
+    "integrity_stats",
     "module_digest",
 ]

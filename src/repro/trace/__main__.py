@@ -1,0 +1,62 @@
+"""CLI for trace-store maintenance.
+
+Commands::
+
+    python -m repro.trace fsck --store DIR          # scan + quarantine
+    python -m repro.trace fsck --store DIR --dry-run
+    python -m repro.trace fsck --store DIR --json
+
+``fsck`` re-verifies the content digest of every trace (both locally
+recorded and digest-addressed) and the sha256 of every cached replay
+result.  Corrupt entries are moved to ``quarantine/`` with a reason
+sidecar unless ``--dry-run`` is given.  Exit status is 0 for a clean
+store and 1 when corruption was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.trace.store import TraceStore
+
+
+def _fsck(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace fsck",
+        description="Integrity-scan a trace store; quarantine corrupt entries.",
+    )
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="trace store root directory")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="report corruption without quarantining")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    report = TraceStore(args.store).fsck(repair=not args.dry_run)
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"fsck {report['root']}: "
+              f"{report['traces_ok']} traces ok, "
+              f"{report['results_ok']} results ok, "
+              f"{len(report['corrupt'])} corrupt, "
+              f"{len(report['already_quarantined'])} already quarantined")
+        for entry in report["corrupt"]:
+            action = "reported" if args.dry_run else "quarantined"
+            print(f"  {action}: {entry['entry']} ({entry['reason']})")
+    return 0 if report["clean"] else 1
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "fsck":
+        return _fsck(argv[1:])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,15 @@ directory* and are published with ``os.replace`` — so any number of
 concurrent writers (server workers, parallel CI jobs) race benignly:
 readers observe either the complete old file or the complete new file,
 never a partial write, and identical content makes the race a no-op.
+
+**Integrity.**  Every trace read re-verifies the payload digest against
+the meta block; a mismatch (bit rot, truncation, a partial copy) raises
+the typed :class:`StoreCorruptionError` and *quarantines* the entry —
+moves it to ``quarantine/`` with a reason sidecar — instead of ever
+serving garbage.  Locally recorded traces self-heal (quarantine, then
+re-record); digest-addressed entries surface as ``UNKNOWN_TRACE`` to
+serve clients, which re-upload.  ``python -m repro.trace fsck`` runs
+the same checks over a whole store offline.
 """
 
 from __future__ import annotations
@@ -27,14 +36,44 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro import faultline
+from repro.errors import VMError
 from repro.ir.text import print_module
 from repro.workloads.base import Workload
 
 from repro.trace.format import TraceFormatError, TraceReader
 from repro.trace.recorder import record_workload
+
+
+class StoreCorruptionError(VMError):
+    """A store entry failed its integrity check and was quarantined."""
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"corrupt store entry {Path(path).name}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
+
+# Process-wide integrity counters (TraceStore instances are created ad
+# hoc per call site, so per-instance counters would never accumulate).
+_integrity_lock = threading.Lock()
+_integrity = {"verified_reads": 0, "corrupt_detected": 0, "quarantined": 0}
+
+
+def _bump(name: str) -> None:
+    with _integrity_lock:
+        _integrity[name] += 1
+
+
+def integrity_stats() -> dict:
+    """Verified-read / corruption / quarantine counters for this process."""
+    with _integrity_lock:
+        return dict(_integrity)
 
 
 def module_digest(workload: Workload, scale: int) -> str:
@@ -67,6 +106,8 @@ def _atomic_write(path: Path, write: Callable) -> None:
         with handle:
             write(handle)
             handle.flush()
+            if faultline.inject("store.write.partial"):
+                handle.truncate(max(0, handle.tell() // 2))
         os.replace(handle.name, path)
     except BaseException:
         try:
@@ -84,6 +125,69 @@ class TraceStore:
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / "results").mkdir(exist_ok=True)
 
+    # -- integrity -----------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def quarantined_entries(self) -> list:
+        """Names of quarantined entries (data files, not reason sidecars)."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.quarantine_dir.iterdir()
+            if not p.name.endswith(".reason.json")
+        )
+
+    def quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a corrupt entry into ``quarantine/`` with a reason sidecar.
+
+        Returns the quarantined path, or None if the entry vanished
+        first (a concurrent quarantine of the same file is benign).
+        """
+        self.quarantine_dir.mkdir(exist_ok=True)
+        target = self.quarantine_dir / path.name
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        sidecar = self.quarantine_dir / f"{path.name}.reason.json"
+        _atomic_write(sidecar, lambda handle: handle.write(json.dumps({
+            "entry": path.name,
+            "reason": reason,
+            "quarantined_at": time.time(),
+        }, sort_keys=True).encode("utf-8")))
+        _bump("quarantined")
+        return target
+
+    def _read_trace_verified(self, path: Path,
+                             expect_digest: Optional[str] = None) -> TraceReader:
+        """Read + integrity-check one trace file; quarantine on failure."""
+        data = path.read_bytes()
+        if faultline.inject("store.read.corrupt"):
+            plan = faultline.active_plan()
+            index = plan.rng_int(len(data)) if (plan and data) else 0
+            data = data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1:]
+        try:
+            reader = TraceReader(data)
+        except TraceFormatError as exc:
+            _bump("corrupt_detected")
+            self.quarantine(path, f"unreadable: {exc}")
+            raise StoreCorruptionError(path, str(exc)) from None
+        if not reader.verify():
+            _bump("corrupt_detected")
+            reason = "payload does not match its recorded digest"
+            self.quarantine(path, reason)
+            raise StoreCorruptionError(path, reason)
+        if expect_digest is not None and reader.digest != expect_digest:
+            _bump("corrupt_detected")
+            reason = (f"content digest {reader.digest[:16]}... does not match "
+                      f"its address {expect_digest[:16]}...")
+            self.quarantine(path, reason)
+            raise StoreCorruptionError(path, reason)
+        _bump("verified_reads")
+        return reader
+
     # -- traces --------------------------------------------------------
     def trace_path(self, workload: Workload, scale: int,
                    digest: Optional[str] = None) -> Path:
@@ -91,17 +195,27 @@ class TraceStore:
         return self.root / f"{workload.name}-s{scale}-{digest[:16]}.trace"
 
     def get_or_record(self, workload: Workload, scale: int = 1) -> TraceReader:
-        """Open the cached trace for (workload, scale), recording on miss."""
+        """Open the cached trace for (workload, scale), recording on miss.
+
+        A cached trace that fails its integrity check is quarantined
+        and re-recorded in place — local corruption self-heals.  Only a
+        corrupt *re-recording* (e.g. an injected partial write firing
+        every time) escapes as :class:`StoreCorruptionError`.
+        """
         digest = module_digest(workload, scale)
         path = self.trace_path(workload, scale, digest)
-        if not path.exists():
-            _atomic_write(
-                path,
-                lambda handle: record_workload(
-                    workload, scale, handle, meta={"module_digest": digest}
-                ),
-            )
-        return TraceReader.from_file(path)
+        if path.exists():
+            try:
+                return self._read_trace_verified(path)
+            except StoreCorruptionError:
+                pass  # quarantined; fall through and re-record
+        _atomic_write(
+            path,
+            lambda handle: record_workload(
+                workload, scale, handle, meta={"module_digest": digest}
+            ),
+        )
+        return self._read_trace_verified(path)
 
     def has_trace(self, workload: Workload, scale: int = 1) -> bool:
         return self.trace_path(workload, scale).exists()
@@ -136,10 +250,17 @@ class TraceStore:
         return path if path.exists() else None
 
     def open_by_digest(self, digest: str) -> TraceReader:
+        """Open an ingested trace, verifying content against its address.
+
+        Raises :class:`KeyError` for an unknown digest and
+        :class:`StoreCorruptionError` (after quarantining the entry)
+        when the stored bytes no longer hash to the digest they are
+        filed under — the caller must treat that as "trace gone".
+        """
         path = self.find_by_digest(digest)
         if path is None:
             raise KeyError(f"no ingested trace with digest {digest}")
-        return TraceReader.from_file(path)
+        return self._read_trace_verified(path, expect_digest=digest)
 
     # -- replay-result cache -------------------------------------------
     @staticmethod
@@ -153,13 +274,118 @@ class TraceStore:
     def _result_path(self, key: str) -> Path:
         return self.root / "results" / f"{key}.json"
 
-    def load_result(self, key: str) -> Optional[dict]:
+    @staticmethod
+    def _record_sha(record: dict) -> str:
+        raw = json.dumps(record, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(raw).hexdigest()
+
+    def _load_result_checked(self, path: Path) -> Optional[dict]:
+        """Parse + integrity-check one result file.
+
+        Returns the record, or None after quarantining a corrupt entry.
+        Results are stored as ``{"sha256": ..., "record": {...}}``;
+        bare dicts from stores written before the integrity layer are
+        accepted as-is.
+        """
         try:
-            return json.loads(self._result_path(key).read_text())
-        except (OSError, ValueError):
-            # Missing, mid-replace, or corrupt: treat all as a cache miss.
+            payload = json.loads(path.read_text())
+        except OSError:
+            return None  # missing or mid-replace: plain cache miss
+        except ValueError:
+            _bump("corrupt_detected")
+            self.quarantine(path, "result is not valid JSON")
             return None
+        if not isinstance(payload, dict):
+            _bump("corrupt_detected")
+            self.quarantine(path, "result is not a JSON object")
+            return None
+        if "record" not in payload:
+            return payload  # legacy unwrapped record
+        record = payload["record"]
+        if (not isinstance(record, dict)
+                or payload.get("sha256") != self._record_sha(record)):
+            _bump("corrupt_detected")
+            self.quarantine(path, "result record does not match its sha256")
+            return None
+        _bump("verified_reads")
+        return record
+
+    def load_result(self, key: str) -> Optional[dict]:
+        """Cached replay record for ``key``; corrupt entries read as a
+        miss (quarantined, then recomputed by the caller)."""
+        return self._load_result_checked(self._result_path(key))
 
     def store_result(self, key: str, payload: dict) -> None:
-        raw = json.dumps(payload, sort_keys=True).encode("utf-8")
+        raw = json.dumps(
+            {"sha256": self._record_sha(payload), "record": payload},
+            sort_keys=True,
+        ).encode("utf-8")
         _atomic_write(self._result_path(key), lambda handle: handle.write(raw))
+
+    # -- recovery scan -------------------------------------------------
+    def fsck(self, repair: bool = True) -> dict:
+        """Integrity-scan every store entry; quarantine what fails.
+
+        With ``repair=False`` corrupt entries are reported but left in
+        place.  Returns a JSON-able report; ``clean`` is True when
+        nothing failed.  Exposed as ``python -m repro.trace fsck``.
+        """
+        report = {
+            "root": str(self.root),
+            "traces_ok": 0,
+            "results_ok": 0,
+            "corrupt": [],
+            "already_quarantined": self.quarantined_entries(),
+        }
+
+        def _check(path: Path, verify) -> None:
+            try:
+                ok, reason = verify(path)
+            except OSError as exc:
+                ok, reason = False, f"unreadable: {exc}"
+            if ok:
+                return
+            report["corrupt"].append({"entry": str(path.relative_to(self.root)),
+                                      "reason": reason})
+            if repair:
+                self.quarantine(path, reason)
+                _bump("corrupt_detected")
+
+        def _verify_trace(path: Path):
+            try:
+                reader = TraceReader.from_file(path)
+            except TraceFormatError as exc:
+                return False, str(exc)
+            if not reader.verify():
+                return False, "payload does not match its recorded digest"
+            if (path.parent.name == "by-digest"
+                    and reader.digest != path.stem):
+                return False, "content digest does not match its address"
+            report["traces_ok"] += 1
+            return True, ""
+
+        def _verify_result(path: Path):
+            try:
+                payload = json.loads(path.read_text())
+            except ValueError as exc:
+                return False, f"not valid JSON: {exc}"
+            if isinstance(payload, dict) and "record" in payload:
+                record = payload["record"]
+                if (not isinstance(record, dict)
+                        or payload.get("sha256") != self._record_sha(record)):
+                    return False, "result record does not match its sha256"
+            report["results_ok"] += 1
+            return True, ""
+
+        for path in sorted(self.root.glob("*.trace")):
+            _check(path, _verify_trace)
+        by_digest = self.root / "by-digest"
+        if by_digest.is_dir():
+            for path in sorted(by_digest.glob("*.trace")):
+                _check(path, _verify_trace)
+        for path in sorted((self.root / "results").glob("*.json")):
+            _check(path, _verify_result)
+
+        report["clean"] = not report["corrupt"]
+        report["repaired"] = bool(repair and report["corrupt"])
+        return report

@@ -1,0 +1,235 @@
+"""Watchdog, reaper, and shutdown-escalation tests for the worker pool.
+
+Covers the hang half of the failure model: per-job heartbeats, the
+``hang_timeout`` deadline, transparent healing after a watchdog kill,
+the idle reaper, and ``stop()``'s terminate -> kill escalation (the
+zombie-leak regression).
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.exec.workers import (
+    PersistentWorkerPool,
+    WorkerCrashError,
+    WorkerHangError,
+)
+
+ECHO = "repro.exec.testing:echo"
+SLEEP = "repro.exec.testing:sleep"
+PID = "repro.exec.testing:pid"
+HANG = "repro.exec.testing:hang"
+BUSY_HANG = "repro.exec.testing:busy_hang"
+
+IS_FORK = multiprocessing.get_start_method() == "fork"
+needs_fork = pytest.mark.skipif(
+    not IS_FORK, reason="test relies on fork-inherited process state"
+)
+
+
+def _no_zombies(pids) -> bool:
+    """True when none of the pids is a live or zombie process of ours."""
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            continue  # fully gone
+        # Still signalable: must at least not be a zombie waiting on us.
+        try:
+            with open(f"/proc/{pid}/stat") as handle:
+                if handle.read().split(") ")[-1].startswith("Z"):
+                    return False
+        except OSError:
+            continue
+    return True
+
+
+# ----------------------------------------------------------------------
+# hang detection
+# ----------------------------------------------------------------------
+def test_hang_is_killed_and_typed():
+    with PersistentWorkerPool(1, heartbeat_interval=0.05,
+                              hang_timeout=0.5) as pool:
+        started = time.monotonic()
+        with pytest.raises(WorkerHangError, match="hung"):
+            pool.call(HANG, None)
+        assert time.monotonic() - started < 10.0  # deadline, not forever
+        assert pool.hangs == 1
+        assert pool.restarts == 1
+        # healed: the replacement worker answers
+        assert pool.call(ECHO, "after-hang") == "after-hang"
+        assert pool.alive_workers == 1
+
+
+def test_hang_error_is_a_crash_error():
+    # Callers with WorkerCrashError handling heal hangs for free.
+    assert issubclass(WorkerHangError, WorkerCrashError)
+
+
+def test_cpu_burning_hang_is_killed_too():
+    # A GIL-starving spin loop may silence heartbeats entirely; whether
+    # the watchdog trips on silence or on the deadline, it must kill
+    # the worker and type the failure.
+    with PersistentWorkerPool(1, heartbeat_interval=0.05,
+                              hang_timeout=0.5) as pool:
+        with pytest.raises(WorkerHangError):
+            pool.call(BUSY_HANG, None)
+        assert pool.call(ECHO, "ok") == "ok"
+
+
+def test_slow_but_heartbeating_job_is_not_killed():
+    # Slow is not hung: a job longer than several heartbeat intervals
+    # (but under the deadline) must complete.
+    with PersistentWorkerPool(1, heartbeat_interval=0.05,
+                              hang_timeout=10.0) as pool:
+        assert pool.call(SLEEP, 0.4) == 0.4
+        assert pool.hangs == 0 and pool.restarts == 0
+
+
+def test_no_hang_timeout_means_no_deadline():
+    with PersistentWorkerPool(1, heartbeat_interval=0.05) as pool:
+        assert pool.hang_timeout is None
+        assert pool.call(SLEEP, 0.3) == 0.3
+
+
+# ----------------------------------------------------------------------
+# reaper
+# ----------------------------------------------------------------------
+def test_reaper_respawns_worker_killed_while_idle():
+    with PersistentWorkerPool(2, heartbeat_interval=0.05,
+                              reaper_interval=0.1) as pool:
+        victim = pool.call(PID, None)
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if pool.reaped >= 1 and pool.alive_workers == 2:
+                break
+            time.sleep(0.05)
+        assert pool.reaped >= 1
+        assert pool.alive_workers == 2
+        pids = {pool.call(PID, None) for _ in range(6)}
+        assert victim not in pids
+
+
+def test_reap_once_manual_sweep():
+    with PersistentWorkerPool(2, heartbeat_interval=0.05) as pool:
+        victim = pool.call(PID, None)
+        os.kill(victim, signal.SIGKILL)
+        time.sleep(0.2)
+        assert pool.reap_once() >= 1
+        assert pool.alive_workers == 2
+
+
+def test_reaper_kills_overdue_busy_worker():
+    # Backstop: the call thread normally trips its own deadline, so give
+    # the job no deadline... the reaper only acts when hang_timeout is
+    # set, and fires after deadline + silence grace.
+    with PersistentWorkerPool(1, heartbeat_interval=0.05,
+                              hang_timeout=0.3) as pool:
+        # Let the watchdog path be the one that reaps; reap_once on a
+        # busy-but-not-overdue worker must not act.
+        done = {}
+
+        def submit():
+            try:
+                pool.call(SLEEP, 0.4)
+                done["ok"] = True
+            except WorkerCrashError:
+                done["ok"] = False
+
+        thread = threading.Thread(target=submit, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        assert pool.reap_once() == 0  # in-flight, not overdue yet
+        thread.join(15.0)
+
+
+# ----------------------------------------------------------------------
+# stop() escalation (zombie-leak regression)
+# ----------------------------------------------------------------------
+def test_close_while_worker_hung_reaps_everything():
+    # Regression: close() on a pool whose worker is wedged mid-job used
+    # to leave the child as a zombie (stop() never escalated past a
+    # polite join).  It must now terminate -> kill and reap.
+    pool = PersistentWorkerPool(1, heartbeat_interval=0.05)
+    victim = pool.call(PID, None)
+    failure = {}
+
+    def submit():
+        try:
+            pool.call(HANG, None)
+        except WorkerCrashError as exc:
+            failure["error"] = exc
+
+    thread = threading.Thread(target=submit, daemon=True)
+    thread.start()
+    time.sleep(0.3)  # let the job start hanging
+    started = time.monotonic()
+    pool.close()
+    assert time.monotonic() - started < 15.0  # bounded, not forever
+    thread.join(10.0)
+    assert not thread.is_alive()
+    assert isinstance(failure.get("error"), WorkerCrashError)
+    assert _no_zombies([victim])
+
+
+@needs_fork
+def test_close_escalates_to_sigkill_when_sigterm_ignored():
+    # Fork-inherited SIG_IGN makes the worker survive terminate();
+    # stop() must escalate to SIGKILL and still reap the child.
+    previous = signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    try:
+        pool = PersistentWorkerPool(1, heartbeat_interval=0.05)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    victim = pool.call(PID, None)
+    thread = threading.Thread(
+        target=lambda: pytest.raises(WorkerCrashError, pool.call, HANG, None),
+        daemon=True,
+    )
+    thread.start()
+    time.sleep(0.3)
+    pool.close()
+    thread.join(10.0)
+    assert _no_zombies([victim])
+
+
+@needs_fork
+def test_workers_do_not_hold_inherited_socket_fds():
+    # Regression: a fork-started worker inherits every parent fd,
+    # including accepted server connections when the pool respawns a
+    # worker mid-traffic.  The leaked duplicate kept the kernel from
+    # ever sending FIN on the parent's close(), so the remote peer
+    # blocked until its own timeout.  Workers must close inherited
+    # stray sockets on startup.
+    import socket as socketlib
+
+    server_side, client_side = socketlib.socketpair()
+    try:
+        with PersistentWorkerPool(1, heartbeat_interval=0.05) as pool:
+            assert pool.call(ECHO, "up") == "up"  # worker fully started
+            client_side.settimeout(5.0)
+            server_side.close()
+            # With the leak, the worker's duplicate keeps the connection
+            # open and this recv times out instead of seeing EOF.
+            assert client_side.recv(1) == b""
+    finally:
+        client_side.close()
+
+
+def test_close_is_idempotent():
+    pool = PersistentWorkerPool(1, heartbeat_interval=0.05)
+    pool.close()
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.call(ECHO, 1)
+
+
+def test_pool_rejects_zero_size():
+    with pytest.raises(ValueError):
+        PersistentWorkerPool(0)

@@ -1,0 +1,141 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import threading
+
+import pytest
+
+from repro import faultline
+from repro.faultline import FAULT_POINTS, FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faultline.clear()
+    yield
+    faultline.clear()
+
+
+# ----------------------------------------------------------------------
+# plan semantics
+# ----------------------------------------------------------------------
+def test_unknown_fault_point_rejected():
+    with pytest.raises(ValueError, match="unknown fault point"):
+        FaultPlan(seed=1, points={"serve.bsy": 1.0})  # typo must not no-op
+
+
+def test_bare_float_is_probability_shorthand():
+    plan = FaultPlan(seed=1, points={"serve.busy": 0.25})
+    assert plan.points["serve.busy"] == FaultSpec(probability=0.25)
+
+
+def test_same_seed_same_schedule():
+    def schedule(seed):
+        plan = FaultPlan(seed=seed, points={"serve.busy": 0.5})
+        return [plan.should_fire("serve.busy") for _ in range(200)]
+
+    assert schedule(42) == schedule(42)
+    assert schedule(42) != schedule(43)  # astronomically unlikely to match
+    assert any(schedule(42))
+    assert not all(schedule(42))
+
+
+def test_probability_one_always_fires_zero_never():
+    plan = FaultPlan(seed=0, points={"serve.busy": 1.0, "worker.hang": 0.0})
+    assert all(plan.should_fire("serve.busy") for _ in range(10))
+    assert not any(plan.should_fire("worker.hang") for _ in range(10))
+
+
+def test_unarmed_point_never_fires_but_is_counted():
+    plan = FaultPlan(seed=0, points={"serve.busy": 1.0})
+    assert not plan.should_fire("store.read.corrupt")
+    assert plan.stats()["checks"]["store.read.corrupt"] == 1
+
+
+def test_skip_first_and_max_fires():
+    plan = FaultPlan(seed=0, points={
+        "serve.busy": FaultSpec(probability=1.0, max_fires=2, skip_first=3),
+    })
+    outcomes = [plan.should_fire("serve.busy") for _ in range(8)]
+    assert outcomes == [False, False, False, True, True, False, False, False]
+    assert plan.stats()["fires"]["serve.busy"] == 2
+    assert plan.stats()["checks"]["serve.busy"] == 8
+
+
+def test_rng_int_is_deterministic():
+    values = [FaultPlan(seed=9, points={}).rng_int(1000) for _ in range(2)]
+    assert values[0] == values[1]
+
+
+# ----------------------------------------------------------------------
+# env round-trip (how plans reach spawned worker processes)
+# ----------------------------------------------------------------------
+def test_env_round_trip_preserves_schedule():
+    plan = FaultPlan(seed=7, points={
+        "worker.crash.midjob": FaultSpec(0.3, max_fires=5, skip_first=1),
+        "serve.busy": 0.2,
+    })
+    clone = FaultPlan.from_env(plan.to_env())
+    assert clone.seed == plan.seed
+    assert clone.points == plan.points
+    original = [plan.should_fire("serve.busy") for _ in range(100)]
+    cloned = [clone.should_fire("serve.busy") for _ in range(100)]
+    assert original == cloned
+
+
+@pytest.mark.parametrize("bad", ["not json", "[]", '{"seed": 1}'])
+def test_env_garbage_rejected(bad):
+    with pytest.raises(ValueError):
+        FaultPlan.from_env(bad)
+
+
+def test_load_from_env_installs_plan(monkeypatch):
+    plan = FaultPlan(seed=3, points={"serve.busy": 1.0})
+    monkeypatch.setenv(faultline.ENV_VAR, plan.to_env())
+    faultline._load_from_env()
+    active = faultline.active_plan()
+    assert active is not None and active.seed == 3
+    assert faultline.inject("serve.busy")
+
+
+# ----------------------------------------------------------------------
+# module-level install / inject / suppress
+# ----------------------------------------------------------------------
+def test_inject_without_plan_is_false_for_every_point():
+    for point in FAULT_POINTS:
+        assert faultline.inject(point) is False
+    assert faultline.stats() == {"installed": False}
+
+
+def test_install_and_clear():
+    faultline.install(FaultPlan(seed=1, points={"serve.busy": 1.0}))
+    assert faultline.inject("serve.busy") is True
+    assert faultline.stats()["installed"] is True
+    faultline.clear()
+    assert faultline.inject("serve.busy") is False
+
+
+def test_suppressed_masks_points_and_restores():
+    faultline.install(FaultPlan(seed=1, points={
+        "worker.hang": 1.0, "serve.busy": 1.0,
+    }))
+    with faultline.suppressed("worker.hang"):
+        assert faultline.inject("worker.hang") is False
+        assert faultline.inject("serve.busy") is True  # others unaffected
+        with faultline.suppressed("serve.busy"):  # nests
+            assert faultline.inject("serve.busy") is False
+        assert faultline.inject("serve.busy") is True
+    assert faultline.inject("worker.hang") is True
+
+
+def test_suppressed_is_thread_local():
+    faultline.install(FaultPlan(seed=1, points={"worker.hang": 1.0}))
+    seen = {}
+
+    def other_thread():
+        seen["fired"] = faultline.inject("worker.hang")
+
+    with faultline.suppressed("worker.hang"):
+        thread = threading.Thread(target=other_thread)
+        thread.start()
+        thread.join()
+    assert seen["fired"] is True  # suppression did not leak across threads

@@ -104,9 +104,12 @@ def test_failed_write_leaves_no_temp_file(tmp_path):
 
 
 def test_store_result_survives_reader_mid_replace(tmp_path):
-    """os.replace publishes whole files: read-back always parses."""
+    """os.replace publishes whole files: read-back always parses, and
+    every published result carries a matching integrity sha."""
     store = TraceStore(tmp_path)
     for i in range(20):
         store.store_result(KEY, {"cycles": i})
-        raw = store._result_path(KEY).read_bytes()
-        assert json.loads(raw) == {"cycles": i}
+        raw = json.loads(store._result_path(KEY).read_bytes())
+        assert raw["record"] == {"cycles": i}
+        assert raw["sha256"] == store._record_sha(raw["record"])
+        assert store.load_result(KEY) == {"cycles": i}
