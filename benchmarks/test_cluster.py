@@ -1,0 +1,133 @@
+"""Cluster scaling benchmark: cache-miss goodput across shard counts.
+
+The sharding acceptance bar for :mod:`repro.cluster`: a digest-routed
+ring spreads a cache-miss mix across shards (throughput at 3 shards vs
+1), serves the same mix warm from replicated caches, and keeps nonzero
+goodput while a shard is killed mid-mix (R=2 failover).  Results land
+in ``benchmarks/artifacts/BENCH_cluster.json``.
+
+The >=2x scaling assertion only runs on machines with at least 4 CPUs:
+with every shard pinned to the same core (CI runners here have one),
+shard counts change routing, not parallelism.
+"""
+
+import json
+import os
+import threading
+import time
+
+from benchmarks.conftest import save_artifact
+from repro.cluster import ClusterClient, ClusterConfig, ClusterSupervisor
+from repro.serve.client import ServeError
+from repro.trace import TraceStore
+from repro.workloads import ALL
+
+SPECS = ["eraser.full", "msan.alda", "eraser.ds_only"]
+WORKLOADS = ["fft", "radix", "sort"]
+SHARD_COUNTS = [1, 2, 3]
+
+
+def _record_jobs(tmp_path):
+    """(spec, digest, trace_bytes) for the miss mix: 3 workloads x 3 specs."""
+    store = TraceStore(tmp_path / "bench-traces")
+    jobs = []
+    for workload in WORKLOADS:
+        reader = store.get_or_record(ALL[workload], 1)
+        blob = store.trace_path(ALL[workload], 1).read_bytes()
+        for spec in SPECS:
+            jobs.append((spec, reader.digest, blob))
+    return jobs
+
+
+def _drive(membership_path, jobs, concurrency):
+    """Run every job once through ClusterClients; returns (ok, errors, secs)."""
+    pending = list(enumerate(jobs))
+    lock = threading.Lock()
+    outcome = {"ok": 0, "errors": 0}
+
+    def loop():
+        with ClusterClient(membership_path) as client:
+            while True:
+                with lock:
+                    if not pending:
+                        return
+                    _index, (spec, digest, blob) = pending.pop()
+                try:
+                    client.submit_digest_first(spec, digest, blob)
+                    with lock:
+                        outcome["ok"] += 1
+                except (ServeError, OSError):
+                    with lock:
+                        outcome["errors"] += 1
+
+    threads = [threading.Thread(target=loop, daemon=True)
+               for _ in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return outcome["ok"], outcome["errors"], elapsed
+
+
+def test_cluster_scaling(tmp_path):
+    jobs = _record_jobs(tmp_path)
+    results = {"cpu_count": os.cpu_count(), "jobs": len(jobs),
+               "specs": SPECS, "workloads": WORKLOADS, "shards": {}}
+
+    for n_shards in SHARD_COUNTS:
+        supervisor = ClusterSupervisor(ClusterConfig(
+            shards=n_shards, workers=1,
+            root=str(tmp_path / f"cluster{n_shards}"),
+        ))
+        try:
+            supervisor.start()
+            concurrency = max(2, n_shards)
+            miss_ok, miss_err, miss_secs = _drive(
+                supervisor.membership_path, jobs, concurrency
+            )
+            hit_ok, hit_err, hit_secs = _drive(
+                supervisor.membership_path, jobs, concurrency
+            )
+            entry = {
+                "miss_goodput_rps": miss_ok / miss_secs,
+                "miss_seconds": miss_secs,
+                "hit_goodput_rps": hit_ok / hit_secs,
+                "hit_seconds": hit_secs,
+                "errors": miss_err + hit_err,
+            }
+            assert miss_ok == len(jobs) and hit_ok == len(jobs)
+            assert miss_err == 0 and hit_err == 0
+
+            if n_shards == 3:
+                # kill one shard mid-cluster, then push the miss mix
+                # against the survivors: R=2 keeps goodput nonzero
+                supervisor.kill_shard("shard1")
+                kill_ok, kill_err, kill_secs = _drive(
+                    supervisor.membership_path, jobs, concurrency
+                )
+                entry["after_kill"] = {
+                    "goodput_rps": kill_ok / kill_secs,
+                    "ok": kill_ok,
+                    "errors": kill_err,
+                }
+                assert kill_ok > 0
+            results["shards"][str(n_shards)] = entry
+        finally:
+            supervisor.stop()
+
+    one = results["shards"]["1"]["miss_goodput_rps"]
+    three = results["shards"]["3"]["miss_goodput_rps"]
+    results["scaling_3_over_1"] = three / one
+    results["scaling_asserted"] = (os.cpu_count() or 1) >= 4
+    if results["scaling_asserted"]:
+        assert three / one >= 2.0, (
+            f"3-shard miss goodput {three:.1f} rps is under 2x the "
+            f"single-shard {one:.1f} rps"
+        )
+
+    save_artifact(
+        "BENCH_cluster.json", json.dumps(results, indent=2, sort_keys=True)
+    )
+    print(json.dumps(results["shards"], indent=2, sort_keys=True))

@@ -1,0 +1,369 @@
+"""Cluster chaos: the correct-or-typed invariant, now with a shard dying.
+
+:func:`run_cluster_chaos` extends :func:`repro.serve.chaos.run_chaos`
+cluster-wide: the reference replay is computed fault-free first, then a
+seeded :class:`~repro.faultline.FaultPlan` is installed and concurrent
+:class:`~repro.cluster.client.ClusterClient` threads hammer a freshly
+launched shard ring.  On top of the single-node fault points, the
+cluster points fire:
+
+* ``cluster.shard.down`` — when the request a third of the way into
+  the storm is claimed, that client takes the digest's *primary* shard
+  down through the supervisor (the worst case: the hottest replica
+  dies mid-storm, deterministically at the same point every run);
+* ``cluster.net.partition`` / ``cluster.replica.slow`` — per-attempt
+  client-side unreachability and slowness, driving the failover path.
+
+The cluster invariant is the single-node one plus availability through
+the kill: every request ends bit-correct or typed (never wrong), the
+*surviving* shards still answer ping/stats and drain cleanly, and —
+when the kill fired — requests kept completing afterwards (nonzero
+goodput through R=2 failover).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro import faultline
+from repro.faultline import FaultPlan, FaultSpec
+from repro.serve.chaos import DETERMINISTIC_FIELDS, reference_result
+from repro.serve.client import (
+    CircuitOpenError,
+    RequestFailed,
+    RetriesExhausted,
+    ServeClient,
+    ServeError,
+    ServerBusy,
+)
+from repro.serve.config import ResilienceConfig
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+
+#: Default fault storm for a cluster run: the guaranteed mid-run shard
+#: kill plus a sprinkling of client-edge and single-node faults.
+DEFAULT_CLUSTER_POINTS = {
+    "cluster.shard.down": FaultSpec(probability=1.0, max_fires=1),
+    "cluster.net.partition": 0.08,
+    "cluster.replica.slow": 0.08,
+    "serve.busy": 0.1,
+    "worker.crash.midjob": 0.1,
+}
+
+#: Client posture for cluster chaos: like CHAOS_RESILIENCE but with the
+#: quick per-shard failover bias of the cluster client.
+CLUSTER_CHAOS_RESILIENCE = ResilienceConfig(
+    max_attempts=4,
+    backoff_base=0.02,
+    backoff_max=0.25,
+    retry_budget=8.0,
+    breaker_threshold=4,
+    breaker_reset=0.5,
+    heartbeat_interval=0.2,
+    hang_timeout=5.0,
+    reaper_interval=0.5,
+)
+
+
+@dataclass
+class ClusterChaosReport:
+    """Outcome classification for one cluster chaos run."""
+
+    seed: int
+    requests: int
+    shards: int
+    replication: int
+    ok: int = 0
+    wrong_results: List[dict] = field(default_factory=list)
+    typed_errors: Dict[str, int] = field(default_factory=dict)
+    unavailable: int = 0
+    wall_seconds: float = 0.0
+    killed_shard: Optional[str] = None
+    ok_after_kill: int = 0
+    survivors_alive: bool = False
+    drained: bool = False
+    per_shard: Dict[str, int] = field(default_factory=dict)
+    cluster_counters: Dict[str, int] = field(default_factory=dict)
+    plan_stats: Optional[dict] = None
+
+    @property
+    def answered(self) -> int:
+        return self.ok + self.unavailable + sum(self.typed_errors.values())
+
+    @property
+    def invariant_ok(self) -> bool:
+        """Correct-or-typed cluster-wide, survivors drain, goodput holds.
+
+        ``ok_after_kill`` only constrains runs where the kill actually
+        fired — a schedule that never took a shard down asserts the
+        plain invariant.
+        """
+        return (not self.wrong_results
+                and self.answered == self.requests
+                and self.survivors_alive
+                and self.drained
+                and (self.killed_shard is None or self.ok_after_kill > 0))
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "requests": self.requests,
+            "shards": self.shards,
+            "replication": self.replication,
+            "ok": self.ok,
+            "wrong_results": len(self.wrong_results),
+            "typed_errors": dict(sorted(self.typed_errors.items())),
+            "unavailable": self.unavailable,
+            "wall_seconds": self.wall_seconds,
+            "killed_shard": self.killed_shard,
+            "ok_after_kill": self.ok_after_kill,
+            "survivors_alive": self.survivors_alive,
+            "drained": self.drained,
+            "per_shard": dict(sorted(self.per_shard.items())),
+            "cluster_counters": dict(sorted(self.cluster_counters.items())),
+            "invariant_ok": self.invariant_ok,
+            "plan_stats": self.plan_stats,
+        }
+
+
+def run_cluster_chaos(
+    seed: int,
+    shards: int = 3,
+    replication: int = 2,
+    points: Optional[Mapping[str, Union[FaultSpec, float]]] = None,
+    requests: int = 30,
+    concurrency: int = 3,
+    workers: int = 1,
+    workload: str = "fft",
+    scale: int = 1,
+    spec: str = "eraser.full",
+    resilience: ResilienceConfig = CLUSTER_CHAOS_RESILIENCE,
+    use_env: bool = True,
+    client_timeout: float = 30.0,
+) -> ClusterChaosReport:
+    """One seeded chaos run against a private shard ring."""
+    import tempfile
+
+    from repro.trace.store import TraceStore
+    from repro.workloads import ALL
+
+    if points is None:
+        points = DEFAULT_CLUSTER_POINTS
+    report = ClusterChaosReport(seed=seed, requests=requests, shards=shards,
+                                replication=replication)
+    plan = FaultPlan(seed=seed, points=points)
+    previous_env = os.environ.get(faultline.ENV_VAR)
+
+    with tempfile.TemporaryDirectory(prefix="alda-cluster-chaos-") as tmp:
+        store = TraceStore(tmp)
+        reference = reference_result(store, workload, scale, spec)
+        expected = {name: reference[name] for name in DETERMINISTIC_FIELDS}
+        trace_bytes = store.trace_path(ALL[workload], scale).read_bytes()
+        digest = store.get_or_record(ALL[workload], scale).digest
+
+        supervisor = ClusterSupervisor(ClusterConfig(
+            shards=shards, replication=replication, workers=workers,
+        ))
+        try:
+            if use_env:
+                os.environ[faultline.ENV_VAR] = plan.to_env()
+            faultline.install(plan)
+            # Startup pings suppress the armed faults (see _await_ready):
+            # the storm begins once the ring is actually serving.
+            supervisor.start()
+
+            kill_after = max(1, requests // 3)
+            victim = supervisor.membership.ring().primary(digest)
+            lock = threading.Lock()
+            counter = {"next": 0}
+            kill_state = {"fired_at": None, "considered": False}
+            started = time.perf_counter()
+
+            def claim() -> Optional[int]:
+                with lock:
+                    if counter["next"] >= requests:
+                        return None
+                    counter["next"] += 1
+                    return counter["next"] - 1
+
+            def maybe_kill_shard(index: int) -> None:
+                """Fire cluster.shard.down when the kill index is claimed.
+
+                Tied to claim order, not wall clock, so the kill lands
+                mid-storm deterministically: every request claimed after
+                ``kill_after`` runs against the degraded ring, which is
+                what ``ok_after_kill`` measures.
+                """
+                if index != kill_after:
+                    return
+                with lock:
+                    if kill_state["considered"]:
+                        return
+                    kill_state["considered"] = True
+                if not faultline.inject("cluster.shard.down"):
+                    return
+                # Mark the kill *before* draining the victim: requests
+                # the survivors complete while it drains are post-kill
+                # goodput.
+                with lock:
+                    report.killed_shard = victim
+                    kill_state["fired_at"] = time.perf_counter()
+                supervisor.kill_shard(victim)
+
+            def record_outcome(kind: str, code: Optional[str] = None,
+                               correct: Optional[bool] = None,
+                               got: Optional[dict] = None) -> None:
+                with lock:
+                    if kind == "ok":
+                        report.ok += 1
+                        if kill_state["fired_at"] is not None:
+                            report.ok_after_kill += 1
+                    elif kind == "unavailable":
+                        report.unavailable += 1
+                    elif kind == "typed":
+                        report.typed_errors[code] = (
+                            report.typed_errors.get(code, 0) + 1
+                        )
+                    elif kind == "wrong":
+                        report.wrong_results.append(
+                            {"expected": expected, "got": got}
+                        )
+
+            def client_loop(worker_index: int) -> None:
+                client = ClusterClient(
+                    supervisor.membership_path, resilience=resilience,
+                    timeout=client_timeout,
+                    retry_seed=seed + worker_index,
+                )
+                with client:
+                    while True:
+                        index = claim()
+                        if index is None:
+                            break
+                        maybe_kill_shard(index)
+                        try:
+                            response = client.submit_digest_first(
+                                spec, digest, trace_bytes
+                            )
+                        except (ServerBusy, RetriesExhausted,
+                                CircuitOpenError):
+                            record_outcome("unavailable")
+                            continue
+                        except RequestFailed as exc:
+                            record_outcome("typed", code=exc.code or "UNKNOWN")
+                            continue
+                        except (ServeError, OSError) as exc:
+                            record_outcome(
+                                "typed", code=f"transport:{type(exc).__name__}"
+                            )
+                            continue
+                        record = response["result"]
+                        got = {name: record.get(name)
+                               for name in DETERMINISTIC_FIELDS}
+                        if got == expected:
+                            record_outcome("ok")
+                        else:
+                            record_outcome("wrong", got=got)
+                    with lock:
+                        for shard, count in client.per_shard.items():
+                            report.per_shard[shard] = (
+                                report.per_shard.get(shard, 0) + count
+                            )
+                        for key, value in client.cluster_stats.items():
+                            report.cluster_counters[key] = (
+                                report.cluster_counters.get(key, 0) + value
+                            )
+
+            threads = [
+                threading.Thread(target=client_loop, args=(i,),
+                                 name=f"cluster-chaos-{i}", daemon=True)
+                for i in range(max(1, concurrency))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            report.wall_seconds = time.perf_counter() - started
+
+            # Every surviving shard must have outlived the storm.
+            with faultline.suppressed("serve.conn.reset", "serve.busy",
+                                      "cluster.net.partition",
+                                      "cluster.replica.slow"):
+                survivors = [s for s in supervisor.membership.shards
+                             if s.status == "up"]
+                alive = True
+                for shard in survivors:
+                    try:
+                        with ServeClient(shard.address, timeout=10.0) as probe:
+                            alive = alive and probe.ping() and bool(
+                                probe.stats()
+                            )
+                    except (ServeError, OSError):
+                        alive = False
+                report.survivors_alive = alive and bool(survivors)
+            supervisor.stop()
+            report.drained = True
+        finally:
+            supervisor.stop()
+            faultline.clear()
+            if use_env:
+                if previous_env is None:
+                    os.environ.pop(faultline.ENV_VAR, None)
+                else:
+                    os.environ[faultline.ENV_VAR] = previous_env
+            report.plan_stats = plan.stats()
+
+    return report
+
+
+def render_cluster_report(report: ClusterChaosReport) -> str:
+    lines = [
+        f"cluster chaos seed={report.seed} shards={report.shards} "
+        f"R={report.replication}: {report.ok}/{report.requests} bit-correct, "
+        f"{report.unavailable} unavailable (typed), "
+        f"{sum(report.typed_errors.values())} typed errors, "
+        f"{len(report.wrong_results)} WRONG results "
+        f"in {report.wall_seconds:.2f}s",
+    ]
+    if report.killed_shard:
+        lines.append(
+            f"  killed {report.killed_shard} mid-run; "
+            f"{report.ok_after_kill} request(s) completed after the kill"
+        )
+    else:
+        lines.append("  no shard killed this schedule")
+    for code, count in sorted(report.typed_errors.items()):
+        lines.append(f"  error {code}: {count}")
+    if report.per_shard:
+        lines.append(
+            "  served by: "
+            + ", ".join(f"{name}={count}"
+                        for name, count in sorted(report.per_shard.items()))
+        )
+    counters = report.cluster_counters
+    if counters:
+        lines.append(
+            f"  cluster: failovers={counters.get('failovers', 0)} "
+            f"healed_uploads={counters.get('healed_uploads', 0)} "
+            f"traces_replicated={counters.get('traces_replicated', 0)} "
+            f"results_replicated={counters.get('results_replicated', 0)}"
+        )
+    if report.plan_stats:
+        fires = report.plan_stats.get("fires", {})
+        lines.append(
+            "  faults fired: "
+            + (", ".join(f"{point}={count}"
+                         for point, count in sorted(fires.items()))
+               or "none")
+        )
+    lines.append(
+        f"  survivors alive: {report.survivors_alive}, "
+        f"drained: {report.drained}, "
+        f"invariant: {'OK' if report.invariant_ok else 'VIOLATED'}"
+    )
+    return "\n".join(lines)

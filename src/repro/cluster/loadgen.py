@@ -1,0 +1,181 @@
+"""Load generation against a shard ring.
+
+Reuses :class:`repro.serve.loadgen.LoadGen` wholesale — same request
+mix, same exact client-side percentiles, same report shape — with two
+swaps: each worker thread drives a :class:`ClusterClient` instead of a
+single-server :class:`ServeClient`, and the post-run server-side
+histogram tails come from the *merged* per-shard STATS snapshots, so a
+cluster report's ``server_latency_ms`` is directly comparable to a
+single node's.  The report gains a ``cluster`` block: routing spread
+per shard, failovers, healed uploads, and replication counters.
+
+CLI::
+
+    python -m repro.cluster loadgen --membership PATH ...   # existing ring
+    python -m repro.cluster loadgen --shards 3 ...          # ephemeral ring
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+from typing import List, Optional
+
+from repro.serve.config import ResilienceConfig
+from repro.serve.loadgen import LoadGen, render_report
+
+from repro.cluster.client import SHARD_RESILIENCE, ClusterClient
+from repro.cluster.stats import merge_snapshots
+
+
+def run_cluster_loadgen(membership_path, specs: List[str], digest: str,
+                        trace_bytes: bytes, requests: int, concurrency: int,
+                        rate: Optional[float] = None, timeout: float = 300.0,
+                        resilience: Optional[ResilienceConfig] = SHARD_RESILIENCE,
+                        seed: Optional[int] = None,
+                        replication: Optional[int] = None) -> dict:
+    """Fire the loadgen mix at a cluster; returns the extended report."""
+    clients: List[ClusterClient] = []
+    lock = threading.Lock()
+
+    def client_factory(worker_index: int) -> ClusterClient:
+        retry_seed = None if seed is None else seed + worker_index
+        client = ClusterClient(
+            membership_path, replication=replication, resilience=resilience,
+            timeout=timeout, retry_seed=retry_seed,
+        )
+        with lock:
+            clients.append(client)
+        return client
+
+    def stats_fetcher() -> dict:
+        with ClusterClient(membership_path, replication=replication,
+                           timeout=timeout) as probe:
+            return merge_snapshots(probe.stats())
+
+    gen = LoadGen(
+        f"cluster:{membership_path}", specs, digest, trace_bytes,
+        requests, concurrency, rate, timeout,
+        resilience=resilience, seed=seed,
+        client_factory=client_factory, stats_fetcher=stats_fetcher,
+    )
+    report = gen.run()
+
+    cluster = {
+        "membership": str(membership_path),
+        "per_shard": {},
+        "counters": {},
+    }
+    for client in clients:
+        for shard, count in client.per_shard.items():
+            cluster["per_shard"][shard] = (
+                cluster["per_shard"].get(shard, 0) + count
+            )
+        for key, value in client.cluster_stats.items():
+            cluster["counters"][key] = cluster["counters"].get(key, 0) + value
+    report["cluster"] = cluster
+    return report
+
+
+def render_cluster_report(report: dict) -> str:
+    lines = [render_report(report)]
+    cluster = report.get("cluster") or {}
+    spread = cluster.get("per_shard") or {}
+    if spread:
+        total = sum(spread.values())
+        shares = "  ".join(
+            f"{name}={count} ({100.0 * count / total:.0f}%)"
+            for name, count in sorted(spread.items())
+        )
+        lines.append(f"routing: {shares}")
+    counters = cluster.get("counters") or {}
+    if counters:
+        lines.append(
+            f"cluster: failovers {counters.get('failovers', 0)}, "
+            f"healed uploads {counters.get('healed_uploads', 0)}, "
+            f"traces replicated {counters.get('traces_replicated', 0)}, "
+            f"results replicated {counters.get('results_replicated', 0)}, "
+            f"replication failures {counters.get('replication_failures', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster loadgen",
+        description="Replay a request mix against a shard ring.",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--membership", default=None, metavar="PATH",
+                        help="membership file of a running cluster")
+    target.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="spin up an ephemeral in-process N-shard "
+                             "cluster for the run")
+    parser.add_argument("--replication", type=int, default=None,
+                        help="override the membership's replication factor")
+    parser.add_argument("--workload", default="fft")
+    parser.add_argument("--spec", action="append", default=None,
+                        help="analysis spec key(s); repeat for a mix "
+                             "(default: eraser.full)")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=None)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="replay workers per ephemeral shard (with "
+                             "--shards; default 1)")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    from repro.trace.store import TraceStore
+    from repro.workloads import ALL
+
+    if args.workload not in ALL:
+        parser.error(f"unknown workload {args.workload!r}")
+    specs = args.spec or ["eraser.full"]
+
+    supervisor = None
+    if args.shards is not None:
+        from repro.cluster.supervisor import ClusterConfig, ClusterSupervisor
+
+        supervisor = ClusterSupervisor(ClusterConfig(
+            shards=args.shards,
+            replication=args.replication or 2,
+            workers=args.workers,
+        ))
+        supervisor.start()
+        membership_path = supervisor.membership_path
+    else:
+        membership_path = args.membership
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="alda-cluster-loadgen-") as tmp:
+            store = TraceStore(tmp)
+            workload = ALL[args.workload]
+            reader = store.get_or_record(workload, args.scale)
+            trace_bytes = store.trace_path(workload, args.scale).read_bytes()
+            report = run_cluster_loadgen(
+                membership_path, specs, reader.digest, trace_bytes,
+                args.requests, args.concurrency, args.rate, args.timeout,
+                seed=args.seed, replication=args.replication,
+            )
+    finally:
+        if supervisor is not None:
+            supervisor.stop()
+    report["config"]["workload"] = args.workload
+    report["config"]["scale"] = args.scale
+
+    print(render_cluster_report(report))
+    if args.out:
+        import pathlib
+
+        out_path = pathlib.Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {out_path}]")
+    return 0 if not report["errors"] else 1

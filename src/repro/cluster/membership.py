@@ -1,0 +1,130 @@
+"""Cluster membership: the shared file shards and clients agree on.
+
+The supervisor writes one JSON document (atomically: temp file +
+``os.replace``) describing every shard — name, ``HOST:PORT`` address,
+store directory, and status — plus the cluster's replication factor.
+Clients stat the file before each request and rebuild their ring when
+it changes, so a shard the supervisor marks ``down`` stops receiving
+new traffic within one request.
+
+The membership file is advisory, like the ring itself: a client with a
+stale view retries against a dead address, fails over to a replica, and
+heals — it never returns a wrong result because of stale membership.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+
+MEMBERSHIP_VERSION = 1
+
+
+@dataclass
+class Shard:
+    """One serve daemon in the cluster."""
+
+    name: str
+    address: str          # HOST:PORT
+    store: Optional[str] = None
+    status: str = "up"    # "up" | "down"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "address": self.address,
+                "store": self.store, "status": self.status}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Shard":
+        return cls(name=raw["name"], address=raw["address"],
+                   store=raw.get("store"), status=raw.get("status", "up"))
+
+
+@dataclass
+class Membership:
+    """The shard roster plus the replication factor clients must honor."""
+
+    shards: List[Shard] = field(default_factory=list)
+    replication: int = 2
+    vnodes: int = DEFAULT_VNODES
+    updated_at: float = 0.0
+
+    def shard(self, name: str) -> Shard:
+        for shard in self.shards:
+            if shard.name == name:
+                return shard
+        raise KeyError(f"no shard named {name!r}")
+
+    def up_shards(self) -> List[Shard]:
+        return [shard for shard in self.shards if shard.status == "up"]
+
+    def addresses(self) -> dict:
+        return {shard.name: shard.address for shard in self.shards}
+
+    def ring(self) -> HashRing:
+        """Routing ring over the shards currently marked up."""
+        return HashRing(
+            (shard.name for shard in self.up_shards()),
+            vnodes=self.vnodes, replication=self.replication,
+        )
+
+    def mark(self, name: str, status: str) -> None:
+        self.shard(name).status = status
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": MEMBERSHIP_VERSION,
+            "replication": self.replication,
+            "vnodes": self.vnodes,
+            "updated_at": self.updated_at,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Membership":
+        if not isinstance(raw, dict) or "shards" not in raw:
+            raise ValueError("membership must be a JSON object with 'shards'")
+        return cls(
+            shards=[Shard.from_dict(entry) for entry in raw["shards"]],
+            replication=int(raw.get("replication", 2)),
+            vnodes=int(raw.get("vnodes", DEFAULT_VNODES)),
+            updated_at=float(raw.get("updated_at", 0.0)),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Publish atomically so concurrent readers never see a torn file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.updated_at = time.time()
+        raw = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=str(path.parent), suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(raw)
+                handle.flush()
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Membership":
+        try:
+            raw = json.loads(Path(path).read_text())
+        except ValueError as exc:
+            raise ValueError(f"membership file {path} is not valid JSON: {exc}"
+                             ) from None
+        return cls.from_dict(raw)

@@ -24,7 +24,7 @@ FIGURES = {"fig3": figure3, "fig4": figure4, "fig5": figure5}
 
 def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
                    jobs: int = 1, trace_cache=None, server=None,
-                   bench=None) -> str:
+                   cluster=None, bench=None) -> str:
     """Regenerate one experiment; optionally collect a BENCH record.
 
     ``bench``, when a dict, is filled with the machine-readable record
@@ -36,7 +36,7 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
     started = time.perf_counter()
     if name in FIGURES:
         data = FIGURES[name](scale, verbose, jobs=jobs, trace_cache=trace_cache,
-                             server=server)
+                             server=server, cluster=cluster)
         if bench is not None:
             bench.update(
                 experiment=name,
@@ -44,6 +44,7 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
                 jobs=jobs,
                 trace_cache=str(trace_cache) if trace_cache else None,
                 server=server,
+                cluster=str(cluster) if cluster is not None else None,
                 wall_seconds=time.perf_counter() - started,
                 summary=data.summary,
                 results=data.bench,
@@ -101,6 +102,11 @@ def main(argv=None) -> int:
     parser.add_argument("--server", metavar="HOST:PORT", default=None,
                         help="execute figure replays on a repro.serve daemon "
                              "instead of a local pool (see docs/SERVING.md)")
+    parser.add_argument("--cluster", metavar="MEMBERSHIP", default=None,
+                        help="execute figure replays on a repro.cluster shard "
+                             "ring, given its membership file (see "
+                             "docs/CLUSTER.md); results are bit-identical "
+                             "to inline")
     parser.add_argument("--json", metavar="OUT", default=None, dest="json_out",
                         help="also write machine-readable BENCH_<experiment>.json "
                              "records (cycles, overheads, wall-clock) into "
@@ -113,7 +119,8 @@ def main(argv=None) -> int:
         bench = {} if args.json_out else None
         print(run_experiment(name, args.scale, args.verbose, args.format,
                              jobs=args.jobs, trace_cache=args.trace_cache,
-                             server=args.server, bench=bench))
+                             server=args.server, cluster=args.cluster,
+                             bench=bench))
         if bench:
             out_dir = Path(args.json_out)
             out_dir.mkdir(parents=True, exist_ok=True)

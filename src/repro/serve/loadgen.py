@@ -26,13 +26,14 @@ import json
 import tempfile
 import threading
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.serve.client import (
     CircuitOpenError,
     RequestFailed,
     RetriesExhausted,
     ServeClient,
+    ServeError,
     ServerBusy,
 )
 from repro.serve.config import ResilienceConfig
@@ -53,13 +54,23 @@ def percentile(samples: List[float], p: float) -> float:
 
 
 class LoadGen:
-    """Fires ``requests`` total requests from ``concurrency`` clients."""
+    """Fires ``requests`` total requests from ``concurrency`` clients.
+
+    ``client_factory`` (worker index -> client) swaps the per-worker
+    client for anything with the ServeClient surface
+    (``submit_digest_first`` / ``retry_stats`` / ``close``) — this is
+    how :mod:`repro.cluster` points the same generator at a shard ring.
+    ``stats_fetcher`` likewise overrides where the post-run server-side
+    histogram tails come from (default: STATS from ``address``).
+    """
 
     def __init__(self, address: str, specs: List[str], digest: str,
                  trace_bytes: bytes, requests: int, concurrency: int,
                  rate: Optional[float] = None, timeout: float = 300.0,
                  resilience: Optional[ResilienceConfig] = ResilienceConfig(),
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 client_factory: Optional[Callable[[int], object]] = None,
+                 stats_fetcher: Optional[Callable[[], dict]] = None) -> None:
         self.address = address
         self.specs = specs
         self.digest = digest
@@ -70,6 +81,8 @@ class LoadGen:
         self.timeout = timeout
         self.resilience = resilience
         self.seed = seed
+        self.client_factory = client_factory
+        self.stats_fetcher = stats_fetcher
         self._lock = threading.Lock()
         self._next = 0
         self.latencies_ms: List[float] = []
@@ -92,9 +105,13 @@ class LoadGen:
             return index
 
     def _worker(self, worker_index: int, started_at: float) -> None:
-        retry_seed = None if self.seed is None else self.seed + worker_index
-        client = ServeClient(self.address, timeout=self.timeout,
-                             resilience=self.resilience, retry_seed=retry_seed)
+        if self.client_factory is not None:
+            client = self.client_factory(worker_index)
+        else:
+            retry_seed = None if self.seed is None else self.seed + worker_index
+            client = ServeClient(self.address, timeout=self.timeout,
+                                 resilience=self.resilience,
+                                 retry_seed=retry_seed)
         with client:
             while True:
                 index = self._claim()
@@ -123,7 +140,7 @@ class LoadGen:
                     with self._lock:
                         self.errors.append(str(exc))
                     continue
-                except OSError as exc:
+                except (ServeError, OSError) as exc:
                     with self._lock:
                         self.errors.append(f"{type(exc).__name__}: {exc}")
                     continue
@@ -181,20 +198,58 @@ class LoadGen:
                 "mean": (sum(self.uncached_ms) / len(self.uncached_ms)
                          if self.uncached_ms else 0.0),
                 "p50": percentile(self.uncached_ms, 50),
+                "p95": percentile(self.uncached_ms, 95),
+                "p99": percentile(self.uncached_ms, 99),
             },
             "cache_hit_ms": {
                 "count": len(self.cached_ms),
                 "mean": (sum(self.cached_ms) / len(self.cached_ms)
                          if self.cached_ms else 0.0),
                 "p50": percentile(self.cached_ms, 50),
+                "p95": percentile(self.cached_ms, 95),
                 "p99": percentile(self.cached_ms, 99),
             },
+            "server_latency_ms": self._server_histograms(),
         }
         cold = report["cold_replay_ms"]["p50"]
         hit = report["cache_hit_ms"]["p50"]
         if cold and hit:
             report["amortization_speedup"] = cold / hit
         return report
+
+    def _server_histograms(self) -> dict:
+        """Server-side latency tails from the daemon's STATS histograms.
+
+        Complements the exact client-side samples above: the server's
+        log-bucket histograms cover *its* view of every request (and,
+        via :func:`repro.cluster.stats.merge_snapshots` in the cluster
+        loadgen, all shards at once), so single-node and cluster tails
+        are comparable like-for-like.  Best-effort: an unreachable or
+        draining server yields ``{}``, never a failed run.
+        """
+        try:
+            if self.stats_fetcher is not None:
+                snap = self.stats_fetcher()
+            else:
+                with ServeClient(self.address, timeout=self.timeout) as client:
+                    snap = client.stats()
+        except (ServeError, OSError) as exc:
+            return {"error": f"{type(exc).__name__}: {exc}"}
+        tails = {}
+        for name in ("request_latency_ms", "latency_cached_ms",
+                     "latency_replay_ms"):
+            summary = snap.get("histograms", {}).get(name)
+            if not summary or not summary.get("count"):
+                continue
+            tails[name] = {
+                "count": summary["count"],
+                "mean": summary.get("mean", 0.0),
+                "p50": summary.get("p50", 0.0),
+                "p95": summary.get("p95", 0.0),
+                "p99": summary.get("p99", 0.0),
+                "max": summary.get("max", 0.0),
+            }
+        return tails
 
 
 def render_report(report: dict) -> str:
@@ -219,6 +274,15 @@ def render_report(report: dict) -> str:
             f"transport {resilience['transport_retried']}, "
             f"transient-code {resilience['code_retried']}); "
             f"breaker rejections {resilience['breaker_rejections']}"
+        )
+    server_tail = (report.get("server_latency_ms") or {}).get(
+        "request_latency_ms"
+    )
+    if server_tail:
+        lines.append(
+            f"server view: p50 {server_tail['p50']:.2f}ms  "
+            f"p95 {server_tail['p95']:.2f}ms  p99 {server_tail['p99']:.2f}ms "
+            f"(histogram, n={server_tail['count']})"
         )
     if "amortization_speedup" in report:
         lines.append(

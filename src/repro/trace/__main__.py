@@ -5,12 +5,17 @@ Commands::
     python -m repro.trace fsck --store DIR          # scan + quarantine
     python -m repro.trace fsck --store DIR --dry-run
     python -m repro.trace fsck --store DIR --json
+    python -m repro.trace fsck --store DIR --prune  # + empty quarantine/
+    python -m repro.trace fsck --store DIR --prune --quarantine-max-age 3600
 
 ``fsck`` re-verifies the content digest of every trace (both locally
 recorded and digest-addressed) and the sha256 of every cached replay
 result.  Corrupt entries are moved to ``quarantine/`` with a reason
-sidecar unless ``--dry-run`` is given.  Exit status is 0 for a clean
-store and 1 when corruption was found.
+sidecar unless ``--dry-run`` is given.  ``--prune`` then ages out
+quarantined entries (those older than ``--quarantine-max-age`` seconds;
+default 0 empties the pen) so chaos runs can't grow the directory
+without bound.  Exit status is 0 for a clean store and 1 when
+corruption was found.
 """
 
 from __future__ import annotations
@@ -33,9 +38,19 @@ def _fsck(argv) -> int:
                         help="report corruption without quarantining")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full report as JSON")
+    parser.add_argument("--prune", action="store_true",
+                        help="after the scan, delete aged-out quarantined "
+                             "entries (and their reason sidecars)")
+    parser.add_argument("--quarantine-max-age", type=float, default=0.0,
+                        metavar="SEC",
+                        help="with --prune: only delete entries quarantined "
+                             "at least SEC seconds ago (default 0: all)")
     args = parser.parse_args(argv)
 
-    report = TraceStore(args.store).fsck(repair=not args.dry_run)
+    store = TraceStore(args.store)
+    report = store.fsck(repair=not args.dry_run)
+    if args.prune:
+        report["pruned"] = store.prune_quarantine(args.quarantine_max_age)
     if args.as_json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -47,6 +62,11 @@ def _fsck(argv) -> int:
         for entry in report["corrupt"]:
             action = "reported" if args.dry_run else "quarantined"
             print(f"  {action}: {entry['entry']} ({entry['reason']})")
+        if "pruned" in report:
+            pruned = report["pruned"]
+            print(f"  pruned {len(pruned['pruned'])} quarantined "
+                  f"entr{'y' if len(pruned['pruned']) == 1 else 'ies'}, "
+                  f"kept {pruned['kept']}")
     return 0 if report["clean"] else 1
 
 

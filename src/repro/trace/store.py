@@ -160,6 +160,58 @@ class TraceStore:
         _bump("quarantined")
         return target
 
+    def prune_quarantine(self, max_age_seconds: float = 0.0,
+                         now: Optional[float] = None) -> dict:
+        """Delete quarantined entries older than ``max_age_seconds``.
+
+        Quarantine is a holding pen, not an archive: entries only exist
+        so an operator can inspect *why* a file failed verification,
+        and under sustained chaos (every injected corruption lands one)
+        the directory grows without bound.  Age comes from the reason
+        sidecar's ``quarantined_at``, falling back to file mtime for
+        entries quarantined before sidecars carried timestamps; each
+        pruned entry takes its sidecar with it, and orphan sidecars
+        (entry already gone) are swept too.  The default
+        ``max_age_seconds=0`` empties the pen.
+        """
+        now = time.time() if now is None else now
+        report = {"examined": 0, "pruned": [], "kept": 0}
+        if not self.quarantine_dir.is_dir():
+            return report
+        for name in self.quarantined_entries():
+            path = self.quarantine_dir / name
+            sidecar = self.quarantine_dir / f"{name}.reason.json"
+            quarantined_at = None
+            try:
+                quarantined_at = json.loads(
+                    sidecar.read_text()
+                ).get("quarantined_at")
+            except (OSError, ValueError):
+                pass
+            if not isinstance(quarantined_at, (int, float)):
+                try:
+                    quarantined_at = path.stat().st_mtime
+                except OSError:
+                    continue  # vanished concurrently
+            report["examined"] += 1
+            if now - float(quarantined_at) >= max_age_seconds:
+                for victim in (path, sidecar):
+                    try:
+                        victim.unlink()
+                    except OSError:
+                        pass
+                report["pruned"].append(name)
+            else:
+                report["kept"] += 1
+        entries = set(self.quarantined_entries())
+        for sidecar in self.quarantine_dir.glob("*.reason.json"):
+            if sidecar.name[:-len(".reason.json")] not in entries:
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+        return report
+
     def _read_trace_verified(self, path: Path,
                              expect_digest: Optional[str] = None) -> TraceReader:
         """Read + integrity-check one trace file; quarantine on failure."""

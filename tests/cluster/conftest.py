@@ -1,0 +1,43 @@
+"""Shared fixtures for the cluster suite.
+
+Clusters run the thread backend (in-process AnalysisServers) with
+inline replays (``workers=0``) — fast to spawn, and replay correctness
+is covered by the serve suite; these tests exercise routing, failover,
+replication, and supervision.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSupervisor
+from repro.trace import TraceStore
+from repro.workloads import ALL
+
+
+@pytest.fixture(scope="session")
+def fft_trace(tmp_path_factory):
+    """(digest, raw bytes, plain_cycles) of the fft trace, recorded once."""
+    store = TraceStore(tmp_path_factory.mktemp("cluster-traces"))
+    reader = store.get_or_record(ALL["fft"], 1)
+    blob = store.trace_path(ALL["fft"], 1).read_bytes()
+    return reader.digest, blob, reader.summary["plain_cycles"]
+
+
+@pytest.fixture
+def make_cluster(tmp_path):
+    """Factory for thread-backed clusters; everything stops at teardown."""
+    supervisors = []
+
+    def _make(**overrides) -> ClusterSupervisor:
+        overrides.setdefault("shards", 2)
+        overrides.setdefault("workers", 0)
+        overrides.setdefault(
+            "root", str(tmp_path / f"cluster{len(supervisors)}")
+        )
+        supervisor = ClusterSupervisor(ClusterConfig(**overrides))
+        supervisors.append(supervisor)
+        supervisor.start()
+        return supervisor
+
+    yield _make
+    for supervisor in supervisors:
+        supervisor.stop()

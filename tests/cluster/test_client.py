@@ -1,0 +1,161 @@
+"""ClusterClient: routing, healing, replication, failover, typed errors."""
+
+import pytest
+
+from repro import faultline
+from repro.faultline import FaultPlan, FaultSpec
+from repro.cluster import ClusterClient, ClusterUnavailable, Membership
+from repro.cluster.client import NoShardsError
+from repro.serve.client import RequestFailed, RetriesExhausted, ServeClient
+
+
+def test_routes_within_replica_set(make_cluster, fft_trace):
+    digest, blob, plain = fft_trace
+    supervisor = make_cluster(shards=3)
+    with ClusterClient(supervisor.membership_path) as client:
+        replicas = {shard.name for shard in client.replicas_for(digest)}
+        response = client.submit_digest_first("eraser.full", digest, blob)
+        assert response["shard"] in replicas
+        assert response["result"]["baseline_cycles"] == plain
+        assert client.per_shard[response["shard"]] == 1
+
+
+def test_digest_first_healing_then_cache_hit(make_cluster, fft_trace):
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    with ClusterClient(supervisor.membership_path) as client:
+        cold = client.submit_digest_first("eraser.full", digest, blob)
+        assert not cold["cached"]
+        assert client.cluster_stats["healed_uploads"] == 1
+        hot = client.submit_digest_first("eraser.full", digest, blob)
+        assert hot["cached"]
+        assert client.cluster_stats["healed_uploads"] == 1  # no re-upload
+
+
+def test_writes_replicate_to_other_replica(make_cluster, fft_trace):
+    """After one submit, the *other* replica holds the trace and result."""
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    with ClusterClient(supervisor.membership_path) as client:
+        response = client.submit_digest_first("eraser.full", digest, blob)
+        assert client.cluster_stats["traces_replicated"] == 1
+        assert client.cluster_stats["results_replicated"] == 1
+        others = [shard for shard in client.replicas_for(digest)
+                  if shard.name != response["shard"]]
+        assert others
+        # Ask the peer directly, digest-only: it must answer from its
+        # replicated cache without an UNKNOWN_TRACE round trip.
+        with ServeClient(others[0].address) as peer:
+            peer_response = peer.submit("eraser.full", digest=digest)
+        assert peer_response["cached"]
+        assert (peer_response["result"]["instrumented_cycles"]
+                == response["result"]["instrumented_cycles"])
+
+
+def test_cache_hits_do_not_rereplicate(make_cluster, fft_trace):
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    with ClusterClient(supervisor.membership_path) as client:
+        client.submit_digest_first("eraser.full", digest, blob)
+        before = dict(client.cluster_stats)
+        client.submit_digest_first("eraser.full", digest, blob)
+        assert (client.cluster_stats["traces_replicated"]
+                == before["traces_replicated"])
+        assert (client.cluster_stats["results_replicated"]
+                == before["results_replicated"])
+
+
+def test_failover_when_primary_dies(make_cluster, fft_trace):
+    """Killing a shard reroutes its digests to the survivor."""
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    with ClusterClient(supervisor.membership_path) as client:
+        client.submit_digest_first("eraser.full", digest, blob)
+        victim = client.replicas_for(digest)[0].name
+        supervisor.kill_shard(victim)
+        response = client.submit_digest_first("eraser.full", digest, blob)
+        assert response["shard"] != victim
+        # the membership rewrite was picked up by mtime polling
+        assert client.cluster_stats["membership_reloads"] >= 1
+
+
+def test_stale_membership_still_fails_over(make_cluster, fft_trace):
+    """A client with a stale roster retries the dead shard, then heals."""
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    membership = Membership.load(supervisor.membership_path)
+    with ClusterClient(membership) as client:  # no path: never reloads
+        client.submit_digest_first("eraser.full", digest, blob)
+        victim = client.replicas_for(digest)[0].name
+        supervisor.kill_shard(victim)
+        response = client.submit_digest_first("eraser.full", digest, blob)
+        assert response["shard"] != victim
+        assert client.cluster_stats["failovers"] >= 1
+
+
+def test_cluster_unavailable_when_all_shards_down(make_cluster, fft_trace):
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    membership = Membership.load(supervisor.membership_path)
+    for shard in list(membership.shards):
+        supervisor.kill_shard(shard.name)
+    with ClusterClient(membership) as client:
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client.submit_digest_first("eraser.full", digest, blob)
+    assert isinstance(excinfo.value, ClusterUnavailable)
+    assert excinfo.value.shard_errors
+
+
+def test_no_shards_error_on_empty_roster(fft_trace):
+    digest, blob, _plain = fft_trace
+    with ClusterClient(Membership(shards=[])) as client:
+        with pytest.raises(NoShardsError):
+            client.submit_digest_first("eraser.full", digest, blob)
+
+
+def test_deterministic_errors_surface_immediately(make_cluster, fft_trace):
+    """UNKNOWN_SPEC fails on every replica equally: no failover loop."""
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    with ClusterClient(supervisor.membership_path) as client:
+        with pytest.raises(RequestFailed) as excinfo:
+            client.submit_digest_first("no.such.spec", digest, blob)
+        assert excinfo.value.code == "UNKNOWN_SPEC"
+        assert client.cluster_stats["failovers"] == 0
+
+
+def test_address_list_membership(make_cluster, fft_trace):
+    """A bare address list works as an ad-hoc roster."""
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    addresses = [shard.address for shard in supervisor.membership.shards]
+    with ClusterClient(addresses) as client:
+        response = client.submit_digest_first("eraser.full", digest, blob)
+        assert response["shard"] in addresses
+
+
+def test_partition_fault_drives_failover(make_cluster, fft_trace):
+    """cluster.net.partition on the first attempt lands on a replica."""
+    digest, blob, _plain = fft_trace
+    supervisor = make_cluster(shards=2)
+    plan = FaultPlan(seed=11, points={
+        "cluster.net.partition": FaultSpec(probability=1.0, max_fires=1),
+    })
+    faultline.install(plan)
+    try:
+        with ClusterClient(supervisor.membership_path) as client:
+            response = client.submit_digest_first("eraser.full", digest, blob)
+            assert response["result"]
+            assert client.cluster_stats["partitions_injected"] == 1
+            assert client.cluster_stats["failovers"] == 1
+    finally:
+        faultline.clear()
+
+
+def test_ping_all_and_stats(make_cluster):
+    supervisor = make_cluster(shards=2)
+    with ClusterClient(supervisor.membership_path) as client:
+        assert client.ping_all() == {"shard0": True, "shard1": True}
+        snapshots = client.stats()
+        assert set(snapshots) == {"shard0", "shard1"}
+        assert all("counters" in snap for snap in snapshots.values())

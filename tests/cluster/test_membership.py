@@ -1,0 +1,55 @@
+"""Membership file: round-trip, atomic publication, ring derivation."""
+
+import json
+
+import pytest
+
+from repro.cluster import Membership, Shard
+
+
+def _roster() -> Membership:
+    return Membership(shards=[
+        Shard(name="shard0", address="127.0.0.1:7101", store="/tmp/s0"),
+        Shard(name="shard1", address="127.0.0.1:7102", store="/tmp/s1"),
+        Shard(name="shard2", address="127.0.0.1:7103", status="down"),
+    ], replication=2)
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "membership.json"
+    original = _roster()
+    original.save(path)
+    loaded = Membership.load(path)
+    assert loaded.to_dict()["shards"] == original.to_dict()["shards"]
+    assert loaded.replication == 2
+    assert loaded.updated_at > 0
+
+
+def test_save_is_atomic_no_leftover_temp(tmp_path):
+    path = tmp_path / "membership.json"
+    _roster().save(path)
+    _roster().save(path)  # overwrite in place
+    assert [p.name for p in tmp_path.iterdir()] == ["membership.json"]
+
+
+def test_ring_excludes_down_shards():
+    ring = _roster().ring()
+    assert ring.nodes == ["shard0", "shard1"]
+
+
+def test_mark_flips_status():
+    roster = _roster()
+    roster.mark("shard0", "down")
+    assert [s.name for s in roster.up_shards()] == ["shard1"]
+    with pytest.raises(KeyError):
+        roster.mark("nope", "down")
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "membership.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError):
+        Membership.load(path)
+    path.write_text(json.dumps({"replication": 2}))
+    with pytest.raises(ValueError):
+        Membership.load(path)

@@ -1,0 +1,105 @@
+"""HashRing properties: balance, minimal remapping, determinism.
+
+These are the two properties the ISSUE pins: ±25% balance across
+shards on 10k digests, and ≤ ~1/N of keys moving when a shard joins or
+leaves (and none moving between two surviving shards).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import HashRing
+
+DIGESTS = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(10_000)]
+
+
+@pytest.mark.parametrize("n_shards", [2, 3, 5])
+def test_balance_within_25_percent(n_shards):
+    ring = HashRing([f"shard{i}" for i in range(n_shards)])
+    counts = ring.assignment(DIGESTS)
+    ideal = len(DIGESTS) / n_shards
+    for shard, count in counts.items():
+        deviation = abs(count - ideal) / ideal
+        assert deviation <= 0.25, (
+            f"{shard} holds {count} of {len(DIGESTS)} keys "
+            f"({deviation:.1%} from ideal)"
+        )
+
+
+def test_balance_with_address_style_names():
+    """Node names shaped like the supervisor's real addresses balance too."""
+    ring = HashRing([f"127.0.0.1:{7101 + i}" for i in range(3)])
+    counts = ring.assignment(DIGESTS)
+    ideal = len(DIGESTS) / 3
+    assert all(abs(c - ideal) / ideal <= 0.25 for c in counts.values())
+
+
+def test_minimal_remapping_on_join():
+    """Adding shard N+1 moves ≤ ~1/(N+1) of keys, all *to* the newcomer."""
+    before = HashRing([f"shard{i}" for i in range(3)])
+    after = HashRing([f"shard{i}" for i in range(3)])
+    old = {digest: before.primary(digest) for digest in DIGESTS}
+    after.add("shard3")
+    moved = 0
+    for digest in DIGESTS:
+        new = after.primary(digest)
+        if new != old[digest]:
+            moved += 1
+            # a key never remaps between two surviving shards
+            assert new == "shard3"
+    # ideal churn is 1/4 of keys; allow 50% slack for vnode placement
+    assert moved <= len(DIGESTS) / 4 * 1.5
+    assert moved > 0
+
+
+def test_minimal_remapping_on_leave():
+    """Removing a shard only moves the keys it owned."""
+    ring = HashRing([f"shard{i}" for i in range(3)])
+    old = {digest: ring.primary(digest) for digest in DIGESTS}
+    ring.remove("shard1")
+    for digest in DIGESTS:
+        new = ring.primary(digest)
+        if old[digest] != "shard1":
+            assert new == old[digest], "key moved between survivors"
+        else:
+            assert new != "shard1"
+
+
+def test_routing_is_deterministic():
+    a = HashRing(["x", "y", "z"], replication=2)
+    b = HashRing(["z", "x", "y"], replication=2)  # insertion order irrelevant
+    for digest in DIGESTS[:500]:
+        assert a.nodes_for(digest) == b.nodes_for(digest)
+
+
+def test_replica_sets_are_distinct_and_sized():
+    ring = HashRing(["x", "y", "z"], replication=2)
+    for digest in DIGESTS[:500]:
+        replicas = ring.nodes_for(digest)
+        assert len(replicas) == 2
+        assert len(set(replicas)) == 2
+        assert replicas[0] == ring.primary(digest)
+
+
+def test_replication_clamped_to_ring_size():
+    ring = HashRing(["only"], replication=3)
+    assert ring.nodes_for(DIGESTS[0]) == ["only"]
+
+
+def test_empty_ring():
+    ring = HashRing()
+    assert ring.nodes_for(DIGESTS[0]) == []
+    with pytest.raises(KeyError):
+        ring.primary(DIGESTS[0])
+
+
+def test_duplicate_add_rejected():
+    ring = HashRing(["a"])
+    with pytest.raises(ValueError):
+        ring.add("a")
+
+
+def test_remove_unknown_rejected():
+    with pytest.raises(KeyError):
+        HashRing(["a"]).remove("b")

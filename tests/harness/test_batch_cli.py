@@ -14,9 +14,9 @@ def stub_figure(monkeypatch):
     calls = {}
 
     def fake_figure4(scale=1, verbose=False, jobs=1, trace_cache=None,
-                     server=None):
+                     server=None, cluster=None):
         calls.update(scale=scale, jobs=jobs, trace_cache=trace_cache,
-                     server=server)
+                     server=server, cluster=cluster)
         data = FigureData("stub", series=["A"])
         data.add("w1", "A", 2.0)
         data.summary["avg"] = 2.0

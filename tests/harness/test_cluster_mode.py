@@ -1,0 +1,68 @@
+"""Cluster-mode harness path: figures computed against a shard ring are
+bit-identical to the inline sequential path (the acceptance bar for
+`--cluster`)."""
+
+import pytest
+
+from repro.cluster import ClusterClient, ClusterConfig, ClusterSupervisor
+from repro.harness.figures import figure4
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    supervisor = ClusterSupervisor(ClusterConfig(
+        shards=2, workers=2,
+        root=str(tmp_path_factory.mktemp("fig4-cluster")),
+    ))
+    supervisor.start()
+    yield supervisor
+    supervisor.stop()
+
+
+@pytest.fixture(scope="module")
+def inline_fig4():
+    return figure4()
+
+
+@pytest.fixture(scope="module")
+def clustered_fig4(cluster, tmp_path_factory):
+    from repro.trace import TraceStore
+
+    store = TraceStore(tmp_path_factory.mktemp("fig4-cluster-traces"))
+    return figure4(cluster=cluster.membership_path, trace_cache=store)
+
+
+def test_figure4_rows_bit_identical(inline_fig4, clustered_fig4):
+    assert clustered_fig4.rows == inline_fig4.rows
+
+
+def test_figure4_summary_bit_identical(inline_fig4, clustered_fig4):
+    assert clustered_fig4.summary == inline_fig4.summary
+
+
+def test_figure4_render_identical(inline_fig4, clustered_fig4):
+    assert clustered_fig4.render() == inline_fig4.render()
+
+
+def test_clustered_bench_records_complete(clustered_fig4):
+    assert len(clustered_fig4.bench) == 12 * 3
+    for record in clustered_fig4.bench:
+        assert record["instrumented_cycles"] > 0
+        assert record["baseline_cycles"] > 0
+
+
+def test_cluster_and_server_args_conflict(cluster):
+    with pytest.raises(ValueError):
+        figure4(cluster=cluster.membership_path, server="127.0.0.1:1")
+
+
+def test_existing_client_is_reused_not_closed(cluster, tmp_path_factory):
+    """Passing a live ClusterClient delegates without closing it."""
+    from repro.trace import TraceStore
+
+    store = TraceStore(tmp_path_factory.mktemp("fig4-reuse-traces"))
+    with ClusterClient(cluster.membership_path) as client:
+        result = figure4(cluster=client, trace_cache=store)
+        assert result.rows
+        # still usable: the harness did not close the caller's client
+        assert client.ping_all()

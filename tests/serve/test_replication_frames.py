@@ -1,0 +1,100 @@
+"""PUT_TRACE / PUT_RESULT: the cluster write-replication frames.
+
+``PUT_TRACE`` ingests trace bytes without scheduling a replay;
+``PUT_RESULT`` installs a peer-computed record under the same
+``(digest, fingerprint)`` cache key a local replay would use.  Both are
+plain server features — the cluster client is just their caller.
+"""
+
+import pytest
+
+from repro.serve.client import RequestFailed, ServeClient
+
+
+def test_put_trace_then_digest_only_request(make_server, fft_trace):
+    digest, blob, plain_cycles = fft_trace
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        client.put_trace(blob)
+        # no replay happened on ingest...
+        stats = client.stats()
+        assert stats["counters"].get("traces_replicated_in") == 1
+        assert stats["counters"].get("results_total", 0) == 0
+        # ...but the digest is now known: no UNKNOWN_TRACE round trip
+        response = client.submit("eraser.full", digest=digest)
+        assert response["result"]["baseline_cycles"] == plain_cycles
+
+
+def test_put_result_then_digest_only_is_cache_hit(make_server, fft_trace):
+    digest, _blob, _plain = fft_trace
+    record = {
+        "spec": "eraser.full",
+        "baseline_cycles": 111,
+        "instrumented_cycles": 222,
+        "metadata_bytes": 333,
+        "n_reports": 4,
+    }
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        client.put_result(digest, "eraser.full", record)
+        assert client.stats()["counters"].get("results_replicated_in") == 1
+        # the shard never saw the trace, yet answers from its cache
+        response = client.submit("eraser.full", digest=digest)
+        assert response["cached"]
+        assert response["result"]["instrumented_cycles"] == 222
+
+
+def test_put_result_key_is_spec_scoped(make_server, fft_trace):
+    """A record replicated for one spec is a miss for another."""
+    digest, _blob, _plain = fft_trace
+    record = {"baseline_cycles": 1, "instrumented_cycles": 2,
+              "metadata_bytes": 3, "n_reports": 4}
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        client.put_result(digest, "eraser.full", record)
+        with pytest.raises(RequestFailed) as excinfo:
+            client.submit("eraser.ds_only", digest=digest)
+        assert excinfo.value.code == "UNKNOWN_TRACE"
+
+
+def test_put_trace_rejects_empty_and_garbage(make_server):
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        with pytest.raises(RequestFailed) as empty:
+            client.put_trace(b"")
+        assert empty.value.code == "BAD_TRACE"
+        with pytest.raises(RequestFailed) as garbage:
+            client.put_trace(b"\x00not a trace\xff" * 16)
+        assert garbage.value.code == "BAD_TRACE"
+
+
+def test_put_result_rejects_unknown_spec(make_server, fft_trace):
+    digest, _blob, _plain = fft_trace
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        with pytest.raises(RequestFailed) as excinfo:
+            client.put_result(digest, "no.such.spec",
+                              {"instrumented_cycles": 1, "metadata_bytes": 1,
+                               "n_reports": 1})
+        assert excinfo.value.code == "UNKNOWN_SPEC"
+
+
+def test_put_result_rejects_bad_digest(make_server):
+    """A path-traversal digest never becomes a cache filename."""
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        with pytest.raises(RequestFailed) as excinfo:
+            client.put_result("../evil", "eraser.full",
+                              {"instrumented_cycles": 1, "metadata_bytes": 1,
+                               "n_reports": 1})
+        assert excinfo.value.code == "BAD_RESULT"
+
+
+def test_put_result_rejects_incomplete_record(make_server, fft_trace):
+    digest, _blob, _plain = fft_trace
+    handle = make_server()
+    with ServeClient(handle.address) as client:
+        with pytest.raises(RequestFailed) as excinfo:
+            client.put_result(digest, "eraser.full", {"n_reports": 1})
+        assert excinfo.value.code == "BAD_RESULT"
+        assert "instrumented_cycles" in str(excinfo.value)

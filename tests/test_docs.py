@@ -87,6 +87,7 @@ def test_docs_exist():
         "TUTORIAL.md",
         "TRACING.md",
         "SERVING.md",
+        "CLUSTER.md",
     ):
         assert (DOCS / name).exists()
 

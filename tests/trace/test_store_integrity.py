@@ -221,3 +221,74 @@ def test_fsck_cli(store, capsys):
 
 def test_fsck_cli_usage_error(capsys):
     assert trace_cli.main([]) == 2
+
+
+# ----------------------------------------------------------------------
+# quarantine pruning (the pen must not grow without bound)
+# ----------------------------------------------------------------------
+def _quarantine_one(store) -> str:
+    """Corrupt the by-digest entry and trip verification; returns its name."""
+    digest = _ingested(store)
+    path = store.digest_path(digest)
+    _flip_byte(path)
+    with pytest.raises(StoreCorruptionError):
+        store.open_by_digest(digest)
+    return path.name
+
+
+def test_prune_empties_the_pen_by_default(store):
+    name = _quarantine_one(store)
+    report = store.prune_quarantine()
+    assert report["pruned"] == [name]
+    assert report["kept"] == 0
+    assert store.quarantined_entries() == []
+    # the reason sidecar went with the entry
+    assert list(store.quarantine_dir.glob("*.reason.json")) == []
+
+
+def test_prune_max_age_keeps_young_entries(store):
+    import time
+
+    name = _quarantine_one(store)
+    young = store.prune_quarantine(max_age_seconds=3600)
+    assert young["kept"] == 1 and young["pruned"] == []
+    assert name in store.quarantined_entries()
+    # two hours later the same entry ages out
+    old = store.prune_quarantine(max_age_seconds=3600, now=time.time() + 7200)
+    assert old["pruned"] == [name]
+    assert store.quarantined_entries() == []
+
+
+def test_prune_falls_back_to_mtime_without_sidecar(store):
+    name = _quarantine_one(store)
+    (store.quarantine_dir / f"{name}.reason.json").unlink()
+    report = store.prune_quarantine()
+    assert report["pruned"] == [name]
+
+
+def test_prune_sweeps_orphan_sidecars(store):
+    name = _quarantine_one(store)
+    (store.quarantine_dir / name).unlink()  # entry gone, sidecar orphaned
+    store.prune_quarantine(max_age_seconds=10**9)  # prunes nothing by age
+    assert list(store.quarantine_dir.glob("*.reason.json")) == []
+
+
+def test_prune_on_empty_store(store):
+    assert store.prune_quarantine() == {"examined": 0, "pruned": [], "kept": 0}
+
+
+def test_fsck_cli_prune(store, capsys):
+    name = _quarantine_one(store)
+    assert trace_cli.main(["fsck", "--store", str(store.root), "--prune",
+                           "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["pruned"]["pruned"] == [name]
+    assert store.quarantined_entries() == []
+
+
+def test_fsck_cli_prune_respects_max_age(store, capsys):
+    name = _quarantine_one(store)
+    assert trace_cli.main(["fsck", "--store", str(store.root), "--prune",
+                           "--quarantine-max-age", "3600"]) == 0
+    capsys.readouterr()
+    assert name in store.quarantined_entries()
