@@ -279,10 +279,72 @@ def _run_job(packed) -> JobResult:
 # -- batch driver --------------------------------------------------------
 
 
+def _run_job_partitioned(store: TraceStore, job: JobSpec, shards: int,
+                         pool=None) -> JobResult:
+    """One job via partitioned replay: decode fans across ``pool`` (or
+    runs inline when ``pool`` is None), handlers settle here.  Shares the
+    result cache with :func:`_run_job` — partitioned output is
+    bit-identical, so entries are interchangeable either way."""
+    from repro.partition import replay_partitioned
+    from repro.workloads import ALL
+
+    store.get_or_record(ALL[job.workload], job.scale)
+    trace_path = store.trace_path(ALL[job.workload], job.scale)
+    meta = store.read_tail_meta(trace_path)
+    baseline_cycles = meta["summary"]["plain_cycles"]
+    label = job.label or job.spec
+
+    key = TraceStore.result_key(meta["digest"], analysis_fingerprint(job.spec))
+    cached = store.load_result(key)
+    if cached is not None:
+        return JobResult(
+            workload=job.workload,
+            spec=job.spec,
+            label=label,
+            scale=job.scale,
+            baseline_cycles=baseline_cycles,
+            instrumented_cycles=cached["instrumented_cycles"],
+            metadata_bytes=cached["metadata_bytes"],
+            n_reports=cached["n_reports"],
+            wall_seconds=cached["wall_seconds"],
+            cached=True,
+        )
+
+    started = time.perf_counter()
+    profile, reporter, _stats = replay_partitioned(
+        store, trace_path, [job.spec], shards, pool=pool
+    )
+    wall = time.perf_counter() - started
+    store.store_result(
+        key,
+        {
+            "workload": job.workload,
+            "spec": job.spec,
+            "scale": job.scale,
+            "instrumented_cycles": profile.cycles,
+            "metadata_bytes": profile.metadata_bytes,
+            "n_reports": len(list(reporter)),
+            "wall_seconds": wall,
+        },
+    )
+    return JobResult(
+        workload=job.workload,
+        spec=job.spec,
+        label=label,
+        scale=job.scale,
+        baseline_cycles=baseline_cycles,
+        instrumented_cycles=profile.cycles,
+        metadata_bytes=profile.metadata_bytes,
+        n_reports=len(list(reporter)),
+        wall_seconds=wall,
+    )
+
+
 def run_batch(
     jobs: Sequence[JobSpec],
     processes: int = 1,
     store: Union[TraceStore, str, None] = None,
+    partition: int = 1,
 ) -> List[JobResult]:
     """Execute a batch of jobs; results come back in job order.
 
@@ -290,6 +352,13 @@ def run_batch(
     (a temporary store discarded afterwards).  With ``processes > 1``
     both phases — trace recording and analysis replay — fan out over a
     worker pool.
+
+    With ``partition > 1`` the parallelism axis flips: jobs execute
+    *sequentially* but each job's trace decode is cut into up to
+    ``partition`` shards fanned across the pool
+    (:func:`repro.partition.runner.replay_partitioned`), which helps
+    when a batch is dominated by a few huge traces rather than by job
+    count.  Results are bit-identical either way and share one cache.
     """
     jobs = list(jobs)
     if not jobs:
@@ -322,6 +391,9 @@ def run_batch(
         ]
         job_args = [(root, job) for job in jobs]
 
+        if partition < 1:
+            raise ValueError(f"partition must be >= 1, got {partition}")
+
         if processes > 1:
             from repro.exec.workers import PersistentWorkerPool
 
@@ -331,11 +403,22 @@ def run_batch(
                 else:
                     for packed in missing:
                         _record_trace(packed)
-                results = pool.map(REPLAY_TASK, job_args)
+                if partition > 1:
+                    results = [
+                        _run_job_partitioned(store, job, partition, pool=pool)
+                        for job in jobs
+                    ]
+                else:
+                    results = pool.map(REPLAY_TASK, job_args)
         else:
             for packed in missing:
                 _record_trace(packed)
-            results = [_run_job(packed) for packed in job_args]
+            if partition > 1:
+                results = [
+                    _run_job_partitioned(store, job, partition) for job in jobs
+                ]
+            else:
+                results = [_run_job(packed) for packed in job_args]
         return results
     finally:
         if tempdir is not None:

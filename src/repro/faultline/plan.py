@@ -34,6 +34,8 @@ FAULT_POINTS = (
     "cluster.shard.down",  # supervisor kills one shard (health loop / chaos)
     "cluster.net.partition",  # client loses reachability to one shard
     "cluster.replica.slow",   # client sees one replica answer slowly
+    "partition.shard.fail",   # one partitioned-replay shard decode dies
+    "partition.merge.corrupt",  # a shard artifact is perturbed pre-merge
 )
 
 

@@ -24,7 +24,7 @@ FIGURES = {"fig3": figure3, "fig4": figure4, "fig5": figure5}
 
 def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
                    jobs: int = 1, trace_cache=None, server=None,
-                   cluster=None, bench=None) -> str:
+                   cluster=None, bench=None, partition: int = 1) -> str:
     """Regenerate one experiment; optionally collect a BENCH record.
 
     ``bench``, when a dict, is filled with the machine-readable record
@@ -36,7 +36,8 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
     started = time.perf_counter()
     if name in FIGURES:
         data = FIGURES[name](scale, verbose, jobs=jobs, trace_cache=trace_cache,
-                             server=server, cluster=cluster)
+                             server=server, cluster=cluster,
+                             partition=partition)
         if bench is not None:
             bench.update(
                 experiment=name,
@@ -45,6 +46,7 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
                 trace_cache=str(trace_cache) if trace_cache else None,
                 server=server,
                 cluster=str(cluster) if cluster is not None else None,
+                partition=partition,
                 wall_seconds=time.perf_counter() - started,
                 summary=data.summary,
                 results=data.bench,
@@ -107,6 +109,11 @@ def main(argv=None) -> int:
                              "ring, given its membership file (see "
                              "docs/CLUSTER.md); results are bit-identical "
                              "to inline")
+    parser.add_argument("--partition", type=int, default=1, metavar="N",
+                        help="shard each figure trace's decode into up to N "
+                             "pieces fanned across the --jobs pool "
+                             "(docs/PARTITION.md); bit-identical results, "
+                             "incompatible with --server/--cluster")
     parser.add_argument("--json", metavar="OUT", default=None, dest="json_out",
                         help="also write machine-readable BENCH_<experiment>.json "
                              "records (cycles, overheads, wall-clock) into "
@@ -120,7 +127,7 @@ def main(argv=None) -> int:
         print(run_experiment(name, args.scale, args.verbose, args.format,
                              jobs=args.jobs, trace_cache=args.trace_cache,
                              server=args.server, cluster=args.cluster,
-                             bench=bench))
+                             bench=bench, partition=args.partition))
         if bench:
             out_dir = Path(args.json_out)
             out_dir.mkdir(parents=True, exist_ok=True)

@@ -49,8 +49,18 @@ class FigureData:
         return "\n".join(lines)
 
 
-def _use_batch(jobs: int, trace_cache, server=None) -> bool:
-    return jobs > 1 or trace_cache is not None or server is not None
+def _use_batch(jobs: int, trace_cache, server=None, partition: int = 1) -> bool:
+    return (jobs > 1 or trace_cache is not None or server is not None
+            or partition > 1)
+
+
+def _check_partition(partition: int, server, cluster) -> None:
+    """``partition=`` drives the local worker pool; remote execution
+    modes ship jobs elsewhere, so combining them is a config error."""
+    if partition > 1 and (server is not None or cluster is not None):
+        raise ValueError(
+            "partition= requires local execution; drop server=/cluster="
+        )
 
 
 def _cluster_client(cluster, server):
@@ -72,7 +82,7 @@ def _cluster_client(cluster, server):
     return ClusterClient(cluster), True
 
 
-def _run_batch(specs, jobs: int, trace_cache, server=None):
+def _run_batch(specs, jobs: int, trace_cache, server=None, partition: int = 1):
     """specs: (workload, analysis spec, label) tuples plus a shared scale.
 
     With ``server`` set (a ``HOST:PORT`` string or a
@@ -82,6 +92,11 @@ def _run_batch(specs, jobs: int, trace_cache, server=None):
     resilient client (default :class:`repro.serve.ResilienceConfig`):
     transient BUSY/reset/crash responses are retried with backoff
     instead of aborting the whole figure run.
+
+    With ``partition > 1`` each job's trace decode is sharded across the
+    local pool instead of fanning out whole jobs
+    (:mod:`repro.partition`); bit-identical results, different
+    parallelism axis.
     """
     from repro.exec import JobSpec, run_batch
 
@@ -93,7 +108,8 @@ def _run_batch(specs, jobs: int, trace_cache, server=None):
         from repro.serve.client import run_jobs
 
         return run_jobs(server, job_specs, store=trace_cache)
-    return run_batch(job_specs, processes=jobs, store=trace_cache)
+    return run_batch(job_specs, processes=jobs, store=trace_cache,
+                     partition=partition)
 
 
 def _bench_record(result) -> dict:
@@ -111,15 +127,19 @@ def _bench_record(result) -> dict:
 
 def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
             trace_cache=None, server=None, cluster=None,
-            backend: str = "compiled") -> FigureData:
+            backend: str = "compiled", partition: int = 1) -> FigureData:
     """LLVM MSan vs ALDA MSan across the 20 bug-free workloads.
 
     ``backend`` selects the VM dispatch strategy for the inline path
     (see :class:`repro.vm.Interpreter`); the batch/replay path decodes
     recorded traces and is backend-independent.  ``cluster`` routes the
     batch through a shard ring (membership path or client) instead of a
-    single server; results stay bit-identical.
+    single server; results stay bit-identical.  ``partition`` shards
+    each trace's decode across the local pool (see
+    :mod:`repro.partition`) instead of fanning out whole jobs —
+    incompatible with ``server=``/``cluster=``.
     """
+    _check_partition(partition, server, cluster)
     if cluster is not None:
         client, owns = _cluster_client(cluster, server)
         try:
@@ -131,13 +151,14 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
     data = FigureData("Figure 3: LLVM MSan vs ALDA MSan (normalized overhead)",
                       series=["LLVM", "ALDAcc"])
     memory_ratios = []
-    if _use_batch(jobs, trace_cache, server):
+    if _use_batch(jobs, trace_cache, server, partition):
         names = list(fig3_workloads())
         tuples = []
         for name in names:
             tuples.append((name, "msan.handtuned", "LLVM"))
             tuples.append((name, "msan.alda", "ALDAcc"))
-        results = _run_batch((tuples, scale), jobs, trace_cache, server)
+        results = _run_batch((tuples, scale), jobs, trace_cache, server,
+                             partition)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             llvm, alda = by[(name, "LLVM")], by[(name, "ALDAcc")]
@@ -175,8 +196,9 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
 
 def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
             trace_cache=None, server=None, cluster=None,
-            backend: str = "compiled") -> FigureData:
+            backend: str = "compiled", partition: int = 1) -> FigureData:
     """Hand-tuned Eraser vs ALDAcc-full vs ALDAcc-ds-only on Splash2."""
+    _check_partition(partition, server, cluster)
     if cluster is not None:
         client, owns = _cluster_client(cluster, server)
         try:
@@ -190,14 +212,15 @@ def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
         series=["Hand-Tuned", "ALDAcc-full", "ALDAcc-ds-only"],
     )
     memory_ratios = []
-    if _use_batch(jobs, trace_cache, server):
+    if _use_batch(jobs, trace_cache, server, partition):
         names = list(fig4_workloads())
         tuples = []
         for name in names:
             tuples.append((name, "eraser.handtuned", "Hand-Tuned"))
             tuples.append((name, "eraser.full", "ALDAcc-full"))
             tuples.append((name, "eraser.ds_only", "ALDAcc-ds-only"))
-        results = _run_batch((tuples, scale), jobs, trace_cache, server)
+        results = _run_batch((tuples, scale), jobs, trace_cache, server,
+                             partition)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             hand = by[(name, "Hand-Tuned")]
@@ -264,8 +287,9 @@ _FIG5_SPECS = {
 
 def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
             trace_cache=None, server=None, cluster=None,
-            backend: str = "compiled") -> FigureData:
+            backend: str = "compiled", partition: int = 1) -> FigureData:
     """Four analyses run individually vs combined into one (Figure 5)."""
+    _check_partition(partition, server, cluster)
     if cluster is not None:
         client, owns = _cluster_client(cluster, server)
         try:
@@ -277,14 +301,15 @@ def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
     series = list(_FIG5_ANALYSES) + ["sum_individual", "combined"]
     data = FigureData("Figure 5: combined analysis (normalized overhead)", series)
     speedups = []
-    if _use_batch(jobs, trace_cache, server):
+    if _use_batch(jobs, trace_cache, server, partition):
         names = list(fig5_workloads())
         tuples = []
         for name in names:
             for analysis_name in _FIG5_ANALYSES:
                 tuples.append((name, _FIG5_SPECS[analysis_name], analysis_name))
             tuples.append((name, "fig5.combined", "combined"))
-        results = _run_batch((tuples, scale), jobs, trace_cache, server)
+        results = _run_batch((tuples, scale), jobs, trace_cache, server,
+                             partition)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             total = 0.0

@@ -1,0 +1,39 @@
+"""Process-wide partitioned-replay counters.
+
+A tiny module of its own so :mod:`repro.partition.runner` (which bumps
+them) and the package ``__init__`` (which re-exports the read side)
+never import-cycle.  Surfaced in ``serve stats`` under the
+``partition`` subsystem namespace.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_lock = threading.Lock()
+_stats = {
+    "plans": 0,
+    "shards_planned": 0,
+    "shards_executed": 0,
+    "shard_failures": 0,
+    "merges": 0,
+    "merge_seconds": 0.0,
+    "replays": 0,
+    "fallbacks": 0,
+}
+
+
+def bump(name: str, amount=1) -> None:
+    with _lock:
+        _stats[name] += amount
+
+
+def note_fallback() -> None:
+    """Record one fallback-to-monolithic decision (callers own the retry)."""
+    bump("fallbacks")
+
+
+def partition_stats() -> dict:
+    """Process-wide partitioned-replay counters (plans, shards, merges)."""
+    with _lock:
+        return dict(_stats)

@@ -1,0 +1,343 @@
+"""Cut a recorded trace into contiguous, balanced replay shards.
+
+A *shard* is a contiguous byte range of the (uncompressed) payload plus
+the decoder state at its first record — everything
+:func:`repro.partition.shard.decode_shard` needs to decode it without
+touching any other byte of the trace:
+
+* the string-table prefix length (ids are interned in-stream, in order,
+  so the first ``n_strings`` entries of the final table seed a
+  mid-stream decoder);
+* the last access address (``OP_ACCESS`` stores zigzag deltas);
+* the next frame serial and the running record/event/access totals
+  (events carry a global sequence number; frame pushes assign serials
+  implicitly).
+
+For v2 traces the cut candidates are exactly the segment boundaries
+from the tail index — planning needs only the tail meta, no payload IO.
+For v1 traces the planner makes one cheap skip-scan over the payload
+(no tuple materialization) collecting a checkpoint every few thousand
+records, then cuts at the checkpoints closest to an even record split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.trace.format import (
+    FORMAT_VERSION_V2,
+    OP_ACCESS,
+    OP_DEFAULT,
+    OP_EVENT,
+    OP_MOV,
+    OP_OR2,
+    OP_POP,
+    OP_PUSH,
+    OP_SET0,
+    OP_STR,
+    OP_SUMMARY,
+    EVF_HAS_BT,
+    EVF_HAS_RESULT,
+    TraceFormatError,
+    TraceReader,
+    read_varint,
+)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice of a trace payload plus its start state."""
+
+    index: int
+    ustart: int  # uncompressed payload byte range [ustart, uend)
+    uend: int
+    #: v2: [seg_start, seg_end) into the trace's segment index;
+    #: None for v1 shards (cut by payload scan, read as one blob).
+    seg_start: Optional[int]
+    seg_end: Optional[int]
+    n_strings: int
+    last_address: int
+    next_serial: int
+    records_before: int
+    events_before: int
+    accesses_before: int
+    n_records: int
+    n_events: int
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The full cut of one trace into replay shards."""
+
+    digest: str
+    version: int
+    requested_shards: int
+    shards: Tuple[ShardSpec, ...]
+    #: Final interned string table; shard ``k`` seeds its decoder with
+    #: ``strings[:shards[k].n_strings]``.
+    strings: Tuple[str, ...]
+    n_records: int
+    n_events: int
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A cut-safe position: a record boundary with known decoder state."""
+
+    pos: int
+    seg_index: Optional[int]
+    n_strings: int
+    last_address: int
+    next_serial: int
+    records_before: int
+    events_before: int
+    accesses_before: int
+
+
+def _skip_event(buf: bytes, pos: int) -> int:
+    """Advance past one OP_EVENT body without materializing it."""
+    flags, pos = read_varint(buf, pos)
+    _, pos = read_varint(buf, pos)  # kind id
+    _, pos = read_varint(buf, pos)  # tid
+    _, pos = read_varint(buf, pos)  # frame serial
+    n_ops, pos = read_varint(buf, pos)
+    for _ in range(n_ops):
+        _, pos = read_varint(buf, pos)
+    if flags & EVF_HAS_RESULT:
+        _, pos = read_varint(buf, pos)
+    n_sizes, pos = read_varint(buf, pos)
+    for _ in range(n_sizes):
+        _, pos = read_varint(buf, pos)
+    _, pos = read_varint(buf, pos)  # result size
+    n_regs, pos = read_varint(buf, pos)
+    for _ in range(n_regs):
+        _, pos = read_varint(buf, pos)
+    _, pos = read_varint(buf, pos)  # result reg id
+    _, pos = read_varint(buf, pos)  # loc id
+    if flags & EVF_HAS_BT:
+        _, pos = read_varint(buf, pos)
+    return pos
+
+
+#: varint field counts for the fixed-shape opcodes the scan skips.
+_SKIP_FIELDS = {
+    OP_ACCESS: 2,
+    OP_SET0: 2,
+    OP_DEFAULT: 2,
+    OP_OR2: 4,
+    OP_MOV: 4,
+    OP_PUSH: 2,
+    OP_POP: 2,
+    OP_SUMMARY: 6,
+}
+
+
+def _scan_v1(payload: bytes, checkpoint_every: int):
+    """Skip-scan a v1 payload; returns (strings, candidates, totals).
+
+    Candidates include the implicit start-of-payload checkpoint; every
+    candidate is a record boundary (any record boundary is cut-safe —
+    the snapshot fields fully describe the decoder state there).
+    """
+    from repro.trace.format import unzigzag
+
+    strings: List[str] = []
+    candidates: List[_Candidate] = []
+    pos = 0
+    end = len(payload)
+    last_address = 0
+    next_serial = 0
+    n_records = 0
+    n_events = 0
+    n_accesses = 0
+    since_checkpoint = checkpoint_every  # force a candidate at pos 0
+
+    while pos < end:
+        if since_checkpoint >= checkpoint_every:
+            candidates.append(_Candidate(
+                pos=pos, seg_index=None, n_strings=len(strings),
+                last_address=last_address, next_serial=next_serial,
+                records_before=n_records, events_before=n_events,
+                accesses_before=n_accesses,
+            ))
+            since_checkpoint = 0
+        op = payload[pos]
+        pos += 1
+        if op == OP_ACCESS:
+            delta, pos = read_varint(payload, pos)
+            _, pos = read_varint(payload, pos)
+            last_address += unzigzag(delta)
+            n_accesses += 1
+            n_records += 1
+            since_checkpoint += 1
+        elif op == OP_EVENT:
+            pos = _skip_event(payload, pos)
+            n_events += 1
+            n_records += 1
+            since_checkpoint += 1
+        elif op == OP_STR:
+            length, pos = read_varint(payload, pos)
+            strings.append(payload[pos:pos + length].decode("utf-8"))
+            pos += length
+        elif op in _SKIP_FIELDS:
+            if op == OP_PUSH:
+                next_serial += 1
+            for _ in range(_SKIP_FIELDS[op]):
+                _, pos = read_varint(payload, pos)
+            n_records += 1
+            since_checkpoint += 1
+        else:
+            raise TraceFormatError(f"unknown opcode {op} at offset {pos - 1}")
+
+    totals = {"pos": pos, "n_records": n_records, "n_events": n_events,
+              "n_accesses": n_accesses}
+    return strings, candidates, totals
+
+
+def _candidates_v2(meta: dict):
+    """Segment-index cut candidates for a v2 trace (tail meta only)."""
+    candidates = []
+    pos = 0
+    entries = meta["segments"]
+    for index, entry in enumerate(entries):
+        snapshot = entry["snapshot"]
+        candidates.append(_Candidate(
+            pos=pos, seg_index=index,
+            n_strings=snapshot["n_strings"],
+            last_address=snapshot["last_address"],
+            next_serial=snapshot["next_serial"],
+            records_before=snapshot["records_before"],
+            events_before=snapshot["events_before"],
+            accesses_before=snapshot["accesses_before"],
+        ))
+        pos += entry["ulen"]
+    last = entries[-1]
+    totals = {
+        "pos": pos,
+        "n_records": last["snapshot"]["records_before"] + last["n_records"],
+        "n_events": last["snapshot"]["events_before"] + last["n_events"],
+        "n_accesses": last["snapshot"]["accesses_before"] + last["n_accesses"],
+    }
+    return candidates, totals
+
+
+def _choose_boundaries(candidates: Sequence[_Candidate], total_records: int,
+                       shards: int) -> List[_Candidate]:
+    """Pick up to ``shards - 1`` interior candidates balancing records."""
+    interior = [c for c in candidates if c.pos > 0]
+    chosen: List[_Candidate] = []
+    for k in range(1, shards):
+        target = total_records * k / shards
+        best = None
+        for candidate in interior:
+            if chosen and candidate.pos <= chosen[-1].pos:
+                continue
+            distance = abs(candidate.records_before - target)
+            if best is None or distance < best[0]:
+                best = (distance, candidate)
+        if best is None:
+            break
+        # Refuse boundaries that would create an empty leading shard.
+        previous = chosen[-1] if chosen else candidates[0]
+        if best[1].records_before <= previous.records_before:
+            continue
+        chosen.append(best[1])
+    return chosen
+
+
+def _build_plan(digest: str, version: int, shards: int,
+                candidates: Sequence[_Candidate], totals: dict,
+                strings: Sequence[str]) -> PartitionPlan:
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    boundaries = _choose_boundaries(candidates, totals["n_records"], shards)
+    starts = [candidates[0]] + boundaries
+    specs = []
+    n_segments = 1 + (candidates[-1].seg_index or 0)
+    for index, start in enumerate(starts):
+        nxt = starts[index + 1] if index + 1 < len(starts) else None
+        uend = nxt.pos if nxt else totals["pos"]
+        records_end = nxt.records_before if nxt else totals["n_records"]
+        events_end = nxt.events_before if nxt else totals["n_events"]
+        if version == FORMAT_VERSION_V2:
+            seg_start = start.seg_index
+            seg_end = nxt.seg_index if nxt else n_segments
+        else:
+            seg_start = seg_end = None
+        specs.append(ShardSpec(
+            index=index,
+            ustart=start.pos,
+            uend=uend,
+            seg_start=seg_start,
+            seg_end=seg_end,
+            n_strings=start.n_strings,
+            last_address=start.last_address,
+            next_serial=start.next_serial,
+            records_before=start.records_before,
+            events_before=start.events_before,
+            accesses_before=start.accesses_before,
+            n_records=records_end - start.records_before,
+            n_events=events_end - start.events_before,
+        ))
+    return PartitionPlan(
+        digest=digest,
+        version=version,
+        requested_shards=shards,
+        shards=tuple(specs),
+        strings=tuple(strings),
+        n_records=totals["n_records"],
+        n_events=totals["n_events"],
+    )
+
+
+def plan_partition(reader: TraceReader, shards: int,
+                   checkpoint_every: int = 4096) -> PartitionPlan:
+    """Plan a cut of an open trace (v1 or v2) into up to ``shards`` shards.
+
+    v2 traces cut only at segment boundaries, so the effective shard
+    count is capped by the segment count; v1 traces cut at scan
+    checkpoints (every ``checkpoint_every`` records), which virtually
+    always yields the requested count.
+    """
+    if reader.version == FORMAT_VERSION_V2:
+        candidates, totals = _candidates_v2(reader.meta)
+        strings = reader.meta["string_table"]
+    else:
+        strings, candidates, totals = _scan_v1(reader.payload, checkpoint_every)
+    if totals["pos"] != len(reader.payload):
+        raise TraceFormatError(
+            f"planner scan consumed {totals['pos']} of "
+            f"{len(reader.payload)} payload bytes"
+        )
+    return _build_plan(reader.digest, reader.version, shards,
+                       candidates, totals, strings)
+
+
+def plan_partition_meta(meta: dict, shards: int) -> PartitionPlan:
+    """Plan from a v2 tail meta alone — no payload read.
+
+    This is the serve-side path: the scheduler seek-reads the tail of a
+    stored trace and decides shard ranges without inflating a byte.
+    Raises :class:`TraceFormatError` for v1 metas (no segment index).
+    """
+    if meta.get("version") != FORMAT_VERSION_V2:
+        raise TraceFormatError(
+            "meta-only planning needs a v2 trace "
+            f"(got version {meta.get('version')!r})"
+        )
+    candidates, totals = _candidates_v2(meta)
+    return _build_plan(meta["digest"], FORMAT_VERSION_V2, shards,
+                       candidates, totals, meta["string_table"])
+
+
+__all__ = [
+    "PartitionPlan",
+    "ShardSpec",
+    "plan_partition",
+    "plan_partition_meta",
+]

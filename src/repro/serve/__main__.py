@@ -40,6 +40,14 @@ def _serve(argv) -> int:
     parser.add_argument("--read-timeout", type=float, default=10.0)
     parser.add_argument("--request-timeout", type=float, default=120.0)
     parser.add_argument("--drain-grace", type=float, default=15.0)
+    parser.add_argument("--partition-shards", type=int, default=1, metavar="N",
+                        help="shard big-trace replays across up to N decode "
+                             "workers when the server is idle "
+                             "(docs/PARTITION.md; default 1 = disabled)")
+    parser.add_argument("--partition-min-records", type=int, default=50_000,
+                        metavar="R",
+                        help="minimum recorded trace records before a replay "
+                             "is partitioned (default 50000)")
     defaults = ResilienceConfig()
     parser.add_argument("--hang-timeout", type=float,
                         default=defaults.hang_timeout, metavar="SEC",
@@ -75,6 +83,8 @@ def _serve(argv) -> int:
         read_timeout=args.read_timeout,
         request_timeout=args.request_timeout,
         drain_grace=args.drain_grace,
+        partition_shards=args.partition_shards,
+        partition_min_records=args.partition_min_records,
         resilience=resilience,
     )
     try:

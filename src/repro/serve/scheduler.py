@@ -64,11 +64,15 @@ class ReplayScheduler:
         capacity: int,
         metrics: MetricsRegistry,
         resilience: Optional[ResilienceConfig] = None,
+        partition_shards: int = 1,
+        partition_min_records: int = 50_000,
     ) -> None:
         self.pool = pool
         self.capacity = capacity
         self.metrics = metrics
         self.resilience = resilience or ResilienceConfig()
+        self.partition_shards = partition_shards
+        self.partition_min_records = partition_min_records
         self.breaker = CircuitBreaker(
             self.resilience.breaker_threshold, self.resilience.breaker_reset
         )
@@ -161,6 +165,73 @@ class ReplayScheduler:
                 # TaskError surface so callers handle one failure shape
                 raise TaskError(f"{type(exc).__name__}: {exc}") from exc
 
+    def _partition_ready(self) -> bool:
+        """Partitioned replay needs an enabled config, a healthy pool of
+        at least two workers, and an otherwise idle server — sharding one
+        trace's decode across the pool only pays off when no other
+        admitted replay is contending for the same workers."""
+        return (
+            self.partition_shards > 1
+            and self.pool is not None
+            and self.pool.size >= 2
+            and self.breaker.state == CircuitBreaker.CLOSED
+            and self.pool.alive_workers >= 2
+            and self._admitted <= 1
+        )
+
+    def _try_partitioned(self, payload: dict) -> Optional[dict]:
+        """RUN_PARTITIONED: shard the decode across the pool, settle here.
+
+        Returns None when the trace is ineligible (too small, missing)
+        or when partitioned replay fails its own integrity contract —
+        callers then run the usual monolithic path.  A corrupt stored
+        trace still raises :class:`StoreCorruptionError` (the file is
+        quarantined either way; clients must re-upload).
+        """
+        import time as _time
+
+        from repro.exec.pool import analysis_fingerprint
+        from repro.partition import PartitionError, counters, replay_partitioned
+        from repro.trace.format import TraceFormatError
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(payload["root"])
+        digest, spec = payload["digest"], payload["spec"]
+        path = store.find_by_digest(digest)
+        if path is None:
+            return None
+        meta = store.read_tail_meta(path)
+        if meta.get("n_records", 0) < self.partition_min_records:
+            return None
+        self.metrics.counter("partition_attempts").inc()
+        try:
+            started = _time.perf_counter()
+            profile, reporter, stats = replay_partitioned(
+                store, path, [spec], self.partition_shards, pool=self.pool
+            )
+        except (PartitionError, TraceFormatError) as exc:
+            counters.note_fallback()
+            self.metrics.counter("partition_fallbacks").inc()
+            self.metrics.counter(
+                "partition_fallback_" + type(exc).__name__).inc()
+            return None
+        record = {
+            "spec": spec,
+            "trace_digest": digest,
+            "workload": meta.get("workload"),
+            "scale": meta.get("scale"),
+            "baseline_cycles": meta["summary"]["plain_cycles"],
+            "instrumented_cycles": profile.cycles,
+            "metadata_bytes": profile.metadata_bytes,
+            "n_reports": len(list(reporter)),
+            "wall_seconds": _time.perf_counter() - started,
+            "partition_shards": stats["planned_shards"],
+        }
+        key = TraceStore.result_key(digest, analysis_fingerprint(spec))
+        store.store_result(key, record)
+        self.metrics.counter("partitioned_replays").inc()
+        return record
+
     async def _execute(self, payload: dict) -> dict:
         loop = asyncio.get_running_loop()
         in_flight = self.metrics.gauge("in_flight")
@@ -172,6 +243,14 @@ class ReplayScheduler:
             # is exactly the "queued" portion of that gauge.
             use_pool = (self.pool is not None and self.pool.size > 0
                         and self.breaker.allow())
+            if use_pool and self._partition_ready():
+                record = await loop.run_in_executor(
+                    self._executor, self._try_partitioned, payload
+                )
+                if record is not None:
+                    self.breaker.record_success()
+                    return record
+                # Ineligible or failed: fall through to monolithic.
             if use_pool:
                 try:
                     record = await loop.run_in_executor(

@@ -76,6 +76,12 @@ class ServeConfig:
     max_frame: int = protocol.MAX_FRAME_BYTES
     #: how long SIGTERM waits for in-flight replays
     drain_grace: float = 15.0
+    #: shard big-trace replays across the worker pool when the server is
+    #: otherwise idle (docs/PARTITION.md); 1 disables partitioned replay
+    partition_shards: int = 1
+    #: minimum recorded trace records before partitioning is worth the
+    #: fan-out (smaller traces replay monolithically regardless)
+    partition_min_records: int = 50_000
     #: retry/breaker/watchdog knobs (shared with clients and the pool)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
@@ -117,6 +123,8 @@ class AnalysisServer:
         self.scheduler = ReplayScheduler(
             self.pool, self.config.resolved_capacity(), self.metrics,
             resilience=resilience,
+            partition_shards=self.config.partition_shards,
+            partition_min_records=self.config.partition_min_records,
         )
         if self.pool is not None:
             self.metrics.gauge("workers_alive").set(self.pool.alive_workers)
@@ -510,6 +518,7 @@ class AnalysisServer:
         # instrumentation-elision pass (repro.staticpass).  They cover
         # embedded servers and any recording done in this process; pool
         # workers keep their own caches warm.
+        from repro.partition import partition_stats
         from repro.staticpass import staticpass_stats
         from repro.vm.compile import compile_cache_stats
 
@@ -517,6 +526,7 @@ class AnalysisServer:
         snap["subsystems"] = {
             "vm.compile": compile_cache,
             "staticpass": staticpass_stats(),
+            "partition": partition_stats(),
         }
         # Legacy alias, predates the namespaced block.
         snap["compile_cache"] = compile_cache
@@ -532,6 +542,8 @@ class AnalysisServer:
             "read_timeout": self.config.read_timeout,
             "request_timeout": self.config.request_timeout,
             "store_root": str(self.store.root),
+            "partition_shards": self.config.partition_shards,
+            "partition_min_records": self.config.partition_min_records,
             "resilience": self.config.resilience.to_dict(),
         }
         return snap

@@ -22,7 +22,12 @@ See ``docs/TRACING.md`` for format details and the replay cost-model
 guarantees.
 """
 
-from repro.trace.format import TraceFormatError, TraceReader, TraceWriter
+from repro.trace.format import (
+    DEFAULT_SEGMENT_TARGET,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+)
 from repro.trace.recorder import TraceRecorder, record_workload
 from repro.trace.replayer import ReplayVM, TraceReplayer
 from repro.trace.store import (
@@ -33,6 +38,7 @@ from repro.trace.store import (
 )
 
 __all__ = [
+    "DEFAULT_SEGMENT_TARGET",
     "StoreCorruptionError",
     "TraceFormatError",
     "TraceReader",

@@ -1,4 +1,4 @@
-"""CLI for trace-store maintenance.
+"""CLI for trace-store maintenance and inspection.
 
 Commands::
 
@@ -7,6 +7,8 @@ Commands::
     python -m repro.trace fsck --store DIR --json
     python -m repro.trace fsck --store DIR --prune  # + empty quarantine/
     python -m repro.trace fsck --store DIR --prune --quarantine-max-age 3600
+    python -m repro.trace info TRACE                # container layout
+    python -m repro.trace info TRACE --json
 
 ``fsck`` re-verifies the content digest of every trace (both locally
 recorded and digest-addressed) and the sha256 of every cached replay
@@ -70,10 +72,77 @@ def _fsck(argv) -> int:
     return 0 if report["clean"] else 1
 
 
+def _info(argv) -> int:
+    from repro.trace.format import TraceFormatError, TraceReader
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace info",
+        description="Describe a trace container: format version, segment "
+                    "index, per-segment record counts and sizes.",
+    )
+    parser.add_argument("trace", metavar="TRACE", help="path to a trace file")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the report as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        meta = TraceReader.read_tail_meta(args.trace)
+    except OSError as exc:
+        print(f"info: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    except TraceFormatError as exc:
+        print(f"info: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    segments = meta.get("segments") or []
+    report = {
+        "path": args.trace,
+        "version": meta.get("version", 1),
+        "digest": meta.get("digest"),
+        "workload": meta.get("workload"),
+        "scale": meta.get("scale"),
+        "n_records": meta.get("n_records"),
+        "n_segments": len(segments),
+        "segments": [
+            {
+                "index": i,
+                "offset": entry["offset"],
+                "compressed_bytes": entry["clen"],
+                "uncompressed_bytes": entry["ulen"],
+                "n_records": entry["n_records"],
+                "n_events": entry["n_events"],
+            }
+            for i, entry in enumerate(segments)
+        ],
+    }
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+
+    print(f"{args.trace}: ALDATRC v{report['version']}"
+          + (f", workload {report['workload']}" if report["workload"] else ""))
+    print(f"  digest:   {report['digest']}")
+    print(f"  records:  {report['n_records']}")
+    if not segments:
+        print("  segments: none (monolithic v1 payload)")
+        return 0
+    print(f"  segments: {len(segments)}")
+    header = (f"  {'seg':>4} {'offset':>10} {'clen':>10} {'ulen':>10} "
+              f"{'records':>9} {'events':>9}")
+    print(header)
+    for row in report["segments"]:
+        print(f"  {row['index']:>4} {row['offset']:>10} "
+              f"{row['compressed_bytes']:>10} {row['uncompressed_bytes']:>10} "
+              f"{row['n_records']:>9} {row['n_events']:>9}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "fsck":
         return _fsck(argv[1:])
+    if argv and argv[0] == "info":
+        return _info(argv[1:])
     print(__doc__.strip(), file=sys.stderr)
     return 2
 

@@ -1,6 +1,6 @@
 """Versioned binary event-trace format (varint records, zlib-framed).
 
-File layout::
+v1 file layout::
 
     +--------------------------------------------------------------+
     | magic  b"ALDATRC1"                                           |
@@ -9,6 +9,32 @@ File layout::
     | u32 LE length of the meta JSON                               |
     | tail magic b"ALDT"                                           |
     +--------------------------------------------------------------+
+
+v2 (``ALDATRC2``) keeps the same record vocabulary and the same
+whole-payload digest, but frames the payload as independently
+zlib-compressed *segments* cut at frame push/pop and synchronization
+boundaries::
+
+    +--------------------------------------------------------------+
+    | magic  b"ALDATRC2"                                           |
+    | zlib segment 0 | zlib segment 1 | ...                        |
+    | meta   UTF-8 JSON (... plus "segments" index, string table)  |
+    | u32 LE length of the meta JSON                               |
+    | tail magic b"ALDT"                                           |
+    +--------------------------------------------------------------+
+
+Each entry in ``meta["segments"]`` records the segment's absolute file
+offset, compressed/uncompressed length, SHA-256 of its uncompressed
+bytes, its record/event/access counts, and a *snapshot* of the decoder
+state at the segment's first record — string-table length, last access
+address, next frame serial, running record/event/access totals, and the
+live frame stack (serial, tid, caller entry, shadow registers).  A
+segment is therefore decodable (and replayable) standalone: seed the
+decoder from the snapshot, range-read only that segment's bytes, and
+verify them against the per-segment digest.  The concatenation of all
+uncompressed segments is byte-identical to the v1 payload for the same
+execution, so the whole-trace digest (and every digest-keyed cache) is
+format-independent.
 
 The payload is a flat stream of records, each an opcode byte followed by
 unsigned LEB128 varints (zigzag for signed fields).  Strings (event
@@ -50,8 +76,23 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.errors import VMError
 
 MAGIC = b"ALDATRC1"
+MAGIC_V2 = b"ALDATRC2"
 TAIL_MAGIC = b"ALDT"
 FORMAT_VERSION = 1
+FORMAT_VERSION_V2 = 2
+
+#: Default uncompressed segment size for v2 writers.  Chosen so the
+#: largest bundled workloads (~4 MB of payload) land around 16 segments
+#: — enough cut points for 4-way partitioned replay with headroom —
+#: while small workloads stay single-segment.
+DEFAULT_SEGMENT_TARGET = 256 * 1024
+
+#: ``after`` events of these kinds are segment-cut opportunities in
+#: addition to frame push/pop: synchronization operations are the
+#: natural epoch boundaries partitioned analyses merge at.
+SYNC_CUT_KINDS = frozenset(
+    {"func:mutex_lock", "func:mutex_unlock", "func:spawn", "func:join"}
+)
 
 OP_STR = 1
 OP_EVENT = 2
@@ -124,11 +165,22 @@ class TraceWriter:
     compressor in chunks, so arbitrarily long traces never hold the
     whole payload in memory.  ``close`` appends the JSON meta block and
     returns the final meta dict (including the payload digest).
+
+    With ``segment_target_bytes`` set the writer emits the v2 container:
+    records still form one logical payload (same bytes, same digest),
+    but compression restarts at frame/sync boundaries once a segment
+    reaches the target, and each segment's offset, digest, counts, and
+    carried-in decoder snapshot land in the tail index.
     """
 
     _FLUSH_BYTES = 1 << 20
 
-    def __init__(self, fileobj, meta: Optional[dict] = None) -> None:
+    def __init__(
+        self,
+        fileobj,
+        meta: Optional[dict] = None,
+        segment_target_bytes: Optional[int] = None,
+    ) -> None:
         self._file = fileobj
         self._meta = dict(meta or {})
         self._buf = bytearray()
@@ -140,16 +192,99 @@ class TraceWriter:
         self.n_events = 0
         self.n_accesses = 0
         self.n_shadow_ops = 0
+        self.n_records = 0
         self._closed = False
-        self._file.write(MAGIC)
+        self._seg_target = segment_target_bytes
+        if segment_target_bytes is None:
+            self._file.write(MAGIC)
+        else:
+            if segment_target_bytes <= 0:
+                raise ValueError("segment_target_bytes must be positive")
+            self._file.write(MAGIC_V2)
+            #: serial -> (tid, caller entry or None, shadow regs) for
+            #: live frames — the snapshot a new segment carries in.
+            self._live: Dict[int, Tuple[int, Optional[str], Dict[str, int]]] = {}
+            self._entries: List[dict] = []
+            self._seg_offset = len(MAGIC_V2)
+            self._seg_ulen = 0
+            self._seg_clen = 0
+            self._seg_sha = hashlib.sha256()
+            self._snapshot = self._capture_snapshot()
 
     # -- plumbing ------------------------------------------------------
+    def _write_compressed(self, chunk: bytes) -> None:
+        self._sha.update(chunk)
+        if self._seg_target is None:
+            self._file.write(self._compress.compress(chunk))
+        else:
+            self._seg_sha.update(chunk)
+            self._seg_ulen += len(chunk)
+            out = self._compress.compress(chunk)
+            if out:
+                self._file.write(out)
+                self._seg_clen += len(out)
+
     def _maybe_flush(self) -> None:
         if len(self._buf) >= self._FLUSH_BYTES:
-            chunk = bytes(self._buf)
-            self._sha.update(chunk)
-            self._file.write(self._compress.compress(chunk))
+            self._write_compressed(bytes(self._buf))
             self._buf.clear()
+
+    def _capture_snapshot(self) -> dict:
+        return {
+            "n_strings": len(self._strings),
+            "last_address": self._last_address,
+            "next_serial": self._next_serial,
+            "records_before": self.n_records,
+            "events_before": self.n_events,
+            "accesses_before": self.n_accesses,
+            "frames": [
+                [serial, tid, entry, dict(shadow)]
+                for serial, (tid, entry, shadow) in sorted(self._live.items())
+            ],
+        }
+
+    def _finalize_segment(self) -> None:
+        if self._buf:
+            self._write_compressed(bytes(self._buf))
+            self._buf.clear()
+        tail = self._compress.flush()
+        if tail:
+            self._file.write(tail)
+            self._seg_clen += len(tail)
+        snapshot = self._snapshot
+        self._entries.append({
+            "offset": self._seg_offset,
+            "clen": self._seg_clen,
+            "ulen": self._seg_ulen,
+            "sha256": self._seg_sha.hexdigest(),
+            "n_records": self.n_records - snapshot["records_before"],
+            "n_events": self.n_events - snapshot["events_before"],
+            "n_accesses": self.n_accesses - snapshot["accesses_before"],
+            "snapshot": snapshot,
+        })
+        self._seg_offset += self._seg_clen
+        self._seg_ulen = 0
+        self._seg_clen = 0
+        self._seg_sha = hashlib.sha256()
+        self._compress = zlib.compressobj(6)
+        self._snapshot = self._capture_snapshot()
+
+    def _maybe_cut(self, soft: bool = False) -> None:
+        """Close the current segment if it has reached the target size.
+
+        Only called at cut-safe boundaries, so segments never split a
+        record or separate an ``OP_STR`` from the record that interned
+        it.  Frame push/pop and synchronization events are the preferred
+        (hard) boundaries and cut at the target size.  Because hot loops
+        can run hundreds of thousands of records without a call (``fft``
+        records 3 frame pushes in 21k records), any instruction boundary
+        — immediately before a ``before`` event — is a fallback (soft)
+        cut that fires once a segment reaches twice the target, keeping
+        call-sparse traces partitionable.
+        """
+        threshold = self._seg_target * 2 if soft else self._seg_target
+        if self._seg_ulen + len(self._buf) >= threshold:
+            self._finalize_segment()
 
     def intern(self, text: str) -> int:
         ident = self._strings.get(text)
@@ -179,6 +314,8 @@ class TraceWriter:
         loc: str,
         bt_top: str,
     ) -> None:
+        if self._seg_target is not None and not after:
+            self._maybe_cut(soft=True)
         kind_id = self.intern(kind)
         loc_id = self.intern(loc)
         reg_ids = tuple(
@@ -217,7 +354,10 @@ class TraceWriter:
         if flags & EVF_HAS_BT:
             write_varint(buf, bt_id)
         self.n_events += 1
+        self.n_records += 1
         self._maybe_flush()
+        if self._seg_target is not None and after and kind in SYNC_CUT_KINDS:
+            self._maybe_cut()
 
     def access(self, address: int, size: int) -> None:
         buf = self._buf
@@ -226,6 +366,7 @@ class TraceWriter:
         write_varint(buf, size)
         self._last_address = address
         self.n_accesses += 1
+        self.n_records += 1
         self._maybe_flush()
 
     def shadow_set0(self, serial: int, reg: str) -> None:
@@ -235,6 +376,9 @@ class TraceWriter:
         write_varint(buf, serial)
         write_varint(buf, reg_id)
         self.n_shadow_ops += 1
+        self.n_records += 1
+        if self._seg_target is not None:
+            self._live[serial][2][reg] = 0
 
     def shadow_or2(self, serial: int, dst: str, lhs: Optional[str],
                    rhs: Optional[str]) -> None:
@@ -248,6 +392,16 @@ class TraceWriter:
         write_varint(buf, lhs_id)
         write_varint(buf, rhs_id)
         self.n_shadow_ops += 1
+        self.n_records += 1
+        if self._seg_target is not None:
+            # Mirror the replayer's shadow semantics so segment
+            # snapshots carry the exact register metadata a monolithic
+            # replay would hold at the cut.
+            shadow = self._live[serial][2]
+            meta = shadow.get(lhs, 0) if lhs is not None else 0
+            if rhs is not None:
+                meta |= shadow.get(rhs, 0)
+            shadow[dst] = meta
 
     def shadow_mov(self, dst_serial: int, dst: str, src_serial: int,
                    src: Optional[str]) -> None:
@@ -260,6 +414,12 @@ class TraceWriter:
         write_varint(buf, src_serial)
         write_varint(buf, src_id)
         self.n_shadow_ops += 1
+        self.n_records += 1
+        if self._seg_target is not None:
+            value = 0
+            if src is not None:
+                value = self._live[src_serial][2].get(src, 0)
+            self._live[dst_serial][2][dst] = value
 
     def shadow_default(self, serial: int, reg: str) -> None:
         reg_id = self.intern(reg)
@@ -268,9 +428,14 @@ class TraceWriter:
         write_varint(buf, serial)
         write_varint(buf, reg_id)
         self.n_shadow_ops += 1
+        self.n_records += 1
+        if self._seg_target is not None:
+            self._live[serial][2].setdefault(reg, 0)
 
     def frame_push(self, tid: int, caller_entry: Optional[str]) -> int:
         """Returns the serial assigned to the pushed frame."""
+        if self._seg_target is not None:
+            self._maybe_cut()
         entry_id = 0 if caller_entry is None else self.intern(caller_entry) + 1
         buf = self._buf
         buf.append(OP_PUSH)
@@ -278,6 +443,9 @@ class TraceWriter:
         write_varint(buf, entry_id)
         serial = self._next_serial
         self._next_serial += 1
+        self.n_records += 1
+        if self._seg_target is not None:
+            self._live[serial] = (tid, caller_entry, {})
         return serial
 
     def frame_pop(self, serial: int, tid: int) -> None:
@@ -285,9 +453,14 @@ class TraceWriter:
         buf.append(OP_POP)
         write_varint(buf, serial)
         write_varint(buf, tid)
+        self.n_records += 1
+        if self._seg_target is not None:
+            self._live.pop(serial, None)
+            self._maybe_cut()
 
     def summary(self, base_cycles: int, instructions: int, mem_cycles: int,
                 heap_peak_bytes: int) -> None:
+        self.n_records += 1
         buf = self._buf
         buf.append(OP_SUMMARY)
         write_varint(buf, base_cycles)
@@ -314,17 +487,29 @@ class TraceWriter:
     def close(self) -> dict:
         if self._closed:
             return self._meta
-        chunk = bytes(self._buf)
-        self._sha.update(chunk)
-        self._file.write(self._compress.compress(chunk))
-        self._file.write(self._compress.flush())
-        self._buf.clear()
+        if self._seg_target is None:
+            chunk = bytes(self._buf)
+            self._sha.update(chunk)
+            self._file.write(self._compress.compress(chunk))
+            self._file.write(self._compress.flush())
+            self._buf.clear()
+            self._meta.update(version=FORMAT_VERSION)
+        else:
+            if self._buf or self._seg_ulen or not self._entries:
+                self._finalize_segment()
+            self._meta.update(
+                version=FORMAT_VERSION_V2,
+                segments=self._entries,
+                # Keys in insertion order == intern-id order: segment
+                # decoders seed their table with the first ``n_strings``.
+                string_table=list(self._strings),
+            )
         self._meta.update(
-            version=FORMAT_VERSION,
             digest=self._sha.hexdigest(),
             n_events=self.n_events,
             n_accesses=self.n_accesses,
             n_shadow_ops=self.n_shadow_ops,
+            n_records=self.n_records,
             n_strings=len(self._strings),
         )
         raw_meta = json.dumps(self._meta, sort_keys=True).encode("utf-8")
@@ -338,10 +523,32 @@ class TraceWriter:
 # ----------------------------------------------------------------------
 # reader
 # ----------------------------------------------------------------------
-def _split_trace(data: bytes) -> Tuple[dict, int]:
-    """Validate framing; return (meta dict, payload end offset)."""
-    if not data.startswith(MAGIC):
-        raise TraceFormatError("not an ALDA trace (bad magic)")
+def _magic_version(head: bytes) -> int:
+    """Map the 8-byte head magic to a container version (or raise)."""
+    if head.startswith(MAGIC):
+        return FORMAT_VERSION
+    if head.startswith(MAGIC_V2):
+        return FORMAT_VERSION_V2
+    if head.startswith(b"ALDATRC"):
+        raise TraceFormatError(
+            f"unsupported trace container version {head[7:8].decode('ascii', 'replace')!r} "
+            f"(supported: 1, 2)"
+        )
+    raise TraceFormatError("not an ALDA trace (bad magic)")
+
+
+def _check_meta_version(meta: dict, container_version: int) -> None:
+    version = meta.get("version")
+    if version != container_version:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} "
+            f"(container magic says {container_version})"
+        )
+
+
+def _split_trace(data: bytes) -> Tuple[dict, int, int]:
+    """Validate framing; return (meta dict, payload end offset, version)."""
+    container_version = _magic_version(data[:8])
     if not data.endswith(TAIL_MAGIC):
         raise TraceFormatError("truncated trace (bad tail magic)")
     meta_len = struct.unpack("<I", data[-8:-4])[0]
@@ -353,7 +560,35 @@ def _split_trace(data: bytes) -> Tuple[dict, int]:
         meta = json.loads(data[meta_start:meta_end].decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
         raise TraceFormatError(f"corrupt trace meta block: {exc}") from None
-    return meta, meta_start
+    _check_meta_version(meta, container_version)
+    return meta, meta_start, container_version
+
+
+def decompress_segment(blob: bytes, entry: dict) -> bytes:
+    """Decompress one v2 segment's byte range and verify it.
+
+    ``blob`` is exactly ``entry["clen"]`` bytes read from the segment's
+    file offset.  Raises :class:`TraceFormatError` when the bytes do not
+    inflate, do not match the recorded uncompressed length, or fail the
+    per-segment SHA-256 — the caller never has to touch the rest of the
+    trace to detect a corrupt segment.
+    """
+    if len(blob) != entry["clen"]:
+        raise TraceFormatError(
+            f"segment short read: got {len(blob)} bytes, expected {entry['clen']}"
+        )
+    try:
+        raw = zlib.decompress(blob)
+    except zlib.error as exc:
+        raise TraceFormatError(f"corrupt trace segment: {exc}") from None
+    if len(raw) != entry["ulen"]:
+        raise TraceFormatError(
+            f"segment length mismatch: inflated to {len(raw)}, "
+            f"index says {entry['ulen']}"
+        )
+    if hashlib.sha256(raw).hexdigest() != entry["sha256"]:
+        raise TraceFormatError("segment digest mismatch")
+    return raw
 
 
 class TraceReader:
@@ -365,16 +600,36 @@ class TraceReader:
     """
 
     def __init__(self, data: bytes) -> None:
-        self.meta, meta_start = _split_trace(data)
-        if self.meta.get("version") != FORMAT_VERSION:
-            raise TraceFormatError(
-                f"unsupported trace version {self.meta.get('version')!r} "
-                f"(expected {FORMAT_VERSION})"
-            )
-        try:
-            self.payload = zlib.decompress(data[len(MAGIC):meta_start])
-        except zlib.error as exc:
-            raise TraceFormatError(f"corrupt trace payload: {exc}") from None
+        self.meta, meta_start, self.version = _split_trace(data)
+        if self.version == FORMAT_VERSION:
+            try:
+                self.payload = zlib.decompress(data[len(MAGIC):meta_start])
+            except zlib.error as exc:
+                raise TraceFormatError(f"corrupt trace payload: {exc}") from None
+        else:
+            entries = self.meta.get("segments")
+            if not isinstance(entries, list) or not entries:
+                raise TraceFormatError("v2 trace has no segment index")
+            parts = []
+            position = len(MAGIC_V2)
+            for index, entry in enumerate(entries):
+                if entry["offset"] != position:
+                    raise TraceFormatError(
+                        f"segment {index} offset {entry['offset']} does not "
+                        f"follow previous segment (expected {position})"
+                    )
+                blob = data[entry["offset"]:entry["offset"] + entry["clen"]]
+                try:
+                    parts.append(decompress_segment(blob, entry))
+                except TraceFormatError as exc:
+                    raise TraceFormatError(f"segment {index}: {exc}") from None
+                position += entry["clen"]
+            if position != meta_start:
+                raise TraceFormatError(
+                    "segment index does not span the payload "
+                    f"(ends at {position}, payload ends at {meta_start})"
+                )
+            self.payload = b"".join(parts)
 
     @classmethod
     def from_file(cls, path) -> "TraceReader":
@@ -393,6 +648,38 @@ class TraceReader:
             data = handle.read()
         return _split_trace(data)[0]
 
+    @staticmethod
+    def read_tail_meta(path) -> dict:
+        """Read the meta block with seeks only (head + tail of the file).
+
+        Unlike :meth:`read_meta` this never loads the payload bytes, so
+        it stays cheap on multi-megabyte traces — the entry point for
+        segment range reads (the meta carries the segment index).
+        """
+        with open(path, "rb") as handle:
+            head = handle.read(8)
+            container_version = _magic_version(head)
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size < 16:
+                raise TraceFormatError("truncated trace (too short)")
+            handle.seek(size - 8)
+            tail = handle.read(8)
+            if tail[4:] != TAIL_MAGIC:
+                raise TraceFormatError("truncated trace (bad tail magic)")
+            meta_len = struct.unpack("<I", tail[:4])[0]
+            meta_start = size - 8 - meta_len
+            if meta_start < 8:
+                raise TraceFormatError("corrupt trace meta block")
+            handle.seek(meta_start)
+            raw = handle.read(meta_len)
+        try:
+            meta = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise TraceFormatError(f"corrupt trace meta block: {exc}") from None
+        _check_meta_version(meta, container_version)
+        return meta
+
     @property
     def digest(self) -> str:
         return self.meta["digest"]
@@ -401,9 +688,31 @@ class TraceReader:
     def summary(self) -> dict:
         return self.meta["summary"]
 
+    @property
+    def segments(self) -> Optional[List[dict]]:
+        """The v2 segment index, or ``None`` for a v1 trace."""
+        return self.meta.get("segments")
+
     def verify(self) -> bool:
         """Recompute the payload digest and compare with the meta block."""
         return hashlib.sha256(self.payload).hexdigest() == self.meta["digest"]
+
+    def verify_segments(self) -> List[int]:
+        """Re-verify each v2 segment digest; returns failing indices.
+
+        For v1 traces falls back to the whole-payload check (index 0
+        stands for "the single implicit segment").
+        """
+        if self.version == FORMAT_VERSION:
+            return [] if self.verify() else [0]
+        bad = []
+        position = 0
+        for index, entry in enumerate(self.meta["segments"]):
+            raw = self.payload[position:position + entry["ulen"]]
+            if hashlib.sha256(raw).hexdigest() != entry["sha256"]:
+                bad.append(index)
+            position += entry["ulen"]
+        return bad
 
     def records(self) -> Iterator[Tuple]:
         """Generic record iterator (slow path; replayer decodes inline).

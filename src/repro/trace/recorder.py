@@ -153,6 +153,7 @@ def record_workload(
     fileobj,
     meta: Optional[dict] = None,
     backend: str = "compiled",
+    segment_target_bytes: Optional[int] = None,
 ) -> dict:
     """Record one workload execution into ``fileobj``; returns trace meta.
 
@@ -165,10 +166,14 @@ def record_workload(
     byte-identical traces (the recorder hooks force the compiled
     backend's general paths, so every access and event is captured in
     the same order).
+
+    ``segment_target_bytes`` selects the v2 segmented container (see
+    :mod:`repro.trace.format`); the payload bytes and digest are
+    identical either way, only the framing changes.
     """
     full_meta = {"workload": workload.name, "scale": scale}
     full_meta.update(meta or {})
-    writer = TraceWriter(fileobj, full_meta)
+    writer = TraceWriter(fileobj, full_meta, segment_target_bytes=segment_target_bytes)
     vm = Interpreter(
         workload.make_module(scale),
         extern=workload.make_extern(),

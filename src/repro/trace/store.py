@@ -46,7 +46,12 @@ from repro.errors import VMError
 from repro.ir.text import print_module
 from repro.workloads.base import Workload
 
-from repro.trace.format import TraceFormatError, TraceReader
+from repro.trace.format import (
+    DEFAULT_SEGMENT_TARGET,
+    TraceFormatError,
+    TraceReader,
+    decompress_segment,
+)
 from repro.trace.recorder import record_workload
 
 
@@ -246,8 +251,18 @@ class TraceStore:
         digest = digest or module_digest(workload, scale)
         return self.root / f"{workload.name}-s{scale}-{digest[:16]}.trace"
 
-    def get_or_record(self, workload: Workload, scale: int = 1) -> TraceReader:
+    def get_or_record(
+        self,
+        workload: Workload,
+        scale: int = 1,
+        segment_target_bytes: Optional[int] = DEFAULT_SEGMENT_TARGET,
+    ) -> TraceReader:
         """Open the cached trace for (workload, scale), recording on miss.
+
+        New recordings use the v2 segmented container by default
+        (``segment_target_bytes=None`` selects v1); cached traces of
+        either version are served as-is, since payload bytes and digest
+        are format-independent.
 
         A cached trace that fails its integrity check is quarantined
         and re-recorded in place — local corruption self-heals.  Only a
@@ -264,10 +279,62 @@ class TraceStore:
         _atomic_write(
             path,
             lambda handle: record_workload(
-                workload, scale, handle, meta={"module_digest": digest}
+                workload, scale, handle, meta={"module_digest": digest},
+                segment_target_bytes=segment_target_bytes,
             ),
         )
         return self._read_trace_verified(path)
+
+    def open_path(self, path) -> TraceReader:
+        """Open an arbitrary trace file in this store with verification.
+
+        The public face of the verified-read path for callers that hold
+        a path (e.g. partition shard decoders slicing a v1 trace):
+        digest-checked, quarantining, :class:`StoreCorruptionError` on
+        failure.
+        """
+        return self._read_trace_verified(Path(path))
+
+    def read_tail_meta(self, path) -> dict:
+        """Seek-read just the tail meta of a trace file (no payload IO).
+
+        The cheap entry point for segment planning: the v2 meta carries
+        the full segment index.  Framing errors quarantine the entry
+        like any other failed read.
+        """
+        path = Path(path)
+        try:
+            return TraceReader.read_tail_meta(path)
+        except TraceFormatError as exc:
+            _bump("corrupt_detected")
+            self.quarantine(path, f"unreadable tail: {exc}")
+            raise StoreCorruptionError(path, str(exc)) from None
+
+    def read_segment(self, path, entry: dict) -> bytes:
+        """Range-read one v2 segment and verify its own digest.
+
+        Reads exactly ``entry["clen"]`` bytes at ``entry["offset"]`` and
+        checks them against the per-segment SHA-256 from the tail index
+        — a corrupt middle segment is detected (and the entry
+        quarantined) without touching the rest of the blob.  Returns the
+        verified *uncompressed* segment bytes.
+        """
+        path = Path(path)
+        with open(path, "rb") as handle:
+            handle.seek(entry["offset"])
+            blob = handle.read(entry["clen"])
+        if faultline.inject("store.read.corrupt"):
+            plan = faultline.active_plan()
+            index = plan.rng_int(len(blob)) if (plan and blob) else 0
+            blob = blob[:index] + bytes([blob[index] ^ 0xFF]) + blob[index + 1:]
+        try:
+            raw = decompress_segment(blob, entry)
+        except TraceFormatError as exc:
+            _bump("corrupt_detected")
+            self.quarantine(path, f"segment at offset {entry['offset']}: {exc}")
+            raise StoreCorruptionError(path, str(exc)) from None
+        _bump("verified_reads")
+        return raw
 
     def has_trace(self, workload: Workload, scale: int = 1) -> bool:
         return self.trace_path(workload, scale).exists()

@@ -14,9 +14,9 @@ def stub_figure(monkeypatch):
     calls = {}
 
     def fake_figure4(scale=1, verbose=False, jobs=1, trace_cache=None,
-                     server=None, cluster=None):
+                     server=None, cluster=None, partition=1):
         calls.update(scale=scale, jobs=jobs, trace_cache=trace_cache,
-                     server=server, cluster=cluster)
+                     server=server, cluster=cluster, partition=partition)
         data = FigureData("stub", series=["A"])
         data.add("w1", "A", 2.0)
         data.summary["avg"] = 2.0
@@ -57,10 +57,16 @@ def test_server_flag_forwarded(stub_figure, capsys):
     assert stub_figure["server"] == "127.0.0.1:7091"
 
 
+def test_partition_flag_forwarded(stub_figure):
+    assert cli.main(["fig4", "--jobs", "2", "--partition", "4"]) == 0
+    assert stub_figure["partition"] == 4
+
+
 def test_defaults_stay_inline(stub_figure):
     cli.main(["fig4"])
     assert stub_figure["jobs"] == 1
     assert stub_figure["trace_cache"] is None
+    assert stub_figure["partition"] == 1
     assert stub_figure["server"] is None
 
 

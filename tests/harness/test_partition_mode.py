@@ -1,0 +1,55 @@
+"""Partition-mode harness path: ``figureN(partition=)`` results are
+bit-identical to the inline sequential path (the acceptance bar for
+``--partition``)."""
+
+import pytest
+
+from repro.harness.figures import figure4
+from repro.trace import TraceStore
+
+
+@pytest.fixture(scope="module")
+def inline_fig4():
+    return figure4()
+
+
+@pytest.fixture(scope="module")
+def partitioned_fig4(tmp_path_factory):
+    store = TraceStore(tmp_path_factory.mktemp("fig4-partition-traces"))
+    return figure4(jobs=2, trace_cache=store, partition=2)
+
+
+def test_figure4_rows_bit_identical(inline_fig4, partitioned_fig4):
+    assert partitioned_fig4.rows == inline_fig4.rows
+
+
+def test_figure4_summary_bit_identical(inline_fig4, partitioned_fig4):
+    assert partitioned_fig4.summary == inline_fig4.summary
+
+
+def test_figure4_render_identical(inline_fig4, partitioned_fig4):
+    assert partitioned_fig4.render() == inline_fig4.render()
+
+
+def test_partitioned_bench_records_complete(partitioned_fig4):
+    assert len(partitioned_fig4.bench) == 12 * 3
+    for record in partitioned_fig4.bench:
+        assert record["instrumented_cycles"] > 0
+        assert record["baseline_cycles"] > 0
+
+
+def test_partition_conflicts_with_server():
+    with pytest.raises(ValueError, match="partition"):
+        figure4(partition=2, server="127.0.0.1:1")
+
+
+def test_partition_conflicts_with_cluster(tmp_path):
+    with pytest.raises(ValueError, match="partition"):
+        figure4(partition=2, cluster=str(tmp_path / "membership.json"))
+
+
+def test_partition_one_is_plain_inline(inline_fig4, tmp_path_factory):
+    """``partition=1`` is the default and must not force batch mode."""
+    store = TraceStore(tmp_path_factory.mktemp("fig4-p1-traces"))
+    result = figure4(trace_cache=store, partition=1)
+    assert result.rows == inline_fig4.rows

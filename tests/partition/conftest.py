@@ -1,0 +1,27 @@
+"""Shared fixtures for the partitioned-replay suite.
+
+Traces are recorded once per session into a shared store — recording is
+the expensive part, and every test here only *reads* traces (replay
+never mutates the store), so sharing is safe.
+"""
+
+import pytest
+
+from repro.trace.store import TraceStore
+from repro.workloads import ALL
+
+
+@pytest.fixture(scope="session")
+def part_store(tmp_path_factory):
+    return TraceStore(tmp_path_factory.mktemp("partition-traces"))
+
+
+@pytest.fixture(scope="session")
+def recorded(part_store):
+    """Callable: record (v2, once) and return the trace path for a name."""
+
+    def _recorded(name: str):
+        part_store.get_or_record(ALL[name], 1)
+        return part_store.trace_path(ALL[name], 1)
+
+    return _recorded

@@ -1,0 +1,132 @@
+"""Planner contract: contiguous, balanced, snapshot-consistent shards.
+
+Whatever the planner emits, the shards must tile the payload exactly
+(no gap, no overlap), their record/event counts must sum to the trace
+totals, and every shard's carried-in snapshot must equal the running
+state at its start — the decode correctness proof in
+``test_differential.py`` rests on these invariants.
+"""
+
+import pytest
+
+from repro.trace.format import (
+    DEFAULT_SEGMENT_TARGET,
+    FORMAT_VERSION_V2,
+    TraceFormatError,
+)
+from repro.trace.store import TraceStore
+from repro.workloads import ALL
+
+from repro.partition.planner import plan_partition, plan_partition_meta
+
+
+def _check_tiling(plan, payload_len):
+    assert plan.shards[0].ustart == 0
+    assert plan.shards[-1].uend == payload_len
+    for left, right in zip(plan.shards, plan.shards[1:]):
+        assert left.uend == right.ustart
+        assert right.records_before == left.records_before + left.n_records
+        assert right.events_before == left.events_before + left.n_events
+    assert sum(s.n_records for s in plan.shards) == plan.n_records
+    assert sum(s.n_events for s in plan.shards) == plan.n_events
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_v2_plan_tiles_payload(recorded, part_store, shards):
+    path = recorded("sort")
+    reader = part_store.open_path(path)
+    plan = plan_partition(reader, shards)
+    assert plan.version == FORMAT_VERSION_V2
+    assert 1 <= plan.n_shards <= shards
+    _check_tiling(plan, len(reader.payload))
+    # v2 shards slice the segment index contiguously
+    assert plan.shards[0].seg_start == 0
+    for left, right in zip(plan.shards, plan.shards[1:]):
+        assert left.seg_end == right.seg_start
+    assert plan.shards[-1].seg_end == len(reader.segments)
+
+
+def test_v2_plan_balances_records(recorded, part_store):
+    reader = part_store.open_path(recorded("sort"))
+    plan = plan_partition(reader, 4)
+    assert plan.n_shards == 4
+    counts = [s.n_records for s in plan.shards]
+    # Cuts land on segment boundaries, so perfection is impossible, but
+    # no shard should be more than 2x the ideal even split.
+    assert max(counts) <= 2 * plan.n_records / 4
+
+
+def test_v2_shard_count_capped_by_segments(recorded, part_store):
+    reader = part_store.open_path(recorded("fft"))  # small: few segments
+    plan = plan_partition(reader, 64)
+    assert plan.n_shards == len(reader.segments)
+
+
+def test_v1_plan_tiles_payload(part_store, tmp_path):
+    store = TraceStore(tmp_path / "v1")
+    store.get_or_record(ALL["fft"], 1, segment_target_bytes=None)
+    reader = store.open_path(store.trace_path(ALL["fft"], 1))
+    assert reader.segments is None
+    plan = plan_partition(reader, 4, checkpoint_every=1024)
+    assert plan.version == 1
+    assert plan.n_shards == 4
+    _check_tiling(plan, len(reader.payload))
+    assert all(s.seg_start is None and s.seg_end is None for s in plan.shards)
+
+
+def test_v1_scan_recovers_string_table(part_store, tmp_path):
+    store = TraceStore(tmp_path / "v1")
+    store.get_or_record(ALL["fft"], 1, segment_target_bytes=None)
+    v1 = plan_partition(store.open_path(store.trace_path(ALL["fft"], 1)), 2)
+    v2_reader = part_store.open_path(
+        _record_into(part_store, "fft")
+    )
+    v2 = plan_partition(v2_reader, 2)
+    # Same execution, same interning order: identical final tables.
+    assert v1.strings == v2.strings
+    assert v1.n_records == v2.n_records
+    assert v1.n_events == v2.n_events
+
+
+def _record_into(store, name):
+    store.get_or_record(ALL[name], 1)
+    return store.trace_path(ALL[name], 1)
+
+
+def test_meta_only_planning_matches_full_plan(recorded, part_store):
+    path = recorded("sort")
+    reader = part_store.open_path(path)
+    full = plan_partition(reader, 4)
+    from_meta = plan_partition_meta(part_store.read_tail_meta(path), 4)
+    assert from_meta == full
+
+
+def test_meta_only_planning_rejects_v1():
+    with pytest.raises(TraceFormatError, match="v2"):
+        plan_partition_meta({"version": 1, "digest": "0" * 64}, 2)
+
+
+def test_zero_shards_rejected(recorded, part_store):
+    reader = part_store.open_path(recorded("fft"))
+    with pytest.raises(ValueError, match="shards"):
+        plan_partition(reader, 0)
+
+
+def test_single_shard_is_whole_trace(recorded, part_store):
+    reader = part_store.open_path(recorded("fft"))
+    plan = plan_partition(reader, 1)
+    assert plan.n_shards == 1
+    shard = plan.shards[0]
+    assert (shard.ustart, shard.uend) == (0, len(reader.payload))
+    assert shard.n_records == plan.n_records
+    assert shard.n_strings == 0 and shard.records_before == 0
+
+
+def test_default_target_yields_multiple_segments(recorded, part_store):
+    """The default segment target must actually segment the big traces —
+    if sort came out monolithic, partitioned serving would silently
+    degrade to one shard."""
+    meta = part_store.read_tail_meta(recorded("sort"))
+    assert len(meta["segments"]) >= 4
+    assert all(e["ulen"] <= 3 * DEFAULT_SEGMENT_TARGET
+               for e in meta["segments"])

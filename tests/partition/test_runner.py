@@ -1,0 +1,117 @@
+"""Runner integration: pool fan-out, stats, counters, executor wiring."""
+
+import dataclasses
+
+import pytest
+
+from repro.exec.pool import JobSpec, build_analysis, run_batch
+from repro.exec.workers import PersistentWorkerPool
+from repro.trace.format import FORMAT_VERSION_V2
+from repro.trace.replayer import TraceReplayer
+from repro.trace.store import TraceStore
+from repro.workloads import ALL
+
+from repro.partition import partition_stats, replay_partitioned
+
+
+def _mono(store, path, spec):
+    replayer = TraceReplayer(store.open_path(path))
+    profile, reporter = replayer.replay([build_analysis(spec)])
+    return dataclasses.asdict(profile), list(reporter)
+
+
+def test_pool_mode_bit_identical(recorded, part_store):
+    path = recorded("sort")
+    expected = _mono(part_store, path, "eraser.full")
+    with PersistentWorkerPool(2) as pool:
+        profile, reporter, stats = replay_partitioned(
+            part_store, path, ["eraser.full"], 4, pool=pool
+        )
+    assert (dataclasses.asdict(profile), list(reporter)) == expected
+    assert stats["mode"] == "pool"
+    assert stats["planned_shards"] == 4
+
+
+def test_stats_shape(recorded, part_store):
+    path = recorded("fft")
+    _profile, _reporter, stats = replay_partitioned(
+        part_store, path, ["uaf.alda"], 2
+    )
+    assert stats["mode"] == "inline"
+    assert stats["version"] == FORMAT_VERSION_V2
+    assert stats["requested_shards"] == 2
+    assert len(stats["per_shard"]) == stats["planned_shards"]
+    for row in stats["per_shard"]:
+        assert row["n_records"] > 0
+        assert row["settle_seconds"] >= 0
+    assert stats["records"] == sum(r["n_records"] for r in stats["per_shard"])
+    assert stats["wall_seconds"] >= stats["merge_seconds"]
+
+
+def test_counters_advance(recorded, part_store):
+    path = recorded("fft")
+    before = partition_stats()
+    replay_partitioned(part_store, path, ["uaf.alda"], 2)
+    after = partition_stats()
+    assert after["plans"] == before["plans"] + 1
+    assert after["replays"] == before["replays"] + 1
+    assert (after["shards_executed"] - before["shards_executed"]
+            == after["shards_planned"] - before["shards_planned"])
+    assert after["merges"] == before["merges"] + 1
+
+
+def test_multiple_specs_one_pass(recorded, part_store):
+    """One partitioned pass with two attached analyses must equal one
+    monolithic pass with the same two — the shard filter keeps the
+    union of both hook tables."""
+    path = recorded("fft")
+    replayer = TraceReplayer(part_store.open_path(path))
+    profile, reporter = replayer.replay(
+        [build_analysis("uaf.alda"), build_analysis("taint.alda")]
+    )
+    part_profile, part_reporter, _stats = replay_partitioned(
+        part_store, path, ["uaf.alda", "taint.alda"], 2
+    )
+    assert dataclasses.asdict(part_profile) == dataclasses.asdict(profile)
+    assert list(part_reporter) == list(reporter)
+
+
+def test_v1_trace_partitions(tmp_path):
+    store = TraceStore(tmp_path / "v1")
+    store.get_or_record(ALL["fft"], 1, segment_target_bytes=None)
+    path = store.trace_path(ALL["fft"], 1)
+    expected = _mono(store, path, "eraser.full")
+    profile, reporter, stats = replay_partitioned(
+        store, path, ["eraser.full"], 2, checkpoint_every=1024
+    )
+    assert (dataclasses.asdict(profile), list(reporter)) == expected
+    assert stats["version"] == 1
+
+
+def test_store_accepts_path_string(recorded, part_store):
+    path = recorded("fft")
+    profile, _reporter, _stats = replay_partitioned(
+        str(part_store.root), path, ["uaf.alda"], 2
+    )
+    assert profile.cycles > 0
+
+
+@pytest.mark.parametrize("processes", [1, 2])
+def test_run_batch_partition_matches_plain(tmp_path, processes):
+    jobs = [JobSpec("fft", "uaf.alda"), JobSpec("fft", "eraser.full")]
+    plain = run_batch(jobs, processes=1, store=tmp_path / "a")
+    part = run_batch(jobs, processes=processes, store=tmp_path / "b",
+                     partition=2)
+    for p, q in zip(plain, part):
+        assert (p.instrumented_cycles, p.metadata_bytes, p.n_reports) == \
+               (q.instrumented_cycles, q.metadata_bytes, q.n_reports)
+    assert not any(r.cached for r in part)
+    # Second partitioned batch hits the shared result cache.
+    again = run_batch(jobs, processes=processes, store=tmp_path / "b",
+                      partition=2)
+    assert all(r.cached for r in again)
+
+
+def test_run_batch_rejects_bad_partition(tmp_path):
+    with pytest.raises(ValueError, match="partition"):
+        run_batch([JobSpec("fft", "uaf.alda")], store=tmp_path, partition=0)

@@ -88,6 +88,7 @@ def test_docs_exist():
         "TRACING.md",
         "SERVING.md",
         "CLUSTER.md",
+        "PARTITION.md",
     ):
         assert (DOCS / name).exists()
 
