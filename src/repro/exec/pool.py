@@ -204,10 +204,10 @@ REPLAY_TASK = "repro.exec.pool:_run_job"
 
 
 def _record_trace(packed) -> str:
-    root, workload_name, scale = packed
+    root, workload_name, scale, backend = packed
     from repro.workloads import ALL
 
-    TraceStore(root).get_or_record(ALL[workload_name], scale)
+    TraceStore(root).get_or_record(ALL[workload_name], scale, backend=backend)
     return workload_name
 
 
@@ -345,13 +345,17 @@ def run_batch(
     processes: int = 1,
     store: Union[TraceStore, str, None] = None,
     partition: int = 1,
+    backend: str = "compiled",
 ) -> List[JobResult]:
     """Execute a batch of jobs; results come back in job order.
 
     ``store`` may be a :class:`TraceStore`, a directory path, or None
     (a temporary store discarded afterwards).  With ``processes > 1``
     both phases — trace recording and analysis replay — fan out over a
-    worker pool.
+    worker pool.  ``backend`` selects the VM backend used to *record*
+    missing traces; recordings are byte-identical across backends
+    (``tests/vm/test_backends.py``), so it only changes recording
+    wall-clock.
 
     With ``partition > 1`` the parallelism axis flips: jobs execute
     *sequentially* but each job's trace decode is cut into up to
@@ -385,7 +389,7 @@ def run_batch(
             if name not in ALL:
                 raise KeyError(f"unknown workload {name!r}")
         missing = [
-            (root, name, scale)
+            (root, name, scale, backend)
             for name, scale in pairs
             if not store.has_trace(ALL[name], scale)
         ]

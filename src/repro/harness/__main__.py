@@ -24,7 +24,8 @@ FIGURES = {"fig3": figure3, "fig4": figure4, "fig5": figure5}
 
 def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
                    jobs: int = 1, trace_cache=None, server=None,
-                   cluster=None, bench=None, partition: int = 1) -> str:
+                   cluster=None, bench=None, partition: int = 1,
+                   backend: str = "compiled") -> str:
     """Regenerate one experiment; optionally collect a BENCH record.
 
     ``bench``, when a dict, is filled with the machine-readable record
@@ -37,11 +38,12 @@ def run_experiment(name: str, scale: int, verbose: bool, fmt: str = "text",
     if name in FIGURES:
         data = FIGURES[name](scale, verbose, jobs=jobs, trace_cache=trace_cache,
                              server=server, cluster=cluster,
-                             partition=partition)
+                             partition=partition, backend=backend)
         if bench is not None:
             bench.update(
                 experiment=name,
                 scale=scale,
+                backend=backend,
                 jobs=jobs,
                 trace_cache=str(trace_cache) if trace_cache else None,
                 server=server,
@@ -94,6 +96,11 @@ def main(argv=None) -> int:
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--format", choices=("text", "json", "csv", "svg"),
                         default="text", help="output format (csv/svg: figures only)")
+    parser.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
+                        default="compiled",
+                        help="VM dispatch strategy for inline figure runs "
+                             "(docs/SUBSTRATE.md); every backend is "
+                             "bit-identical, so this only changes wall-clock")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for figures; >1 records each "
                              "workload trace once and replays analyses in "
@@ -127,7 +134,8 @@ def main(argv=None) -> int:
         print(run_experiment(name, args.scale, args.verbose, args.format,
                              jobs=args.jobs, trace_cache=args.trace_cache,
                              server=args.server, cluster=args.cluster,
-                             bench=bench, partition=args.partition))
+                             bench=bench, partition=args.partition,
+                             backend=args.backend))
         if bench:
             out_dir = Path(args.json_out)
             out_dir.mkdir(parents=True, exist_ok=True)

@@ -82,7 +82,8 @@ def _cluster_client(cluster, server):
     return ClusterClient(cluster), True
 
 
-def _run_batch(specs, jobs: int, trace_cache, server=None, partition: int = 1):
+def _run_batch(specs, jobs: int, trace_cache, server=None, partition: int = 1,
+               backend: str = "compiled"):
     """specs: (workload, analysis spec, label) tuples plus a shared scale.
 
     With ``server`` set (a ``HOST:PORT`` string or a
@@ -109,7 +110,7 @@ def _run_batch(specs, jobs: int, trace_cache, server=None, partition: int = 1):
 
         return run_jobs(server, job_specs, store=trace_cache)
     return run_batch(job_specs, processes=jobs, store=trace_cache,
-                     partition=partition)
+                     partition=partition, backend=backend)
 
 
 def _bench_record(result) -> dict:
@@ -131,8 +132,9 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
     """LLVM MSan vs ALDA MSan across the 20 bug-free workloads.
 
     ``backend`` selects the VM dispatch strategy for the inline path
-    (see :class:`repro.vm.Interpreter`); the batch/replay path decodes
-    recorded traces and is backend-independent.  ``cluster`` routes the
+    (see :class:`repro.vm.Interpreter`) and for recording any missing
+    traces in batch mode; replay itself decodes recorded traces and is
+    backend-independent.  ``cluster`` routes the
     batch through a shard ring (membership path or client) instead of a
     single server; results stay bit-identical.  ``partition`` shards
     each trace's decode across the local pool (see
@@ -158,7 +160,7 @@ def figure3(scale: int = 1, verbose: bool = False, jobs: int = 1,
             tuples.append((name, "msan.handtuned", "LLVM"))
             tuples.append((name, "msan.alda", "ALDAcc"))
         results = _run_batch((tuples, scale), jobs, trace_cache, server,
-                             partition)
+                             partition, backend=backend)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             llvm, alda = by[(name, "LLVM")], by[(name, "ALDAcc")]
@@ -220,7 +222,7 @@ def figure4(scale: int = 1, verbose: bool = False, jobs: int = 1,
             tuples.append((name, "eraser.full", "ALDAcc-full"))
             tuples.append((name, "eraser.ds_only", "ALDAcc-ds-only"))
         results = _run_batch((tuples, scale), jobs, trace_cache, server,
-                             partition)
+                             partition, backend=backend)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             hand = by[(name, "Hand-Tuned")]
@@ -309,7 +311,7 @@ def figure5(scale: int = 1, verbose: bool = False, jobs: int = 1,
                 tuples.append((name, _FIG5_SPECS[analysis_name], analysis_name))
             tuples.append((name, "fig5.combined", "combined"))
         results = _run_batch((tuples, scale), jobs, trace_cache, server,
-                             partition)
+                             partition, backend=backend)
         by = {(r.workload, r.label): r for r in results}
         for name in names:
             total = 0.0

@@ -256,13 +256,17 @@ class TraceStore:
         workload: Workload,
         scale: int = 1,
         segment_target_bytes: Optional[int] = DEFAULT_SEGMENT_TARGET,
+        backend: str = "compiled",
     ) -> TraceReader:
         """Open the cached trace for (workload, scale), recording on miss.
 
         New recordings use the v2 segmented container by default
         (``segment_target_bytes=None`` selects v1); cached traces of
         either version are served as-is, since payload bytes and digest
-        are format-independent.
+        are format-independent.  ``backend`` picks the recording VM
+        backend; all backends produce byte-identical traces
+        (``tests/vm/test_backends.py``), so it never affects the cache
+        key.
 
         A cached trace that fails its integrity check is quarantined
         and re-recorded in place — local corruption self-heals.  Only a
@@ -281,6 +285,7 @@ class TraceStore:
             lambda handle: record_workload(
                 workload, scale, handle, meta={"module_digest": digest},
                 segment_target_bytes=segment_target_bytes,
+                backend=backend,
             ),
         )
         return self._read_trace_verified(path)

@@ -1,0 +1,139 @@
+"""Third-tier optimizing bytecode backend for the VM.
+
+``Interpreter(module, backend="bytecode")`` runs the module through a
+staged compiler pipeline — ``fold`` → ``inline`` → ``simplify`` →
+``to_bytecode`` → ``compress`` (:mod:`repro.vm.bytecode.passes`) — and
+executes the result as one flat superinstruction stream per function
+(:mod:`repro.vm.bytecode.ops`): straight-line runs of hookless
+instructions fuse into single generated-code dispatcher slots, compares
+fuse into their branches, and small leaf calls inline into the caller's
+segment, while billing and all observable state stay bit-identical to
+the reference and closure backends (``tests/vm/test_backends.py``).
+
+Like :mod:`repro.vm.compile`, stage 1 (pipeline over the IR) is memoized
+process-wide, keyed by the module's IR digest *and* the active pass
+list, so warm serve/exec workers optimize each distinct module once; the
+cache counters surface as the ``vm.compile.bytecode`` subsystem in
+``repro.serve`` stats alongside the closure tier's ``vm.compile``.
+
+Inspect the pipeline with ``python -m repro.vm.bytecode report
+<workload>``, which prints each pass's IR diff and the final
+superinstruction layout (:mod:`repro.vm.bytecode.__main__`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.ir.module import Module
+from repro.vm.compile import ir_digest
+from repro.vm.bytecode.lir import LModule, lower, render
+from repro.vm.bytecode.passes import (
+    DEFAULT_PASSES,
+    PASSES,
+    Pass,
+    build_pipeline,
+    run_pipeline,
+)
+from repro.vm.bytecode.ops import BCode, bind_bytecode
+
+__all__ = [
+    "BCode",
+    "DEFAULT_PASSES",
+    "LModule",
+    "PASSES",
+    "Pass",
+    "bind_bytecode",
+    "build_pipeline",
+    "bytecode_cache_stats",
+    "clear_bytecode_cache",
+    "compile_bytecode",
+    "ir_digest",
+    "lower",
+    "pipeline_override",
+    "render",
+    "run_pipeline",
+]
+
+# ----------------------------------------------------------------------
+# stage-1 cache, keyed by (IR digest, active pass names)
+# ----------------------------------------------------------------------
+_BC_LOCK = threading.Lock()
+_BC_CACHE: "OrderedDict[Tuple[str, Tuple[str, ...]], LModule]" = OrderedDict()
+_BC_CAPACITY = 128
+_BC_HITS = 0
+_BC_MISSES = 0
+
+#: Process-wide default pass selection; tests and the report CLI swap it
+#: via :func:`pipeline_override` to run partial pipelines.
+_ACTIVE_PASSES: Tuple[str, ...] = DEFAULT_PASSES
+
+
+@contextmanager
+def pipeline_override(names: Sequence[str]):
+    """Temporarily replace the default pass list used by
+    :func:`compile_bytecode` (and therefore by
+    ``Interpreter(backend="bytecode")``).  Results compiled under an
+    override are cached under their own key, so mixing overridden and
+    default runs in one process stays correct."""
+    global _ACTIVE_PASSES
+    previous = _ACTIVE_PASSES
+    _ACTIVE_PASSES = tuple(names)
+    try:
+        yield
+    finally:
+        _ACTIVE_PASSES = previous
+
+
+def bytecode_cache_stats() -> Dict[str, int]:
+    """Process-wide stage-1 counters — the ``vm.compile.bytecode``
+    subsystem in ``repro.serve`` stats."""
+    with _BC_LOCK:
+        return {"hits": _BC_HITS, "misses": _BC_MISSES,
+                "entries": len(_BC_CACHE)}
+
+
+def clear_bytecode_cache() -> None:
+    global _BC_HITS, _BC_MISSES
+    with _BC_LOCK:
+        _BC_CACHE.clear()
+        _BC_HITS = 0
+        _BC_MISSES = 0
+
+
+def compile_bytecode(
+    module: Module,
+    digest: Optional[str] = None,
+    passes: Optional[Sequence[str]] = None,
+    before: Sequence = (),
+    after: Sequence = (),
+) -> LModule:
+    """Stage 1: run the optimizer pipeline, memoized process-wide.
+
+    ``passes`` defaults to the active selection (see
+    :func:`pipeline_override`).  Supplying observation hooks bypasses the
+    cache — hooks must see every pass actually run.
+    """
+    global _BC_HITS, _BC_MISSES
+    names = tuple(passes) if passes is not None else _ACTIVE_PASSES
+    if before or after:
+        return run_pipeline(module, names, before=before, after=after)
+    if digest is None:
+        digest = ir_digest(module)
+    key = (digest, names)
+    with _BC_LOCK:
+        cached = _BC_CACHE.get(key)
+        if cached is not None:
+            _BC_CACHE.move_to_end(key)
+            _BC_HITS += 1
+            return cached
+        _BC_MISSES += 1
+    lmod = run_pipeline(module, names)
+    with _BC_LOCK:
+        _BC_CACHE[key] = lmod
+        while len(_BC_CACHE) > _BC_CAPACITY:
+            _BC_CACHE.popitem(last=False)
+    return lmod

@@ -1,0 +1,197 @@
+"""Command-line inspector for the bytecode backend's compiler pipeline.
+
+``report`` runs the staged pipeline (see :mod:`repro.vm.bytecode.passes`)
+over a bundled workload — or the built-in ``demo`` module, whose shape
+exercises every pass — and prints what each pass changed as a unified
+diff of the LIR disassembly, followed by the final superinstruction
+layout and the pass statistics.  ``list`` enumerates the available
+passes and workloads.
+
+Usage::
+
+    python -m repro.vm.bytecode report <workload> [--passes P1,P2,...]
+                                       [--full] [--context N]
+    python -m repro.vm.bytecode list
+
+Because every pass only annotates or regroups the LIR, the diffs read
+as annotations appearing on unchanged instructions (``fold=32``,
+``copy(%m)``, ``nostore``) and as instructions regrouping into
+``seg w=N { ... }`` superinstructions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+
+from repro.ir import parse_module
+from repro.vm.bytecode import DEFAULT_PASSES, PASSES, run_pipeline
+from repro.vm.bytecode.lir import render
+
+#: A hand-written module shaped so every pass visibly fires: ``scale``
+#: is a single-block leaf (inlined at its call site), ``mul 4, %step``
+#: has statically-known operands (folded), the inlined ``add %m, 0``
+#: is an algebraic copy (simplified), and the loop body is a fusable
+#: straight line ending in a compare+branch (fused and compressed).
+DEMO_TEXT = """\
+module demo
+
+func scale(%x, %k) {
+entry:
+  %m = mul %x, %k
+  %r = add %m, 0
+  ret %r
+}
+
+func main() {
+entry:
+  %buf = call malloc(64)
+  %step = const 8
+  %limit = mul 4, %step
+  %i0 = const 0
+  %p = alloca 8
+  store %i0 -> [%p], 8
+  jmp head
+head:
+  %i = load [%p], 8
+  %c = cmp lt %i, %limit
+  br %c, body, done
+body:
+  %off = call scale(%i, %step)
+  %addr = add %buf, %off
+  store %i -> [%addr], 8
+  %n = add %i, 1
+  store %n -> [%p], 8
+  jmp head
+done:
+  call free(%buf)
+  ret 0
+}
+"""
+
+
+def _load_module(name: str):
+    if name == "demo":
+        return parse_module(DEMO_TEXT)
+    from repro.workloads import ALL
+
+    workload = ALL.get(name)
+    if workload is None:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose 'demo' or one of: "
+            + ", ".join(sorted(ALL))
+        )
+    return workload.make_module(1)
+
+
+def _parse_passes(spec):
+    if not spec:
+        return DEFAULT_PASSES
+    names = tuple(n.strip() for n in spec.split(",") if n.strip())
+    unknown = [n for n in names if n not in PASSES]
+    if unknown:
+        raise SystemExit(
+            f"unknown passes {unknown!r}; available: {', '.join(PASSES)}"
+        )
+    return names
+
+
+def _report(args, out) -> int:
+    module = _load_module(args.workload)
+    names = _parse_passes(args.passes)
+    state = {}
+
+    def before(pass_name, position, lmod):
+        state["prev"] = render(lmod)
+
+    def after(pass_name, position, lmod):
+        current = render(lmod)
+        previous = state.pop("prev", "")
+        print(f"== pass {pass_name} ==", file=out)
+        if args.full:
+            out.write(current)
+            return
+        diff = list(
+            difflib.unified_diff(
+                previous.splitlines(),
+                current.splitlines(),
+                lineterm="",
+                n=args.context,
+            )
+        )
+        if diff:
+            for line in diff[2:]:  # drop the +++/--- file headers
+                print(line, file=out)
+        else:
+            print("(no change)", file=out)
+
+    lmod = run_pipeline(module, names, before=(before,), after=(after,))
+    print("== final layout ==", file=out)
+    out.write(render(lmod))
+    print("== stats ==", file=out)
+    for key in sorted(lmod.stats):
+        print(f"{key:24s} {lmod.stats[key]}", file=out)
+    print(f"{'threaded':24s} {int(lmod.threaded)}", file=out)
+    return 0
+
+
+def _list(args, out) -> int:
+    print("passes (pipeline order):", file=out)
+    for name in DEFAULT_PASSES:
+        summary = (PASSES[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:12s} {summary}", file=out)
+    from repro.workloads import ALL
+
+    print("workloads:", file=out)
+    print("  demo (built-in pipeline showcase)", file=out)
+    for name in sorted(ALL):
+        print(f"  {name}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.vm.bytecode",
+        description="Inspect the bytecode backend's compiler pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report",
+        help="show per-pass LIR diffs and the final superinstruction layout",
+    )
+    report.add_argument(
+        "workload",
+        help="bundled workload name, or 'demo' for the built-in example",
+    )
+    report.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated pass subset to run (default: full pipeline)",
+    )
+    report.add_argument(
+        "--full",
+        action="store_true",
+        help="print the full LIR after each pass instead of a diff",
+    )
+    report.add_argument(
+        "--context",
+        type=int,
+        default=2,
+        help="unified-diff context lines (default 2)",
+    )
+    report.set_defaults(func=_report)
+    lister = sub.add_parser(
+        "list", help="list available passes and workloads"
+    )
+    lister.set_defaults(func=_list)
+    return parser
+
+
+def main(argv=None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args, out if out is not None else sys.stdout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

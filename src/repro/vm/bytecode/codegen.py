@@ -1,0 +1,392 @@
+"""Python source generation for fused superinstructions.
+
+A :class:`~repro.vm.bytecode.lir.SegUnit` lowers to the source of a
+``_make(P)`` factory: ``P`` is a dict of bind-time values (the VM's
+profile, memory, cache fast-path fields, flat branch targets) and the
+returned ``step(thread, frame)`` closure executes the whole segment as
+one dispatcher slot.  The source depends only on the stage-1 LIR and the
+``fast_mem`` variant flag, so it is generated once per segment, interned
+by text in the owning LModule's ``code_cache``, and shared across binds.
+
+Billing protocol: the dispatcher pre-bills the segment's full width
+(``profile.instructions`` / ``base_cycles``) before calling the closure,
+exactly like the quantum driver bills one per slot.  Segments containing
+ops that can raise (memory, alloca, div/rem) maintain a local ``_n`` —
+the 1-based position of the op in flight — and compensate the over-billed
+remainder in an ``except`` arm, so a crash mid-segment bills
+bit-identically to the reference executing the same prefix (the raising
+instruction itself *is* billed, matching the reference driver).
+
+Register homes: a value flows through a generated local (``_t3``) when
+the passes proved the frame's ``regs`` dict can never be observed holding
+it (see ``compress``); otherwise every def also writes ``regs`` so any
+later instruction — fused or not — sees exactly the reference state.
+A ``Cmp`` whose only consumer is the block's absorbed branch is *deferred*
+and fuses into a single compare+branch with no 0/1 materialization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Cmp,
+    Const,
+    Jmp,
+    Load,
+    Store,
+)
+
+from repro.vm.bytecode.lir import LOp, SegUnit
+
+_MASK64 = (1 << 64) - 1
+
+_CMP_SYM = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">"}
+
+#: P-dict keys a segment may import, in preamble emission order.
+_PARAMS = (
+    "profile", "cache", "cache_access", "memory_read", "memory_write",
+    "words", "words_get", "l1_get", "n1", "shift", "l1c",
+    "VMError", "T0", "T1",
+)
+
+
+class _Gen:
+    """Emission state for one segment body."""
+
+    def __init__(self, fname: str, fast_mem: bool) -> None:
+        self.fname = fname
+        self.fast_mem = fast_mem
+        self.lines: List[str] = []
+        #: register -> expression (a local name or literal) holding its value
+        self.bind: Dict[str, str] = {}
+        self.uses = set()
+        self.ntmp = 0
+        self.pos = 0           # reference instructions completed so far
+        self.risky = False
+        #: deferred comparison: (dst, lhs expr, rhs expr, python operator)
+        self.pending_cmp: Optional[Tuple[str, str, str, str]] = None
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    def tmp(self) -> str:
+        self.ntmp += 1
+        return f"_t{self.ntmp}"
+
+    def mark_risky(self) -> None:
+        self.risky = True
+        self.emit(f"_n = {self.pos + 1}")
+
+    def val(self, operand, fold: Optional[int] = None) -> str:
+        """Expression for an operand's current value: an int literal, a
+        previously-bound local, a folded constant, or a cached dict read."""
+        if type(operand) is not str:
+            return repr(operand)
+        self.materialize_if_pending(operand)
+        if operand in self.bind:
+            return self.bind[operand]
+        if fold is not None:
+            return repr(fold)
+        t = self.tmp()
+        self.emit(f"{t} = regs[{operand!r}]")
+        self.bind[operand] = t
+        return t
+
+    def materialize_if_pending(self, reg: str) -> None:
+        pending = self.pending_cmp
+        if pending is not None and pending[0] == reg:
+            dst, a, b, sym = pending
+            self.pending_cmp = None
+            t = self.tmp()
+            self.emit(f"{t} = 1 if {a} {sym} {b} else 0")
+            self.bind[dst] = t
+
+    def redefine_guard(self, dst: str) -> None:
+        """A new def of ``dst`` kills any deferred compare into it."""
+        if self.pending_cmp is not None and self.pending_cmp[0] == dst:
+            self.pending_cmp = None
+
+    def define(self, lop: LOp, expr: str, simple: bool = False) -> None:
+        dst = lop.instr.dst
+        self.redefine_guard(dst)
+        if simple:
+            value = expr
+        else:
+            value = self.tmp()
+            self.emit(f"{value} = {expr}")
+        self.bind[dst] = value
+        if lop.dict_store:
+            self.emit(f"regs[{dst!r}] = {value}")
+
+
+def _fold_operand(lop: LOp, which: int) -> Optional[int]:
+    if lop.fold_ops is not None:
+        return lop.fold_ops[which]
+    return None
+
+
+def _emit_const(g: _Gen, lop: LOp) -> None:
+    g.define(lop, repr(lop.instr.value), simple=True)
+
+
+def _emit_binop(g: _Gen, lop: LOp) -> None:
+    instr = lop.instr
+    if lop.folded is not None:
+        g.define(lop, repr(lop.folded), simple=True)
+        return
+    if lop.alg is not None and lop.alg[0] == "copy":
+        g.define(lop, g.val(lop.alg[1]), simple=True)
+        return
+    op = instr.op
+    if op in ("div", "rem"):
+        a = g.val(instr.lhs, _fold_operand(lop, 0))
+        b = g.val(instr.rhs, _fold_operand(lop, 1))
+        g.mark_risky()
+        g.uses.add("VMError")
+        loc = instr.loc or f"{g.fname}+{lop.index + 1}"
+        word = "division" if op == "div" else "remainder"
+        g.emit(f"if {b} == 0:")
+        g.emit(f"    raise VMError({f'{word} by zero at {loc}'!r})")
+        if op == "div":
+            expr = (f"abs({a}) // abs({b}) * "
+                    f"(1 if ({a} >= 0) == ({b} >= 0) else -1)")
+        else:
+            expr = f"abs({a}) % abs({b}) * (1 if {a} >= 0 else -1)"
+        g.define(lop, expr)
+        return
+    a = g.val(instr.lhs, _fold_operand(lop, 0))
+    b = g.val(instr.rhs, _fold_operand(lop, 1))
+    if op == "add":
+        expr = f"{a} + {b}"
+    elif op == "sub":
+        expr = f"{a} - {b}"
+    elif op == "mul":
+        expr = f"{a} * {b}"
+    elif op == "and":
+        expr = f"({a} & {b}) & {_MASK64}"
+    elif op == "or":
+        expr = f"({a} | {b}) & {_MASK64}"
+    elif op == "xor":
+        expr = f"({a} ^ {b}) & {_MASK64}"
+    elif op == "shl":
+        expr = f"({a} << ({b} & 63)) & {_MASK64}"
+    elif op == "shr":
+        expr = f"({a} & {_MASK64}) >> ({b} & 63)"
+    else:
+        g.mark_risky()
+        g.uses.add("VMError")
+        g.emit(f"raise VMError({f'unknown binop {op!r}'!r})")
+        return
+    g.define(lop, expr)
+
+
+def _emit_cmp(g: _Gen, lop: LOp) -> None:
+    instr = lop.instr
+    if lop.folded is not None:
+        g.define(lop, repr(lop.folded), simple=True)
+        return
+    a = g.val(instr.lhs, _fold_operand(lop, 0))
+    b = g.val(instr.rhs, _fold_operand(lop, 1))
+    sym = _CMP_SYM.get(instr.op, ">=")
+    if not lop.dict_store:
+        # Defer: if the only consumer turns out to be the absorbed
+        # branch, the compare fuses into it and no 0/1 is materialized.
+        g.redefine_guard(instr.result)
+        g.pending_cmp = (instr.result, a, b, sym)
+        g.bind.pop(instr.result, None)
+        return
+    g.define(lop, f"1 if {a} {sym} {b} else 0")
+
+
+def _cache_probe(g: _Gen, a: str) -> None:
+    """Inline L1-MRU-hit accounting for an 8-byte access at ``a`` —
+    ported verbatim from the closure backend's hottest-shape fast path."""
+    g.uses.update(("cache", "l1_get", "n1", "shift", "l1c", "cache_access"))
+    line = g.tmp()
+    ways = g.tmp()
+    g.emit(f"{line} = {a} >> shift")
+    g.emit(f"{ways} = l1_get({line} % n1)")
+    g.emit(f"if {ways} is not None and {ways}[-1] == {line} "
+           f"and ({a} + 7) >> shift == {line}:")
+    g.emit("    _s = cache.stats")
+    g.emit("    _s.accesses += 1")
+    g.emit("    _s.l1_hits += 1")
+    g.emit("    profile.mem_cycles += l1c")
+    g.emit("else:")
+    g.emit(f"    profile.mem_cycles += cache_access({a}, 8)")
+
+
+def _emit_load(g: _Gen, lop: LOp) -> None:
+    instr = lop.instr
+    size = instr.size
+    a = g.val(instr.address)
+    g.redefine_guard(instr.result)
+    g.mark_risky()
+    g.uses.update(("profile", "cache_access", "memory_read"))
+    value = g.tmp()
+    if g.fast_mem and size == 8:
+        g.uses.add("words_get")
+        _cache_probe(g, a)
+        g.emit(f"if {a} & 7 == 0 and {a} >= 4096:")
+        g.emit(f"    {value} = words_get({a} >> 3, 0)")
+        g.emit("else:")
+        g.emit(f"    {value} = memory_read({a}, 8)")
+    else:
+        g.emit(f"profile.mem_cycles += cache_access({a}, {size})")
+        g.emit(f"{value} = memory_read({a}, {size})")
+    g.bind[instr.result] = value
+    if lop.dict_store:
+        g.emit(f"regs[{instr.result!r}] = {value}")
+
+
+def _emit_store(g: _Gen, lop: LOp) -> None:
+    instr = lop.instr
+    size = instr.size
+    a = g.val(instr.address)
+    g.mark_risky()
+    g.uses.update(("profile", "cache_access", "memory_write"))
+    if g.fast_mem and size == 8:
+        g.uses.add("words")
+        _cache_probe(g, a)
+        v = g.val(instr.value)
+        g.emit(f"if {a} & 7 == 0 and {a} >= 4096:")
+        g.emit(f"    words[{a} >> 3] = {v} & {_MASK64}")
+        g.emit("else:")
+        g.emit(f"    memory_write({a}, {v}, 8)")
+    else:
+        g.emit(f"profile.mem_cycles += cache_access({a}, {size})")
+        v = g.val(instr.value)
+        g.emit(f"memory_write({a}, {v}, {size})")
+
+
+def _emit_alloca(g: _Gen, lop: LOp) -> None:
+    instr = lop.instr
+    s = g.val(instr.size)
+    g.redefine_guard(instr.result)
+    g.mark_risky()
+    g.uses.add("VMError")
+    top = g.tmp()
+    g.emit(f"{top} = thread.stack_top - (({s} + 15) & ~15)")
+    g.emit(f"if {top} <= thread.stack_base:")
+    g.emit('    raise VMError(f"stack overflow in thread {thread.tid}")')
+    g.emit(f"thread.stack_top = {top}")
+    g.bind[instr.result] = top
+    if lop.dict_store:
+        g.emit(f"regs[{instr.result!r}] = {top}")
+
+
+def _emit_inline_call(g: _Gen, lop: LOp) -> None:
+    info = lop.inline
+    g.uses.add("profile")
+    g.emit("profile.base_cycles += 2")  # _CALL_CYCLES, billed at the call
+    mark = None
+    if info.has_alloca:
+        mark = g.tmp()
+        g.emit(f"{mark} = thread.stack_top")
+    # Bind arguments to the callee's synthetic parameter names; argument
+    # reads happen here, at the call's position, like the reference.
+    args = [g.val(arg) for arg in lop.instr.args]
+    for synth, expr in zip(_callee_params(lop), args):
+        g.redefine_guard(synth)
+        g.bind[synth] = expr
+    g.pos += 1  # the call instruction itself
+    for body_lop in info.body:
+        _EMITTERS[body_lop.instr.__class__](g, body_lop)
+        g.pos += 1
+    ret_expr = None
+    if lop.instr.result is not None:
+        rv = info.ret_value
+        ret_expr = "0" if rv is None else g.val(rv)
+    if mark is not None:
+        g.emit(f"thread.stack_top = {mark}")
+    g.pos += 1  # the callee's ret
+    if ret_expr is not None:
+        g.define(lop, ret_expr, simple=True)
+
+
+def _callee_params(lop: LOp) -> List[str]:
+    # InlinePass seeds the rename map with the params first, in order.
+    info = lop.inline
+    return list(info.rename.values())[:len(lop.instr.args)]
+
+
+_EMITTERS = {
+    Const: _emit_const,
+    BinOp: _emit_binop,
+    Cmp: _emit_cmp,
+    Load: _emit_load,
+    Store: _emit_store,
+    Alloca: _emit_alloca,
+}
+
+
+def gen_segment_source(seg: SegUnit, fname: str, fast_mem: bool) -> str:
+    """Source of the ``_make(P)`` factory for one segment variant."""
+    g = _Gen(fname, fast_mem)
+    for lop in seg.lops:
+        if lop.inline is not None:
+            _emit_inline_call(g, lop)
+        else:
+            _EMITTERS[lop.instr.__class__](g, lop)
+            g.pos += 1
+
+    tail: List[str] = []
+    term = seg.absorb
+    if term is not None:
+        instr = term.instr
+        if instr.__class__ is Jmp:
+            g.uses.add("T0")
+            tail = ["frame.ip = T0", "return frame"]
+        else:  # Br
+            g.uses.update(("T0", "T1"))
+            cond = instr.cond
+            known: Optional[int] = None
+            if type(cond) is int:
+                known = cond
+            elif term.fold_ops is not None and term.fold_ops[0] is not None:
+                known = term.fold_ops[0]
+            pending = g.pending_cmp
+            if known is not None:
+                tail = [f"frame.ip = {'T0' if known else 'T1'}",
+                        "return frame"]
+            elif (pending is not None and type(cond) is str
+                    and pending[0] == cond):
+                _, a, b, sym = pending
+                g.pending_cmp = None
+                tail = [f"frame.ip = T0 if {a} {sym} {b} else T1",
+                        "return frame"]
+            else:
+                tail = [f"frame.ip = T0 if {g.val(cond)} else T1",
+                        "return frame"]
+        g.pos += 1
+
+    width = seg.width
+    body = g.lines + tail
+    if not body:
+        body = ["pass"]
+    if g.risky:
+        g.uses.add("profile")
+    out: List[str] = ["def _make(P):"]
+    for name in _PARAMS:
+        if name in g.uses:
+            out.append(f"    {name} = P[{name!r}]")
+    out.append("    def step(thread, frame):")
+    out.append("        regs = frame.regs")
+    indent = "        "
+    if g.risky:
+        out.append(f"{indent}_n = {width}")
+        out.append(f"{indent}try:")
+        indent = "            "
+    for line in body:
+        out.append(indent + line)
+    if g.risky:
+        out.append("        except BaseException:")
+        out.append(f"            _d = {width} - _n")
+        out.append("            profile.instructions -= _d")
+        out.append("            profile.base_cycles -= _d")
+        out.append("            raise")
+    out.append("    return step")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,292 @@
+"""Low-level IR (LIR) for the bytecode backend's optimizer pipeline.
+
+The pipeline (:mod:`repro.vm.bytecode.passes`) never mutates the source
+:class:`repro.ir.module.Module`.  Instead :func:`lower` wraps every IR
+instruction in an :class:`LOp` — a mutable annotation record carrying the
+instruction's static coordinates (function, block label, index) plus the
+facts the optimizer passes discover about it:
+
+* ``folded`` / ``fold_ops`` — compile-time constant results/operands
+  (constant folding),
+* ``alg`` — algebraic strength reduction (``x + 0`` is a copy),
+* ``dict_store`` — whether the destination register must be written to
+  the frame's ``regs`` dict, or may live in a Python local because no
+  later instruction outside the fused segment can observe it,
+* ``inline`` — an :class:`InlineInfo` expansion for calls to small leaf
+  functions.
+
+``to_bytecode`` then groups each block's LOps into *units*
+(:class:`PlainUnit` for one instruction, :class:`SegUnit` for a fused
+straight-line superinstruction) and ``compress`` absorbs trailing
+terminators and interns duplicate generated sources.  Binding the result
+to a concrete :class:`~repro.vm.interpreter.Interpreter` happens in
+:mod:`repro.vm.bytecode.ops`.
+
+Every annotation is advisory: a :class:`SegUnit` only *executes* fused
+when the bind-time context (hooks, tracer, shadow, elision masks) proves
+none of its covered instrumentation sites is live; otherwise the ops run
+individually, exactly like the closure backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Const,
+    Jmp,
+    Load,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.text import _fmt_instruction
+
+#: Instruction classes a fused segment may cover (calls only via inlining).
+FUSABLE = (Const, BinOp, Cmp, Load, Store, Alloca)
+
+#: Upper bound on reference instructions covered by one superinstruction.
+MAX_SEGMENT_WIDTH = 64
+
+
+class InlineInfo:
+    """Expansion of a call to a small leaf function, attached to its LOp."""
+
+    __slots__ = ("callee", "rename", "body", "ret_value", "has_alloca", "width")
+
+    def __init__(self, callee: str, rename: Dict[str, str], body: List["LOp"],
+                 ret_value, has_alloca: bool) -> None:
+        self.callee = callee
+        #: callee register -> synthetic segment-local name
+        self.rename = rename
+        #: callee body LOps (terminating Ret excluded; its billing is not)
+        self.body = body
+        #: renamed Ret operand (synthetic reg name, int, or None)
+        self.ret_value = ret_value
+        self.has_alloca = has_alloca
+        # call + body instructions + the callee's ret, all billed 1 each
+        self.width = 1 + len(body) + 1
+
+
+class LOp:
+    """One IR instruction plus everything the passes proved about it."""
+
+    __slots__ = ("instr", "fname", "label", "index",
+                 "folded", "fold_ops", "alg", "dict_store", "inline")
+
+    def __init__(self, instr, fname: str, label: str, index: int) -> None:
+        self.instr = instr
+        self.fname = fname
+        self.label = label
+        self.index = index
+        self.folded: Optional[int] = None
+        self.fold_ops: Optional[Tuple[Optional[int], ...]] = None
+        self.alg: Optional[Tuple[str, object]] = None
+        self.dict_store = True
+        self.inline: Optional[InlineInfo] = None
+
+    @property
+    def width(self) -> int:
+        return self.inline.width if self.inline is not None else 1
+
+    def render(self) -> str:
+        """Disassembly line with pass annotations, for ``report`` diffs."""
+        text = _fmt_instruction(self.instr)
+        notes = []
+        if self.folded is not None:
+            notes.append(f"fold={self.folded}")
+        elif self.fold_ops is not None and any(v is not None for v in self.fold_ops):
+            known = ",".join("?" if v is None else str(v) for v in self.fold_ops)
+            notes.append(f"ops=[{known}]")
+        if self.alg is not None:
+            notes.append(f"{self.alg[0]}({self.alg[1]})")
+        if not self.dict_store:
+            notes.append("nostore")
+        if self.inline is not None:
+            notes.append(f"inline={self.inline.callee} w={self.inline.width}")
+        if notes:
+            return f"{text}  ; {' '.join(n for n in notes if n)}"
+        return text
+
+
+class PlainUnit:
+    """One LOp executed as a single dispatcher slot."""
+
+    __slots__ = ("lop",)
+
+    def __init__(self, lop: LOp) -> None:
+        self.lop = lop
+
+    @property
+    def width(self) -> int:
+        return self.lop.width
+
+    def render(self) -> List[str]:
+        return [self.lop.render()]
+
+
+class SegUnit:
+    """A fused straight-line superinstruction covering several LOps.
+
+    ``absorb`` (set by the ``compress`` pass) is the block's trailing
+    ``Br``/``Jmp`` LOp, folded into the segment's generated code so a hot
+    loop body costs one dispatch per iteration.  ``covered`` lists the
+    instrumentation sites the segment hides; the binder refuses to fuse
+    while any of them is live.
+    """
+
+    __slots__ = ("lops", "absorb", "covered")
+
+    def __init__(self, lops: List[LOp]) -> None:
+        self.lops = lops
+        self.absorb: Optional[LOp] = None
+        self.covered: List[Tuple[str, str, Optional[Tuple[str, str, int]]]] = []
+        for lop in lops:
+            self.covered.extend(_covered_sites(lop))
+
+    @property
+    def width(self) -> int:
+        w = sum(lop.width for lop in self.lops)
+        if self.absorb is not None:
+            w += 1
+        return w
+
+    def all_lops(self) -> List[LOp]:
+        """Covered LOps in order, including an absorbed terminator."""
+        if self.absorb is not None:
+            return self.lops + [self.absorb]
+        return list(self.lops)
+
+    def render(self) -> List[str]:
+        lines = [f"seg w={self.width} {{"]
+        for lop in self.all_lops():
+            lines.append(f"  {lop.render()}")
+        lines.append("}")
+        return lines
+
+
+def _covered_sites(lop: LOp):
+    """(kind, position, elision-site) triples a fused LOp would hide.
+
+    Mirrors exactly which hook tables the reference interpreter consults
+    for each instruction class — e.g. ``Const`` only ever fires an
+    *after* event, so a registered before-hook on ``ConstInst`` is inert
+    and must not block fusion.
+    """
+    instr = lop.instr
+    site = (lop.fname, lop.label, lop.index)
+    cls = instr.__class__
+    if cls is Const:
+        return [("ConstInst", "after", None)]
+    if cls is BinOp:
+        return [("BinaryOperator", "before", None), ("BinaryOperator", "after", None)]
+    if cls is Cmp:
+        return [("CmpInst", "after", None)]
+    if cls is Load:
+        return [("LoadInst", "before", site), ("LoadInst", "after", site)]
+    if cls is Store:
+        return [("StoreInst", "before", site), ("StoreInst", "after", site)]
+    if cls is Alloca:
+        return [("AllocaInst", "after", None)]
+    if cls is Br:
+        return [("BranchInst", "before", None), ("BranchInst", "after", None)]
+    if cls is Jmp:
+        return []
+    if cls is Call and lop.inline is not None:
+        sites = [("CallInst", "before", None),
+                 ("func:" + lop.inline.callee, "before", None),
+                 ("func:" + lop.inline.callee, "after", None),
+                 ("ReturnInst", "before", None)]
+        for body_lop in lop.inline.body:
+            sites.extend(_covered_sites(body_lop))
+        return sites
+    raise AssertionError(f"not segment-eligible: {instr!r}")
+
+
+class LBlock:
+    __slots__ = ("label", "lops", "units")
+
+    def __init__(self, label: str, lops: List[LOp]) -> None:
+        self.label = label
+        self.lops = lops
+        #: set by to_bytecode; None means "every lop is its own unit"
+        self.units: Optional[list] = None
+
+    def effective_units(self) -> list:
+        if self.units is not None:
+            return self.units
+        return [PlainUnit(lop) for lop in self.lops]
+
+
+class LFunction:
+    __slots__ = ("name", "entry", "blocks", "function", "read_sites", "layout")
+
+    def __init__(self, name: str, entry: str, blocks: "Dict[str, LBlock]",
+                 function) -> None:
+        self.name = name
+        self.entry = entry
+        self.blocks = blocks
+        self.function = function
+        #: reg -> list of (label, index) read positions; set by simplify
+        self.read_sites: Optional[Dict[str, List[Tuple[str, int]]]] = None
+        #: block emission order (entry first); set by compress
+        self.layout: List[str] = [entry] + [
+            label for label in blocks if label != entry
+        ]
+
+
+class LModule:
+    __slots__ = ("module", "functions", "threaded", "stats", "code_cache")
+
+    def __init__(self, module: Module,
+                 functions: "Dict[str, LFunction]", threaded: bool) -> None:
+        self.module = module
+        self.functions = functions
+        #: modules that may spawn threads get no fused segments: deferred
+        #: thread-local work is invisible single-threaded, but a fused
+        #: memory access could otherwise slide across a quantum boundary
+        #: another thread observes through the shared cache simulator.
+        self.threaded = threaded
+        self.stats: Dict[str, int] = {}
+        #: generated-source interning (compress): src text -> code object
+        self.code_cache: Dict[str, object] = {}
+
+
+def lower(module: Module) -> LModule:
+    """Wrap a validated module in LIR with empty annotations."""
+    functions: Dict[str, LFunction] = {}
+    threaded = False
+    for fname, function in module.functions.items():
+        blocks: Dict[str, LBlock] = {}
+        for label, block in function.blocks.items():
+            lops = [
+                LOp(instr, fname, label, index)
+                for index, instr in enumerate(block.instructions)
+            ]
+            for lop in lops:
+                instr = lop.instr
+                if instr.__class__ is Call and instr.callee.startswith("spawn$"):
+                    threaded = True
+            blocks[label] = LBlock(label, lops)
+        functions[fname] = LFunction(fname, function.entry, blocks, function)
+    return LModule(module, functions, threaded)
+
+
+def render(lmod: LModule) -> str:
+    """Deterministic textual form of the LIR, used for per-pass diffs."""
+    out: List[str] = []
+    for fname, lfn in lmod.functions.items():
+        params = ", ".join(lfn.function.params)
+        out.append(f"func {fname}({params}):")
+        for label in lfn.layout:
+            lblock = lfn.blocks[label]
+            out.append(f"  {label}:")
+            for unit in lblock.effective_units():
+                for line in unit.render():
+                    out.append(f"    {line}")
+        out.append("")
+    return "\n".join(out)

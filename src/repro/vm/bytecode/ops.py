@@ -1,0 +1,1012 @@
+"""Stage-2 binder: LIR units -> one flat threaded-code stream per function.
+
+Where the closure backend (:mod:`repro.vm.compile`) produces one closure
+list per *block*, this backend lays every function out as a single flat
+:class:`BCode` list — blocks concatenated in layout order, branch targets
+resolved to flat indices — plus two side arrays:
+
+* ``widths[k]`` — how many reference instructions slot ``k`` covers (1
+  for plain ops, the fused width for superinstruction segments).  The
+  quantum driver bills by width and allows the budget to overshoot, which
+  is unobservable because fused segments only exist in single-threaded
+  modules.
+* ``bts[k]`` — the backtrace rendering for ``frame.ip == k``, matching
+  byte for byte what the reference's block-relative
+  :meth:`~repro.vm.interpreter.Interpreter._bt_entry` would produce for
+  the equivalent logical position.
+
+Whether a :class:`~repro.vm.bytecode.lir.SegUnit` actually fuses is
+decided here, per bind: a segment executes as one slot only when the VM
+has no shadow tracking, no tracer, and none of the segment's covered
+instrumentation sites is live (hook tables with the
+:mod:`repro.staticpass` elision mask applied).  Otherwise its ops are
+laid out as individual slots whose step closures are faithful ports of
+the closure backend's emitters — so with analyses attached the bytecode
+backend degrades to exactly the compiled backend's behavior, and the
+differential tests stay bit-identical in every configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import VMError
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Const,
+    Jmp,
+    Load,
+    Ret,
+    Store,
+)
+from repro.vm.compile import (
+    _Binder,
+    _args_extractor,
+    _binop_impl,
+    _cache_inlinable,
+    _CMP_GE,
+    _CMP_IMPL,
+    _make_finish,
+)
+from repro.vm.interpreter import (
+    _CALL_CYCLES,
+    _DONE,
+    _EIGHT,
+    _EIGHT_EIGHT,
+    _MASK64,
+    _RUNNABLE,
+    _SHADOW_PROP_CYCLES,
+    Frame,
+    Interpreter,
+)
+from repro.vm.bytecode.codegen import gen_segment_source
+from repro.vm.bytecode.lir import LModule, LOp, SegUnit
+
+_NONE1 = (None,)
+
+
+class BCode(list):
+    """A function's flat step-closure stream plus its side tables."""
+
+    __slots__ = ("widths", "bts", "fname")
+
+
+def _site_active(b: _Binder, kind: str, position: str,
+                 site: Optional[Tuple[str, str, int]]) -> bool:
+    """Would the reference consult a (possibly empty) hook list here?
+
+    An *empty* registered list still counts: ``_fire`` bumps the event
+    sequence number before iterating callbacks, so fusing across it
+    would drop a sequence increment.
+    """
+    table = b.before if position == "before" else b.after
+    lst = table.get(kind)
+    if lst is None:
+        return False
+    if site is not None and b.elide:
+        suppressed = b.elide.get(site)
+        if suppressed and position in suppressed:
+            return False
+    return True
+
+
+def _seg_fusable(b: _Binder, seg: SegUnit) -> bool:
+    if b.track_shadow or b.tracer is not None:
+        return False
+    return not any(
+        _site_active(b, kind, position, site)
+        for kind, position, site in seg.covered
+    )
+
+
+# ----------------------------------------------------------------------
+# fused segment binding
+# ----------------------------------------------------------------------
+def _bind_segment(b: _Binder, lmod: LModule, seg: SegUnit, fname: str,
+                  block_start: Dict[str, int], fast_mem: bool):
+    src = gen_segment_source(seg, fname, fast_mem)
+    code = lmod.code_cache.get(src)
+    if code is None:
+        code = compile(src, "<repro.vm.bytecode>", "exec")
+        lmod.code_cache[src] = code
+    P = {
+        "profile": b.profile,
+        "cache_access": b.cache_access,
+        "memory_read": b.memory.read,
+        "memory_write": b.memory.write,
+        "VMError": VMError,
+    }
+    if fast_mem:
+        cache = b.vm.cache
+        P.update(
+            cache=cache,
+            l1_get=cache.l1.sets.get,
+            n1=cache.l1.n_sets,
+            shift=cache._line_shift,
+            l1c=cache._l1_cycles,
+            words=b.memory._words,
+            words_get=b.memory._words.get,
+        )
+    term = seg.absorb
+    if term is not None:
+        instr = term.instr
+        if instr.__class__ is Jmp:
+            P["T0"] = block_start[instr.label]
+        else:
+            P["T0"] = block_start[instr.then_label]
+            P["T1"] = block_start[instr.else_label]
+    ns: Dict[str, object] = {}
+    exec(code, ns)
+    return ns["_make"](P)
+
+
+# ----------------------------------------------------------------------
+# plain-op binding — faithful ports of repro.vm.compile's emitters with
+# flat successor/target indices.  ``nxt`` is the *flat* next slot; every
+# EventContext location string stays block-relative, identical to the
+# reference and closure backends.
+# ----------------------------------------------------------------------
+def _bind_const(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    result = instr.result
+    value = instr.value
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    ops = (value,)
+    ha = b.after.get("ConstInst")
+    shadow_on = b.track_shadow
+    tracer = b.tracer
+    if ha is None and not shadow_on:
+        def step(thread, frame):
+            frame.regs[result] = value
+        return step
+    fire = b.fire
+
+    def step(thread, frame):
+        frame.ip = nxt
+        frame.regs[result] = value
+        if shadow_on:
+            shadow = frame.shadow
+            shadow[result] = 0
+            if tracer is not None:
+                tracer.shadow_set0(shadow, result)
+        if ha is not None:
+            fire(ha, "ConstInst", thread, frame, ops, value,
+                 _NONE1, result, _EIGHT, 8, loc)
+    return step
+
+
+def _bind_binop(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    result = instr.result
+    lhs = instr.lhs
+    rhs = instr.rhs
+    lreg = type(lhs) is str
+    rreg = type(rhs) is str
+    op = instr.op
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    opfunc = _binop_impl(op, loc)
+    operand_regs = (lhs if lreg else None, rhs if rreg else None)
+    hb = b.before.get("BinaryOperator")
+    ha = b.after.get("BinaryOperator")
+    shadow_on = b.track_shadow
+    tracer = b.tracer
+    if hb is None and ha is None and not shadow_on:
+        if lreg and rreg:
+            if op == "add":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = regs[lhs] + regs[rhs]
+            elif op == "sub":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = regs[lhs] - regs[rhs]
+            elif op == "mul":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = regs[lhs] * regs[rhs]
+            else:
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = opfunc(regs[lhs], regs[rhs])
+        elif lreg:
+            if op == "add":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = regs[lhs] + rhs
+            elif op == "sub":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = regs[lhs] - rhs
+            else:
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = opfunc(regs[lhs], rhs)
+        elif rreg:
+            def step(thread, frame):
+                regs = frame.regs
+                regs[result] = opfunc(lhs, regs[rhs])
+        else:
+            def step(thread, frame):
+                frame.regs[result] = opfunc(lhs, rhs)
+        return step
+    fire = b.fire
+    profile = b.profile
+
+    def step(thread, frame):
+        frame.ip = nxt
+        regs = frame.regs
+        a = regs[lhs] if lreg else lhs
+        bv = regs[rhs] if rreg else rhs
+        value = opfunc(a, bv)  # may raise, matching reference order
+        if hb is not None:
+            fire(hb, "BinaryOperator", thread, frame, (a, bv), None,
+                 operand_regs, result, _EIGHT_EIGHT, 8, loc)
+        regs[result] = value
+        if shadow_on:
+            shadow = frame.shadow
+            meta = (shadow.get(lhs, 0) if lreg else 0) | (
+                shadow.get(rhs, 0) if rreg else 0
+            )
+            shadow[result] = meta
+            profile.instr_cycles += _SHADOW_PROP_CYCLES
+            if tracer is not None:
+                tracer.shadow_or2(
+                    shadow, result,
+                    lhs if lreg else None, rhs if rreg else None,
+                )
+        if ha is not None:
+            fire(ha, "BinaryOperator", thread, frame, (a, bv), value,
+                 operand_regs, result, _EIGHT_EIGHT, 8, loc)
+    return step
+
+
+def _bind_cmp(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    result = instr.result
+    lhs = instr.lhs
+    rhs = instr.rhs
+    lreg = type(lhs) is str
+    rreg = type(rhs) is str
+    op = instr.op
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    cmpfunc = _CMP_IMPL.get(op, _CMP_GE)
+    operand_regs = (lhs if lreg else None, rhs if rreg else None)
+    ha = b.after.get("CmpInst")
+    shadow_on = b.track_shadow
+    tracer = b.tracer
+    if ha is None and not shadow_on:
+        if lreg and rreg:
+            if op == "lt":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = 1 if regs[lhs] < regs[rhs] else 0
+            elif op == "eq":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = 1 if regs[lhs] == regs[rhs] else 0
+            else:
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = cmpfunc(regs[lhs], regs[rhs])
+        elif lreg:
+            if op == "lt":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = 1 if regs[lhs] < rhs else 0
+            elif op == "eq":
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = 1 if regs[lhs] == rhs else 0
+            else:
+                def step(thread, frame):
+                    regs = frame.regs
+                    regs[result] = cmpfunc(regs[lhs], rhs)
+        elif rreg:
+            def step(thread, frame):
+                regs = frame.regs
+                regs[result] = cmpfunc(lhs, regs[rhs])
+        else:
+            def step(thread, frame):
+                frame.regs[result] = cmpfunc(lhs, rhs)
+        return step
+    fire = b.fire
+    profile = b.profile
+
+    def step(thread, frame):
+        frame.ip = nxt
+        regs = frame.regs
+        a = regs[lhs] if lreg else lhs
+        bv = regs[rhs] if rreg else rhs
+        value = cmpfunc(a, bv)
+        regs[result] = value
+        if shadow_on:
+            shadow = frame.shadow
+            meta = (shadow.get(lhs, 0) if lreg else 0) | (
+                shadow.get(rhs, 0) if rreg else 0
+            )
+            shadow[result] = meta
+            profile.instr_cycles += _SHADOW_PROP_CYCLES
+            if tracer is not None:
+                tracer.shadow_or2(
+                    shadow, result,
+                    lhs if lreg else None, rhs if rreg else None,
+                )
+        if ha is not None:
+            fire(ha, "CmpInst", thread, frame, (a, bv), value,
+                 operand_regs, result, _EIGHT_EIGHT, 8, loc)
+    return step
+
+
+def _bind_load(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    result = instr.result
+    address_op = instr.address
+    areg = type(address_op) is str
+    size = instr.size
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    operand_regs = (address_op if areg else None,)
+    hb, ha = b.site_hooks("LoadInst", lop.fname, lop.label, lop.index)
+    shadow_on = b.track_shadow
+    tracer = b.tracer
+    profile = b.profile
+    cache_access = b.cache_access
+    memory_read = b.memory.read
+    if hb is None and ha is None and not shadow_on:
+        cache = b.vm.cache
+        if areg and size == 8 and _cache_inlinable(cache):
+            l1_get = cache.l1.sets.get
+            n1 = cache.l1.n_sets
+            shift = cache._line_shift
+            l1_cycles = cache._l1_cycles
+            words_get = b.memory._words.get
+
+            def step(thread, frame):
+                regs = frame.regs
+                address = regs[address_op]
+                line = address >> shift
+                ways = l1_get(line % n1)
+                if (ways is not None and ways[-1] == line
+                        and (address + 7) >> shift == line):
+                    stats = cache.stats
+                    stats.accesses += 1
+                    stats.l1_hits += 1
+                    profile.mem_cycles += l1_cycles
+                else:
+                    profile.mem_cycles += cache_access(address, 8)
+                if address & 7 == 0 and address >= 0x1000:
+                    regs[result] = words_get(address >> 3, 0)
+                else:
+                    regs[result] = memory_read(address, 8)
+            return step
+        if areg:
+            def step(thread, frame):
+                regs = frame.regs
+                address = regs[address_op]
+                profile.mem_cycles += cache_access(address, size)
+                regs[result] = memory_read(address, size)
+        else:
+            def step(thread, frame):
+                profile.mem_cycles += cache_access(address_op, size)
+                frame.regs[result] = memory_read(address_op, size)
+        return step
+    fire = b.fire
+
+    def step(thread, frame):
+        frame.ip = nxt
+        regs = frame.regs
+        address = regs[address_op] if areg else address_op
+        if hb is not None:
+            fire(hb, "LoadInst", thread, frame, (address,), None,
+                 operand_regs, result, _EIGHT, size, loc)
+        profile.mem_cycles += cache_access(address, size)
+        value = memory_read(address, size)
+        regs[result] = value
+        if shadow_on:
+            shadow = frame.shadow
+            shadow[result] = 0
+            if tracer is not None:
+                tracer.shadow_set0(shadow, result)
+        if ha is not None:
+            fire(ha, "LoadInst", thread, frame, (address,), value,
+                 operand_regs, result, _EIGHT, size, loc)
+    return step
+
+
+def _bind_store(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    value_op = instr.value
+    address_op = instr.address
+    vreg = type(value_op) is str
+    areg = type(address_op) is str
+    size = instr.size
+    sizes = (size, 8)
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    operand_regs = (value_op if vreg else None, address_op if areg else None)
+    hb, ha = b.site_hooks("StoreInst", lop.fname, lop.label, lop.index)
+    profile = b.profile
+    cache_access = b.cache_access
+    memory_write = b.memory.write
+    if hb is None and ha is None:
+        cache = b.vm.cache
+        if areg and size == 8 and _cache_inlinable(cache):
+            l1_get = cache.l1.sets.get
+            n1 = cache.l1.n_sets
+            shift = cache._line_shift
+            l1_cycles = cache._l1_cycles
+            words = b.memory._words
+
+            def step(thread, frame):
+                regs = frame.regs
+                address = regs[address_op]
+                line = address >> shift
+                ways = l1_get(line % n1)
+                if (ways is not None and ways[-1] == line
+                        and (address + 7) >> shift == line):
+                    stats = cache.stats
+                    stats.accesses += 1
+                    stats.l1_hits += 1
+                    profile.mem_cycles += l1_cycles
+                else:
+                    profile.mem_cycles += cache_access(address, 8)
+                value = regs[value_op] if vreg else value_op
+                if address & 7 == 0 and address >= 0x1000:
+                    words[address >> 3] = value & _MASK64
+                else:
+                    memory_write(address, value, 8)
+            return step
+
+        def step(thread, frame):
+            regs = frame.regs
+            address = regs[address_op] if areg else address_op
+            profile.mem_cycles += cache_access(address, size)
+            memory_write(address, regs[value_op] if vreg else value_op, size)
+        return step
+    fire = b.fire
+
+    def step(thread, frame):
+        frame.ip = nxt
+        regs = frame.regs
+        value = regs[value_op] if vreg else value_op
+        address = regs[address_op] if areg else address_op
+        if hb is not None:
+            fire(hb, "StoreInst", thread, frame, (value, address), None,
+                 operand_regs, None, sizes, 0, loc)
+        profile.mem_cycles += cache_access(address, size)
+        memory_write(address, value, size)
+        if ha is not None:
+            fire(ha, "StoreInst", thread, frame, (value, address), None,
+                 operand_regs, None, sizes, 0, loc)
+    return step
+
+
+def _bind_br(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    cond_op = instr.cond
+    creg = type(cond_op) is str
+    then_t = block_start[instr.then_label]
+    else_t = block_start[instr.else_label]
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    # The reference fires the after-hook once frame.ip is 0 (post-jump).
+    loc_after = instr.loc or f"{lop.fname}+0"
+    operand_regs = (cond_op if creg else None,)
+    hb = b.before.get("BranchInst")
+    ha = b.after.get("BranchInst")
+    if hb is None and ha is None:
+        if creg:
+            def step(thread, frame):
+                frame.ip = then_t if frame.regs[cond_op] else else_t
+                return frame
+        else:
+            target = then_t if cond_op else else_t
+
+            def step(thread, frame):
+                frame.ip = target
+                return frame
+        return step
+    fire = b.fire
+
+    def step(thread, frame):
+        frame.ip = nxt
+        cond = frame.regs[cond_op] if creg else cond_op
+        if hb is not None:
+            fire(hb, "BranchInst", thread, frame, (cond,), None,
+                 operand_regs, None, _EIGHT, 0, loc)
+        frame.ip = then_t if cond else else_t
+        if ha is not None:
+            fire(ha, "BranchInst", thread, frame, (cond,), None,
+                 operand_regs, None, _EIGHT, 0, loc_after)
+        return frame
+    return step
+
+
+def _bind_jmp(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    target = block_start[lop.instr.label]
+
+    def step(thread, frame):
+        frame.ip = target
+        return frame
+    return step
+
+
+def _bind_alloca(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    result = instr.result
+    size_op = instr.size
+    sreg = type(size_op) is str
+    loc = instr.loc or f"{lop.fname}+{lop.index + 1}"
+    operand_regs = (size_op if sreg else None,)
+    ha = b.after.get("AllocaInst")
+    shadow_on = b.track_shadow
+    tracer = b.tracer
+    if ha is None and not shadow_on:
+        def step(thread, frame):
+            size = frame.regs[size_op] if sreg else size_op
+            top = thread.stack_top - ((size + 15) & ~15)
+            if top <= thread.stack_base:
+                raise VMError(f"stack overflow in thread {thread.tid}")
+            thread.stack_top = top
+            frame.regs[result] = top
+        return step
+    fire = b.fire
+
+    def step(thread, frame):
+        frame.ip = nxt
+        size = frame.regs[size_op] if sreg else size_op
+        top = thread.stack_top - ((size + 15) & ~15)
+        if top <= thread.stack_base:
+            raise VMError(f"stack overflow in thread {thread.tid}")
+        thread.stack_top = top
+        frame.regs[result] = top
+        if shadow_on:
+            shadow = frame.shadow
+            shadow[result] = 0
+            if tracer is not None:
+                tracer.shadow_set0(shadow, result)
+        if ha is not None:
+            fire(ha, "AllocaInst", thread, frame, (size,), top,
+                 operand_regs, result, _EIGHT, size, loc)
+    return step
+
+
+def _bind_ret(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    fname = lop.fname
+    value_op = instr.value
+    vreg = type(value_op) is str
+    const_value = 0 if value_op is None or vreg else value_op
+    loc = instr.loc or f"{fname}+{lop.index + 1}"
+    operand_regs = () if value_op is None else ((value_op if vreg else None),)
+    after_key = "func:" + fname
+    vm = b.vm
+    hb = b.before.get("ReturnInst")
+    ha_func = b.after.get(after_key)
+    tracer = b.tracer
+    shadow_on = b.track_shadow
+    joiners = vm._joiners
+    if hb is None and ha_func is None and tracer is None and not shadow_on:
+        if vreg:
+            def step(thread, frame):
+                value = frame.regs[value_op]
+                thread.stack_top = frame.stack_mark
+                frames = thread.frames
+                frames.pop()
+                if not frames:
+                    thread.status = _DONE
+                    thread.result = value
+                    for waiter in joiners.pop(thread.tid, []):
+                        waiter.status = _RUNNABLE
+                    return True
+                call_instr = frame.call_instr
+                caller = frames[-1]
+                if call_instr is not None and call_instr.result is not None:
+                    caller.regs[call_instr.result] = value
+                return caller
+        else:
+            def step(thread, frame):
+                thread.stack_top = frame.stack_mark
+                frames = thread.frames
+                frames.pop()
+                if not frames:
+                    thread.status = _DONE
+                    thread.result = const_value
+                    for waiter in joiners.pop(thread.tid, []):
+                        waiter.status = _RUNNABLE
+                    return True
+                call_instr = frame.call_instr
+                caller = frames[-1]
+                if call_instr is not None and call_instr.result is not None:
+                    caller.regs[call_instr.result] = const_value
+                return caller
+        return step
+    fire = b.fire
+    profile = b.profile
+
+    # Slow path: a port of Interpreter._do_ret, except the after-func
+    # event's location comes from the caller's bts table (its flat ip
+    # would otherwise leak into the rendered `func+ip` fallback).
+    def step(thread, frame):
+        frame.ip = nxt
+        if hb is not None:
+            value = frame.regs[value_op] if vreg else const_value
+            fire(hb, "ReturnInst", thread, frame, (value,), None,
+                 operand_regs, None, _EIGHT, 0, loc)
+        value = frame.regs[value_op] if vreg else const_value
+        thread.stack_top = frame.stack_mark
+        frames = thread.frames
+        frames.pop()
+        if not frames:
+            thread.status = _DONE
+            thread.result = value
+            for waiter in joiners.pop(thread.tid, []):
+                waiter.status = _RUNNABLE
+            if tracer is not None:
+                tracer.frame_pop(frame.shadow, thread.tid)
+            return True
+        caller = frames[-1]
+        call_instr = frame.call_instr
+        if call_instr is not None and call_instr.result is not None:
+            caller.regs[call_instr.result] = value
+            if shadow_on:
+                returned_shadow = (
+                    frame.shadow.get(value_op, 0) if vreg else 0
+                )
+                caller.shadow[call_instr.result] = returned_shadow
+                if tracer is not None:
+                    tracer.shadow_mov(
+                        caller.shadow, call_instr.result, frame.shadow,
+                        value_op if vreg else None,
+                    )
+        if tracer is not None:
+            tracer.frame_pop(frame.shadow, thread.tid)
+        if ha_func is not None and call_instr is not None:
+            call_ops = frame.call_ops
+            fire(
+                ha_func, after_key, thread, caller, call_ops, value,
+                tuple(a if type(a) is str else None for a in call_instr.args),
+                call_instr.result, (8,) * len(call_ops), 8,
+                call_instr.loc or caller.code.bts[caller.ip],
+            )
+        return caller
+    return step
+
+
+def _bind_call(b: _Binder, lop: LOp, nxt: int, block_start, entries):
+    instr = lop.instr
+    fname = lop.fname
+    callee = instr.callee
+    args_spec = tuple(instr.args)
+    nargs = len(args_spec)
+    result_reg = instr.result
+    operand_regs = tuple(a if type(a) is str else None for a in args_spec)
+    sizes = (8,) * nargs
+    loc = instr.loc or f"{fname}+{lop.index + 1}"
+    get_args = _args_extractor(args_spec)
+    vm = b.vm
+    profile = b.profile
+    fire = b.fire
+
+    target = vm.module.functions.get(callee)
+    if target is not None:
+        func_key = "func:" + callee
+        params = tuple(target.params)
+        shadow_pairs = tuple(
+            (param, arg if type(arg) is str else None)
+            for param, arg in zip(params, args_spec)
+        )
+        arity_msg = (
+            None if nargs == len(params)
+            else f"{callee} expects {len(params)} args, got {nargs}"
+        )
+        entry = entries[callee]
+        hb_call = b.before.get("CallInst")
+        hb_func = b.before.get(func_key)
+        tracer = b.tracer
+        shadow_on = b.track_shadow
+        if (hb_call is None and hb_func is None and tracer is None
+                and not shadow_on and arity_msg is None):
+            def step(thread, frame):
+                frame.ip = nxt
+                profile.base_cycles += _CALL_CYCLES
+                args = get_args(frame.regs)
+                new = Frame(target, dict(zip(params, args)), entry)
+                new.stack_mark = thread.stack_top
+                new.call_instr = instr
+                new.call_ops = args
+                thread.frames.append(new)
+                return new
+            return step
+        bt_entry = vm._bt_entry
+
+        def step(thread, frame):
+            frame.ip = nxt
+            profile.base_cycles += _CALL_CYCLES
+            args = get_args(frame.regs)
+            if hb_call is not None:
+                fire(hb_call, "CallInst", thread, frame, args, None,
+                     operand_regs, result_reg, sizes, 8, loc)
+            if arity_msg is not None:
+                raise VMError(arity_msg)
+            if hb_func is not None:
+                fire(hb_func, func_key, thread, frame, args, None,
+                     operand_regs, result_reg, sizes, 8, loc)
+            new = Frame(target, dict(zip(params, args)), entry)
+            new.stack_mark = thread.stack_top
+            new.call_instr = instr
+            new.call_ops = args
+            new.caller_shadow = frame.shadow
+            if tracer is not None:
+                tracer.frame_push(new.shadow, thread.tid, frame.shadow,
+                                  bt_entry(frame))
+            if shadow_on:
+                caller_shadow = frame.shadow
+                new_shadow = new.shadow
+                for param, argreg in shadow_pairs:
+                    new_shadow[param] = (
+                        caller_shadow.get(argreg, 0)
+                        if argreg is not None else 0
+                    )
+                    if tracer is not None:
+                        tracer.shadow_mov(new_shadow, param,
+                                          caller_shadow, argreg)
+            thread.frames.append(new)
+            return new
+        return step
+
+    base, _, suffix = callee.partition("$")
+
+    if base == "global_addr":
+        hb_call = b.before.get("CallInst")
+        ha_key = b.after.get("func:global_addr")
+        finish = _make_finish(b, result_reg)
+
+        def step(thread, frame):
+            frame.ip = nxt
+            profile.base_cycles += _CALL_CYCLES
+            args = get_args(frame.regs)
+            if hb_call is not None:
+                fire(hb_call, "CallInst", thread, frame, args, None,
+                     operand_regs, result_reg, sizes, 8, loc)
+            value = vm.global_address(suffix)
+            if ha_key is not None:
+                fire(ha_key, "func:global_addr", thread, frame, args,
+                     value, operand_regs, result_reg, sizes, 8, loc)
+            finish(frame, value)
+        return step
+
+    if base == "spawn":
+        hb_call = b.before.get("CallInst")
+        ha_key = b.after.get("func:spawn")
+        finish = _make_finish(b, result_reg)
+
+        def step(thread, frame):
+            frame.ip = nxt
+            profile.base_cycles += _CALL_CYCLES
+            args = get_args(frame.regs)
+            if hb_call is not None:
+                fire(hb_call, "CallInst", thread, frame, args, None,
+                     operand_regs, result_reg, sizes, 8, loc)
+            value = vm._do_spawn(thread, frame, instr, suffix, args)
+            if ha_key is not None:
+                fire(ha_key, "func:spawn", thread, frame, args, value,
+                     operand_regs, result_reg, sizes, 8, loc)
+            finish(frame, value)
+        return step
+
+    if base == "join":
+        hb_call = b.before.get("CallInst")
+        ha_key = b.after.get("func:join")
+        finish = _make_finish(b, result_reg)
+
+        def step(thread, frame):
+            frame.ip = nxt
+            profile.base_cycles += _CALL_CYCLES
+            args = get_args(frame.regs)
+            if hb_call is not None:
+                fire(hb_call, "CallInst", thread, frame, args, None,
+                     operand_regs, result_reg, sizes, 8, loc)
+            if vm._do_join(thread, args):
+                return True  # blocked: retried (and the hook refired) on wake
+            value = vm.threads[args[0]].result
+            if ha_key is not None:
+                fire(ha_key, "func:join", thread, frame, args, value,
+                     operand_regs, result_reg, sizes, 8, loc)
+            finish(frame, value)
+        return step
+
+    if base in ("mutex_lock", "mutex_unlock"):
+        func_key = "func:" + base
+        locking = base == "mutex_lock"
+        hb_call = b.before.get("CallInst")
+        hb_key = b.before.get(func_key)
+        ha_key = b.after.get(func_key)
+        finish = _make_finish(b, result_reg)
+        if locking:
+            def step(thread, frame):
+                frame.ip = nxt
+                profile.base_cycles += _CALL_CYCLES
+                args = get_args(frame.regs)
+                if hb_call is not None:
+                    fire(hb_call, "CallInst", thread, frame, args, None,
+                         operand_regs, result_reg, sizes, 8, loc)
+                if hb_key is not None:
+                    fire(hb_key, func_key, thread, frame, args, None,
+                         operand_regs, result_reg, _EIGHT, 8, loc)
+                if vm._do_lock(thread, args[0]):
+                    return True  # blocked; hooks refire on retry (spin model)
+                profile.base_cycles += 4  # atomic RMW cost
+                if ha_key is not None:
+                    fire(ha_key, func_key, thread, frame, args, 0,
+                         operand_regs, result_reg, _EIGHT, 8, loc)
+                finish(frame, 0)
+        else:
+            def step(thread, frame):
+                frame.ip = nxt
+                profile.base_cycles += _CALL_CYCLES
+                args = get_args(frame.regs)
+                if hb_call is not None:
+                    fire(hb_call, "CallInst", thread, frame, args, None,
+                         operand_regs, result_reg, sizes, 8, loc)
+                if hb_key is not None:
+                    fire(hb_key, func_key, thread, frame, args, None,
+                         operand_regs, result_reg, _EIGHT, 8, loc)
+                vm._do_unlock(thread, args[0])
+                profile.base_cycles += 4
+                if ha_key is not None:
+                    fire(ha_key, func_key, thread, frame, args, 0,
+                         operand_regs, result_reg, _EIGHT, 8, loc)
+                finish(frame, 0)
+        return step
+
+    func_key = "func:" + callee
+    unknown_msg = f"call to unknown function {callee!r}"
+    builtin = vm._builtins.get(callee)
+    hb_call = b.before.get("CallInst")
+    hb_func = b.before.get(func_key)
+    ha_func = b.after.get(func_key)
+    finish = _make_finish(b, result_reg)
+    if (hb_call is None and hb_func is None and ha_func is None
+            and builtin is not None):
+        if result_reg is None and not b.track_shadow:
+            def step(thread, frame):
+                frame.ip = nxt
+                profile.base_cycles += _CALL_CYCLES
+                builtin(vm, thread, get_args(frame.regs))
+        else:
+            def step(thread, frame):
+                frame.ip = nxt
+                profile.base_cycles += _CALL_CYCLES
+                value = builtin(vm, thread, get_args(frame.regs))
+                finish(frame, 0 if value is None else value)
+        return step
+
+    def step(thread, frame):
+        frame.ip = nxt
+        profile.base_cycles += _CALL_CYCLES
+        args = get_args(frame.regs)
+        if hb_call is not None:
+            fire(hb_call, "CallInst", thread, frame, args, None,
+                 operand_regs, result_reg, sizes, 8, loc)
+        if builtin is None:
+            raise VMError(unknown_msg)
+        if hb_func is not None:
+            fire(hb_func, func_key, thread, frame, args, None,
+                 operand_regs, result_reg, sizes, 8, loc)
+        value = builtin(vm, thread, args)
+        if value is None:
+            value = 0
+        if ha_func is not None:
+            fire(ha_func, func_key, thread, frame, args, value,
+                 operand_regs, result_reg, sizes, 8, loc)
+        finish(frame, value)
+    return step
+
+
+_BINDERS = {
+    Const: _bind_const,
+    BinOp: _bind_binop,
+    Cmp: _bind_cmp,
+    Load: _bind_load,
+    Store: _bind_store,
+    Br: _bind_br,
+    Jmp: _bind_jmp,
+    Alloca: _bind_alloca,
+    Ret: _bind_ret,
+    Call: _bind_call,
+}
+
+
+# ----------------------------------------------------------------------
+# module binding
+# ----------------------------------------------------------------------
+def bind_bytecode(vm: Interpreter,
+                  lmod: Optional[LModule] = None) -> Dict[str, BCode]:
+    """Stage 2: produce one flat :class:`BCode` per function for one VM.
+
+    Returns ``{function name: BCode}`` — the same shape
+    :func:`repro.vm.compile.bind_module` returns, so
+    ``Interpreter._new_thread`` needs no backend-specific branches.
+    """
+    if lmod is None:
+        from repro.vm.bytecode import compile_bytecode
+
+        lmod = compile_bytecode(vm.module)
+    b = _Binder(vm)
+    fast_mem = _cache_inlinable(vm.cache)
+    entries: Dict[str, BCode] = {}
+    for fname in lmod.functions:
+        bc = BCode()
+        bc.fname = fname
+        entries[fname] = bc
+
+    # Pass A: fuse/explode decisions and the flat layout (indices depend
+    # on which segments fuse, which is a per-bind property of the VM's
+    # hooks, tracer, shadow flag, and elision masks).
+    plans: Dict[str, Tuple[list, Dict[str, int]]] = {}
+    for fname, lfn in lmod.functions.items():
+        slots: List[Tuple[str, object, str]] = []
+        block_start: Dict[str, int] = {}
+        for label in lfn.layout:
+            block_start[label] = len(slots)
+            for unit in lfn.blocks[label].effective_units():
+                if isinstance(unit, SegUnit):
+                    if _seg_fusable(b, unit):
+                        slots.append(("seg", unit, label))
+                    else:
+                        for lop in unit.all_lops():
+                            slots.append(("op", lop, label))
+                else:
+                    slots.append(("op", unit.lop, label))
+        plans[fname] = (slots, block_start)
+
+    # Pass B: emit steps with every target resolved to a flat index, and
+    # build the width/backtrace side tables.
+    for fname, lfn in lmod.functions.items():
+        slots, block_start = plans[fname]
+        bc = entries[fname]
+        widths: List[int] = []
+        # Flat layout collapses "just past block A's terminator" and
+        # "start of block B" onto one index — but the reference renders
+        # those states differently (terminator's loc vs first-instr
+        # loc).  Br/Ret slow paths therefore park frame.ip on a shadow
+        # bts entry past the real code during their before-hook window;
+        # the index is never executed (Br overwrites it with the jump
+        # target, Ret pops the frame).
+        shadow_ip: Dict[int, int] = {}
+        next_shadow = len(slots) + 1
+        for k, (tag, payload, label) in enumerate(slots):
+            if tag == "op" and payload.instr.__class__ in (Br, Ret):
+                shadow_ip[k] = next_shadow
+                next_shadow += 1
+        bts: List[str] = [""] * next_shadow
+        for k, (tag, payload, label) in enumerate(slots):
+            if tag == "seg":
+                step = _bind_segment(b, lmod, payload, fname,
+                                     block_start, fast_mem)
+                width = payload.width
+                last = payload.all_lops()[-1]
+            else:
+                lop = payload
+                step = _BINDERS[lop.instr.__class__](
+                    b, lop, shadow_ip.get(k, k + 1), block_start, entries)
+                width = 1
+                last = lop
+            bc.append(step)
+            widths.append(width)
+            # Reference-equivalent rendering for frame.ip == k+1: the
+            # last covered instruction's loc, else block-relative f+N.
+            rendering = last.instr.loc or f"{fname}+{last.index + 1}"
+            bts[k + 1] = rendering
+            if k in shadow_ip:
+                bts[shadow_ip[k]] = rendering
+        # Block starts render like the reference at ip == 0: the first
+        # instruction's loc, else "f+0".
+        for label, start in block_start.items():
+            first = lfn.blocks[label].lops[0]
+            bts[start] = first.instr.loc or f"{fname}+0"
+        bc.widths = widths
+        bc.bts = bts
+    return entries

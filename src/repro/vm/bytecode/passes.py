@@ -1,0 +1,538 @@
+"""The staged optimizer pipeline: fold → inline → simplify → to_bytecode → compress.
+
+Modeled on the classic phase-runner shape (each phase a small, composable
+unit with uniform before/after hooks) so phases can be toggled, reordered
+for experiments, and observed by the ``report`` CLI without special
+cases.  Every pass only *annotates* or *regroups* the LIR
+(:mod:`repro.vm.bytecode.lir`); none of them may change observable
+semantics — ``tests/vm/test_bytecode_passes.py`` re-runs the backend
+differential equality with each pass enabled in isolation.
+
+Pass summaries:
+
+* ``fold``      — block-local constant propagation: resolve operands whose
+  values are statically known and precompute results of pure ops.
+* ``inline``    — expand calls to small single-block leaf functions into
+  the caller so the call participates in a fused segment (billing still
+  counts the call, every body instruction, and the ret).
+* ``simplify``  — compute the function-wide register read-site index,
+  strength-reduce algebraic identities (``x+0``, ``x*1`` …) to copies,
+  and mark never-read destinations as local-only (dead-store elision).
+* ``to_bytecode`` — group straight-line runs of fusable instructions into
+  :class:`~repro.vm.bytecode.lir.SegUnit` superinstructions.
+* ``compress``  — absorb each block's trailing branch/jump into the
+  preceding segment (fused compare+branch) and finalize register homes
+  (frame dict vs generated-code local) now that segment spans are known.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    Const,
+    Jmp,
+    Load,
+    Ret,
+    Store,
+)
+
+from repro.vm.bytecode.lir import (
+    FUSABLE,
+    MAX_SEGMENT_WIDTH,
+    InlineInfo,
+    LModule,
+    LOp,
+    PlainUnit,
+    SegUnit,
+    lower,
+)
+
+_MASK64 = (1 << 64) - 1
+
+#: Largest single-block leaf function the inliner will expand (instruction
+#: count including the terminating ret).
+MAX_INLINE_SIZE = 13
+
+
+class Pass:
+    """Base class: ``run`` transforms the LIR in place; hooks observe it.
+
+    Every hook — before or after, on any pass — has the uniform signature
+    ``hook(pass_name: str, position: str, lmod: LModule) -> None`` where
+    ``position`` is ``"before"`` or ``"after"``.
+    """
+
+    name = "pass"
+
+    def __init__(self, before=(), after=()) -> None:
+        self.before = list(before)
+        self.after = list(after)
+
+    def __call__(self, lmod: LModule) -> LModule:
+        for hook in self.before:
+            hook(self.name, "before", lmod)
+        self.run(lmod)
+        for hook in self.after:
+            hook(self.name, "after", lmod)
+        return lmod
+
+    def run(self, lmod: LModule) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# fold
+# ----------------------------------------------------------------------
+def _eval_binop(op: str, a: int, b: int) -> Optional[int]:
+    """Compile-time evaluation with the interpreter's exact semantics.
+    Returns None when the op would raise (fold must not hide the raise)
+    or is unknown."""
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "and":
+        return (a & b) & _MASK64
+    if op == "or":
+        return (a | b) & _MASK64
+    if op == "xor":
+        return (a ^ b) & _MASK64
+    if op == "shl":
+        return (a << (b & 63)) & _MASK64
+    if op == "shr":
+        return (a & _MASK64) >> (b & 63)
+    if op == "div":
+        if b == 0:
+            return None
+        return abs(a) // abs(b) * (1 if (a >= 0) == (b >= 0) else -1)
+    if op == "rem":
+        if b == 0:
+            return None
+        return abs(a) % abs(b) * (1 if a >= 0 else -1)
+    return None
+
+
+def _eval_cmp(op: str, a: int, b: int) -> int:
+    if op == "eq":
+        return 1 if a == b else 0
+    if op == "ne":
+        return 1 if a != b else 0
+    if op == "lt":
+        return 1 if a < b else 0
+    if op == "le":
+        return 1 if a <= b else 0
+    if op == "gt":
+        return 1 if a > b else 0
+    return 1 if a >= b else 0  # reference's default arm
+
+
+class FoldPass(Pass):
+    """Block-local constant propagation over analysis/metadata arithmetic.
+
+    A register's value is known from its defining op until the next
+    redefinition; propagation never crosses block boundaries (a back
+    edge may re-enter the block with different values)."""
+
+    name = "fold"
+
+    def run(self, lmod: LModule) -> None:
+        folded = 0
+        for lfn in lmod.functions.values():
+            for lblock in lfn.blocks.values():
+                env: Dict[str, int] = {}
+                for lop in lblock.lops:
+                    instr = lop.instr
+                    cls = instr.__class__
+                    if cls is Const:
+                        lop.folded = instr.value
+                        env[instr.result] = instr.value
+                    elif cls is BinOp or cls is Cmp:
+                        a = self._resolve(instr.lhs, env)
+                        b = self._resolve(instr.rhs, env)
+                        lop.fold_ops = (a, b)
+                        value = None
+                        if a is not None and b is not None:
+                            if cls is BinOp:
+                                value = _eval_binop(instr.op, a, b)
+                            else:
+                                value = _eval_cmp(instr.op, a, b)
+                        if value is not None:
+                            lop.folded = value
+                            env[instr.result] = value
+                            folded += 1
+                        else:
+                            env.pop(instr.result, None)
+                    elif cls is Br:
+                        lop.fold_ops = (self._resolve(instr.cond, env),)
+                    else:
+                        dst = instr.dst
+                        if dst is not None:
+                            env.pop(dst, None)
+        lmod.stats["fold.constants"] = folded
+
+    @staticmethod
+    def _resolve(operand, env) -> Optional[int]:
+        if type(operand) is str:
+            return env.get(operand)
+        return operand
+
+
+# ----------------------------------------------------------------------
+# inline
+# ----------------------------------------------------------------------
+def _inline_template(lmod: LModule, callee: str):
+    """(params, body instrs, ret) when ``callee`` is inlinable, else None.
+
+    Inlinable: a single-block module function of at most
+    :data:`MAX_INLINE_SIZE` instructions, no calls, whose reads are all
+    definitely assigned in order (so the expansion can promote every
+    callee register to a generated-code local), ending in ``ret``.
+    """
+    function = lmod.module.functions.get(callee)
+    if function is None or len(function.blocks) != 1:
+        return None
+    block = function.blocks[function.entry]
+    instrs = block.instructions
+    if len(instrs) > MAX_INLINE_SIZE or not isinstance(instrs[-1], Ret):
+        return None
+    defined = set(function.params)
+    for instr in instrs[:-1]:
+        if not isinstance(instr, FUSABLE):
+            return None
+        for operand in instr.operands():
+            if type(operand) is str and operand not in defined:
+                return None
+        dst = instr.dst
+        if dst is not None:
+            defined.add(dst)
+    ret = instrs[-1]
+    if type(ret.value) is str and ret.value not in defined:
+        return None
+    return tuple(function.params), instrs[:-1], ret
+
+
+def _rename_instr(instr, rn):
+    """Clone ``instr`` with registers mapped through ``rn``."""
+    def r(op):
+        return rn[op] if type(op) is str else op
+
+    cls = instr.__class__
+    if cls is Const:
+        return dataclasses.replace(instr, result=rn[instr.result])
+    if cls is BinOp or cls is Cmp:
+        return dataclasses.replace(
+            instr, result=rn[instr.result], lhs=r(instr.lhs), rhs=r(instr.rhs))
+    if cls is Load:
+        return dataclasses.replace(
+            instr, result=rn[instr.result], address=r(instr.address))
+    if cls is Store:
+        return dataclasses.replace(
+            instr, value=r(instr.value), address=r(instr.address))
+    if cls is Alloca:
+        return dataclasses.replace(
+            instr, result=rn[instr.result], size=r(instr.size))
+    raise AssertionError(f"not inlinable: {instr!r}")
+
+
+class InlinePass(Pass):
+    """Expand calls to small leaf functions at their insertion sites.
+
+    Callee registers get synthetic names that can never collide with the
+    caller's (they contain ``#``, which the IR parser rejects in register
+    names), and are always promoted to generated-code locals.  Threaded
+    modules are skipped entirely — they form no segments, so the
+    annotation could never be used.
+    """
+
+    name = "inline"
+
+    def run(self, lmod: LModule) -> None:
+        if lmod.threaded:
+            lmod.stats["inline.calls"] = 0
+            return
+        templates: Dict[str, object] = {}
+        inlined = 0
+        site = 0
+        for lfn in lmod.functions.values():
+            for lblock in lfn.blocks.values():
+                for lop in lblock.lops:
+                    instr = lop.instr
+                    if instr.__class__ is not Call:
+                        continue
+                    callee = instr.callee
+                    if callee not in lmod.module.functions:
+                        continue
+                    if callee not in templates:
+                        templates[callee] = _inline_template(lmod, callee)
+                    template = templates[callee]
+                    if template is None:
+                        continue
+                    params, body_instrs, ret = template
+                    if len(instr.args) != len(params):
+                        continue
+                    site += 1
+                    rn = {p: f"{callee}#{site}#{p}" for p in params}
+                    body: List[LOp] = []
+                    entry = lmod.module.functions[callee].entry
+                    for index, body_instr in enumerate(body_instrs):
+                        dst = body_instr.dst
+                        if dst is not None and dst not in rn:
+                            rn[dst] = f"{callee}#{site}#{dst}"
+                        clone = _rename_instr(body_instr, rn)
+                        body_lop = LOp(clone, callee, entry, index)
+                        body_lop.dict_store = False
+                        body.append(body_lop)
+                    ret_value = ret.value
+                    if type(ret_value) is str:
+                        ret_value = rn[ret_value]
+                    lop.inline = InlineInfo(
+                        callee, rn, body, ret_value,
+                        any(i.__class__ is Alloca for i in body_instrs),
+                    )
+                    inlined += 1
+        lmod.stats["inline.calls"] = inlined
+
+
+# ----------------------------------------------------------------------
+# simplify
+# ----------------------------------------------------------------------
+class SimplifyPass(Pass):
+    """Read-site indexing, algebraic strength reduction, dead-store marks."""
+
+    name = "simplify"
+
+    def run(self, lmod: LModule) -> None:
+        reduced = 0
+        dead = 0
+        for lfn in lmod.functions.values():
+            reads: Dict[str, List[Tuple[str, int]]] = {}
+            for lblock in lfn.blocks.values():
+                for lop in lblock.lops:
+                    for operand in lop.instr.operands():
+                        if type(operand) is str:
+                            reads.setdefault(operand, []).append(
+                                (lblock.label, lop.index))
+            lfn.read_sites = reads
+            for lblock in lfn.blocks.values():
+                for lop in lblock.lops:
+                    instr = lop.instr
+                    if instr.__class__ is BinOp and lop.folded is None:
+                        reduced += self._reduce(lop)
+                    dst = instr.dst
+                    if (dst is not None and dst not in reads
+                            and instr.__class__ is not Call):
+                        # Never read anywhere in the function: the value
+                        # need not live in the frame's regs dict when the
+                        # defining op runs inside a fused segment.
+                        lop.dict_store = False
+                        dead += 1
+        lmod.stats["simplify.reduced"] = reduced
+        lmod.stats["simplify.dead"] = dead
+
+    @staticmethod
+    def _reduce(lop: LOp) -> int:
+        """Mark exact algebraic identities. Only identities that hold for
+        the interpreter's unmasked add/sub/mul are used — masked ops like
+        ``or x, 0`` are *not* copies (they clamp to 64 bits)."""
+        instr = lop.instr
+        known = lop.fold_ops or (None, None)
+        lhs_const = instr.lhs if type(instr.lhs) is int else known[0]
+        rhs_const = instr.rhs if type(instr.rhs) is int else known[1]
+        op = instr.op
+        if op == "add":
+            if rhs_const == 0:
+                lop.alg = ("copy", instr.lhs)
+                return 1
+            if lhs_const == 0:
+                lop.alg = ("copy", instr.rhs)
+                return 1
+        elif op == "sub" and rhs_const == 0:
+            lop.alg = ("copy", instr.lhs)
+            return 1
+        elif op == "mul":
+            if rhs_const == 1:
+                lop.alg = ("copy", instr.lhs)
+                return 1
+            if lhs_const == 1:
+                lop.alg = ("copy", instr.rhs)
+                return 1
+            if rhs_const == 0 or lhs_const == 0:
+                lop.folded = 0
+                return 1
+        elif op == "and" and (rhs_const == 0 or lhs_const == 0):
+            lop.folded = 0
+            return 1
+        return 0
+
+
+# ----------------------------------------------------------------------
+# to_bytecode
+# ----------------------------------------------------------------------
+class ToBytecodePass(Pass):
+    """Group straight-line runs of fusable ops into superinstructions.
+
+    Threaded modules keep every op in its own dispatcher slot: a fused
+    memory access could otherwise slip across a round-robin quantum
+    boundary, and another thread would observe the different interleaving
+    through the shared cache simulator.
+    """
+
+    name = "to_bytecode"
+
+    def run(self, lmod: LModule) -> None:
+        segments = 0
+        fused_width = 0
+        for lfn in lmod.functions.values():
+            for lblock in lfn.blocks.values():
+                units: list = []
+                run: List[LOp] = []
+                run_width = 0
+
+                def flush():
+                    nonlocal run, run_width, segments, fused_width
+                    if len(run) >= 2:
+                        seg = SegUnit(run)
+                        units.append(seg)
+                        segments += 1
+                        fused_width += seg.width
+                    else:
+                        units.extend(PlainUnit(lop) for lop in run)
+                    run = []
+                    run_width = 0
+
+                if not lmod.threaded:
+                    for lop in lblock.lops:
+                        eligible = (
+                            isinstance(lop.instr, FUSABLE)
+                            or lop.inline is not None
+                        )
+                        if eligible:
+                            if run_width + lop.width > MAX_SEGMENT_WIDTH:
+                                flush()
+                            run.append(lop)
+                            run_width += lop.width
+                        else:
+                            flush()
+                            units.append(PlainUnit(lop))
+                    flush()
+                else:
+                    units = [PlainUnit(lop) for lop in lblock.lops]
+                lblock.units = units
+        lmod.stats["to_bytecode.segments"] = segments
+        lmod.stats["to_bytecode.fused_width"] = fused_width
+
+
+# ----------------------------------------------------------------------
+# compress
+# ----------------------------------------------------------------------
+class CompressPass(Pass):
+    """Seal segments: absorb trailing terminators, finalize register homes.
+
+    With the final segment spans known, a register defined in a segment
+    whose every read also happens inside that segment (after the def)
+    never needs its frame-dict slot — the generated code keeps it in a
+    Python local.  Non-final defs within a span are dead stores outright.
+    """
+
+    name = "compress"
+
+    def run(self, lmod: LModule) -> None:
+        absorbed = 0
+        localized = 0
+        for lfn in lmod.functions.values():
+            for lblock in lfn.blocks.values():
+                units = lblock.units
+                if units is None:
+                    continue
+                if (len(units) >= 2
+                        and isinstance(units[-1], PlainUnit)
+                        and units[-1].lop.instr.__class__ in (Br, Jmp)
+                        and isinstance(units[-2], SegUnit)
+                        and units[-2].width < MAX_SEGMENT_WIDTH):
+                    seg = units[-2]
+                    term = units.pop().lop
+                    seg.absorb = term
+                    seg.covered.extend(
+                        c for c in _term_covered(term))
+                    absorbed += 1
+                if lfn.read_sites is None:
+                    continue
+                for unit in units:
+                    if isinstance(unit, SegUnit):
+                        localized += _finalize_homes(lfn, lblock.label, unit)
+        lmod.stats["compress.absorbed"] = absorbed
+        lmod.stats["compress.localized"] = localized
+
+
+def _term_covered(term: LOp):
+    from repro.vm.bytecode.lir import _covered_sites
+
+    return _covered_sites(term)
+
+
+def _finalize_homes(lfn, label: str, seg: SegUnit) -> int:
+    span = {lop.index for lop in seg.all_lops()}
+    last_def: Dict[str, LOp] = {}
+    for lop in seg.lops:
+        dst = lop.instr.dst
+        if dst is not None and lop.dict_store:
+            last_def[dst] = lop
+    localized = 0
+    for lop in seg.lops:
+        dst = lop.instr.dst
+        if dst is None or not lop.dict_store:
+            continue
+        if lop is not last_def.get(dst):
+            # Overwritten later in the same straight-line span: the
+            # intermediate value is unobservable outside it.
+            lop.dict_store = False
+            localized += 1
+            continue
+        reads = lfn.read_sites.get(dst, ())
+        if all(rl == label and ri in span for rl, ri in reads):
+            lop.dict_store = False
+            localized += 1
+    return localized
+
+
+# ----------------------------------------------------------------------
+# pipeline assembly
+# ----------------------------------------------------------------------
+PASSES = {
+    "fold": FoldPass,
+    "inline": InlinePass,
+    "simplify": SimplifyPass,
+    "to_bytecode": ToBytecodePass,
+    "compress": CompressPass,
+}
+
+DEFAULT_PASSES: Tuple[str, ...] = (
+    "fold", "inline", "simplify", "to_bytecode", "compress",
+)
+
+
+def build_pipeline(names=None, before=(), after=()) -> List[Pass]:
+    """Instantiate passes by name, each with the given uniform hooks."""
+    if names is None:
+        names = DEFAULT_PASSES
+    unknown = [n for n in names if n not in PASSES]
+    if unknown:
+        raise ValueError(f"unknown passes: {unknown!r} (have {sorted(PASSES)})")
+    return [PASSES[name](before=before, after=after) for name in names]
+
+
+def run_pipeline(module, names=None, before=(), after=()) -> LModule:
+    """Lower ``module`` and run the (possibly partial) pipeline over it."""
+    lmod = lower(module)
+    for p in build_pipeline(names, before=before, after=after):
+        p(lmod)
+    return lmod

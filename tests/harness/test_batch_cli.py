@@ -14,9 +14,11 @@ def stub_figure(monkeypatch):
     calls = {}
 
     def fake_figure4(scale=1, verbose=False, jobs=1, trace_cache=None,
-                     server=None, cluster=None, partition=1):
+                     server=None, cluster=None, partition=1,
+                     backend="compiled"):
         calls.update(scale=scale, jobs=jobs, trace_cache=trace_cache,
-                     server=server, cluster=cluster, partition=partition)
+                     server=server, cluster=cluster, partition=partition,
+                     backend=backend)
         data = FigureData("stub", series=["A"])
         data.add("w1", "A", 2.0)
         data.summary["avg"] = 2.0
@@ -62,12 +64,18 @@ def test_partition_flag_forwarded(stub_figure):
     assert stub_figure["partition"] == 4
 
 
+def test_backend_flag_forwarded(stub_figure):
+    assert cli.main(["fig4", "--backend", "bytecode"]) == 0
+    assert stub_figure["backend"] == "bytecode"
+
+
 def test_defaults_stay_inline(stub_figure):
     cli.main(["fig4"])
     assert stub_figure["jobs"] == 1
     assert stub_figure["trace_cache"] is None
     assert stub_figure["partition"] == 1
     assert stub_figure["server"] is None
+    assert stub_figure["backend"] == "compiled"
 
 
 def test_real_figure_batch_cli(tmp_path, capsys):

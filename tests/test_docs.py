@@ -83,6 +83,7 @@ def test_docs_exist():
         "LANGUAGE.md",
         "COSTMODEL.md",
         "SUBSTRATE.md",
+        "BYTECODE.md",
         "STATICPASS.md",
         "TUTORIAL.md",
         "TRACING.md",
@@ -111,7 +112,8 @@ def _python_blocks(path: pathlib.Path):
     return re.findall(r"```python\n(.*?)```", path.read_text(), re.DOTALL)
 
 
-@pytest.mark.parametrize("name", ["ARCHITECTURE.md", "SUBSTRATE.md"])
+@pytest.mark.parametrize("name", ["ARCHITECTURE.md", "SUBSTRATE.md",
+                                  "BYTECODE.md"])
 def test_doc_python_blocks_execute(name):
     """Every fenced Python block in the architecture docs actually runs."""
     blocks = _python_blocks(DOCS / name)
@@ -153,6 +155,34 @@ def test_doc_module_references_resolve(name):
         {match for match in _MODPATH.findall(text) if not _resolve(match)}
     )
     assert not bad, f"{name} references unresolvable paths: {bad}"
+
+
+_STATS_NS = re.compile(r"\bsubsystems\.[a-z][\w.]*\w")
+
+
+def test_doc_stats_namespaces_appear_in_serve_snapshot():
+    """Every ``subsystems.<tier>`` named in the docs exists in a real
+    server snapshot (an unstarted server still reports every tier)."""
+    from repro.serve.server import AnalysisServer
+
+    snapshot = AnalysisServer().snapshot()
+    tiers = set(snapshot["subsystems"])
+    assert tiers, "snapshot reports no subsystem tiers"
+    mentioned = {
+        match[len("subsystems."):]
+        for path in DOCS.glob("*.md")
+        for match in _STATS_NS.findall(path.read_text())
+    }
+    assert mentioned, "docs no longer mention any subsystems.* tier"
+    unknown = sorted(
+        name for name in mentioned
+        if name not in tiers
+        and not any(name.startswith(tier + ".") for tier in tiers)
+    )
+    assert not unknown, (
+        f"docs mention stats tiers missing from the serve snapshot: "
+        f"{unknown}; snapshot has {sorted(tiers)}"
+    )
 
 
 _CLI_LINE = re.compile(r"python -m (repro[\w.]*)((?:[ \t]+\S+)*)")

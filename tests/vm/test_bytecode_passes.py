@@ -1,0 +1,255 @@
+"""Per-pass semantics tests for the bytecode compiler pipeline.
+
+Every pass in :mod:`repro.vm.bytecode.passes` must be *individually*
+semantics-preserving: running the backend with any single pass (or any
+prefix of the default pipeline) enabled has to reproduce the reference
+interpreter bit-for-bit.  The sweep runs on a small smoke subset — the
+full matrix lives in ``tests/vm/test_backends.py`` behind the
+``bytecode`` marker.
+
+The built-in ``demo`` module (see :mod:`repro.vm.bytecode.__main__`) is
+the one place every pass visibly fires — the bundled workloads are
+single-function (nothing to inline) — so it anchors both the inliner
+differential and the ``report`` CLI golden test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import pathlib
+
+import pytest
+
+from repro.exec.pool import ANALYSIS_SPECS, build_analysis
+from repro.ir import parse_module
+from repro.vm import Interpreter
+from repro.vm.bytecode import (
+    DEFAULT_PASSES,
+    PASSES,
+    pipeline_override,
+    run_pipeline,
+)
+from repro.vm.bytecode.__main__ import DEMO_TEXT, main
+from repro.workloads import ALL
+
+SMOKE_WORKLOADS = ("perl", "memcached", "gcc", "bzip2", "sjeng")
+SMOKE_SPECS = ("plain", "msan.alda", "eraser.full")
+
+#: Each single pass, plus every prefix of the default pipeline (a pass
+#: may only be *reachable* after its predecessors annotate the LIR, so
+#: prefixes exercise the interesting compositions).
+PIPELINES = [(name,) for name in DEFAULT_PASSES] + [
+    DEFAULT_PASSES[: i + 1] for i in range(1, len(DEFAULT_PASSES))
+]
+
+
+def _observe(module, workload, spec, backend):
+    vm = Interpreter(
+        module,
+        extern=workload.make_extern() if workload is not None else None,
+        input_lines=list(workload.input_lines) if workload is not None else None,
+        track_shadow=(spec != "plain"),
+        backend=backend,
+    )
+    if spec != "plain":
+        build_analysis(spec).attach(vm)
+    profile = vm.run()
+    return dataclasses.asdict(profile), list(vm.reporter), vm._fire_seq
+
+
+@pytest.fixture(scope="module")
+def reference_smoke():
+    """Reference observations, shared across all pipeline variants."""
+    observed = {}
+    for name in SMOKE_WORKLOADS:
+        workload = ALL[name]
+        for spec in SMOKE_SPECS:
+            observed[name, spec] = _observe(
+                workload.make_module(1), workload, spec, "reference"
+            )
+    return observed
+
+
+@pytest.mark.parametrize(
+    "names", PIPELINES, ids=["+".join(p) for p in PIPELINES]
+)
+def test_pipeline_subset_semantics_preserving(names, reference_smoke):
+    with pipeline_override(names):
+        for name in SMOKE_WORKLOADS:
+            workload = ALL[name]
+            for spec in SMOKE_SPECS:
+                observed = _observe(
+                    workload.make_module(1), workload, spec, "bytecode"
+                )
+                assert observed == reference_smoke[name, spec], (
+                    f"{name}/{spec} with passes {names}"
+                )
+
+
+@pytest.mark.parametrize(
+    "names", PIPELINES, ids=["+".join(p) for p in PIPELINES]
+)
+def test_pipeline_subset_preserves_demo(names):
+    """The demo module is the only input where the inliner fires, so it
+    must survive every pipeline subset too — across all specs."""
+    expected = {}
+    for spec in ("plain",) + tuple(sorted(ANALYSIS_SPECS)):
+        expected[spec] = _observe(
+            parse_module(DEMO_TEXT), None, spec, "reference"
+        )
+    with pipeline_override(names):
+        for spec, reference in expected.items():
+            observed = _observe(
+                parse_module(DEMO_TEXT), None, spec, "bytecode"
+            )
+            assert observed == reference, f"demo/{spec} with passes {names}"
+
+
+# ----------------------------------------------------------------------
+# pass mechanics (unit level)
+# ----------------------------------------------------------------------
+def test_every_pass_fires_on_demo():
+    lmod = run_pipeline(parse_module(DEMO_TEXT))
+    stats = lmod.stats
+    assert stats["fold.constants"] >= 1
+    assert stats["inline.calls"] == 1
+    assert stats["simplify.reduced"] >= 1
+    assert stats["to_bytecode.segments"] >= 3
+    assert stats["compress.absorbed"] >= 2
+    assert stats["compress.localized"] >= 1
+
+
+def test_threaded_modules_never_fuse():
+    """Fused segments may not cross quantum boundaries another thread
+    could observe, so threaded modules compile to all-plain slots."""
+    lmod = run_pipeline(ALL["radix"].make_module(1))
+    assert lmod.threaded
+    assert lmod.stats["to_bytecode.segments"] == 0
+
+
+def test_inliner_rejects_multiblock_and_oversized():
+    from repro.vm.bytecode.passes import MAX_INLINE_SIZE, _inline_template
+    from repro.vm.bytecode.lir import lower
+
+    multi = parse_module(
+        """
+module multi
+
+func two(%x) {
+entry:
+  jmp tail
+tail:
+  ret %x
+}
+
+func main() {
+entry:
+  %v = call two(1)
+  ret %v
+}
+"""
+    )
+    assert _inline_template(lower(multi), "two") is None
+    body = "\n".join(
+        f"  %t{i} = add %x, {i}" for i in range(MAX_INLINE_SIZE + 1)
+    )
+    big = parse_module(
+        f"""
+module big
+
+func wide(%x) {{
+entry:
+{body}
+  ret %t0
+}}
+
+func main() {{
+entry:
+  %v = call wide(1)
+  ret %v
+}}
+"""
+    )
+    assert _inline_template(lower(big), "wide") is None
+    assert _inline_template(lower(big), "missing") is None
+
+
+def test_fold_never_hides_a_raise():
+    """A div-by-zero with statically known operands must still raise at
+    runtime with identical billing — fold refuses to evaluate it."""
+    from repro.errors import VMError
+
+    text = """
+module boom
+
+func main() {
+entry:
+  %z = const 0
+  %d = div 8, %z
+  ret %d
+}
+"""
+    outcomes = {}
+    for backend in ("reference", "bytecode"):
+        vm = Interpreter(parse_module(text), backend=backend)
+        with pytest.raises(VMError, match="division by zero"):
+            vm.run()
+        outcomes[backend] = (vm.profile.instructions, vm.profile.base_cycles)
+    assert outcomes["reference"] == outcomes["bytecode"]
+
+
+def test_unknown_pass_name_rejected():
+    from repro.vm.bytecode import build_pipeline
+
+    with pytest.raises(ValueError, match="unknown passes"):
+        build_pipeline(["fold", "vectorize"])
+
+
+def test_pipeline_hooks_uniform_signature():
+    """Before/after hooks see (pass_name, position, lmod) on every pass."""
+    calls = []
+
+    def hook(pass_name, position, lmod):
+        calls.append((pass_name, position))
+
+    run_pipeline(
+        parse_module(DEMO_TEXT), before=(hook,), after=(hook,)
+    )
+    expected = []
+    for name in DEFAULT_PASSES:
+        expected.extend([(name, "before"), (name, "after")])
+    assert calls == expected
+    assert set(DEFAULT_PASSES) <= set(PASSES)
+
+
+# ----------------------------------------------------------------------
+# report CLI (golden)
+# ----------------------------------------------------------------------
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "report_demo.txt"
+
+
+def test_report_cli_golden():
+    out = io.StringIO()
+    assert main(["report", "demo"], out=out) == 0
+    assert out.getvalue() == GOLDEN.read_text()
+
+
+def test_report_cli_workload_and_pass_subset():
+    out = io.StringIO()
+    assert main(["report", "gcc", "--passes", "fold,to_bytecode"], out=out) == 0
+    text = out.getvalue()
+    assert "== pass fold ==" in text
+    assert "== pass to_bytecode ==" in text
+    assert "== pass inline ==" not in text
+    assert "seg w=" in text
+    out = io.StringIO()
+    assert main(["list"], out=out) == 0
+    assert "fold" in out.getvalue() and "gcc" in out.getvalue()
+
+
+def test_report_cli_rejects_unknowns():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["report", "nosuch"], out=io.StringIO())
+    with pytest.raises(SystemExit, match="unknown passes"):
+        main(["report", "demo", "--passes", "vectorize"], out=io.StringIO())
