@@ -8,7 +8,12 @@ almost certainly did not intend:
 * ``unbound-handler`` — a handler no insertion declaration binds and no
   bound handler calls (directly or transitively): it can never run;
 * ``constant-assert`` — an ``alda_assert`` whose actual and expected
-  operands both fold to the same constant: the check can never fire.
+  operands both fold to the same constant: the check can never fire;
+* ``inconsistent-lock-guard`` — a handler bound to a non-sync event
+  reads lock-dependent metadata (a map keyed by ``lockid`` or holding
+  ``lockid`` values), but the spec subscribes to neither ``mutex_lock``
+  nor ``mutex_unlock``: nothing ever maintains the locksets, so the
+  reads see stale or empty state on every event.
 
 ``lint_program`` works on the :class:`repro.alda.semantics.ProgramInfo`
 the checker produced, so it sees resolved constants.  The CLI is
@@ -24,6 +29,10 @@ from typing import Dict, Iterable, List, Optional, Set
 
 from repro.alda import ast_nodes as ast
 from repro.alda.semantics import ProgramInfo
+from repro.alda.types import MapInfo, ScalarValue, SetValue
+
+#: function insert points that observe synchronization
+_SYNC_POINTS = frozenset({"mutex_lock", "mutex_unlock"})
 
 
 @dataclass(frozen=True)
@@ -150,6 +159,18 @@ def _fold(expr, consts: Dict[str, int]) -> Optional[int]:
     return None
 
 
+def _lock_dependent(info: MapInfo) -> bool:
+    """Does this metadata map carry lock identities?"""
+    if info.key.base == "lockid":
+        return True
+    value = info.value
+    if isinstance(value, SetValue):
+        return value.elem.base == "lockid"
+    if isinstance(value, ScalarValue):
+        return value.type.base == "lockid"
+    return False
+
+
 # ----------------------------------------------------------------------
 # the linter
 # ----------------------------------------------------------------------
@@ -204,6 +225,30 @@ def lint_program(info: ProgramInfo) -> List[Diagnostic]:
                     f"always-true ({actual} == {expected}); it can never "
                     f"report",
                     expr.line,
+                ))
+
+    # inconsistent-lock-guard: lock-dependent metadata is read from
+    # handlers bound to ordinary events while the spec never observes
+    # mutex_lock/mutex_unlock, so no handler can ever maintain it.
+    lock_maps = {
+        name for name, minfo in info.maps.items() if _lock_dependent(minfo)
+    }
+    observes_sync = any(
+        decl.point_kind == "func" and decl.point_name in _SYNC_POINTS
+        for decl in info.inserts
+    )
+    if lock_maps and not observes_sync:
+        for name in sorted(reachable):
+            func = info.funcs[name]
+            used = _maps_used(func.decl.body) & lock_maps
+            if used:
+                diagnostics.append(Diagnostic(
+                    "inconsistent-lock-guard",
+                    f"handler {name!r} reads lock-dependent metadata "
+                    f"({', '.join(sorted(used))}) but the spec subscribes "
+                    f"to neither mutex_lock nor mutex_unlock; the "
+                    f"locksets are never maintained",
+                    func.decl.line,
                 ))
 
     diagnostics.sort(key=lambda d: (d.line, d.code))

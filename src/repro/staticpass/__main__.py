@@ -4,12 +4,16 @@ Usage::
 
     python -m repro.staticpass report eraser.full bzip2
     python -m repro.staticpass report uaf.alda radix --scale 2 --json
+    python -m repro.staticpass report --all --json
 
 ``report`` prints, per subject function, how many load/store hook sites
 the analysis subscribes to and how many the elision pass proves
-skippable, split by category (``stack_local`` / ``dominated``).  Specs
-are the keys of :data:`repro.exec.pool.ANALYSIS_SPECS`; workloads are
-the keys of :data:`repro.workloads.ALL`.
+skippable, split by category (``stack_local`` / ``lock_protected`` /
+``dominated``).  ``--all`` sweeps every bundled (spec, workload) pair
+and aggregates the per-category counts.  Specs are the keys of
+:data:`repro.exec.pool.ANALYSIS_SPECS`; workloads are the keys of
+:data:`repro.workloads.ALL`.  Bad names or a ``--scale`` below 1 exit
+with status 2 and a one-line error.
 """
 
 from __future__ import annotations
@@ -19,91 +23,103 @@ import json
 import sys
 
 
+def _print_pair(payload: dict) -> None:
+    threading = (
+        "multithreaded" if payload["multithreaded"] else "single-threaded"
+    )
+    print(f"{payload['analysis']} on {payload['workload']} "
+          f"(scale {payload['scale']}, {threading})")
+    if not payload["policy"]["enabled"]:
+        print("  elision disabled for this analysis "
+              "(no declared safety or metadata interlock)")
+        return
+    header = (f"  {'function':<22} {'sites':>6} {'stack':>6} {'lock':>6} "
+              f"{'domin':>6} {'kept':>6}")
+    print(header)
+    for name, f in payload["functions"].items():
+        if not f["considered"]:
+            continue
+        print(f"  {name:<22} {f['considered']:>6} {f['stack_local']:>6} "
+              f"{f['lock_protected']:>6} {f['dominated']:>6} "
+              f"{f['unknown']:>6}")
+    totals = payload["totals"]
+    if totals["considered"]:
+        percent = 100.0 * totals["elided"] / totals["considered"]
+        print(f"  total: {totals['elided']}/{totals['considered']} static "
+              f"sites elided ({percent:.1f}%) — "
+              f"stack_local={totals['stack_local']} "
+              f"lock_protected={totals['lock_protected']} "
+              f"dominated={totals['dominated']}")
+    else:
+        print("  no load/store hook sites")
+
+
+def _print_sweep(payload: dict) -> None:
+    print(f"corpus sweep (scale {payload['scale']}, "
+          f"{payload['enabled_pairs']} elision-enabled pairs)")
+    header = (f"  {'analysis':<18} {'workload':<14} {'sites':>6} "
+              f"{'stack':>6} {'lock':>6} {'domin':>6} {'kept':>6}")
+    print(header)
+    for pair in payload["pairs"]:
+        if not pair["enabled"] or not pair["totals"]["considered"]:
+            continue
+        t = pair["totals"]
+        print(f"  {pair['analysis']:<18} {pair['workload']:<14} "
+              f"{t['considered']:>6} {t['stack_local']:>6} "
+              f"{t['lock_protected']:>6} {t['dominated']:>6} "
+              f"{t['unknown']:>6}")
+    agg = payload["aggregate"]
+    if agg["considered"]:
+        percent = 100.0 * agg["elided"] / agg["considered"]
+        print(f"  total: {agg['elided']}/{agg['considered']} static "
+              f"sites elided ({percent:.1f}%) — "
+              f"stack_local={agg['stack_local']} "
+              f"lock_protected={agg['lock_protected']} "
+              f"dominated={agg['dominated']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.staticpass",
         description="Static-analysis reports over repro.ir modules.",
     )
     parser.add_argument("command", choices=("report",))
-    parser.add_argument("analysis", help="analysis spec (see repro.exec.pool)")
-    parser.add_argument("workload", help="workload name (see repro.workloads)")
+    parser.add_argument("analysis", nargs="?",
+                        help="analysis spec (see repro.exec.pool)")
+    parser.add_argument("workload", nargs="?",
+                        help="workload name (see repro.workloads)")
+    parser.add_argument("--all", action="store_true", dest="sweep_all",
+                        help="sweep every bundled (spec, workload) pair")
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--json", action="store_true", dest="as_json")
     args = parser.parse_args(argv)
 
-    from repro.exec.pool import ANALYSIS_SPECS, build_analysis
-    from repro.staticpass.elide import analyze_elision, policy_for
-    from repro.workloads import ALL
+    from repro.staticpass.report import ReportError, corpus_sweep, pair_report
 
-    if args.analysis not in ANALYSIS_SPECS:
-        print(
-            f"unknown analysis {args.analysis!r}; choose from "
-            f"{', '.join(sorted(ANALYSIS_SPECS))}",
-            file=sys.stderr,
-        )
+    try:
+        if args.sweep_all:
+            if args.analysis is not None or args.workload is not None:
+                print("--all takes no analysis/workload arguments",
+                      file=sys.stderr)
+                return 2
+            payload = corpus_sweep(args.scale)
+            if args.as_json:
+                print(json.dumps(payload, indent=2))
+            else:
+                _print_sweep(payload)
+            return 0
+        if args.analysis is None or args.workload is None:
+            print("an analysis and a workload are required unless --all "
+                  "is given", file=sys.stderr)
+            return 2
+        payload = pair_report(args.analysis, args.workload, args.scale)
+    except ReportError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    if args.workload not in ALL:
-        print(
-            f"unknown workload {args.workload!r}; choose from "
-            f"{', '.join(sorted(ALL))}",
-            file=sys.stderr,
-        )
-        return 2
-
-    analysis = build_analysis(args.analysis)
-    policy = policy_for(analysis)
-    module = ALL[args.workload].make_module(args.scale)
-    report = analyze_elision(module, policy)
-
     if args.as_json:
-        payload = {
-            "analysis": args.analysis,
-            "workload": args.workload,
-            "scale": args.scale,
-            "policy": {
-                "name": policy.analysis,
-                "skip_stack_local": policy.skip_stack_local,
-                "skip_dominated": policy.skip_dominated,
-                "enabled": policy.enabled,
-            },
-            "multithreaded": report.multithreaded,
-            "totals": report.counts(),
-            "functions": {
-                name: {
-                    "considered": f.considered,
-                    "stack_local": f.stack_local,
-                    "dominated": f.dominated,
-                    "dominated_by_tree": f.dominated_by_tree,
-                    "unknown": f.unknown,
-                }
-                for name, f in sorted(report.functions.items())
-            },
-        }
         print(json.dumps(payload, indent=2))
-        return 0
-
-    threading = "multithreaded" if report.multithreaded else "single-threaded"
-    print(f"{args.analysis} on {args.workload} (scale {args.scale}, {threading})")
-    if not policy.enabled:
-        print("  elision disabled for this analysis "
-              "(no declared safety or metadata interlock)")
-        return 0
-    header = f"  {'function':<22} {'sites':>6} {'stack':>6} {'domin':>6} {'kept':>6}"
-    print(header)
-    for name, f in sorted(report.functions.items()):
-        if not f.considered:
-            continue
-        print(f"  {name:<22} {f.considered:>6} {f.stack_local:>6} "
-              f"{f.dominated:>6} {f.unknown:>6}")
-    totals = report.counts()
-    if totals["considered"]:
-        percent = 100.0 * totals["elided"] / totals["considered"]
-        print(f"  total: {totals['elided']}/{totals['considered']} static "
-              f"sites elided ({percent:.1f}%) — "
-              f"stack_local={totals['stack_local']} "
-              f"dominated={totals['dominated']}")
     else:
-        print("  no load/store hook sites")
+        _print_pair(payload)
     return 0
 
 

@@ -1,0 +1,391 @@
+"""Flow-insensitive, context-insensitive Andersen-style points-to analysis.
+
+Abstract objects are allocation sites:
+
+* ``("stack", fname, reg)``     — an ``Alloca`` result;
+* ``("heap", fname, label, i)`` — a ``malloc``/``calloc`` call site;
+* ``("global", name)``          — a module global.
+
+Every ``(function, register)`` pair gets a points-to set over those
+objects, or the distinguished :data:`TOP` ("may point anywhere") once a
+pointer is laundered through arithmetic the analysis does not model.
+The analysis is whole-module: call argument/return binding flows sets
+between functions (including ``spawn$f`` thread starts), and a
+``contents`` map tracks which objects are stored *inside* each object so
+loads recover pointers that round-trip through memory.  ``memcpy`` and
+``strcpy`` copy contents between their operands' objects.
+
+Because the analysis is context-insensitive, points-to sets are already
+in module-global object terms — the mod/ref summaries built on top
+(:mod:`repro.staticpass.modref`) need no per-call-site substitution.
+
+The fixpoint is *optimistic*: an address register whose set is still
+empty contributes nothing while solving (it may simply not have
+converged yet), and a residual pass afterwards accounts for stores the
+final solution never attributed to an object (they go to
+``stored_unknown``, which conservatively feeds every object's
+contents).  Query-time emptiness is conservative the other way:
+``address_pts`` reports an unattributable address as :data:`TOP`.
+
+On top of the points-to solution the pass computes an *interprocedural
+escape set*: the stack objects some other thread could reach.  A stack
+object escapes when its address is passed to a spawned thread or an
+extern, laundered through unmodeled arithmetic, returned from its
+frame, stored through an unknown address, or stored (transitively)
+inside a global or another escaped object.  Passing an address to a
+callee that merely loads/stores through it — or to a ``libc`` builtin,
+none of which retain pointers — does **not** escape it; that is the
+whole point over the intra-procedural analysis in
+:mod:`repro.staticpass.escape`, where every call argument escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
+
+from repro.ir.instructions import Alloca, BinOp, Call, Load, Ret, Store
+from repro.ir.module import Module
+from repro.staticpass.callgraph import CallGraph, classify_callee
+
+#: "may point anywhere" sentinel for points-to sets.
+TOP = "TOP"
+
+Obj = Tuple  # ("stack"|"heap"|"global", ...)
+PtsSet = Union[str, FrozenSet[Obj]]  # TOP or a frozenset of objects
+
+#: builtins that copy the pointed-to *contents* of arg 1 into arg 0.
+_CONTENT_COPIES = ("memcpy", "strcpy")
+
+
+@dataclass
+class AliasInfo:
+    """Solved points-to facts for one module."""
+
+    module: Module
+    graph: CallGraph
+    #: (fname, reg) -> frozenset of objects, or TOP
+    var_pts: Dict[Tuple[str, str], PtsSet] = field(default_factory=dict)
+    #: object -> objects stored inside it
+    contents: Dict[Obj, FrozenSet[Obj]] = field(default_factory=dict)
+    #: objects whose contents may include unmodeled pointers
+    contents_top: FrozenSet[Obj] = frozenset()
+    #: objects stored through addresses the analysis cannot name
+    stored_unknown: FrozenSet[Obj] = frozenset()
+    #: objects another thread (or an extern) could reach
+    escaped: FrozenSet[Obj] = frozenset()
+    #: global address -> global object (for immediate addresses)
+    global_addrs: Dict[int, Obj] = field(default_factory=dict)
+
+    def operand_pts(self, fname: str, operand) -> PtsSet:
+        """Points-to set of a *value* operand (ints are plain data
+        unless they spell a global's address)."""
+        if type(operand) is int:
+            obj = self.global_addrs.get(operand)
+            return frozenset((obj,)) if obj is not None else frozenset()
+        pts = self.var_pts.get((fname, operand))
+        return frozenset() if pts is None else pts
+
+    def address_pts(self, fname: str, operand) -> PtsSet:
+        """Points-to set of an *address* operand; an address the
+        analysis cannot attribute to any object is :data:`TOP`."""
+        pts = self.operand_pts(fname, operand)
+        if pts is TOP or not pts:
+            return TOP
+        return pts
+
+    def stack_local(self, fname: str, operand) -> bool:
+        """True when every object the address may name is a
+        non-escaping stack slot — single-thread-confined memory."""
+        pts = self.operand_pts(fname, operand)
+        if pts is TOP or not pts:
+            return False
+        return all(obj[0] == "stack" and obj not in self.escaped for obj in pts)
+
+
+class _Solver:
+    def __init__(self, module: Module, graph: CallGraph) -> None:
+        self.module = module
+        self.graph = graph
+        self.pts: Dict[Tuple[str, str], Set[Obj]] = {}
+        self.top: Set[Tuple[str, str]] = set()
+        self.contents: Dict[Obj, Set[Obj]] = {}
+        self.contents_top: Set[Obj] = set()
+        self.stored_unknown: Set[Obj] = set()
+        #: a value the analysis cannot name was stored somewhere unknown
+        self.unknown_everywhere = False
+        self.ret_pts: Dict[str, Set[Obj]] = {}
+        self.ret_top: Set[str] = set()
+        self.laundered: Set[Obj] = set()  # pointer fed to unmodeled arithmetic
+        self.extern_args: Set[Obj] = set()
+        self.spawn_args: Set[Obj] = set()
+        self.returned: Set[Obj] = set()
+        self.global_addrs: Dict[int, Obj] = {}
+        self.changed = False
+
+    # -- lattice helpers ------------------------------------------------
+    def add_var(self, key: Tuple[str, str], objs) -> None:
+        if key in self.top:
+            return
+        if objs is TOP:
+            self.top.add(key)
+            self.changed = True
+            return
+        if not objs:
+            return
+        target = self.pts.setdefault(key, set())
+        before = len(target)
+        target |= objs
+        if len(target) != before:
+            self.changed = True
+
+    def var_value(self, fname: str, operand) -> PtsSet:
+        if type(operand) is int:
+            obj = self.global_addrs.get(operand)
+            return frozenset((obj,)) if obj is not None else frozenset()
+        key = (fname, operand)
+        if key in self.top:
+            return TOP
+        return frozenset(self.pts.get(key, ()))
+
+    def effective_contents(self, obj: Obj) -> PtsSet:
+        if obj in self.contents_top or self.unknown_everywhere:
+            return TOP
+        return frozenset(self.contents.get(obj, set()) | self.stored_unknown)
+
+    def store_into(self, obj: Obj, value: PtsSet) -> None:
+        if value is TOP:
+            if obj not in self.contents_top:
+                self.contents_top.add(obj)
+                self.changed = True
+            return
+        if not value:
+            return
+        target = self.contents.setdefault(obj, set())
+        before = len(target)
+        target |= value
+        if len(target) != before:
+            self.changed = True
+
+    def store_unknown(self, value: PtsSet) -> None:
+        if value is TOP:
+            if not self.unknown_everywhere:
+                self.unknown_everywhere = True
+                self.changed = True
+            return
+        before = len(self.stored_unknown)
+        self.stored_unknown |= value
+        if len(self.stored_unknown) != before:
+            self.changed = True
+
+    def _grow(self, attr: str, value: Set[Obj]) -> None:
+        target = getattr(self, attr)
+        before = len(target)
+        target |= value
+        if len(target) != before:
+            self.changed = True
+
+    # -- driver ----------------------------------------------------------
+    def solve(self) -> AliasInfo:
+        from repro.vm.memory import AddressSpace
+
+        cursor = AddressSpace.GLOBALS_BASE
+        for name, size in self.module.globals.items():
+            self.global_addrs[cursor] = ("global", name)
+            cursor += (size + 63) & ~63  # mirrors Interpreter._layout_globals
+
+        while True:
+            self.changed = True
+            while self.changed:
+                self.changed = False
+                self._sweep(residual=False)
+            # account for stores through addresses the converged solution
+            # never attributed to any object
+            self.changed = False
+            self._sweep(residual=True)
+            if not self.changed:
+                break
+        escaped = self._close_escapes()
+        var_pts: Dict[Tuple[str, str], PtsSet] = {
+            key: frozenset(objs) for key, objs in self.pts.items()
+        }
+        for key in self.top:
+            var_pts[key] = TOP
+        return AliasInfo(
+            module=self.module,
+            graph=self.graph,
+            var_pts=var_pts,
+            contents={o: frozenset(s) for o, s in self.contents.items()},
+            contents_top=frozenset(self.contents_top),
+            stored_unknown=frozenset(self.stored_unknown),
+            escaped=frozenset(escaped),
+            global_addrs=dict(self.global_addrs),
+        )
+
+    def _sweep(self, residual: bool) -> None:
+        for fname, function in self.module.functions.items():
+            for label, block in function.blocks.items():
+                for index, instr in enumerate(block.instructions):
+                    self._transfer(fname, label, index, instr, residual)
+
+    # -- constraint application ------------------------------------------
+    def _transfer(self, fname: str, label: str, index: int, instr,
+                  residual: bool) -> None:
+        if isinstance(instr, Alloca):
+            self.add_var((fname, instr.result), {("stack", fname, instr.result)})
+        elif isinstance(instr, BinOp):
+            lhs = self.var_value(fname, instr.lhs)
+            rhs = self.var_value(fname, instr.rhs)
+            if instr.op in ("add", "sub"):
+                for side in (lhs, rhs):
+                    self.add_var((fname, instr.result), side)
+            else:
+                for side in (lhs, rhs):
+                    if side is TOP:
+                        self.add_var((fname, instr.result), TOP)
+                    elif side:
+                        # unmodeled arithmetic launders the pointer
+                        self.add_var((fname, instr.result), TOP)
+                        self._grow("laundered", side)
+        elif isinstance(instr, Load):
+            address = self.var_value(fname, instr.address)
+            if address is TOP:
+                self.add_var((fname, instr.result), TOP)
+            else:
+                for obj in address:
+                    self.add_var(
+                        (fname, instr.result), self.effective_contents(obj)
+                    )
+        elif isinstance(instr, Store):
+            value = self.var_value(fname, instr.value)
+            address = self.var_value(fname, instr.address)
+            if address is TOP:
+                self.store_unknown(value)
+            elif address:
+                for obj in address:
+                    self.store_into(obj, value)
+            elif residual and type(instr.address) is str:
+                # converged yet unattributable register address: the
+                # store may hit anything.  (An int immediate that names
+                # no global points at untracked memory — benign.)
+                self.store_unknown(value)
+        elif isinstance(instr, Ret):
+            if instr.value is not None:
+                value = self.var_value(fname, instr.value)
+                if value is TOP:
+                    if fname not in self.ret_top:
+                        self.ret_top.add(fname)
+                        self.changed = True
+                else:
+                    target = self.ret_pts.setdefault(fname, set())
+                    before = len(target)
+                    target |= value
+                    if len(target) != before:
+                        self.changed = True
+                    self._grow("returned", set(value))
+        elif isinstance(instr, Call):
+            self._transfer_call(fname, label, index, instr, residual)
+
+    def _bind_params(self, caller: str, callee: str, args) -> None:
+        params = self.module.functions[callee].params
+        for param, arg in zip(params, args):
+            self.add_var((callee, param), self.var_value(caller, arg))
+
+    def _transfer_call(self, fname: str, label: str, index: int, instr: Call,
+                       residual: bool) -> None:
+        kind, target = classify_callee(self.module, instr.callee)
+        if kind == "direct":
+            self._bind_params(fname, target, instr.args)
+            if instr.result:
+                if target in self.ret_top:
+                    self.add_var((fname, instr.result), TOP)
+                else:
+                    self.add_var(
+                        (fname, instr.result),
+                        frozenset(self.ret_pts.get(target, ())),
+                    )
+        elif kind == "spawn":
+            self._bind_params(fname, target, instr.args)
+            for arg in instr.args:
+                value = self.var_value(fname, arg)
+                if value is not TOP:
+                    self._grow("spawn_args", set(value))
+        elif kind == "global_addr":
+            if instr.result:
+                self.add_var((fname, instr.result), {("global", target)})
+        elif kind in ("sync", "join"):
+            pass  # lock addresses / thread ids are not retained as pointers
+        elif kind == "builtin":
+            if target in ("malloc", "calloc") and instr.result:
+                self.add_var(
+                    (fname, instr.result), {("heap", fname, label, index)}
+                )
+            elif target in _CONTENT_COPIES and len(instr.args) >= 2:
+                self._content_copy(fname, instr, residual)
+            # other builtins neither produce nor retain pointers
+        else:  # extern: arguments escape, result is unknown
+            for arg in instr.args:
+                value = self.var_value(fname, arg)
+                if value is not TOP:
+                    self._grow("extern_args", set(value))
+            if instr.result:
+                self.add_var((fname, instr.result), TOP)
+
+    def _content_copy(self, fname: str, instr: Call, residual: bool) -> None:
+        dst = self.var_value(fname, instr.args[0])
+        src = self.var_value(fname, instr.args[1])
+        if src is TOP or (not src and residual and type(instr.args[1]) is str):
+            inner: PtsSet = TOP  # copying from memory we cannot read
+        elif not src:
+            return  # unconverged or untracked source: nothing to copy yet
+        else:
+            objs: Set[Obj] = set()
+            inner = objs
+            for obj in src:
+                got = self.effective_contents(obj)
+                if got is TOP:
+                    inner = TOP
+                    break
+                objs |= got
+        if dst is TOP or (not dst and residual and type(instr.args[0]) is str):
+            self.store_unknown(TOP if inner is TOP else frozenset(inner))
+        elif dst:
+            for obj in dst:
+                self.store_into(obj, TOP if inner is TOP else frozenset(inner))
+
+    # -- escape closure --------------------------------------------------
+    def _close_escapes(self) -> Set[Obj]:
+        escape: Set[Obj] = set()
+        escape |= self.extern_args
+        escape |= self.spawn_args
+        escape |= self.returned
+        escape |= self.laundered
+        escape |= self.stored_unknown
+        if self.unknown_everywhere:
+            escape |= set(self.contents)
+            escape |= self.contents_top
+        # globals are reachable by any thread: their contents escape
+        worklist = [("global", name) for name in self.module.globals]
+        worklist.extend(escape)
+        seen: Set[Obj] = set(worklist)
+        while worklist:
+            obj = worklist.pop()
+            if obj[0] != "global":
+                escape.add(obj)
+            inner = self.effective_contents(obj)
+            if inner is TOP:
+                continue  # unknown pointers are TOP addresses, never elidable
+            for reached in inner:
+                if reached not in seen:
+                    seen.add(reached)
+                    worklist.append(reached)
+        return escape
+
+
+def analyze_aliases(module: Module, graph: Optional[CallGraph] = None) -> AliasInfo:
+    """Solve points-to and escape facts for one module."""
+    if graph is None:
+        from repro.staticpass.callgraph import build_call_graph
+
+        graph = build_call_graph(module)
+    return _Solver(module, graph).solve()

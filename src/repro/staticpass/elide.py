@@ -2,19 +2,33 @@
 
 The pass answers, per load/store site of a subject module, "would this
 analysis's observable output (reports and backtraces) change if the
-hooks at this site never fired?"  Two site classes can be proved safe:
+hooks at this site never fired?"  Three site classes can be proved safe:
 
 * ``stack_local`` — the address is an alloca-derived, non-escaping
-  stack slot (:mod:`repro.staticpass.escape`).  Only the owning thread
-  can ever touch it, so a race detector's per-address state machine can
-  never leave its exclusive state and never report.  Declared safe by
-  the race-detection policies only.
+  stack slot: intra-procedurally via :mod:`repro.staticpass.escape`, or
+  interprocedurally via the escape side of
+  :mod:`repro.staticpass.alias` (an alloca passed to a callee that
+  neither stores nor leaks its address stays local).  Only the owning
+  thread can ever touch it, so a race detector's per-address state
+  machine can never leave its exclusive state and never report.
+  Declared safe by the race-detection policies only.
+* ``lock_protected`` — every object the address may name is accessed
+  under one common lock on every post-spawn path
+  (:mod:`repro.staticpass.lockset`): a consistent lockset can never
+  report.  In a module that never spawns, *every* site qualifies — a
+  single thread cannot race with itself.  Declared safe by the
+  race-detection policies only.
 * ``dominated`` — an identical address expression is already
-  instrumented on every path to this site, with no intervening call
-  (calls are the barrier: they may free, lock, spawn, or re-enter the
-  analysis) and no redefinition of the address register.  Safe for
-  pure *check* handlers whose verdict depends only on (address, analysis
-  state): the dominating site already rendered the same verdict.  In a
+  instrumented on every path to this site, with no redefinition of the
+  address register and no invalidating call in between.  Without the
+  interprocedural context every call invalidates (it may free, lock,
+  spawn, or re-enter the analysis); with it, facts survive calls to
+  callees whose transitive mod/ref summary
+  (:mod:`repro.staticpass.modref`) is disjoint from the address and
+  that neither synchronize, spawn, touch allocation state the address
+  could occupy, nor reach unknown code.  Safe for pure *check*
+  handlers whose verdict depends only on (address, analysis state):
+  the dominating site already rendered the same verdict.  In a
   multithreaded module the fact is tracked only for stack-local
   addresses — between two accesses of a shared address another thread
   may run and change the analysis state.
@@ -68,6 +82,11 @@ class ElisionPolicy:
     analysis: str = ""
     skip_stack_local: bool = False
     skip_dominated: bool = False
+    skip_lock_protected: bool = False
+    #: consult the whole-module context (:mod:`repro.staticpass.interproc`)
+    #: for escape, lockset, and cross-call fact survival; ``False``
+    #: reproduces the strictly intra-procedural pass.
+    interproc: bool = True
     subscriptions: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
     def positions(self, kind: str) -> Tuple[str, ...]:
@@ -79,7 +98,8 @@ class ElisionPolicy:
     @property
     def enabled(self) -> bool:
         return bool(
-            (self.skip_stack_local or self.skip_dominated)
+            (self.skip_stack_local or self.skip_dominated
+             or self.skip_lock_protected)
             and self.subscriptions
         )
 
@@ -89,11 +109,26 @@ class ElisionPolicy:
 #: the address; memory-safety checks are pure per-address verdicts, so
 #: only dominated re-checks may be skipped.
 POLICIES: Dict[str, ElisionPolicy] = {
-    "eraser": ElisionPolicy("eraser", skip_stack_local=True, skip_dominated=True),
+    "eraser": ElisionPolicy("eraser", skip_stack_local=True,
+                            skip_dominated=True, skip_lock_protected=True),
     "fasttrack": ElisionPolicy("fasttrack", skip_stack_local=True,
-                               skip_dominated=True),
+                               skip_dominated=True, skip_lock_protected=True),
+    # uaf verdicts track allocation state, not sharing: lock discipline
+    # proves nothing about them, and address reuse forbids treating
+    # stack slots specially.
     "uaf": ElisionPolicy("uaf", skip_dominated=True),
 }
+
+#: function hook points whose handler effects the interprocedural
+#: summaries account for (sync/spawn/allocation flags, and ``join``,
+#: whose vector-clock merge leaves the joining thread's own epoch
+#: unchanged).  An analysis hooking anything else — other builtins,
+#: externs, or non-load/store instruction kinds — falls back to the
+#: intra-procedural pass: its state could change at events the
+#: summaries do not model.
+_SUMMARIZED_FUNC_HOOKS = frozenset(
+    {"mutex_lock", "mutex_unlock", "spawn", "join", "malloc", "calloc", "free"}
+)
 
 
 def register_policy(name: str, policy: ElisionPolicy) -> None:
@@ -111,8 +146,14 @@ def policy_for(analysis) -> ElisionPolicy:
     """
     base = POLICIES.get(analysis.name, ElisionPolicy(analysis.name))
     subscriptions: Dict[str, List[str]] = {}
+    interproc = base.interproc
     for decl in analysis.info.inserts:
-        if decl.point_kind != "inst" or decl.point_name not in _KINDS:
+        if decl.point_kind == "func":
+            if decl.point_name not in _SUMMARIZED_FUNC_HOOKS:
+                interproc = False  # state changes the summaries cannot see
+            continue
+        if decl.point_name not in _KINDS:
+            interproc = False  # hooks on kinds the summaries do not model
             continue
         if any(arg.metadata for arg in decl.args):
             return ElisionPolicy(analysis.name)  # metadata consumer
@@ -126,6 +167,8 @@ def policy_for(analysis) -> ElisionPolicy:
         analysis.name,
         skip_stack_local=base.skip_stack_local,
         skip_dominated=base.skip_dominated,
+        skip_lock_protected=base.skip_lock_protected,
+        interproc=interproc,
         subscriptions=tuple(
             (kind, tuple(sorted(positions)))
             for kind, positions in sorted(subscriptions.items())
@@ -140,6 +183,7 @@ class FunctionElision:
     name: str
     considered: int = 0
     stack_local: int = 0
+    lock_protected: int = 0
     dominated: int = 0
     unknown: int = 0
     #: dominated sites whose covering access sits in a dominating block
@@ -162,12 +206,18 @@ class ElisionReport:
 
     @property
     def elided(self) -> int:
-        return sum(f.stack_local + f.dominated for f in self.functions.values())
+        return sum(
+            f.stack_local + f.lock_protected + f.dominated
+            for f in self.functions.values()
+        )
 
     def counts(self) -> Dict[str, int]:
         return {
             "considered": self.considered,
             "stack_local": sum(f.stack_local for f in self.functions.values()),
+            "lock_protected": sum(
+                f.lock_protected for f in self.functions.values()
+            ),
             "dominated": sum(f.dominated for f in self.functions.values()),
             "elided": self.elided,
         }
@@ -186,8 +236,8 @@ def _address_key(operand):
     return operand if type(operand) is str else ("imm", operand)
 
 
-def _analyze_function(cfg: CFG, policy: ElisionPolicy,
-                      multithreaded: bool) -> Tuple[FunctionElision, SiteMask]:
+def _analyze_function(cfg: CFG, policy: ElisionPolicy, multithreaded: bool,
+                      ctx=None) -> Tuple[FunctionElision, SiteMask]:
     census = FunctionElision(cfg.name)
     mask: SiteMask = {}
     escapes = analyze_escapes(cfg)
@@ -197,33 +247,51 @@ def _analyze_function(cfg: CFG, policy: ElisionPolicy,
         return policy.positions(kind)
 
     def is_stack_local(instr) -> bool:
-        return escapes.address_class(instr.address) == STACK_LOCAL
+        if escapes.address_class(instr.address) == STACK_LOCAL:
+            return True
+        return ctx is not None and ctx.stack_local(cfg.name, instr.address)
 
-    def generates(instr) -> bool:
+    def is_lock_protected(label: str, index: int) -> bool:
+        """Lockset tier: single-threaded modules qualify wholesale (a
+        lone thread cannot race with itself), threaded ones per site."""
+        if not policy.skip_lock_protected or ctx is None:
+            return False
+        return (not multithreaded
+                or ctx.lock_protected((cfg.name, label, index)))
+
+    def generates(instr, label: str, index: int) -> bool:
         """Does this site leave an "already instrumented" fact behind?
 
-        Sites whose hooks are suppressed by the stack-local rule leave
-        none.  In a multithreaded module only stack-local addresses
-        (touched by exactly one thread) carry facts across steps.
+        Sites whose hooks are suppressed by the stack-local or lockset
+        rules leave none.  In a multithreaded module only stack-local
+        addresses (touched by exactly one thread) carry facts across
+        steps.
         """
         local = is_stack_local(instr)
         if policy.skip_stack_local and local:
+            return False
+        if is_lock_protected(label, index):
             return False
         return local or not multithreaded
 
     # Availability of same-address instrumented accesses: facts map an
     # address key to the byte size guaranteed instrumented on every
-    # path.  Calls clear all facts; redefining the address register
-    # kills its facts (loop-carried registers take new values).
+    # path.  Redefining the address register kills its facts
+    # (loop-carried registers take new values).  Without the
+    # interprocedural context every call clears all facts; with it only
+    # the facts the callee's transitive summary may invalidate die.
     def transfer(label: str, facts: Dict) -> Dict:
         facts = dict(facts)
-        for instr in cfg.blocks[label].instructions:
+        for index, instr in enumerate(cfg.blocks[label].instructions):
             if isinstance(instr, Call):
-                facts.clear()
+                if ctx is None:
+                    facts.clear()
+                else:
+                    ctx.filter_facts(cfg.name, instr, facts)
             result = getattr(instr, "result", None)
             if result:
                 facts.pop(result, None)
-            if isinstance(instr, (Load, Store)) and generates(instr):
+            if isinstance(instr, (Load, Store)) and generates(instr, label, index):
                 key = _address_key(instr.address)
                 facts[key] = max(facts.get(key, 0), instr.size)
         return facts
@@ -238,8 +306,8 @@ def _analyze_function(cfg: CFG, policy: ElisionPolicy,
     gen_blocks: Dict[object, List[str]] = {}
     if want_dominated:
         for label in cfg.rpo:
-            for instr in cfg.blocks[label].instructions:
-                if isinstance(instr, (Load, Store)) and generates(instr):
+            for index, instr in enumerate(cfg.blocks[label].instructions):
+                if isinstance(instr, (Load, Store)) and generates(instr, label, index):
                     gen_blocks.setdefault(
                         _address_key(instr.address), []
                     ).append(label)
@@ -263,6 +331,9 @@ def _analyze_function(cfg: CFG, policy: ElisionPolicy,
                     if policy.skip_stack_local and local:
                         census.stack_local += 1
                         mask[(cfg.name, label, index)] = frozenset(positions)
+                    elif is_lock_protected(label, index):
+                        census.lock_protected += 1
+                        mask[(cfg.name, label, index)] = frozenset(positions)
                     elif covered:
                         census.dominated += 1
                         mask[(cfg.name, label, index)] = frozenset(positions)
@@ -275,13 +346,17 @@ def _analyze_function(cfg: CFG, policy: ElisionPolicy,
                         census.unknown += 1
             # replay the transfer so in-block facts stay exact
             if isinstance(instr, Call):
-                facts.clear()
-                local_gens.clear()
+                if ctx is None:
+                    facts.clear()
+                    local_gens.clear()
+                else:
+                    ctx.filter_facts(cfg.name, instr, facts)
+                    local_gens &= set(facts)
             result = getattr(instr, "result", None)
             if result:
                 facts.pop(result, None)
                 local_gens.discard(result)
-            if isinstance(instr, (Load, Store)) and generates(instr):
+            if isinstance(instr, (Load, Store)) and generates(instr, label, index):
                 key = _address_key(instr.address)
                 facts[key] = max(facts.get(key, 0), instr.size)
                 local_gens.add(key)
@@ -305,17 +380,23 @@ _SITES_ELIDED = 0
 def staticpass_stats() -> Dict[str, int]:
     """Process-wide elision counters (surfaced by ``repro.serve`` under
     the ``staticpass.*`` namespace of the ``stats`` frame)."""
+    from repro.staticpass.interproc import interproc_stats
+
     with _LOCK:
-        return {
+        stats = {
             "mask_cache_hits": _HITS,
             "mask_cache_misses": _MISSES,
             "masks_cached": len(_CACHE),
             "sites_considered": _SITES_CONSIDERED,
             "sites_elided": _SITES_ELIDED,
         }
+    stats.update(interproc_stats())
+    return stats
 
 
 def clear_staticpass_cache() -> None:
+    from repro.staticpass.interproc import clear_interproc_cache
+
     global _HITS, _MISSES, _SITES_CONSIDERED, _SITES_ELIDED
     with _LOCK:
         _CACHE.clear()
@@ -323,6 +404,7 @@ def clear_staticpass_cache() -> None:
         _MISSES = 0
         _SITES_CONSIDERED = 0
         _SITES_ELIDED = 0
+    clear_interproc_cache()
 
 
 def analyze_elision(module: Module, policy: ElisionPolicy,
@@ -344,6 +426,11 @@ def analyze_elision(module: Module, policy: ElisionPolicy,
 
     report = ElisionReport(policy, _is_multithreaded(module))
     if policy.enabled:
+        ctx = None
+        if policy.interproc:
+            from repro.staticpass.interproc import analyze_module
+
+            ctx = analyze_module(module, digest)
         for name, function in module.functions.items():
             try:
                 cfg = build_cfg(function)
@@ -351,7 +438,9 @@ def analyze_elision(module: Module, policy: ElisionPolicy,
                 # A function the CFG builder rejects gets no elision;
                 # the VM validates and executes it independently.
                 continue
-            census, mask = _analyze_function(cfg, policy, report.multithreaded)
+            census, mask = _analyze_function(
+                cfg, policy, report.multithreaded, ctx
+            )
             report.functions[name] = census
             report.mask.update(mask)
 

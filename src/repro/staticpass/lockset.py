@@ -1,0 +1,221 @@
+"""Interprocedural lockset analysis: consistently-protected sites.
+
+The classic lockset argument ("Compiling Away the Overhead of Race
+Detection", PAPERS.md): if every access to an object *after the first
+thread is spawned* holds one common lock, consecutive accesses are
+totally ordered by that lock's release/acquire edges and a lockset- or
+vector-clock-based race detector can never report on the object.
+Accesses *before* any spawn are by the initial thread, which
+happens-before everything the spawned threads do.  Eliding the hooks at
+every access to such an object therefore preserves observable output.
+
+Two interprocedural dataflows feed the per-site facts:
+
+* **must-held locksets** — forward, meet = intersection.  A lock is
+  identified by the points-to object of the ``mutex_lock`` argument
+  (:mod:`repro.staticpass.alias`); an acquire whose lock the analysis
+  cannot name adds nothing (under-approximation), an unnameable release
+  clears the set, and a call into a callee that (transitively)
+  synchronizes clears the set.  Function entry locksets are the
+  intersection over all call sites, propagated callers-first over the
+  SCC condensation; members of call cycles start from the empty set.
+* **pre-spawn** — forward must-analysis of "no spawn has executed yet
+  on any path", meet = conjunction.  Spawned functions, functions on
+  spawning cycles, and everything downstream of a spawn are post-spawn.
+
+Aggregation is per object: every post-spawn load/store site contributes
+its lockset to the intersection of each object its address may name; a
+post-spawn site with an unattributable (``TOP``) address contributes to
+*every* object.  An object whose intersection stays non-empty — or that
+no post-spawn site can reach — is protected, and a site is
+``lock_protected`` when its address is attributable and every object it
+may name is protected.
+
+A function the CFG builder rejects makes the whole module unprovable
+(its accesses cannot be accounted), so no site is reported protected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Call, Load, Store
+from repro.ir.module import Module
+from repro.staticpass.alias import TOP, AliasInfo, Obj
+from repro.staticpass.callgraph import CallGraph, classify_callee
+from repro.staticpass.cfg import CFGError, build_cfg
+from repro.staticpass.dataflow import solve_forward
+from repro.staticpass.modref import FunctionSummary
+
+SiteKey = Tuple[str, str, int]
+
+#: dataflow fact: (must-held lock objects, no spawn executed yet)
+Fact = Tuple[FrozenSet[Obj], bool]
+
+_ENTRY_MAIN: Fact = (frozenset(), True)
+_ENTRY_UNKNOWN: Fact = (frozenset(), False)
+
+
+@dataclass
+class LockInfo:
+    """Per-site lock facts for one module."""
+
+    #: sites proven consistently protected (or pre-spawn-only objects)
+    protected: FrozenSet[SiteKey] = frozenset()
+    #: objects whose every post-spawn access shares a lock
+    protected_objects: FrozenSet[Obj] = frozenset()
+    #: (fname, label, index) -> (must-held locks, pre-spawn) at the site
+    site_facts: Dict[SiteKey, Fact] = field(default_factory=dict)
+    #: a function could not be analyzed; nothing is provable
+    unprovable: bool = False
+
+    def lock_protected(self, site: SiteKey) -> bool:
+        return site in self.protected
+
+
+def _meet(a: Fact, b: Fact) -> Fact:
+    return (a[0] & b[0], a[1] and b[1])
+
+
+def _transfer_call(module: Module, summaries: Dict[str, FunctionSummary],
+                   aliases: AliasInfo, fname: str, instr: Call,
+                   fact: Fact) -> Fact:
+    locks, prespawn = fact
+    kind, target = classify_callee(module, instr.callee)
+    if kind == "sync":
+        lock_obj: Optional[Obj] = None
+        if instr.args:
+            pts = aliases.operand_pts(fname, instr.args[0])
+            if pts is not TOP and len(pts) == 1:
+                (lock_obj,) = pts
+        if target == "mutex_lock":
+            if lock_obj is not None:
+                locks = locks | {lock_obj}
+            # unnameable acquire: holding *more* than we track is safe
+        else:  # mutex_unlock
+            locks = locks - {lock_obj} if lock_obj is not None else frozenset()
+    elif kind == "direct":
+        summary = summaries[target]
+        if summary.sync or summary.unknown:
+            locks = frozenset()
+        if summary.spawn:
+            prespawn = False
+    elif kind == "spawn":
+        prespawn = False
+    elif kind == "extern":
+        locks = frozenset()  # unknown code: assume it may synchronize
+    return (locks, prespawn)
+
+
+def analyze_locksets(module: Module, graph: CallGraph, aliases: AliasInfo,
+                     summaries: Dict[str, FunctionSummary]) -> LockInfo:
+    try:
+        cfgs = {name: build_cfg(fn) for name, fn in module.functions.items()}
+    except CFGError:
+        return LockInfo(unprovable=True)
+
+    def transfer_for(fname):
+        def transfer(label: str, fact: Fact) -> Fact:
+            for instr in cfgs[fname].blocks[label].instructions:
+                if isinstance(instr, Call):
+                    fact = _transfer_call(
+                        module, summaries, aliases, fname, instr, fact
+                    )
+            return fact
+        return transfer
+
+    # ------------------------------------------------------------------
+    # entry facts, callers-first over the condensation
+    # ------------------------------------------------------------------
+    entries: Dict[str, Fact] = {}
+    if "main" in module.functions:
+        entries["main"] = _ENTRY_MAIN
+    site_facts: Dict[SiteKey, Fact] = {}
+
+    for component in reversed(graph.sccs):  # top-down: callers first
+        members = set(component)
+        cyclic = len(component) > 1 or any(
+            fname in graph.successors(fname) for fname in component
+        )
+        can_spawn = any(summaries[fname].spawn for fname in component)
+        for fname in component:
+            entry = entries.get(fname, _ENTRY_UNKNOWN)
+            if cyclic:
+                # re-entry may happen with fewer locks / after a spawn
+                entry = (frozenset(), entry[1] and not can_spawn)
+            cfg = cfgs[fname]
+            block_in = solve_forward(cfg, entry, transfer_for(fname), _meet)
+            # replay each block to collect per-site facts and call-site
+            # contributions to callee entry facts
+            for label in cfg.rpo:
+                fact = block_in.get(label)
+                if fact is None:
+                    continue
+                for index, instr in enumerate(cfg.blocks[label].instructions):
+                    if isinstance(instr, (Load, Store)):
+                        site_facts[(fname, label, index)] = fact
+                    elif isinstance(instr, Call):
+                        kind, target = classify_callee(module, instr.callee)
+                        if kind == "direct" and target not in members:
+                            prior = entries.get(target)
+                            entries[target] = (
+                                fact if prior is None else _meet(prior, fact)
+                            )
+                        elif kind == "spawn":
+                            prior = entries.get(target)
+                            started: Fact = (frozenset(), False)
+                            entries[target] = (
+                                started if prior is None
+                                else _meet(prior, started)
+                            )
+                        fact = _transfer_call(
+                            module, summaries, aliases, fname, instr, fact
+                        )
+    # ------------------------------------------------------------------
+    # per-object aggregation
+    # ------------------------------------------------------------------
+    accessed: Set[Obj] = set()
+    contributions: Dict[Obj, List[FrozenSet[Obj]]] = {}
+    poison: List[FrozenSet[Obj]] = []  # post-spawn sites aliasing anything
+    site_pts: Dict[SiteKey, object] = {}
+    for fname, cfg in cfgs.items():
+        for label in cfg.blocks:
+            for index, instr in enumerate(cfg.blocks[label].instructions):
+                if not isinstance(instr, (Load, Store)):
+                    continue
+                site = (fname, label, index)
+                pts = aliases.address_pts(fname, instr.address)
+                site_pts[site] = pts
+                locks, prespawn = site_facts.get(site, _ENTRY_UNKNOWN)
+                if pts is not TOP:
+                    accessed |= pts
+                if prespawn:
+                    continue
+                if pts is TOP:
+                    poison.append(locks)
+                else:
+                    for obj in pts:
+                        contributions.setdefault(obj, []).append(locks)
+
+    def protected(obj: Obj) -> bool:
+        locksets = contributions.get(obj, []) + poison
+        if not locksets:
+            return True  # no reachable post-spawn access at all
+        common = locksets[0]
+        for locks in locksets[1:]:
+            common = common & locks
+            if not common:
+                return False
+        return bool(common)
+
+    protected_objects = frozenset(obj for obj in accessed if protected(obj))
+    protected_sites = frozenset(
+        site for site, pts in site_pts.items()
+        if pts is not TOP and all(obj in protected_objects for obj in pts)
+    )
+    return LockInfo(
+        protected=protected_sites,
+        protected_objects=protected_objects,
+        site_facts=site_facts,
+    )

@@ -1,0 +1,206 @@
+"""Per-function mod/ref summaries over the condensed call graph.
+
+For the elision pass the interesting question at a call site is: *can
+executing this callee (transitively) change the verdict an analysis
+already rendered for some address?*  For the policy-gated analyses
+(race detectors and allocation checkers) analysis state for an address
+changes only when
+
+* an instruction hook fires on a load/store of that address — captured
+  by the callee's transitive ``mod``/``ref`` object sets (from
+  :mod:`repro.staticpass.alias`);
+* a synchronization hook fires (``mutex_lock``/``mutex_unlock``) —
+  ``sync``;
+* a thread is spawned — ``spawn``;
+* allocation state changes (``malloc``/``calloc``/``free`` handlers,
+  address reuse included) — ``heap``, which can only affect heap
+  addresses: the VM's heap, global, and per-thread stack regions are
+  disjoint;
+* the callee reaches an extern or an exiting builtin whose effects the
+  analysis cannot see — ``unknown``.
+
+``libc`` routines that merely move program *bytes* (``memset``,
+``memcpy``, ``gets``, …) fire no instruction hooks and are therefore
+invisible to analysis state; their pointer effects matter only to the
+alias analysis, not here.
+
+Summaries are transitive: computed bottom-up over the SCC condensation,
+with every member of a cycle sharing its component's summary.  A spawn
+edge contributes only the ``spawn`` flag, not the spawned function's
+mod/ref — the thread runs concurrently, and the elision pass separately
+restricts cross-step facts to stack-confined addresses in threaded
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.ir.instructions import Call, Load, Store
+from repro.ir.module import Module
+from repro.staticpass.alias import TOP, AliasInfo, Obj
+from repro.staticpass.callgraph import CallGraph, classify_callee
+
+#: builtins whose handlers mutate allocation state for the policy analyses.
+HEAP_BUILTINS = ("malloc", "calloc", "free")
+
+#: builtins that unwind the program/thread; treated as unknown because a
+#: fact flowing past one would survive into code the exit semantics may
+#: never run (and ``abort`` reports).
+EXIT_BUILTINS = ("program_exit", "abort", "exit_thread")
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Transitive effect summary of one function (and its callees)."""
+
+    mod: FrozenSet[Obj] = frozenset()
+    ref: FrozenSet[Obj] = frozenset()
+    #: a load/store through an address the alias analysis cannot name
+    accesses_unknown: bool = False
+    sync: bool = False
+    spawn: bool = False
+    heap: bool = False
+    unknown: bool = False
+
+    @property
+    def opaque(self) -> bool:
+        """True when no fact can survive a call to this function."""
+        return self.sync or self.spawn or self.unknown or self.accesses_unknown
+
+    @property
+    def modref(self) -> FrozenSet[Obj]:
+        return self.mod | self.ref
+
+
+def _direct_summary(module: Module, fname: str, aliases: AliasInfo) -> Dict:
+    mod: Set[Obj] = set()
+    ref: Set[Obj] = set()
+    flags = {"accesses_unknown": False, "sync": False, "spawn": False,
+             "heap": False, "unknown": False}
+    for label, block in module.functions[fname].blocks.items():
+        for instr in block.instructions:
+            if isinstance(instr, Load):
+                pts = aliases.address_pts(fname, instr.address)
+                if pts is TOP:
+                    flags["accesses_unknown"] = True
+                else:
+                    ref |= pts
+            elif isinstance(instr, Store):
+                pts = aliases.address_pts(fname, instr.address)
+                if pts is TOP:
+                    flags["accesses_unknown"] = True
+                else:
+                    mod |= pts
+            elif isinstance(instr, Call):
+                kind, target = classify_callee(module, instr.callee)
+                if kind == "sync":
+                    flags["sync"] = True
+                elif kind == "spawn":
+                    flags["spawn"] = True
+                elif kind == "builtin":
+                    if target in HEAP_BUILTINS:
+                        flags["heap"] = True
+                    elif target in EXIT_BUILTINS:
+                        flags["unknown"] = True
+                elif kind == "extern":
+                    flags["unknown"] = True
+                # direct calls fold in transitively; join/global_addr are pure
+    return {"mod": mod, "ref": ref, **flags}
+
+
+def summarize_module(module: Module, graph: CallGraph,
+                     aliases: AliasInfo) -> Dict[str, FunctionSummary]:
+    """Transitive :class:`FunctionSummary` per function, bottom-up."""
+    direct = {
+        fname: _direct_summary(module, fname, aliases)
+        for fname in module.functions
+    }
+    summaries: Dict[str, FunctionSummary] = {}
+    for component in graph.sccs:  # bottom-up: callees before callers
+        mod: Set[Obj] = set()
+        ref: Set[Obj] = set()
+        flags = {"accesses_unknown": False, "sync": False, "spawn": False,
+                 "heap": False, "unknown": False}
+        members = set(component)
+        for fname in component:
+            own = direct[fname]
+            mod |= own["mod"]
+            ref |= own["ref"]
+            for flag in flags:
+                flags[flag] = flags[flag] or own[flag]
+            for callee in graph.edges.get(fname, ()):
+                if callee in members:
+                    continue  # same component: already folded in
+                callee_summary = summaries[callee]
+                mod |= callee_summary.mod
+                ref |= callee_summary.ref
+                flags["accesses_unknown"] |= callee_summary.accesses_unknown
+                flags["sync"] |= callee_summary.sync
+                flags["spawn"] |= callee_summary.spawn
+                flags["heap"] |= callee_summary.heap
+                flags["unknown"] |= callee_summary.unknown
+            if graph.spawn_targets.get(fname):
+                flags["spawn"] = True
+        summary = FunctionSummary(
+            mod=frozenset(mod), ref=frozenset(ref), **flags
+        )
+        for fname in component:
+            summaries[fname] = summary
+    return summaries
+
+
+#: Summary used for calls whose effects need no accounting at all.
+PURE = FunctionSummary()
+
+#: Summary for heap-state-changing builtins.
+HEAP_EFFECT = FunctionSummary(heap=True)
+
+#: Summary that kills every fact.
+OPAQUE = FunctionSummary(unknown=True)
+
+
+def call_summary(module: Module, summaries: Dict[str, FunctionSummary],
+                 callee: str) -> FunctionSummary:
+    """Effect summary for one call target (any callee string)."""
+    kind, target = classify_callee(module, callee)
+    if kind == "direct":
+        return summaries[target]
+    if kind == "spawn":
+        return FunctionSummary(spawn=True)
+    if kind == "sync":
+        return FunctionSummary(sync=True)
+    if kind in ("join", "global_addr"):
+        # join: the joining thread's own epoch survives a vector-clock
+        # join unchanged, and no per-address state moves; global_addr is
+        # pure address materialization.
+        return PURE
+    if kind == "builtin":
+        if target in HEAP_BUILTINS:
+            return HEAP_EFFECT
+        if target in EXIT_BUILTINS:
+            return OPAQUE
+        return PURE
+    return OPAQUE  # extern
+
+
+def fact_survives(summary: FunctionSummary, pts) -> bool:
+    """May an "already instrumented" fact for an address with points-to
+    set ``pts`` survive a call with effect ``summary``?
+
+    Requires the callee to be transparent (no sync/spawn/unknown), the
+    address to be attributable (non-``TOP``), disjoint from everything
+    the callee transitively loads or stores, and — when the callee
+    touches allocation state — backed purely by stack objects, the one
+    region ``malloc`` reuse can never clobber.
+    """
+    if summary.opaque:
+        return False
+    if pts is TOP or not pts:
+        return not summary.heap and not summary.modref
+    if pts & summary.modref:
+        return False
+    if summary.heap:
+        return all(obj[0] == "stack" for obj in pts)
+    return True

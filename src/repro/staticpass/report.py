@@ -1,0 +1,126 @@
+"""Reusable builders behind ``python -m repro.staticpass report``.
+
+:func:`pair_report` assembles the JSON payload for one
+(analysis, workload) pair; :func:`corpus_sweep` runs every bundled pair
+and aggregates per-category site counts.  Both raise :class:`ReportError`
+with a one-line message for bad names or scales — the CLI (and the
+benchmark harness, which reuses these builders for its artifact) never
+shows a traceback for user input errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: site-count categories, in report column order
+CATEGORIES = ("considered", "stack_local", "lock_protected", "dominated",
+              "unknown", "elided")
+
+
+class ReportError(ValueError):
+    """A report request names an unknown subject or an invalid scale."""
+
+
+def _validate(analysis: str, workload: str, scale: int) -> None:
+    from repro.exec.pool import ANALYSIS_SPECS
+    from repro.workloads import ALL
+
+    if analysis not in ANALYSIS_SPECS:
+        raise ReportError(
+            f"unknown analysis {analysis!r}; choose from "
+            f"{', '.join(sorted(ANALYSIS_SPECS))}"
+        )
+    if workload not in ALL:
+        raise ReportError(
+            f"unknown workload {workload!r}; choose from "
+            f"{', '.join(sorted(ALL))}"
+        )
+    if scale < 1:
+        raise ReportError(f"--scale must be >= 1, got {scale}")
+
+
+def _census(f) -> Dict[str, int]:
+    return {
+        "considered": f.considered,
+        "stack_local": f.stack_local,
+        "lock_protected": f.lock_protected,
+        "dominated": f.dominated,
+        "dominated_by_tree": f.dominated_by_tree,
+        "unknown": f.unknown,
+    }
+
+
+def pair_report(analysis: str, workload: str, scale: int = 1,
+                module=None) -> Dict:
+    """The full report payload for one (analysis, workload) pair."""
+    from repro.exec.pool import build_analysis
+    from repro.staticpass.elide import analyze_elision, policy_for
+    from repro.workloads import ALL
+
+    _validate(analysis, workload, scale)
+    compiled = build_analysis(analysis)
+    if hasattr(compiled, "info"):
+        policy = policy_for(compiled)
+    else:
+        # hand-tuned baselines predate elision: nothing to skip
+        from repro.staticpass.elide import ElisionPolicy
+
+        policy = ElisionPolicy(getattr(compiled, "name", analysis))
+    if module is None:
+        module = ALL[workload].make_module(scale)
+    report = analyze_elision(module, policy)
+    return {
+        "analysis": analysis,
+        "workload": workload,
+        "scale": scale,
+        "policy": {
+            "name": policy.analysis,
+            "skip_stack_local": policy.skip_stack_local,
+            "skip_lock_protected": policy.skip_lock_protected,
+            "skip_dominated": policy.skip_dominated,
+            "interproc": policy.interproc,
+            "enabled": policy.enabled,
+        },
+        "multithreaded": report.multithreaded,
+        "totals": report.counts(),
+        "functions": {
+            name: _census(f)
+            for name, f in sorted(report.functions.items())
+        },
+    }
+
+
+def corpus_sweep(scale: int = 1) -> Dict:
+    """Every bundled (spec, workload) pair plus per-category aggregates."""
+    from repro.exec.pool import ANALYSIS_SPECS
+    from repro.workloads import ALL
+
+    if scale < 1:
+        raise ReportError(f"--scale must be >= 1, got {scale}")
+    modules = {name: ALL[name].make_module(scale) for name in sorted(ALL)}
+    pairs: List[Dict] = []
+    aggregate = {key: 0 for key in CATEGORIES}
+    enabled_pairs = 0
+    for analysis in sorted(ANALYSIS_SPECS):
+        for workload in sorted(ALL):
+            payload = pair_report(analysis, workload, scale,
+                                  module=modules[workload])
+            totals = dict(payload["totals"])
+            totals["unknown"] = totals["considered"] - totals["elided"]
+            pairs.append({
+                "analysis": analysis,
+                "workload": workload,
+                "enabled": payload["policy"]["enabled"],
+                "multithreaded": payload["multithreaded"],
+                "totals": totals,
+            })
+            if payload["policy"]["enabled"]:
+                enabled_pairs += 1
+                for key in CATEGORIES:
+                    aggregate[key] += totals.get(key, 0)
+    return {
+        "scale": scale,
+        "pairs": pairs,
+        "enabled_pairs": enabled_pairs,
+        "aggregate": aggregate,
+    }

@@ -946,6 +946,9 @@ def bind_bytecode(vm: Interpreter,
     # on which segments fuse, which is a per-bind property of the VM's
     # hooks, tracer, shadow flag, and elision masks).
     plans: Dict[str, Tuple[list, Dict[str, int]]] = {}
+    fused_segments = 0
+    exploded_segments = 0
+    fused_width = 0
     for fname, lfn in lmod.functions.items():
         slots: List[Tuple[str, object, str]] = []
         block_start: Dict[str, int] = {}
@@ -955,12 +958,22 @@ def bind_bytecode(vm: Interpreter,
                 if isinstance(unit, SegUnit):
                     if _seg_fusable(b, unit):
                         slots.append(("seg", unit, label))
+                        fused_segments += 1
+                        fused_width += unit.width
                     else:
+                        exploded_segments += 1
                         for lop in unit.all_lops():
                             slots.append(("op", lop, label))
                 else:
                     slots.append(("op", unit.lop, label))
         plans[fname] = (slots, block_start)
+    # Bind diagnostics live on the VM, never on the Profile: profiles are
+    # compared bit-for-bit across backends, fuse decisions are per-bind.
+    vm.bytecode_bind_stats = {
+        "fused_segments": fused_segments,
+        "exploded_segments": exploded_segments,
+        "fused_width": fused_width,
+    }
 
     # Pass B: emit steps with every target resolved to a flat index, and
     # build the width/backtrace side tables.

@@ -83,6 +83,50 @@ class TestDiagnostics:
         )
         assert lint(source) == []
 
+    LOCKY = """\
+address := pointer
+tid := threadid : 8
+lid := lockid : 16
+
+thread2Lock = universe::map(tid, set(lid))
+addr2Lock = universe::map(address, universe::set(lid))
+
+onLoad(address a, tid t) {
+  addr2Lock[a] = addr2Lock[a] & thread2Lock[t];
+}
+
+insert before LoadInst call onLoad($1, $t)
+"""
+
+    def test_inconsistent_lock_guard(self):
+        diags = lint(self.LOCKY)
+        assert [d.code for d in diags] == ["inconsistent-lock-guard"]
+        assert "onLoad" in diags[0].message
+        assert "mutex_lock" in diags[0].message
+
+    def test_lock_guard_clean_with_sync_subscription(self):
+        source = self.LOCKY + """
+onLock(lid m, tid t) {
+  thread2Lock[t].add(m);
+}
+
+insert before func mutex_lock call onLock($1, $t)
+"""
+        assert lint(source) == []
+
+    def test_lock_guard_reaches_transitive_readers(self):
+        source = self.LOCKY.replace(
+            "  addr2Lock[a] = addr2Lock[a] & thread2Lock[t];",
+            "  refine(a, t);",
+        ) + """
+refine(address a, tid t) {
+  addr2Lock[a] = addr2Lock[a] & thread2Lock[t];
+}
+"""
+        diags = lint(source)
+        assert [d.code for d in diags] == ["inconsistent-lock-guard"]
+        assert "refine" in diags[0].message
+
     def test_diagnostics_sorted_by_line(self):
         source = CLEAN.replace(
             "liveMap = map(address, int64)",

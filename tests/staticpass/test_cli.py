@@ -21,8 +21,8 @@ def test_report_json_payload(capsys):
     assert payload["totals"]["elided"] >= 1
     assert payload["totals"]["stack_local"] == 0  # uaf: dominated only
     for census in payload["functions"].values():
-        assert set(census) == {"considered", "stack_local", "dominated",
-                               "dominated_by_tree", "unknown"}
+        assert set(census) == {"considered", "stack_local", "lock_protected",
+                               "dominated", "dominated_by_tree", "unknown"}
 
 
 def test_report_scale_flag(capsys):
@@ -37,6 +37,54 @@ def test_report_disabled_analysis(capsys):
 
 def test_unknown_names_exit_2(capsys):
     assert main(["report", "nope.alda", "bzip2"]) == 2
-    assert "unknown analysis" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown analysis" in err
+    assert "Traceback" not in err
     assert main(["report", "eraser.full", "nope"]) == 2
     assert "unknown workload" in capsys.readouterr().err
+
+
+def test_bad_scale_exits_2(capsys):
+    assert main(["report", "eraser.full", "bzip2", "--scale", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "--scale must be >= 1" in err
+    assert "Traceback" not in err
+    assert main(["report", "--all", "--scale", "-3"]) == 2
+    assert "--scale must be >= 1" in capsys.readouterr().err
+
+
+def test_missing_positionals_exit_2(capsys):
+    assert main(["report"]) == 2
+    assert "required unless --all" in capsys.readouterr().err
+    assert main(["report", "eraser.full"]) == 2
+    assert "required unless --all" in capsys.readouterr().err
+    assert main(["report", "eraser.full", "bzip2", "--all"]) == 2
+    assert "--all takes no" in capsys.readouterr().err
+
+
+def test_sweep_all_table(capsys):
+    assert main(["report", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "corpus sweep" in out
+    assert "sites elided" in out
+    assert "eraser.full" in out and "fasttrack.alda" in out
+
+
+def test_sweep_all_json_aggregate(capsys):
+    assert main(["report", "--all", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    from repro.exec.pool import ANALYSIS_SPECS
+    from repro.workloads import ALL
+
+    assert len(payload["pairs"]) == len(ANALYSIS_SPECS) * len(ALL)
+    agg = payload["aggregate"]
+    assert agg["elided"] == (agg["stack_local"] + agg["lock_protected"]
+                             + agg["dominated"])
+    assert agg["elided"] >= 1
+    assert agg["lock_protected"] >= 1  # the interprocedural tier fires
+    per_pair = {
+        (pair["analysis"], pair["workload"]): pair["totals"]
+        for pair in payload["pairs"]
+    }
+    assert per_pair[("eraser.full", "bzip2")]["elided"] == \
+        per_pair[("eraser.full", "bzip2")]["considered"]

@@ -93,11 +93,13 @@ class TestStackLocalRule:
         """, RACE_POLICY)
         counts = report.counts()
         assert counts == {"considered": 2, "stack_local": 2,
-                          "dominated": 0, "elided": 2}
+                          "lock_protected": 0, "dominated": 0, "elided": 2}
         assert report.mask[("main", "entry", 1)] == frozenset({"after"})
         assert report.mask[("main", "entry", 2)] == frozenset({"after"})
 
     def test_escaped_slot_kept(self):
+        # helper leaks the pointer to unknown code, so the slot escapes
+        # even under the interprocedural tier.
         report = report_of("""
         func main() {
         entry:
@@ -108,11 +110,32 @@ class TestStackLocalRule:
         }
         func helper(p) {
         entry:
+          call ext_sink(p)
           ret 0
         }
         """, RACE_POLICY)
         assert report.functions["main"].stack_local == 0
         assert ("main", "entry", 2) not in report.mask
+
+    def test_benign_callee_no_longer_escapes(self):
+        # The interprocedural tier sees through a callee that neither
+        # stores nor leaks its argument — the seed kept this site.
+        report = report_of("""
+        func main() {
+        entry:
+          %s = alloca 8
+          call helper(%s)
+          %v = load [%s], 8
+          ret %v
+        }
+        func helper(p) {
+        entry:
+          %x = load [p], 8
+          ret %x
+        }
+        """, RACE_POLICY)
+        assert report.functions["main"].stack_local == 1
+        assert ("main", "entry", 2) in report.mask
 
     def test_check_policy_keeps_stack_local_sites(self):
         report = report_of("""

@@ -1,0 +1,171 @@
+"""Property tests: randomized CFGs and call graphs vs naive references.
+
+``dominator_tree`` (Cooper–Harvey–Kennedy on reverse postorder) is
+cross-checked against the textbook iterative dataflow definition
+``Dom(n) = {n} ∪ ⋂ Dom(pred)``, and ``build_call_graph``'s Tarjan SCC
+condensation against a naive mutual-reachability partition — over
+seeded random shapes that include irreducible loops and self-recursion.
+"""
+
+import random
+
+import pytest
+
+from repro.ir.instructions import Br, Call, Jmp, Ret
+from repro.ir.module import Block, Function, Module
+from repro.staticpass import build_call_graph, build_cfg, dominator_tree
+
+
+# ----------------------------------------------------------------------
+# random CFGs vs naive dominators
+# ----------------------------------------------------------------------
+def _random_function(rng: random.Random, n_blocks: int) -> Function:
+    labels = [f"b{i}" for i in range(n_blocks)]
+    function = Function(name="f", params=["c"], entry="b0")
+    for i, label in enumerate(labels):
+        block = Block(label)
+        n_succ = rng.choice((0, 1, 1, 2, 2))
+        if n_succ == 0:
+            block.append(Ret(0))
+        elif n_succ == 1:
+            block.append(Jmp(rng.choice(labels)))
+        else:
+            block.append(Br("c", rng.choice(labels), rng.choice(labels)))
+        function.blocks[label] = block
+    return function
+
+
+def _naive_dominators(cfg):
+    """Iterative dataflow over reachable blocks: the definition itself."""
+    reachable = set(cfg.rpo)
+    dom = {label: set(reachable) for label in reachable}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in reachable:
+            if label == cfg.entry:
+                continue
+            preds = [p for p in cfg.blocks[label].preds if p in reachable]
+            new = set(reachable)
+            for pred in preds:
+                new &= dom[pred]
+            new |= {label}
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def _check_dominators(function: Function) -> None:
+    cfg = build_cfg(function)
+    tree = dominator_tree(cfg)
+    naive = _naive_dominators(cfg)
+    reachable = set(cfg.rpo)
+    for a in function.blocks:
+        for b in function.blocks:
+            if a in reachable and b in reachable:
+                expected = a in naive[b]
+            else:
+                expected = False  # unreachable endpoints never dominate
+            assert tree.dominates(a, b) == expected, (
+                f"dominates({a}, {b}): tree says "
+                f"{tree.dominates(a, b)}, dataflow says {expected}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_cfg_dominators_match_dataflow(seed):
+    rng = random.Random(seed)
+    _check_dominators(_random_function(rng, rng.randint(2, 12)))
+
+
+def test_irreducible_loop_dominators():
+    """Two loop entries, neither dominating the other (irreducible)."""
+    function = Function(name="f", params=["c"], entry="b0")
+    function.blocks["b0"] = Block("b0", [Br("c", "b1", "b2")])
+    function.blocks["b1"] = Block("b1", [Jmp("b2")])
+    function.blocks["b2"] = Block("b2", [Br("c", "b1", "b3")])
+    function.blocks["b3"] = Block("b3", [Ret(0)])
+    cfg = build_cfg(function)
+    tree = dominator_tree(cfg)
+    assert not tree.dominates("b1", "b2")
+    assert not tree.dominates("b2", "b1")
+    assert tree.dominates("b0", "b3")
+    _check_dominators(function)
+
+
+def test_self_loop_dominators():
+    function = Function(name="f", params=["c"], entry="b0")
+    function.blocks["b0"] = Block("b0", [Br("c", "b0", "b1")])
+    function.blocks["b1"] = Block("b1", [Ret(0)])
+    _check_dominators(function)
+
+
+# ----------------------------------------------------------------------
+# random call graphs vs naive mutual reachability
+# ----------------------------------------------------------------------
+def _random_module(rng: random.Random, n_funcs: int) -> Module:
+    module = Module(name="m")
+    names = [f"f{i}" for i in range(n_funcs)]
+    for i, name in enumerate(names):
+        function = Function(name=name, entry="entry")
+        block = Block("entry")
+        for k in range(rng.randint(0, 3)):
+            callee = rng.choice(names)  # self-recursion included
+            block.append(Call(f"%r{k}", callee, []))
+        block.append(Ret(0))
+        function.blocks["entry"] = block
+        module.functions[name] = function
+    return module
+
+
+def _naive_sccs(names, successors):
+    reach = {name: {name} for name in names}
+    for name in names:
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for succ in successors(current):
+                if succ not in reach[name]:
+                    reach[name].add(succ)
+                    frontier.append(succ)
+    return {
+        name: frozenset(
+            other for other in names
+            if other in reach[name] and name in reach[other]
+        )
+        for name in names
+    }
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_random_call_graph_sccs_match_reachability(seed):
+    rng = random.Random(1000 + seed)
+    module = _random_module(rng, rng.randint(1, 10))
+    graph = build_call_graph(module)
+    naive = _naive_sccs(list(module.functions), graph.successors)
+    scc_members = {
+        name: frozenset(graph.sccs[graph.scc_of[name]])
+        for name in module.functions
+    }
+    assert scc_members == naive
+    # bottom-up order: every cross-component edge points at an earlier
+    # (already-emitted) component — callees before callers.
+    for name in module.functions:
+        for succ in graph.successors(name):
+            if graph.scc_of[succ] != graph.scc_of[name]:
+                assert graph.scc_of[succ] < graph.scc_of[name]
+
+
+def test_self_recursive_function_forms_singleton_cycle():
+    module = Module(name="m")
+    function = Function(name="loop", entry="entry")
+    function.blocks["entry"] = Block(
+        "entry", [Call("%r", "loop", []), Ret(0)]
+    )
+    module.functions["loop"] = function
+    graph = build_call_graph(module)
+    assert graph.in_cycle("loop")
+    assert _naive_sccs(["loop"], graph.successors)["loop"] == \
+        frozenset({"loop"})

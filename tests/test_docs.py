@@ -113,7 +113,7 @@ def _python_blocks(path: pathlib.Path):
 
 
 @pytest.mark.parametrize("name", ["ARCHITECTURE.md", "SUBSTRATE.md",
-                                  "BYTECODE.md"])
+                                  "BYTECODE.md", "STATICPASS.md"])
 def test_doc_python_blocks_execute(name):
     """Every fenced Python block in the architecture docs actually runs."""
     blocks = _python_blocks(DOCS / name)
