@@ -374,7 +374,11 @@ class _Solver:
                 escape.add(obj)
             inner = self.effective_contents(obj)
             if inner is TOP:
-                continue  # unknown pointers are TOP addresses, never elidable
+                # The unmodeled pointers themselves surface as TOP
+                # addresses (never elidable), but any *concretely*
+                # recorded contents are still reachable through this
+                # object and must keep escaping.
+                inner = self.contents.get(obj, set()) | self.stored_unknown
             for reached in inner:
                 if reached not in seen:
                     seen.add(reached)

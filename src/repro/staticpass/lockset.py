@@ -13,10 +13,22 @@ Two interprocedural dataflows feed the per-site facts:
 
 * **must-held locksets** — forward, meet = intersection.  A lock is
   identified by the points-to object of the ``mutex_lock`` argument
-  (:mod:`repro.staticpass.alias`); an acquire whose lock the analysis
-  cannot name adds nothing (under-approximation), an unnameable release
-  clears the set, and a call into a callee that (transitively)
-  synchronizes clears the set.  Function entry locksets are the
+  (:mod:`repro.staticpass.alias`) — but an abstract allocation site may
+  denote *many* concrete mutexes (a malloc in a loop, an alloca in a
+  function run by several threads), and "every access holds site X"
+  does not order accesses holding *different* instances of X.  A lock
+  is therefore trackable only when its abstract object is provably a
+  **single concrete lock**: a module global, or a stack/heap allocation
+  site that executes at most once in any run (its block is on no CFG
+  cycle and its function is *single-shot* — reached by exactly one
+  static call/spawn site, itself outside any loop in a single-shot
+  caller, with no call-graph cycle through it).  An acquire of anything
+  else — like an acquire the analysis cannot name at all — adds nothing
+  (under-approximation).  A release through a single abstract object
+  removes only that object (allocation sites partition concrete memory,
+  so it cannot release a lock from any other site); an unnameable
+  release clears the set, as does a call into a callee that
+  (transitively) synchronizes.  Function entry locksets are the
   intersection over all call sites, propagated callers-first over the
   SCC condensation; members of call cycles start from the empty set.
 * **pre-spawn** — forward must-analysis of "no spawn has executed yet
@@ -38,13 +50,13 @@ A function the CFG builder rejects makes the whole module unprovable
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.ir.instructions import Call, Load, Store
 from repro.ir.module import Module
 from repro.staticpass.alias import TOP, AliasInfo, Obj
-from repro.staticpass.callgraph import CallGraph, classify_callee
-from repro.staticpass.cfg import CFGError, build_cfg
+from repro.staticpass.callgraph import CallGraph, _tarjan, classify_callee
+from repro.staticpass.cfg import CFG, CFGError, build_cfg
 from repro.staticpass.dataflow import solve_forward
 from repro.staticpass.modref import FunctionSummary
 
@@ -78,9 +90,86 @@ def _meet(a: Fact, b: Fact) -> Fact:
     return (a[0] & b[0], a[1] and b[1])
 
 
+def _loop_blocks(cfg: CFG) -> Set[str]:
+    """Labels of blocks on a CFG cycle (self-loops included) — the
+    blocks whose instructions may execute more than once per call."""
+    sccs, _ = _tarjan(sorted(cfg.blocks), lambda label: cfg.blocks[label].succs)
+    looped: Set[str] = set()
+    for component in sccs:
+        if len(component) > 1:
+            looped.update(component)
+    for label, node in cfg.blocks.items():
+        if label in node.succs:
+            looped.add(label)
+    return looped
+
+
+def _single_shot_functions(module: Module, graph: CallGraph,
+                           cfgs: Dict[str, CFG],
+                           loop_blocks: Dict[str, Set[str]]) -> Set[str]:
+    """Functions that provably run at most once in any execution:
+    ``main``, plus any function outside every call cycle whose single
+    static activation (call *or* spawn) site sits outside any loop in a
+    single-shot caller."""
+    activation_sites: Dict[str, List[Tuple[str, str]]] = {
+        fname: [] for fname in module.functions
+    }
+    for fname, cfg in cfgs.items():
+        for label, node in cfg.blocks.items():
+            for instr in node.instructions:
+                if not isinstance(instr, Call):
+                    continue
+                kind, target = classify_callee(module, instr.callee)
+                if kind in ("direct", "spawn"):
+                    activation_sites[target].append((fname, label))
+
+    single: Set[str] = set()
+    if "main" in module.functions and not graph.in_cycle("main") \
+            and not activation_sites["main"]:
+        single.add("main")
+    for component in reversed(graph.sccs):  # top-down: callers first
+        for fname in component:
+            if fname in single or graph.in_cycle(fname):
+                continue
+            sites = activation_sites[fname]
+            if len(sites) != 1:
+                continue
+            caller, label = sites[0]
+            if caller in single and label not in loop_blocks[caller]:
+                single.add(fname)
+    return single
+
+
+def _make_singleton_test(module: Module, graph: CallGraph,
+                         cfgs: Dict[str, CFG]) -> Callable[[Obj], bool]:
+    """Predicate: does this abstract object denote exactly one concrete
+    lock?  True for globals, and for stack/heap allocation sites that
+    execute at most once (non-looped block of a single-shot function).
+    Only such objects may enter the must-held lockset: one abstract
+    site covering many concrete mutexes would let accesses guarded by
+    *different* locks look consistently protected."""
+    loop_blocks = {fname: _loop_blocks(cfg) for fname, cfg in cfgs.items()}
+    single_shot = _single_shot_functions(module, graph, cfgs, loop_blocks)
+
+    def singleton(obj: Obj) -> bool:
+        if obj[0] == "global":
+            return True
+        if obj[0] == "stack":
+            _, fname, reg = obj
+            label = cfgs[fname].defs.get(reg, (None,))[0]
+        elif obj[0] == "heap":
+            _, fname, label, _ = obj
+        else:
+            return False
+        return (fname in single_shot and label is not None
+                and label not in loop_blocks[fname])
+
+    return singleton
+
+
 def _transfer_call(module: Module, summaries: Dict[str, FunctionSummary],
-                   aliases: AliasInfo, fname: str, instr: Call,
-                   fact: Fact) -> Fact:
+                   aliases: AliasInfo, singleton: Callable[[Obj], bool],
+                   fname: str, instr: Call, fact: Fact) -> Fact:
     locks, prespawn = fact
     kind, target = classify_callee(module, instr.callee)
     if kind == "sync":
@@ -90,11 +179,19 @@ def _transfer_call(module: Module, summaries: Dict[str, FunctionSummary],
             if pts is not TOP and len(pts) == 1:
                 (lock_obj,) = pts
         if target == "mutex_lock":
-            if lock_obj is not None:
+            if lock_obj is not None and singleton(lock_obj):
                 locks = locks | {lock_obj}
-            # unnameable acquire: holding *more* than we track is safe
+            # unnameable / multi-instance acquire: holding *more* than
+            # we track is safe for a must-held set
         else:  # mutex_unlock
-            locks = locks - {lock_obj} if lock_obj is not None else frozenset()
+            if lock_obj is not None:
+                # allocation sites partition concrete memory: releasing
+                # an instance of this site cannot release a lock from
+                # any other (tracked) site, so removing just this
+                # object is sound whether or not it is a singleton
+                locks = locks - {lock_obj}
+            else:
+                locks = frozenset()
     elif kind == "direct":
         summary = summaries[target]
         if summary.sync or summary.unknown:
@@ -115,12 +212,15 @@ def analyze_locksets(module: Module, graph: CallGraph, aliases: AliasInfo,
     except CFGError:
         return LockInfo(unprovable=True)
 
+    singleton = _make_singleton_test(module, graph, cfgs)
+
     def transfer_for(fname):
         def transfer(label: str, fact: Fact) -> Fact:
             for instr in cfgs[fname].blocks[label].instructions:
                 if isinstance(instr, Call):
                     fact = _transfer_call(
-                        module, summaries, aliases, fname, instr, fact
+                        module, summaries, aliases, singleton,
+                        fname, instr, fact
                     )
             return fact
         return transfer
@@ -170,7 +270,8 @@ def analyze_locksets(module: Module, graph: CallGraph, aliases: AliasInfo,
                                 else _meet(prior, started)
                             )
                         fact = _transfer_call(
-                            module, summaries, aliases, fname, instr, fact
+                            module, summaries, aliases, singleton,
+                            fname, instr, fact
                         )
     # ------------------------------------------------------------------
     # per-object aggregation

@@ -101,6 +101,24 @@ class TestAlias:
         """))
         assert not ctx.stack_local("main", "%s")
 
+    def test_top_contents_do_not_hide_concrete_escapes(self):
+        # An unmodeled pointer stored into the global makes its contents
+        # TOP, but the stack slot concretely stored there beforehand is
+        # still reachable by other threads and must escape.
+        ctx = analyze_module(parse_module("""
+        global cell 8
+        func main() {
+        entry:
+          %s = alloca 8
+          %c = call global_addr$cell()
+          store %s -> [%c], 8
+          %u = call mystery()
+          store %u -> [%c], 8
+          ret 0
+        }
+        """))
+        assert not ctx.stack_local("main", "%s")
+
     def test_returned_pointer_escapes(self):
         ctx = analyze_module(parse_module("""
         func main() {
@@ -232,6 +250,116 @@ class TestLockset:
         # the initial thread's unlocked init happens-before the spawn
         assert ctx.lock_protected(("main", "entry", 1))
         assert ctx.lock_protected(("worker", "entry", 3))
+
+
+class TestLockIdentity:
+    def test_per_thread_allocated_lock_not_trusted(self):
+        # Each spawned thread mallocs its *own* mutex at the same call
+        # site, so the abstract heap object covers many concrete locks;
+        # the guarded global must stay unprotected (the race is real).
+        ctx = analyze_module(parse_module("""
+        global shared 8
+        func main() {
+        entry:
+          %t1 = call spawn$worker()
+          %t2 = call spawn$worker()
+          ret 0
+        }
+        func worker() {
+        entry:
+          %m = call malloc(8)
+          %g = call global_addr$shared()
+          call mutex_lock(%m)
+          store 1 -> [%g], 8
+          call mutex_unlock(%m)
+          ret 0
+        }
+        """))
+        assert not ctx.lock_protected(("worker", "entry", 3))
+
+    def test_stack_lock_in_spawned_function_not_trusted(self):
+        # Same hole with an alloca: every thread running worker gets a
+        # fresh stack mutex from the one abstract site.
+        ctx = analyze_module(parse_module("""
+        global shared 8
+        func main() {
+        entry:
+          %t1 = call spawn$worker()
+          %t2 = call spawn$worker()
+          ret 0
+        }
+        func worker() {
+        entry:
+          %m = alloca 8
+          %g = call global_addr$shared()
+          call mutex_lock(%m)
+          store 1 -> [%g], 8
+          call mutex_unlock(%m)
+          ret 0
+        }
+        """))
+        assert not ctx.lock_protected(("worker", "entry", 3))
+
+    def test_loop_allocated_lock_not_trusted(self):
+        # A malloc inside a loop mints a fresh mutex per iteration even
+        # in a single-shot function: the site is not a singleton lock.
+        ctx = analyze_module(parse_module("""
+        global shared 8
+        func main() {
+        entry:
+          %t = call spawn$worker()
+          jmp head
+        head:
+          %m = call malloc(8)
+          %g = call global_addr$shared()
+          call mutex_lock(%m)
+          store 1 -> [%g], 8
+          call mutex_unlock(%m)
+          %c = call rand()
+          %again = cmp ne %c, 0
+          br %again, head, done
+        done:
+          ret 0
+        }
+        func worker() {
+        entry:
+          ret 0
+        }
+        """))
+        assert not ctx.lock_protected(("main", "head", 3))
+
+    def test_single_shot_heap_lock_trusted(self):
+        # Precision check: a mutex malloc'd exactly once (straight-line
+        # main) and shared through a global cell is a single concrete
+        # lock, so consistently guarded accesses stay protected.
+        ctx = analyze_module(parse_module("""
+        global shared 8
+        global lockcell 8
+        func main() {
+        entry:
+          %m = call malloc(8)
+          %c = call global_addr$lockcell()
+          store %m -> [%c], 8
+          %t = call spawn$worker()
+          call mutex_lock(%m)
+          %g = call global_addr$shared()
+          store 1 -> [%g], 8
+          call mutex_unlock(%m)
+          ret 0
+        }
+        func worker() {
+        entry:
+          %c = call global_addr$lockcell()
+          %m = load [%c], 8
+          %g = call global_addr$shared()
+          call mutex_lock(%m)
+          store 2 -> [%g], 8
+          call mutex_unlock(%m)
+          ret 0
+        }
+        """))
+        assert ctx.lock_protected(("main", "entry", 6))
+        assert ctx.lock_protected(("worker", "entry", 4))
 
 
 class TestCache:
