@@ -30,7 +30,14 @@ Failure model:
   subclass, so crash-handling callers heal hangs for free);
 * a background **reaper** (optional, ``reaper_interval``) respawns
   workers that died while idle — e.g. OOM-killed between requests —
-  so pool capacity recovers without waiting for the next crash-y call.
+  so pool capacity recovers without waiting for the next crash-y call;
+* respawning itself is **rate-limited**: each replacement past a small
+  free allowance pays an exponential backoff sleep, and once the pool
+  has respawned ``max_respawns_per_window`` times inside
+  ``respawn_window`` seconds, further replacements raise
+  :class:`WorkerRespawnStorm` instead of spawning — a deterministic
+  crasher (the kind :mod:`repro.fuzz` finds) degrades the pool with a
+  typed error rather than fork-bombing the host indefinitely.
 """
 
 from __future__ import annotations
@@ -43,8 +50,9 @@ import stat
 import threading
 import time
 import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 
 class TaskError(RuntimeError):
@@ -58,6 +66,19 @@ class WorkerCrashError(RuntimeError):
 class WorkerHangError(WorkerCrashError):
     """The watchdog killed a worker whose task exceeded ``hang_timeout``
     (or that stopped heartbeating entirely)."""
+
+
+class WorkerRespawnStorm(WorkerCrashError):
+    """The pool hit its respawn rate limit and refused to replace yet
+    another dead worker (``max_respawns_per_window`` respawns inside
+    ``respawn_window`` seconds).  The dead handle stays in rotation, so
+    pool capacity is unchanged; the storm clears on its own once the
+    window slides past the burst."""
+
+
+#: Respawns inside the window that pay no backoff sleep; isolated
+#: crashes stay as cheap to heal as they were before rate limiting.
+_RESPAWN_BACKOFF_FREE = 4
 
 
 #: Wire tag for heartbeat messages (worker -> parent, between results).
@@ -288,24 +309,47 @@ class PersistentWorkerPool:
     workers found dead while idle and hard-kills busy workers running
     past the hang deadline (a backstop for callers that abandoned their
     call thread).  Both default to off, preserving batch semantics.
+
+    Respawning is rate-limited: past ``_RESPAWN_BACKOFF_FREE`` recent
+    respawns each replacement sleeps an exponentially growing backoff
+    (``respawn_backoff_base`` doubling up to ``respawn_backoff_max``),
+    and once ``max_respawns_per_window`` respawns land inside
+    ``respawn_window`` seconds the pool raises
+    :class:`WorkerRespawnStorm` instead — the counter is
+    ``respawn_storms``.  ``max_respawns_per_window=None`` disables the
+    hard cap (backoff still applies).
     """
 
     def __init__(self, size: int, start_method: Optional[str] = None,
                  heartbeat_interval: float = 0.5,
                  hang_timeout: Optional[float] = None,
-                 reaper_interval: Optional[float] = None) -> None:
+                 reaper_interval: Optional[float] = None,
+                 respawn_window: float = 30.0,
+                 max_respawns_per_window: Optional[int] = 64,
+                 respawn_backoff_base: float = 0.01,
+                 respawn_backoff_max: float = 0.5) -> None:
         if size < 1:
             raise ValueError("pool needs at least one worker")
+        if respawn_window <= 0:
+            raise ValueError("respawn_window must be positive")
+        if max_respawns_per_window is not None and max_respawns_per_window < 1:
+            raise ValueError("max_respawns_per_window must be >= 1 or None")
         self._ctx = multiprocessing.get_context(start_method)
         self.size = size
         self.heartbeat_interval = heartbeat_interval
         self.hang_timeout = hang_timeout
+        self.respawn_window = respawn_window
+        self.max_respawns_per_window = max_respawns_per_window
+        self.respawn_backoff_base = respawn_backoff_base
+        self.respawn_backoff_max = respawn_backoff_max
+        self._respawn_times: Deque[float] = deque()
         self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
         self.restarts = 0
         self.hangs = 0
         self.reaped = 0
+        self.respawn_storms = 0
         self._workers: List[_WorkerHandle] = [
             self._spawn() for _ in range(size)
         ]
@@ -332,14 +376,21 @@ class PersistentWorkerPool:
         if not worker.alive:
             # Died while idle (OOM kill, external SIGKILL): heal
             # transparently instead of failing this unrelated call.
-            worker = self._respawn(worker)
+            try:
+                worker = self._respawn(worker)
+            except WorkerRespawnStorm:
+                self._idle.put(worker)  # dead handle back: capacity constant
+                raise
         try:
             return worker.call(task_path, payload,
                                hang_timeout=self.hang_timeout)
         except WorkerHangError:
-            worker = self._respawn(worker)
             with self._lock:
                 self.hangs += 1
+            # A storm here replaces the hang error on the caller, but it
+            # is still a WorkerCrashError, and the dead handle goes back
+            # in rotation via the finally below.
+            worker = self._respawn(worker)
             raise
         except WorkerCrashError:
             worker = self._respawn(worker)
@@ -366,9 +417,39 @@ class PersistentWorkerPool:
             return [future.result() for future in futures]
 
     # -- lifecycle -----------------------------------------------------
+    def _respawn_admit(self) -> int:
+        """Charge one respawn against the rate limit; returns how many
+        respawns the sliding window already held (for backoff sizing)."""
+        now = time.monotonic()
+        while (self._respawn_times
+               and now - self._respawn_times[0] > self.respawn_window):
+            self._respawn_times.popleft()
+        recent = len(self._respawn_times)
+        if (self.max_respawns_per_window is not None
+                and recent >= self.max_respawns_per_window):
+            self.respawn_storms += 1
+            raise WorkerRespawnStorm(
+                f"{recent} worker respawns in the last "
+                f"{self.respawn_window:.0f}s (limit "
+                f"{self.max_respawns_per_window}); refusing to respawn — "
+                f"a deterministic crasher is likely spinning the pool"
+            )
+        self._respawn_times.append(now)
+        return recent
+
     def _respawn(self, dead: _WorkerHandle) -> _WorkerHandle:
         with self._lock:
+            recent = self._respawn_admit()
             self.restarts += 1
+        # Exponential backoff past the free allowance, slept *outside*
+        # the lock so a crash burst slows respawning without freezing
+        # counters and unrelated respawns behind one sleeper.
+        if recent >= _RESPAWN_BACKOFF_FREE:
+            time.sleep(min(
+                self.respawn_backoff_max,
+                self.respawn_backoff_base * 2 ** (recent - _RESPAWN_BACKOFF_FREE),
+            ))
+        with self._lock:
             try:
                 dead.stop(timeout=0.5)
             except (OSError, ValueError):
@@ -405,7 +486,12 @@ class PersistentWorkerPool:
             if worker.alive:
                 self._idle.put(worker)
             else:
-                self._idle.put(self._respawn(worker))
+                try:
+                    fresh = self._respawn(worker)
+                except WorkerRespawnStorm:
+                    self._idle.put(worker)  # keep the dead handle queued
+                    continue
+                self._idle.put(fresh)
                 with self._lock:
                     self.reaped += 1
                 acted += 1

@@ -1,0 +1,132 @@
+"""Persistent content-addressed regression corpus.
+
+Every shrunk find becomes a permanent test: a JSON entry under
+``tests/fuzz/corpus/`` named by the sha256 of its canonical content
+(like :class:`repro.trace.store.TraceStore`, content addressing makes
+entries tamper-evident and collision-free).  An entry carries the
+parameter vector, optionally the shrunk IR text, the matrix cells to
+replay, and the *expected* outcome — ``MATCH`` for a fixed find (the
+regression test), or a non-MATCH class for an entry documenting a
+still-open bug.
+
+``replay_entry`` runs the entry back through the differential oracle;
+``tests/fuzz/test_corpus_replay.py`` parametrizes over the directory so
+the corpus replays as ordinary pytest cases, and
+``python -m repro.fuzz corpus replay`` does the same from the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.fuzz import FuzzUsageError, bump
+from repro.fuzz.gen import (
+    GenParams,
+    params_from_dict,
+    params_to_dict,
+    synthetic_workload,
+)
+from repro.fuzz.oracle import DEFAULT_MATRIX, CaseOutcome, Oracle, parse_matrix
+
+
+def default_corpus_dir() -> Path:
+    """``tests/fuzz/corpus`` resolved from the source checkout layout."""
+    return Path(__file__).resolve().parents[3] / "tests" / "fuzz" / "corpus"
+
+
+def entry_digest(entry: dict) -> str:
+    """Content digest over everything that defines the entry."""
+    canon = json.dumps(
+        {key: entry[key] for key in sorted(entry) if key != "digest"},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def make_entry(params: GenParams, *, ir: Optional[str] = None,
+               cells: Sequence[str] = DEFAULT_MATRIX,
+               expected: str = "MATCH", note: str = "") -> dict:
+    parse_matrix(tuple(cells))
+    entry = {
+        "params": params_to_dict(params),
+        "ir": ir,
+        "cells": list(cells),
+        "expected": expected,
+        "note": note,
+    }
+    entry["digest"] = entry_digest(entry)
+    return entry
+
+
+def save_entry(entry: dict, corpus_dir: Optional[Path] = None) -> Path:
+    corpus_dir = Path(corpus_dir or default_corpus_dir())
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    expected = entry_digest(entry)
+    if entry.get("digest") not in (None, expected):
+        raise FuzzUsageError(
+            f"corpus entry digest mismatch: {entry['digest'][:12]} != {expected[:12]}"
+        )
+    entry = dict(entry, digest=expected)
+    path = corpus_dir / f"{expected[:16]}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path: Path) -> dict:
+    try:
+        entry = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FuzzUsageError(f"unreadable corpus entry {path}: {exc}") from None
+    if entry_digest(entry) != entry.get("digest"):
+        raise FuzzUsageError(f"corpus entry {Path(path).name} fails its digest")
+    return entry
+
+
+def iter_entries(corpus_dir: Optional[Path] = None) -> Iterator[Tuple[Path, dict]]:
+    corpus_dir = Path(corpus_dir or default_corpus_dir())
+    if not corpus_dir.is_dir():
+        return
+    for path in sorted(corpus_dir.glob("*.json")):
+        yield path, load_entry(path)
+
+
+def replay_entry(entry: dict, *, store_root: Optional[str] = None,
+                 case_timeout: float = 120.0) -> CaseOutcome:
+    """Run one corpus entry back through the oracle."""
+    bump("corpus_replays")
+    params = params_from_dict(entry["params"])
+    workload = None
+    if entry.get("ir"):
+        from repro.fuzz.shrink import workload_from_text
+
+        workload = workload_from_text(
+            entry["ir"], params, name=f"fuzz-corpus-{entry['digest'][:8]}"
+        )
+    else:
+        workload = synthetic_workload(params)
+    with Oracle(tuple(entry["cells"]), store_root=store_root,
+                case_timeout=case_timeout) as oracle:
+        return oracle.run_case(params, workload=workload)
+
+
+def replay_corpus(corpus_dir: Optional[Path] = None, *,
+                  store_root: Optional[str] = None,
+                  case_timeout: float = 120.0) -> List[dict]:
+    """Replay every entry; returns one row per entry with pass/fail."""
+    rows = []
+    for path, entry in iter_entries(corpus_dir):
+        outcome = replay_entry(entry, store_root=store_root,
+                               case_timeout=case_timeout)
+        rows.append({
+            "entry": path.name,
+            "digest": entry["digest"],
+            "note": entry.get("note", ""),
+            "expected": entry["expected"],
+            "outcome": outcome.outcome,
+            "detail": outcome.detail,
+            "ok": outcome.outcome == entry["expected"],
+        })
+    return rows

@@ -1,0 +1,99 @@
+"""Fuzz-under-fault: the differential oracle composed with faultline.
+
+With a seeded :class:`repro.faultline.FaultPlan` installed, the serve,
+store, and partition layers the oracle exercises start failing on the
+plan's schedule.  The resilience invariant under test is the same one
+the chaos suite holds for the hand-written workloads — **correct or
+typed, never wrong** — now over generated programs:
+
+* a case may still ``MATCH`` (faults retried/absorbed by the resilience
+  layer, or simply not scheduled on its path);
+* a case may fail with a *typed* error (``TYPED_FAULT``) or blow its
+  wall-clock cap (``TIMEOUT``);
+* a case must never complete with *different* results (``DIVERGENCE``)
+  or die with an untyped error (``CRASH``) — either is an invariant
+  violation, a find like any other.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Sequence
+
+from repro import faultline
+from repro.faultline import FaultPlan, FaultSpec
+from repro.fuzz import FIND_OUTCOMES, FuzzUsageError
+from repro.fuzz.oracle import DEFAULT_MATRIX, Oracle
+
+#: Fault points on the oracle's own execution paths (worker points are
+#: excluded: the oracle's embedded server runs degraded inline mode,
+#: which suppresses worker-process faults by design).
+DEFAULT_FAULT_POINTS = (
+    "serve.busy",
+    "serve.conn.reset",
+    "store.read.corrupt",
+    "store.write.partial",
+    "partition.shard.fail",
+    "partition.merge.corrupt",
+)
+
+
+def fault_plan(rate: float, seed: int,
+               points: Sequence[str] = DEFAULT_FAULT_POINTS) -> FaultPlan:
+    """A seeded plan firing each point with probability ``rate``."""
+    if not 0.0 < rate <= 1.0:
+        raise FuzzUsageError(f"fault rate must be in (0, 1], got {rate}")
+    return FaultPlan(seed, {point: FaultSpec(probability=rate)
+                            for point in points})
+
+
+@contextlib.contextmanager
+def installed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    faultline.install(plan)
+    try:
+        yield plan
+    finally:
+        faultline.clear()
+
+
+def run_under_faults(
+    seeds: Sequence[int],
+    rate: float,
+    fault_seed: int = 1337,
+    *,
+    matrix: Sequence[str] = DEFAULT_MATRIX,
+    events: Optional[int] = None,
+    case_timeout: float = 60.0,
+    store_root: Optional[str] = None,
+) -> dict:
+    """Sweep ``seeds`` through the matrix under an installed fault plan.
+
+    Returns a summary recording per-outcome counts, the fault-point
+    fire counts, and ``invariant_held`` — False iff any case diverged
+    or crashed (the never-wrong half of the contract).
+    """
+    plan = fault_plan(rate, fault_seed)
+    outcomes = {}
+    violations = []
+    with Oracle(matrix, store_root=store_root, case_timeout=case_timeout,
+                fault_mode=True) as oracle:
+        with installed(plan):
+            for seed in seeds:
+                outcome = oracle.run_seed(seed, events=events)
+                outcomes[outcome.outcome] = outcomes.get(outcome.outcome, 0) + 1
+                if outcome.outcome in FIND_OUTCOMES:
+                    violations.append({
+                        "seed": seed,
+                        "outcome": outcome.outcome,
+                        "detail": outcome.detail,
+                    })
+    return {
+        "rate": rate,
+        "fault_seed": fault_seed,
+        "cases": len(seeds),
+        "outcomes": outcomes,
+        "fault_fires": dict(plan.fires),
+        "fault_checks": dict(plan.checks),
+        "invariant_held": not violations,
+        "violations": violations,
+    }

@@ -1,0 +1,248 @@
+"""Auto-shrinker: delta-debug a non-MATCH case to a minimal module.
+
+Given the parameter vector of a failing case, the shrinker re-classifies
+candidate reductions of its IR module against a *reduced* matrix — the
+baseline cell plus the cell that failed — and greedily keeps any
+reduction that still reproduces the same outcome class.  Reduction moves:
+
+* drop chunks of non-terminator instructions per block (sizes 8/4/2/1,
+  classic ddmin scheduling);
+* drop whole functions that are no longer referenced;
+* drop globals that are no longer referenced.
+
+Candidates are cloned through ``parse_module(print_module(...))`` — the
+text round-trip is the mutation-isolation mechanism — and gated by
+:func:`repro.ir.validate.validate_module`, so every candidate the
+predicate sees is a valid program.  The result preserves the failing
+seed and matrix cell, which is all a one-line repro needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.fuzz import FuzzError, bump
+from repro.fuzz.gen import GenParams, _fuzz_externs, generate
+from repro.fuzz.oracle import DEFAULT_MATRIX, CaseOutcome, Oracle
+from repro.ir.instructions import Call, TERMINATORS
+from repro.ir.module import Module
+from repro.ir.text import parse_module, print_module
+from repro.ir.validate import validate_module
+from repro.workloads.base import Workload
+
+CHUNK_SIZES = (8, 4, 2, 1)
+
+
+@dataclass
+class ShrinkResult:
+    """A minimal reproducing module plus its provenance."""
+
+    params: GenParams
+    outcome: str
+    cell: str
+    module_text: str
+    original_instructions: int
+    final_instructions: int
+    candidates_tried: int
+
+    @property
+    def removed(self) -> int:
+        return self.original_instructions - self.final_instructions
+
+
+def workload_from_text(text: str, params: GenParams,
+                       name: str = "fuzz-shrink") -> Workload:
+    """Wrap raw IR text as a workload under the case's run parameters."""
+    parse_module(text)  # fail fast on unparsable text
+    return Workload(
+        name=name,
+        suite="fuzz",
+        build=lambda scale=1, _t=text: parse_module(_t),
+        threads=params.threads,
+        extern_factory=_fuzz_externs if params.call_shape == "extern" else None,
+    )
+
+
+def _clone(module: Module) -> Module:
+    return parse_module(print_module(module))
+
+
+def _referenced_names(module: Module) -> Tuple[set, set]:
+    """(called function names, referenced global names) over the module."""
+    functions, globals_ = set(), set()
+    for function in module.functions.values():
+        for instruction in function.instructions():
+            if not isinstance(instruction, Call):
+                continue
+            callee = instruction.callee
+            if callee.startswith("spawn$"):
+                functions.add(callee[len("spawn$"):])
+            elif callee.startswith("global_addr$"):
+                globals_.add(callee[len("global_addr$"):])
+            else:
+                functions.add(callee)
+    return functions, globals_
+
+
+def _candidates(module: Module) -> Iterator[Module]:
+    """Yield reduction candidates, coarsest first."""
+    # 1. unreferenced functions (never main)
+    called, _ = _referenced_names(module)
+    for name in list(module.functions):
+        if name != "main" and name not in called:
+            candidate = _clone(module)
+            del candidate.functions[name]
+            yield candidate
+
+    # 2. instruction chunks per block (terminators stay)
+    for fn_name, function in module.functions.items():
+        for label, block in function.blocks.items():
+            body = len(block.instructions) - 1  # keep the terminator
+            for size in CHUNK_SIZES:
+                if size > body:
+                    continue
+                for start in range(0, body, size):
+                    candidate = _clone(module)
+                    target = candidate.functions[fn_name].blocks[label]
+                    del target.instructions[start:start + size]
+                    if not target.instructions or \
+                            not isinstance(target.instructions[-1], TERMINATORS):
+                        continue
+                    yield candidate
+
+    # 3. unreferenced globals
+    _, used_globals = _referenced_names(module)
+    for name in list(module.globals):
+        if name not in used_globals:
+            candidate = _clone(module)
+            del candidate.globals[name]
+            yield candidate
+
+
+def _valid(module: Module) -> bool:
+    try:
+        validate_module(module)
+    except Exception:
+        return False
+    return True
+
+
+def _terminates(module: Module, params: GenParams, step_cap: int) -> bool:
+    """Reject candidates that stopped terminating (e.g. a dropped loop
+    increment): one cheap uninstrumented run under a tight step cap.
+    Program *faults* pass through — a faulting candidate may be exactly
+    the minimal CRASH reproduction the predicate is looking for."""
+    from repro.errors import VMError
+    from repro.vm.interpreter import Interpreter
+
+    extern = _fuzz_externs() if params.call_shape == "extern" else None
+    try:
+        Interpreter(module, extern=extern, max_steps=step_cap).run()
+    except VMError as exc:
+        if "max_steps" in str(exc):
+            return False
+    except Exception:
+        pass
+    return True
+
+
+def shrink_case(
+    params: GenParams,
+    failing_cell: str,
+    expected_outcome: str,
+    *,
+    matrix: Sequence[str] = DEFAULT_MATRIX,
+    case_timeout: float = 60.0,
+    store_root: Optional[str] = None,
+    max_candidates: int = 2000,
+    classify: Optional[Callable[[Workload], CaseOutcome]] = None,
+) -> ShrinkResult:
+    """Delta-debug ``params``' module to a minimal one still failing.
+
+    ``failing_cell``/``expected_outcome`` come from the original
+    :class:`~repro.fuzz.oracle.CaseOutcome`; the predicate re-runs only
+    the baseline cell plus the failing cell.  ``classify`` overrides the
+    predicate entirely (tests use this to shrink against synthetic
+    failure conditions without a real divergence in the tree).
+    """
+    bump("shrink_runs")
+    if failing_cell == "*":  # divergence: any cell pair may disagree
+        reduced_matrix: Tuple[str, ...] = tuple(matrix)
+    else:
+        reduced_matrix = tuple(dict.fromkeys((matrix[0], failing_cell)))
+    oracle: Optional[Oracle] = None
+    if classify is None:
+        oracle = Oracle(reduced_matrix, store_root=store_root,
+                        case_timeout=case_timeout)
+
+        def classify(workload: Workload) -> CaseOutcome:
+            return oracle.run_case(params, workload=workload)
+
+    try:
+        module = generate(params)
+        original_instructions = module.static_instruction_count()
+        # Step cap for candidate termination checks: generous headroom
+        # over the original program's dynamic footprint.
+        from repro.vm.interpreter import Interpreter
+
+        extern = _fuzz_externs() if params.call_shape == "extern" else None
+        try:
+            plain = Interpreter(_clone(module), extern=extern).run()
+            step_cap = max(50_000, 4 * plain.instructions)
+        except Exception:
+            step_cap = 2_000_000
+        baseline = classify(workload_from_text(print_module(module), params))
+        if baseline.outcome != expected_outcome:
+            raise FuzzError(
+                f"case does not reproduce: expected {expected_outcome}, "
+                f"got {baseline.outcome} ({baseline.detail})"
+            )
+
+        tried = 0
+        improved = True
+        while improved and tried < max_candidates:
+            improved = False
+            for candidate in _candidates(module):
+                tried += 1
+                if tried >= max_candidates:
+                    break
+                if not _valid(candidate):
+                    continue
+                if not _terminates(candidate, params, step_cap):
+                    continue
+                try:
+                    text = print_module(candidate)
+                    outcome = classify(workload_from_text(text, params))
+                except Exception:
+                    continue  # candidate broke the harness itself: reject
+                if outcome.outcome == expected_outcome:
+                    module = candidate
+                    improved = True
+                    break  # greedy restart from the smaller module
+
+        final_instructions = module.static_instruction_count()
+        bump("shrink_removed", original_instructions - final_instructions)
+        return ShrinkResult(
+            params=params,
+            outcome=expected_outcome,
+            cell=failing_cell,
+            module_text=print_module(module),
+            original_instructions=original_instructions,
+            final_instructions=final_instructions,
+            candidates_tried=tried,
+        )
+    finally:
+        if oracle is not None:
+            oracle.close()
+
+
+def shrink_outcome(outcome: CaseOutcome, **kwargs) -> ShrinkResult:
+    """Shrink directly from a failing :class:`CaseOutcome`."""
+    failing: List[str] = [
+        result.cell for result in outcome.cells if result.status == "error"
+    ]
+    # A divergence has no erroring cell — any completed pair may disagree,
+    # so the predicate keeps the whole matrix ("*").
+    cell = failing[0] if failing else "*"
+    return shrink_case(outcome.params, cell, outcome.outcome, **kwargs)

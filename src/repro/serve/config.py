@@ -52,6 +52,12 @@ class ResilienceConfig:
     #: seconds between reaper sweeps (respawn dead-idle workers);
     #: None disables the reaper thread
     reaper_interval: Optional[float] = 2.0
+    #: sliding window, seconds, for the crash-respawn rate limit
+    respawn_window: float = 30.0
+    #: respawns allowed inside the window before the pool raises a
+    #: typed ``WorkerRespawnStorm`` instead of replacing the worker;
+    #: None disables the cap (exponential backoff still applies)
+    max_respawns_per_window: Optional[int] = 64
 
     # -- degraded mode -------------------------------------------------
     #: run replays inline in the server process when the worker pool is

@@ -234,7 +234,8 @@ def render_health(health: Optional[dict]) -> List[str]:
         lines.append(
             f"  pool: alive={pool.get('alive')}/{pool.get('size')} "
             f"restarts={pool.get('restarts')} hangs={pool.get('hangs')} "
-            f"reaped={pool.get('reaped')}"
+            f"reaped={pool.get('reaped')} "
+            f"respawn_storms={pool.get('respawn_storms', 0)}"
         )
     else:
         lines.append("  pool: none (inline mode)")

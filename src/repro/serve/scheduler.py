@@ -114,6 +114,7 @@ class ReplayScheduler:
                 "restarts": self.pool.restarts,
                 "hangs": self.pool.hangs,
                 "reaped": self.pool.reaped,
+                "respawn_storms": self.pool.respawn_storms,
             }
         else:
             report["pool"] = None

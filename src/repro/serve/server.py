@@ -119,6 +119,8 @@ class AnalysisServer:
                 heartbeat_interval=resilience.heartbeat_interval,
                 hang_timeout=resilience.hang_timeout,
                 reaper_interval=resilience.reaper_interval,
+                respawn_window=resilience.respawn_window,
+                max_respawns_per_window=resilience.max_respawns_per_window,
             )
         self.scheduler = ReplayScheduler(
             self.pool, self.config.resolved_capacity(), self.metrics,
@@ -518,6 +520,7 @@ class AnalysisServer:
         # instrumentation-elision pass (repro.staticpass).  They cover
         # embedded servers and any recording done in this process; pool
         # workers keep their own caches warm.
+        from repro.fuzz import fuzz_stats
         from repro.partition import partition_stats
         from repro.staticpass import staticpass_stats
         from repro.vm.bytecode import bytecode_cache_stats
@@ -529,6 +532,7 @@ class AnalysisServer:
             "vm.compile.bytecode": bytecode_cache_stats(),
             "staticpass": staticpass_stats(),
             "partition": partition_stats(),
+            "fuzz": fuzz_stats(),
         }
         # Legacy alias, predates the namespaced block.
         snap["compile_cache"] = compile_cache

@@ -30,6 +30,24 @@ ALL = {**SPEC, **SPLASH2, **REALWORLD}
 MSAN_EXCLUDED = ("gcc", "barnes", "fmm", "ocean", "volrend")
 
 
+def register_workload(workload: Workload, *, replace: bool = False) -> Workload:
+    """Add a synthetic workload (e.g. from :mod:`repro.fuzz.gen`) to ``ALL``.
+
+    Registration is explicit and opt-in — nothing registers at import
+    time, so the canonical 25-workload registry the benchmark figures
+    iterate stays untouched unless a caller asks.
+    """
+    if workload.name in ALL and not replace:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    ALL[workload.name] = workload
+    return workload
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a previously registered synthetic workload (missing ok)."""
+    ALL.pop(name, None)
+
+
 def fig3_workloads():
     """20 workloads of Figure 3: SPEC + Splash2 + real-world, bug-free."""
     return {
@@ -62,4 +80,6 @@ __all__ = [
     "fig3_workloads",
     "fig4_workloads",
     "fig5_workloads",
+    "register_workload",
+    "unregister_workload",
 ]

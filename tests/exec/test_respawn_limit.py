@@ -1,0 +1,121 @@
+"""Crash-respawn rate limiting: backoff, the storm cap, and recovery.
+
+A deterministic crasher — exactly what ``repro.fuzz`` shakes out — must
+not let the pool fork-bomb the host: past ``max_respawns_per_window``
+respawns in a sliding window the pool raises the *typed*
+:class:`WorkerRespawnStorm` instead of replacing the worker, and keeps
+the dead handle in rotation so pool capacity is unchanged.  The storm
+clears by itself once the window slides past the burst.
+"""
+
+import time
+
+import pytest
+
+from repro.exec.workers import (
+    PersistentWorkerPool,
+    WorkerCrashError,
+    WorkerRespawnStorm,
+)
+
+ECHO = "repro.exec.testing:echo"
+CRASH = "repro.exec.testing:crash"
+
+
+def test_storm_trips_after_window_cap():
+    with PersistentWorkerPool(1, max_respawns_per_window=3,
+                              respawn_window=60.0,
+                              respawn_backoff_base=0.0) as pool:
+        for _ in range(3):
+            with pytest.raises(WorkerCrashError):
+                pool.call(CRASH, 1)
+        assert pool.restarts == 3
+        assert pool.respawn_storms == 0
+        # Respawn #4 inside the window: typed storm, no new process.
+        with pytest.raises(WorkerRespawnStorm, match="respawns in the last"):
+            pool.call(CRASH, 1)
+        assert pool.restarts == 3
+        assert pool.respawn_storms == 1
+
+
+def test_storm_is_a_crash_error():
+    """Crash-handling callers (scheduler breaker, harness) catch storms
+    for free — it is the same typed family."""
+    assert issubclass(WorkerRespawnStorm, WorkerCrashError)
+
+
+def test_storm_keeps_pool_capacity_constant():
+    """The dead handle is re-queued on a storm: later calls still find
+    a worker slot, and once the window slides the pool heals itself."""
+    with PersistentWorkerPool(1, max_respawns_per_window=1,
+                              respawn_window=0.3,
+                              respawn_backoff_base=0.0) as pool:
+        with pytest.raises(WorkerCrashError):
+            pool.call(CRASH, 1)
+        with pytest.raises(WorkerRespawnStorm):
+            pool.call(CRASH, 1)
+        assert pool.respawn_storms >= 1
+        # The queue still holds exactly one handle (the dead one); a
+        # call after the window respawns and succeeds.
+        time.sleep(0.4)
+        assert pool.call(ECHO, "healed") == "healed"
+        assert pool.alive_workers == 1
+
+
+def test_storm_during_idle_heal_requeues_dead_handle():
+    """A storm hit while healing a worker that died *idle* must not
+    shrink the queue — the dead handle goes straight back."""
+    with PersistentWorkerPool(1, max_respawns_per_window=1,
+                              respawn_window=0.3,
+                              respawn_backoff_base=0.0) as pool:
+        with pytest.raises(WorkerCrashError):
+            pool.call(CRASH, 1)  # burns the window's one respawn
+        # Kill the (fresh) worker while idle, then call: the idle-heal
+        # path hits the limit.
+        pool._workers[0].kill()
+        pool._workers[0].process.join(5.0)
+        with pytest.raises(WorkerRespawnStorm):
+            pool.call(ECHO, "no worker")
+        time.sleep(0.4)
+        assert pool.call(ECHO, "healed") == "healed"
+
+
+def test_reaper_storm_is_swallowed():
+    """reap_once must not propagate a storm out of the reaper thread."""
+    with PersistentWorkerPool(1, max_respawns_per_window=1,
+                              respawn_window=60.0,
+                              respawn_backoff_base=0.0) as pool:
+        with pytest.raises(WorkerCrashError):
+            pool.call(CRASH, 1)
+        pool._workers[0].kill()
+        pool._workers[0].process.join(5.0)
+        acted = pool.reap_once()  # storm inside: swallowed, not raised
+        assert acted == 0
+        assert pool.respawn_storms == 1
+
+
+def test_backoff_sleeps_grow_then_cap(monkeypatch):
+    """Respawns past the free allowance sleep exponentially up to the
+    cap.  The sleep is captured, not timed: deterministic."""
+    import repro.exec.workers as workers_mod
+
+    sleeps = []
+    monkeypatch.setattr(workers_mod.time, "sleep",
+                        lambda s: sleeps.append(s))
+    with PersistentWorkerPool(1, max_respawns_per_window=None,
+                              respawn_window=60.0,
+                              respawn_backoff_base=0.05,
+                              respawn_backoff_max=0.2) as pool:
+        for _ in range(7):
+            with pytest.raises(WorkerCrashError):
+                pool.call(CRASH, 1)
+        assert pool.restarts == 7
+    # Free allowance is 4: respawns 5-7 sleep base, 2*base, then cap.
+    assert sleeps == [0.05, 0.1, 0.2]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PersistentWorkerPool(1, respawn_window=0.0)
+    with pytest.raises(ValueError):
+        PersistentWorkerPool(1, max_respawns_per_window=0)

@@ -1,0 +1,78 @@
+"""CLI surface of ``python -m repro.fuzz``: exit codes, artifacts,
+summary JSON.  Exit convention matches staticpass: 0 clean, 1 finds
+(or failed replay), 2 usage errors — one typed line on stderr."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.fuzz", *argv],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=str(REPO),
+    )
+
+
+class TestRun:
+    def test_clean_sweep_exits_zero(self, tmp_path):
+        out = tmp_path / "summary.json"
+        proc = run_cli(
+            "run", "--seeds", "2", "--events", "400", "--budget", "120",
+            "--store", str(tmp_path / "store"),
+            "--artifacts", str(tmp_path / "artifacts"),
+            "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(out.read_text())
+        assert summary["cases_run"] == 2
+        assert summary["outcomes"].get("MATCH") == 2
+        assert summary["finds"] == []
+
+    def test_budget_below_one_second_is_usage_error(self):
+        proc = run_cli("run", "--seeds", "1", "--budget", "0.5")
+        assert proc.returncode == 2
+        assert "--budget must be >= 1 second" in proc.stderr
+        assert proc.stderr.count("\n") <= 1  # one line, not a traceback
+
+    def test_unknown_matrix_cell_is_usage_error(self):
+        proc = run_cli("run", "--seeds", "1", "--matrix", "bogus/cell")
+        assert proc.returncode == 2
+        assert "bad matrix cell" in proc.stderr
+
+    def test_zero_seeds_is_usage_error(self):
+        proc = run_cli("run", "--seeds", "0")
+        assert proc.returncode == 2
+
+
+class TestCorpus:
+    def test_replay_committed_corpus_exits_zero(self):
+        proc = run_cli("corpus", "replay", timeout=600)
+        assert proc.returncode == 0, proc.stderr
+        assert "corpus replay" in proc.stdout
+
+    def test_add_and_replay_round_trip(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        added = run_cli("corpus", "add", "--seed", "5", "--events", "400",
+                        "--dir", str(corpus), "--note", "cli round trip")
+        assert added.returncode == 0, added.stderr
+        assert list(corpus.glob("*.json"))
+        replayed = run_cli("corpus", "replay", "--dir", str(corpus))
+        assert replayed.returncode == 0, replayed.stderr
+
+
+class TestShrink:
+    def test_non_reproducing_shrink_exits_one(self):
+        proc = run_cli(
+            "shrink", "--seed", "2", "--cell", "compiled/off/mono/inline",
+            "--outcome", "DIVERGENCE", "--events", "400",
+        )
+        assert proc.returncode == 1
+        assert "does not reproduce" in proc.stderr

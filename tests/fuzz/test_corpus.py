@@ -1,0 +1,68 @@
+"""Corpus mechanics: content addressing, tamper evidence, round-trips."""
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzUsageError
+from repro.fuzz.corpus import (
+    default_corpus_dir,
+    entry_digest,
+    iter_entries,
+    load_entry,
+    make_entry,
+    save_entry,
+)
+from repro.fuzz.gen import sample_params
+
+
+class TestEntries:
+    def test_round_trip(self, tmp_path):
+        entry = make_entry(sample_params(7, events=500), note="round trip")
+        path = save_entry(entry, corpus_dir=tmp_path)
+        assert path.name == f"{entry['digest'][:16]}.json"
+        assert load_entry(path) == entry
+
+    def test_digest_excludes_itself(self):
+        entry = make_entry(sample_params(7, events=500))
+        assert entry_digest(entry) == entry["digest"]
+
+    def test_tampered_entry_is_rejected(self, tmp_path):
+        entry = make_entry(sample_params(7, events=500))
+        path = save_entry(entry, corpus_dir=tmp_path)
+        raw = json.loads(path.read_text())
+        raw["note"] = "quietly edited"
+        path.write_text(json.dumps(raw))
+        with pytest.raises(FuzzUsageError, match="fails its digest"):
+            load_entry(path)
+
+    def test_unreadable_entry_is_typed(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{not json")
+        with pytest.raises(FuzzUsageError, match="unreadable"):
+            load_entry(bad)
+
+    def test_bad_matrix_rejected_at_make_time(self):
+        with pytest.raises(FuzzUsageError):
+            make_entry(sample_params(7), cells=("compiled/off/bogus/inline",))
+
+    def test_iter_entries_sorted_and_verified(self, tmp_path):
+        for seed in (3, 1, 2):
+            save_entry(make_entry(sample_params(seed, events=500)),
+                       corpus_dir=tmp_path)
+        names = [path.name for path, _ in iter_entries(tmp_path)]
+        assert names == sorted(names)
+        assert len(names) == 3
+
+    def test_missing_directory_yields_nothing(self, tmp_path):
+        assert list(iter_entries(tmp_path / "absent")) == []
+
+
+class TestCommittedCorpus:
+    def test_committed_corpus_is_nonempty_and_loads(self):
+        entries = list(iter_entries(default_corpus_dir()))
+        assert len(entries) >= 4
+        notes = " ".join(entry.get("note", "") for _, entry in entries)
+        # The two PR-9 regression shapes must stay in the corpus.
+        assert "per-iteration heap lock identity" in notes
+        assert "escape after TOP store" in notes

@@ -1,0 +1,33 @@
+"""Replay the committed regression corpus as ordinary pytest cases.
+
+Every entry under ``tests/fuzz/corpus/`` runs back through the
+differential oracle and must classify as its recorded expectation
+(``MATCH`` for fixed finds).  This is where a shrunk find becomes a
+permanent guard: the two PR-9 interprocedural-elision hole shapes live
+here, replayed against the full default matrix on every CI run.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import default_corpus_dir, iter_entries, replay_entry
+
+ENTRIES = list(iter_entries(default_corpus_dir()))
+
+
+def _entry_id(item):
+    path, entry = item
+    return path.stem[:12]
+
+
+@pytest.mark.parametrize("item", ENTRIES, ids=_entry_id)
+def test_corpus_entry_replays_as_expected(item, tmp_path):
+    _path, entry = item
+    outcome = replay_entry(entry, store_root=str(tmp_path))
+    assert outcome.outcome == entry["expected"], (
+        f"{entry.get('note', '')[:80]}: expected {entry['expected']}, "
+        f"got {outcome.outcome} — {outcome.detail}"
+    )
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "committed corpus must hold the regression entries"

@@ -1,0 +1,114 @@
+"""Determinism and validity of the fuzz generator.
+
+The whole fuzz architecture rests on two properties:
+
+* **seed determinism** — the same parameter vector yields a
+  bit-identical module (and therefore bit-identical trace payloads),
+  in this process, across repeated runs, and inside worker processes;
+  a find's one-line repro command depends on it;
+* **validity** — every generated module passes IR validation, parses
+  back from its own text, and runs to completion uninstrumented.
+
+The targeted analysis specs themselves are swept through ``aldalint``:
+fuzzing against a spec the linter flags would chase spec bugs, not
+runtime bugs.
+"""
+
+import pytest
+
+from repro.fuzz.gen import (
+    TARGET_SPECS,
+    GenParams,
+    digest_task,
+    generate,
+    module_text_digest,
+    params_digest,
+    params_to_dict,
+    sample_params,
+    synthetic_workload,
+)
+from repro.ir.text import parse_module, print_module
+from repro.ir.validate import validate_module
+
+SEEDS = list(range(10))
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_module(self):
+        for seed in SEEDS:
+            params = sample_params(seed, events=500)
+            first = module_text_digest(generate(params))
+            second = module_text_digest(generate(params))
+            assert first == second, f"seed {seed} not deterministic"
+
+    def test_different_seeds_differ(self):
+        digests = {
+            module_text_digest(generate(sample_params(seed, events=500)))
+            for seed in SEEDS
+        }
+        # Not all 10 need to differ (op mixes can collide) but most must.
+        assert len(digests) >= 8
+
+    def test_params_digest_is_stable(self):
+        params = sample_params(3, events=500)
+        assert params_digest(params) == params_digest(
+            GenParams(**params_to_dict(params))
+        )
+
+    def test_trace_bytes_identical_across_recordings(self):
+        """Recording the same generated workload twice yields the same
+        payload digest — the oracle's cross-backend anchor."""
+        params = sample_params(1, events=400)
+        task = params_to_dict(params)
+        first = digest_task(task)
+        second = digest_task(task)
+        assert first == second
+        assert first["payload_digest"]
+
+    def test_trace_bytes_identical_across_worker_processes(self):
+        """digest_task through the persistent pool: child processes see
+        the same bytes the parent does."""
+        from repro.exec.workers import PersistentWorkerPool
+
+        params = sample_params(2, events=400)
+        task = params_to_dict(params)
+        local = digest_task(task)
+        with PersistentWorkerPool(2) as pool:
+            remote = pool.map("repro.fuzz.gen:digest_task", [task, task])
+        assert remote[0] == remote[1] == local
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_modules_validate_and_round_trip(self, seed):
+        params = sample_params(seed, events=500)
+        module = generate(params)
+        validate_module(module)
+        text = print_module(module)
+        assert print_module(parse_module(text)) == text
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_generated_modules_run_to_completion(self, seed):
+        from repro.vm.interpreter import Interpreter
+
+        params = sample_params(seed, events=500)
+        workload = synthetic_workload(params)
+        profile = Interpreter(
+            workload.make_module(), extern=workload.make_extern(),
+            max_steps=50_000_000,
+        ).run()
+        assert profile.instructions > 0
+
+
+class TestTargetSpecsLintClean:
+    @pytest.mark.parametrize("spec", TARGET_SPECS)
+    def test_spec_is_aldalint_clean(self, spec):
+        import importlib
+
+        from repro.alda import check_program, parse_program
+        from repro.alda.lint import lint_program
+
+        module_name = spec.split(".")[0]
+        analysis = importlib.import_module(f"repro.analyses.{module_name}")
+        diags = lint_program(check_program(parse_program(analysis.SOURCE)))
+        assert diags == [], f"{spec}: {[str(d) for d in diags]}"

@@ -1,0 +1,39 @@
+"""Fuzz-under-fault: correct or typed, never wrong — over generated
+programs instead of the hand-written chaos workloads."""
+
+import pytest
+
+from repro.fuzz import FuzzUsageError
+from repro.fuzz.faults import DEFAULT_FAULT_POINTS, fault_plan, run_under_faults
+
+
+class TestPlan:
+    def test_rate_must_be_a_probability(self):
+        with pytest.raises(FuzzUsageError):
+            fault_plan(0.0, seed=1)
+        with pytest.raises(FuzzUsageError):
+            fault_plan(1.5, seed=1)
+
+    def test_plan_covers_the_default_points(self):
+        plan = fault_plan(0.5, seed=1)
+        assert set(plan.points) == set(DEFAULT_FAULT_POINTS)
+
+    def test_worker_points_are_not_armed(self):
+        """The oracle's embedded server runs inline (workers=0), where
+        worker faults are suppressed — arming them would record checks
+        that can never fire."""
+        assert not any(p.startswith("worker.") for p in DEFAULT_FAULT_POINTS)
+
+
+class TestInvariant:
+    def test_faulted_sweep_is_correct_or_typed(self):
+        summary = run_under_faults(
+            range(4), rate=0.05, fault_seed=99, events=400,
+        )
+        assert summary["cases"] == 4
+        assert summary["invariant_held"], summary["violations"]
+        assert summary["outcomes"]  # classified something
+        # Faults were actually considered on this run's paths.
+        assert sum(summary["fault_checks"].values()) > 0
+        assert "DIVERGENCE" not in summary["outcomes"]
+        assert "CRASH" not in summary["outcomes"]

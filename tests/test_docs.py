@@ -90,6 +90,7 @@ def test_docs_exist():
         "SERVING.md",
         "CLUSTER.md",
         "PARTITION.md",
+        "FUZZ.md",
     ):
         assert (DOCS / name).exists()
 
@@ -113,7 +114,8 @@ def _python_blocks(path: pathlib.Path):
 
 
 @pytest.mark.parametrize("name", ["ARCHITECTURE.md", "SUBSTRATE.md",
-                                  "BYTECODE.md", "STATICPASS.md"])
+                                  "BYTECODE.md", "STATICPASS.md",
+                                  "FUZZ.md"])
 def test_doc_python_blocks_execute(name):
     """Every fenced Python block in the architecture docs actually runs."""
     blocks = _python_blocks(DOCS / name)
