@@ -38,7 +38,7 @@ def _default_artifacts() -> Path:
 
 
 def _write_repro_script(artifacts: Path, outcome, matrix, faults: float,
-                        fault_seed: int, events, scale: int) -> Path:
+                        fault_seed: int, scale: int) -> Path:
     """Satellite contract: every failure artifact carries the exact
     one-line repro command (seed + parameter vector + matrix cell)."""
     from repro.fuzz.gen import params_digest, params_to_dict
@@ -72,7 +72,7 @@ def _write_repro_script(artifacts: Path, outcome, matrix, faults: float,
 
 def _cmd_run(args) -> int:
     from repro.fuzz import FIND_OUTCOMES, FuzzUsageError, fuzz_stats
-    from repro.fuzz.faults import fault_plan, installed
+    from repro.fuzz.faults import fault_plan, installed, suspended
     from repro.fuzz.oracle import DEFAULT_MATRIX, Oracle
     from repro.fuzz.shrink import shrink_outcome
 
@@ -116,15 +116,16 @@ def _cmd_run(args) -> int:
                             "detail": outcome.detail}
                     script = _write_repro_script(
                         artifacts, outcome, oracle.matrix, args.faults,
-                        args.fault_seed, args.events, args.scale,
+                        args.fault_seed, args.scale,
                     )
                     find["repro_script"] = str(script)
                     if not args.no_shrink:
                         try:
-                            shrunk = shrink_outcome(
-                                outcome, matrix=matrix_names,
-                                case_timeout=args.case_timeout,
-                            )
+                            with suspended():
+                                shrunk = shrink_outcome(
+                                    outcome, matrix=matrix_names,
+                                    case_timeout=args.case_timeout,
+                                )
                             shrunk_path = artifacts / (
                                 f"fuzz_shrunk_{script.stem.split('_')[-1]}.ir"
                             )

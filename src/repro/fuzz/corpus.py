@@ -22,7 +22,7 @@ import json
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.fuzz import FuzzUsageError, bump
+from repro.fuzz import OUTCOMES, FuzzUsageError, bump
 from repro.fuzz.gen import (
     GenParams,
     params_from_dict,
@@ -50,6 +50,11 @@ def make_entry(params: GenParams, *, ir: Optional[str] = None,
                cells: Sequence[str] = DEFAULT_MATRIX,
                expected: str = "MATCH", note: str = "") -> dict:
     parse_matrix(tuple(cells))
+    if expected not in OUTCOMES:
+        raise FuzzUsageError(
+            f"unknown expected outcome {expected!r}; "
+            f"expected one of {', '.join(OUTCOMES)}"
+        )
     entry = {
         "params": params_to_dict(params),
         "ir": ir,

@@ -56,6 +56,25 @@ def installed(plan: FaultPlan) -> Iterator[FaultPlan]:
         faultline.clear()
 
 
+@contextlib.contextmanager
+def suspended() -> Iterator[Optional[FaultPlan]]:
+    """Uninstall the active fault plan for the duration; restore on exit.
+
+    Shrinking inside a ``--faults`` sweep must classify its candidates
+    fault-free: an installed plan would both mislabel injected faults as
+    ``CRASH`` (the shrink oracle runs with ``fault_mode=False``) and let
+    candidate runs consume the sweep's shared fault-RNG schedule,
+    perturbing the fires of every later seed.
+    """
+    plan = faultline.active_plan()
+    faultline.clear()
+    try:
+        yield plan
+    finally:
+        if plan is not None:
+            faultline.install(plan)
+
+
 def run_under_faults(
     seeds: Sequence[int],
     rate: float,

@@ -142,9 +142,13 @@ def sample_params(case_seed: int, *, events: Optional[int] = None) -> GenParams:
     discipline = rng.choice(
         ("none", "consistent", "consistent", "inconsistent", "per_iteration", "per_iteration")
     )
+    # The events draw is consumed even when an override is supplied:
+    # otherwise ``--events`` shifts every subsequent draw and a repro
+    # command embedding the sampled events regenerates a different vector.
+    sampled_events = rng.randrange(800, 5000)
     return GenParams(
         seed=case_seed,
-        events=events if events is not None else rng.randrange(800, 5000),
+        events=events if events is not None else sampled_events,
         load_density=round(rng.uniform(0.15, 0.5), 3),
         store_density=round(rng.uniform(0.15, 0.5), 3),
         malloc_churn=round(rng.uniform(0.0, 0.3), 3),

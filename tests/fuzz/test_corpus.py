@@ -46,6 +46,10 @@ class TestEntries:
         with pytest.raises(FuzzUsageError):
             make_entry(sample_params(7), cells=("compiled/off/bogus/inline",))
 
+    def test_unknown_expected_outcome_rejected_at_make_time(self):
+        with pytest.raises(FuzzUsageError, match="unknown expected outcome"):
+            make_entry(sample_params(7, events=500), expected="MATH")
+
     def test_iter_entries_sorted_and_verified(self, tmp_path):
         for seed in (3, 1, 2):
             save_entry(make_entry(sample_params(seed, events=500)),

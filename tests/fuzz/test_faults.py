@@ -3,8 +3,15 @@ programs instead of the hand-written chaos workloads."""
 
 import pytest
 
+from repro import faultline
 from repro.fuzz import FuzzUsageError
-from repro.fuzz.faults import DEFAULT_FAULT_POINTS, fault_plan, run_under_faults
+from repro.fuzz.faults import (
+    DEFAULT_FAULT_POINTS,
+    fault_plan,
+    installed,
+    run_under_faults,
+    suspended,
+)
 
 
 class TestPlan:
@@ -23,6 +30,25 @@ class TestPlan:
         worker faults are suppressed — arming them would record checks
         that can never fire."""
         assert not any(p.startswith("worker.") for p in DEFAULT_FAULT_POINTS)
+
+
+class TestSuspended:
+    def test_suspended_parks_and_restores_the_active_plan(self):
+        """Shrinking inside a --faults sweep classifies candidates
+        fault-free and must not consume the sweep's fault schedule."""
+        plan = fault_plan(0.5, seed=1)
+        with installed(plan):
+            with suspended() as parked:
+                assert parked is plan
+                assert faultline.active_plan() is None
+            assert faultline.active_plan() is plan
+        assert faultline.active_plan() is None
+
+    def test_suspended_without_a_plan_is_a_noop(self):
+        assert faultline.active_plan() is None
+        with suspended() as parked:
+            assert parked is None
+        assert faultline.active_plan() is None
 
 
 class TestInvariant:

@@ -61,6 +61,16 @@ class TestSampling:
         assert any(p.escape_trick for p in sampled)
         assert len({p.spec for p in sampled}) == 3
 
+    def test_events_override_changes_only_events(self):
+        """An ``--events`` override must not shift the rest of the
+        sampled vector — a find's repro script embeds the sampled
+        events value and has to regenerate the same program."""
+        for seed in range(20):
+            free = sample_params(seed)
+            assert sample_params(seed, events=free.events) == free
+            overridden = sample_params(seed, events=123)
+            assert dataclasses.replace(overridden, events=free.events) == free
+
     def test_escape_trick_requires_two_threads(self):
         for seed in range(200):
             params = sample_params(seed)
